@@ -1,0 +1,291 @@
+// Package repro's root benchmarks regenerate every reconstructed table and
+// figure (E1..E12; see DESIGN.md) under `go test -bench`. Each benchmark
+// runs the corresponding experiment core and reports its headline numbers
+// as custom metrics, so `go test -bench=. -benchmem | tee bench_output.txt`
+// is the whole evaluation.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/aal"
+	"repro/internal/atm"
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/host"
+	"repro/internal/nic"
+	"repro/internal/sim"
+	"repro/internal/sonet"
+	"repro/internal/sonetlink"
+	"repro/internal/units"
+)
+
+// BenchmarkE1TxSegmentation regenerates the transmit firmware budget table.
+func BenchmarkE1TxSegmentation(b *testing.B) {
+	var rows []experiments.E1Row
+	for i := 0; i < b.N; i++ {
+		rows, _ = experiments.E1(engine.DefaultConfig())
+	}
+	for _, r := range rows {
+		if r.AAL == aal.AAL5 && r.Routine == "tx_cell (mid)" {
+			b.ReportMetric(r.Frac155, "midcell-x155")
+			b.ReportMetric(r.Frac622, "midcell-x622")
+		}
+	}
+}
+
+// BenchmarkE2RxReassembly regenerates the receive firmware budget table.
+func BenchmarkE2RxReassembly(b *testing.B) {
+	var rows []experiments.E2Row
+	for i := 0; i < b.N; i++ {
+		rows, _ = experiments.E2(engine.DefaultConfig())
+	}
+	for _, r := range rows {
+		if r.AAL == aal.AAL5 && r.Lookup == "cam" && r.Buffers.String() == "paged" {
+			b.ReportMetric(r.Frac155, "rxcell-x155")
+			b.ReportMetric(r.Frac622, "rxcell-x622")
+		}
+	}
+}
+
+// BenchmarkE3Throughput regenerates the goodput-vs-size figure (reduced
+// sweep per iteration; the full sweep is cmd/atmbench -exp e3).
+func BenchmarkE3Throughput(b *testing.B) {
+	ec := experiments.E3Config{
+		Sizes:   []int{64, 9180, 65535},
+		RunTime: 10 * sim.Millisecond,
+		Window:  4,
+	}
+	var pts []experiments.E3Point
+	for i := 0; i < b.N; i++ {
+		pts, _, _ = experiments.E3(ec)
+	}
+	for _, p := range pts {
+		if p.Rate == units.STS3cPayload && p.AAL == aal.AAL5 && p.Size == 9180 {
+			b.ReportMetric(p.GoodputBps/1e6, "mtu155-Mbps")
+		}
+		if p.Rate == units.STS12cPayload && p.AAL == aal.AAL5 && p.Size == 9180 {
+			b.ReportMetric(p.GoodputBps/1e6, "mtu622-Mbps")
+		}
+	}
+}
+
+// BenchmarkE4HostLoad regenerates the host-utilization figure.
+func BenchmarkE4HostLoad(b *testing.B) {
+	ec := experiments.E4Config{
+		Loads:   []float64{0.25, 0.75},
+		SDUSize: 9180,
+		RunTime: 15 * sim.Millisecond,
+	}
+	var pts []experiments.E4Point
+	for i := 0; i < b.N; i++ {
+		pts, _, _ = experiments.E4(ec)
+	}
+	for _, p := range pts {
+		if p.OfferedFrac == 0.75 {
+			switch p.Arch {
+			case experiments.ArchPerPacket:
+				b.ReportMetric(p.HostUtil, "perpkt-util@75")
+			case experiments.ArchPerCell:
+				b.ReportMetric(p.HostUtil, "percell-util@75")
+			}
+		}
+	}
+}
+
+// BenchmarkE5Latency regenerates the latency-breakdown table.
+func BenchmarkE5Latency(b *testing.B) {
+	var rows []experiments.E5Row
+	for i := 0; i < b.N; i++ {
+		rows, _ = experiments.E5()
+	}
+	for _, r := range rows {
+		if r.Size == 9180 {
+			b.ReportMetric(float64(r.Measured)/1000, "mtu-latency-us")
+		}
+	}
+}
+
+// BenchmarkE6Lookup regenerates the VC-lookup figure.
+func BenchmarkE6Lookup(b *testing.B) {
+	var pts []experiments.E6Point
+	for i := 0; i < b.N; i++ {
+		pts, _ = experiments.E6(nil)
+	}
+	for _, p := range pts {
+		if p.VCs == 256 {
+			switch p.Strategy {
+			case "cam":
+				b.ReportMetric(p.AvgCycles, "cam-cyc@256")
+			case "linear":
+				b.ReportMetric(p.AvgCycles, "linear-cyc@256")
+			}
+		}
+	}
+}
+
+// BenchmarkE7BufMgr regenerates the buffer-organization table.
+func BenchmarkE7BufMgr(b *testing.B) {
+	var rows []experiments.E7Row
+	for i := 0; i < b.N; i++ {
+		rows, _ = experiments.E7()
+	}
+	for _, r := range rows {
+		if r.FrameCells == 196 {
+			switch r.Org.String() {
+			case "contig":
+				b.ReportMetric(float64(r.LocalBytes), "contig-B@196c")
+			case "paged":
+				b.ReportMetric(float64(r.LocalBytes), "paged-B@196c")
+			}
+		}
+	}
+}
+
+// BenchmarkE8Loss regenerates the loss-sensitivity figure (reduced sweep).
+func BenchmarkE8Loss(b *testing.B) {
+	ec := experiments.E8Config{
+		LossProbs: []float64{1e-4, 1e-2},
+		Sizes:     []int{9180},
+		RunTime:   15 * sim.Millisecond,
+	}
+	var pts []experiments.E8Point
+	for i := 0; i < b.N; i++ {
+		pts, _ = experiments.E8(ec)
+	}
+	for _, p := range pts {
+		if p.LossProb == 1e-2 {
+			b.ReportMetric(p.DeliveredFrac, "frac@1e-2")
+		}
+	}
+}
+
+// BenchmarkE9Fifo regenerates the FIFO-sizing figure (two depths).
+func BenchmarkE9Fifo(b *testing.B) {
+	var pts []experiments.E9Point
+	for i := 0; i < b.N; i++ {
+		pts, _ = experiments.E9([]int{16, 192}, 10*sim.Millisecond)
+	}
+	b.ReportMetric(float64(pts[0].FifoDrops), "drops@16")
+	b.ReportMetric(float64(pts[1].FifoDrops), "drops@192")
+}
+
+// BenchmarkE10Headroom regenerates the engine-clock headroom figure.
+func BenchmarkE10Headroom(b *testing.B) {
+	var pts []experiments.E10Point
+	for i := 0; i < b.N; i++ {
+		pts, _ = experiments.E10(nil)
+	}
+	for _, p := range pts {
+		if p.ClockMHz == 25 {
+			b.ReportMetric(p.MaxMbps, "25MHz-maxMbps")
+		}
+	}
+}
+
+// BenchmarkE11EngineScaleOut regenerates the multi-engine OC-12 figure.
+func BenchmarkE11EngineScaleOut(b *testing.B) {
+	var pts []experiments.E11Point
+	for i := 0; i < b.N; i++ {
+		pts, _ = experiments.E11([]int{1, 3}, 10*sim.Millisecond)
+	}
+	b.ReportMetric(pts[0].GoodputBps/1e6, "1eng-Mbps")
+	b.ReportMetric(pts[1].GoodputBps/1e6, "3eng-Mbps")
+}
+
+// BenchmarkAblationInterleave measures the short-frame latency win of
+// multi-VC interleaved segmentation (DESIGN.md's TX scheduler choice): a
+// 96-byte frame queued behind a 64 KiB bulk frame, serial vs interleaved.
+func BenchmarkAblationInterleave(b *testing.B) {
+	measure := func(interleave bool) float64 {
+		tb, err := core.NewTestbed(core.Options{InterleaveVCs: interleave}, core.LinkOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bulk, small := core.VC{VCI: 1}, core.VC{VCI: 2}
+		tb.OpenVC(bulk)
+		tb.OpenVC(small)
+		var at sim.Time
+		tb.B.OnReceive(func(p core.Packet) {
+			if p.VC == small {
+				at = p.At
+			}
+		})
+		tb.A.Send(bulk, make([]byte, 65535), nil)
+		tb.A.Send(small, make([]byte, 96), nil)
+		tb.Run()
+		return float64(at) / 1000
+	}
+	var serial, inter float64
+	for i := 0; i < b.N; i++ {
+		serial = measure(false)
+		inter = measure(true)
+	}
+	b.ReportMetric(serial, "serial-us")
+	b.ReportMetric(inter, "interleaved-us")
+}
+
+// BenchmarkAblationSonetPath compares the cell-granular link shortcut with
+// the full SONET-framed path (framing, scrambling, delineation) — the
+// fidelity/speed trade DESIGN.md documents.
+func BenchmarkAblationSonetPath(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel()
+		mk := func(name string) *nic.Interface {
+			cfg := nic.DefaultConfig(name)
+			cfg.RxFifoDepth = 128
+			iface, err := nic.New(k, cfg, host.New(k, host.DefaultConfig()), bus.New(k, bus.DefaultConfig()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return iface
+		}
+		a, bb := mk("a"), mk("b")
+		if _, err := sonetlink.Connect(k, sonetlink.Config{Rate: sonet.STS3c, Delay: 10_000}, a, bb); err != nil {
+			b.Fatal(err)
+		}
+		vc := atm.VC{VCI: 9}
+		a.OpenVC(vc)
+		bb.OpenVC(vc)
+		delivered := 0
+		bb.OnReceive(func(nic.Delivered) { delivered++ })
+		for j := 0; j < 5; j++ {
+			a.Send(vc, make([]byte, 9180), nil)
+		}
+		k.Run()
+		if delivered != 5 {
+			b.Fatalf("delivered %d of 5 over SONET path", delivered)
+		}
+	}
+}
+
+// BenchmarkE12Transport regenerates the transport-over-loss figure.
+func BenchmarkE12Transport(b *testing.B) {
+	var pts []experiments.E12Point
+	for i := 0; i < b.N; i++ {
+		pts, _ = experiments.E12([]float64{0, 2e-3}, 1<<19)
+	}
+	for _, p := range pts {
+		switch {
+		case !p.Selective && p.LossProb == 0:
+			b.ReportMetric(p.GoodputBps/1e6, "gbn-clean-Mbps")
+		case !p.Selective:
+			b.ReportMetric(p.GoodputBps/1e6, "gbn-lossy-Mbps")
+		case p.Selective && p.LossProb != 0:
+			b.ReportMetric(p.GoodputBps/1e6, "sr-lossy-Mbps")
+		}
+	}
+}
+
+// BenchmarkE13FEC regenerates the packet-level FEC figure.
+func BenchmarkE13FEC(b *testing.B) {
+	var pts []experiments.E13Point
+	for i := 0; i < b.N; i++ {
+		pts, _ = experiments.E13([]float64{1e-3}, 9180, 8, 20*sim.Millisecond)
+	}
+	b.ReportMetric(pts[0].DeliveredFrac, "plain-frac")
+	b.ReportMetric(pts[1].DeliveredFrac, "fec-frac")
+}

@@ -1,0 +1,144 @@
+// Command atmbench regenerates the reconstructed evaluation of the Davie
+// SIGCOMM '91 host–network interface: experiments E1 through E13 (see
+// DESIGN.md for the index). Run with no flags to print everything, or
+// select experiments:
+//
+//	atmbench -exp e3,e4
+//	atmbench -exp e1 -csv
+//	atmbench -quick        # shorter simulated runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiments (e1..e10) or 'all'")
+	quick := flag.Bool("quick", false, "shorter simulated runs (for smoke tests)")
+	csv := flag.Bool("csv", false, "emit tables as CSV where applicable")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *expFlag == "all" {
+		for i := 1; i <= 13; i++ {
+			want[fmt.Sprintf("e%d", i)] = true
+		}
+	} else {
+		for _, e := range strings.Split(*expFlag, ",") {
+			want[strings.TrimSpace(strings.ToLower(e))] = true
+		}
+	}
+
+	runTime := func(full sim.Duration) sim.Duration {
+		if *quick {
+			return full / 4
+		}
+		return full
+	}
+
+	emitTable := func(t *report.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+	emitSeries := func(s *report.Series) {
+		if *csv {
+			fmt.Print(s.CSV())
+		} else {
+			fmt.Println(s.String())
+		}
+	}
+
+	ran := 0
+	if want["e1"] {
+		_, tb := experiments.E1(engine.DefaultConfig())
+		emitTable(tb)
+		ran++
+	}
+	if want["e2"] {
+		_, tb := experiments.E2(engine.DefaultConfig())
+		emitTable(tb)
+		ran++
+	}
+	if want["e3"] {
+		ec := experiments.DefaultE3()
+		ec.RunTime = runTime(ec.RunTime)
+		_, s155, s622 := experiments.E3(ec)
+		emitSeries(s155)
+		emitSeries(s622)
+		ran++
+	}
+	if want["e4"] {
+		ec := experiments.DefaultE4()
+		ec.RunTime = runTime(ec.RunTime)
+		_, util, tput := experiments.E4(ec)
+		emitSeries(util)
+		emitSeries(tput)
+		ran++
+	}
+	if want["e5"] {
+		_, tb := experiments.E5()
+		emitTable(tb)
+		ran++
+	}
+	if want["e6"] {
+		_, sr := experiments.E6(nil)
+		emitSeries(sr)
+		ran++
+	}
+	if want["e7"] {
+		_, tb := experiments.E7()
+		emitTable(tb)
+		ran++
+	}
+	if want["e8"] {
+		ec := experiments.DefaultE8()
+		ec.RunTime = runTime(ec.RunTime)
+		_, sr := experiments.E8(ec)
+		emitSeries(sr)
+		ran++
+	}
+	if want["e9"] {
+		_, sr := experiments.E9(nil, runTime(30*sim.Millisecond))
+		emitSeries(sr)
+		ran++
+	}
+	if want["e10"] {
+		_, sr := experiments.E10(nil)
+		emitSeries(sr)
+		ran++
+	}
+	if want["e11"] {
+		_, sr := experiments.E11(nil, runTime(20*sim.Millisecond))
+		emitSeries(sr)
+		ran++
+	}
+	if want["e12"] {
+		size := 1 << 20
+		if *quick {
+			size = 1 << 18
+		}
+		_, sr := experiments.E12(nil, size)
+		emitSeries(sr)
+		ran++
+	}
+	if want["e13"] {
+		_, sr := experiments.E13(nil, 9180, 8, runTime(60*sim.Millisecond))
+		emitSeries(sr)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "atmbench: no experiment matched %q (use e1..e13 or all)\n", *expFlag)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,211 @@
+// Command atmsim runs a configurable end-to-end simulation of two
+// workstations with the SIGCOMM '91 host interface, and prints a summary of
+// what every component did. It is the exploratory companion to atmbench's
+// fixed experiments.
+//
+//	atmsim -rate 622 -aal 3/4 -size 9180 -duration 50ms -loss 1e-4
+//	atmsim -workload bimodal -duration 100ms
+//	atmsim -arch percell -size 1000     # the per-cell-interrupt baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/aal"
+	"repro/internal/atm"
+	"repro/internal/baseline"
+	"repro/internal/netsim"
+	"repro/internal/nic"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	rate := flag.Int("rate", 155, "link rate: 155 or 622")
+	aalFlag := flag.String("aal", "5", "adaptation layer: 5 or 3/4")
+	arch := flag.String("arch", "engine", "architecture: engine, hardwired, percell")
+	size := flag.Int("size", 9180, "packet size for fixed workload (bytes)")
+	wl := flag.String("workload", "fixed", "workload: fixed, bimodal, bursty, cbr")
+	duration := flag.Duration("duration", 50*time.Millisecond, "simulated duration")
+	loss := flag.Float64("loss", 0, "cell loss probability")
+	window := flag.Int("window", 4, "packets in flight (fixed workload)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	rxEngines := flag.Int("rxengines", 1, "parallel receive engines")
+	interleave := flag.Bool("interleave", false, "interleave VCs on transmit")
+	traceN := flag.Int("trace", 0, "dump the first N cells on the a->b fiber")
+	flag.Parse()
+
+	if err := run(*rate, *aalFlag, *arch, *size, *wl, *duration, *loss, *window, *seed, *rxEngines, *interleave, *traceN); err != nil {
+		fmt.Fprintln(os.Stderr, "atmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rate int, aalFlag, arch string, size int, wl string, duration time.Duration,
+	loss float64, window int, seed uint64, rxEngines int, interleave bool, traceN int) error {
+	k := sim.NewKernel()
+	deadline := sim.Time(duration.Nanoseconds())
+
+	payloadRate := units.STS3cPayload
+	if rate == 622 {
+		payloadRate = units.STS12cPayload
+	} else if rate != 155 {
+		return fmt.Errorf("unknown rate %d (use 155 or 622)", rate)
+	}
+	aalType := aal.AAL5
+	if aalFlag == "3/4" || aalFlag == "34" {
+		aalType = aal.AAL34
+	} else if aalFlag != "5" {
+		return fmt.Errorf("unknown AAL %q (use 5 or 3/4)", aalFlag)
+	}
+
+	if arch == "percell" {
+		return runBaseline(k, payloadRate, aalType, size, deadline, loss, seed)
+	}
+
+	cfg := nic.DefaultConfig("a")
+	cfg.PayloadRate = payloadRate
+	cfg.AAL = aalType
+	cfg.RxEngines = rxEngines
+	cfg.InterleaveVCs = interleave
+	mk := netsim.NewStation
+	if arch == "hardwired" {
+		mk = netsim.NewHardwiredStation
+	} else if arch != "engine" {
+		return fmt.Errorf("unknown arch %q", arch)
+	}
+	a, err := mk(k, cfg)
+	if err != nil {
+		return err
+	}
+	cfg.Name = "b"
+	b, err := mk(k, cfg)
+	if err != nil {
+		return err
+	}
+	netsim.Connect(k, a, b, netsim.LinkConfig{Delay: 10_000, LossProb: loss, Seed: seed})
+	var capture *trace.Capture
+	if traceN > 0 {
+		capture = trace.New(k)
+		capture.Limit = traceN
+		link := phy.NewCellLink(k, 10_000, seed*2+1, b.Iface.DeliverCell)
+		link.LossProb = loss
+		a.Iface.SetOutput(capture.Tap(link.Send))
+	}
+	theVC := stdVC()
+	a.Iface.OpenVC(theVC)
+	b.Iface.OpenVC(theVC)
+
+	var gen workload.Generator
+	switch wl {
+	case "fixed":
+		gen = &workload.Fixed{Size: size}
+	case "bimodal":
+		gen = workload.NewBimodalIP(seed, 200*sim.Microsecond)
+	case "bursty":
+		gen = workload.NewOnOff(seed, size, 500*sim.Microsecond, 2*sim.Millisecond, 50*sim.Microsecond)
+	case "cbr":
+		gen = &workload.CBR{FrameSize: size, Period: sim.Duration(duration.Nanoseconds() / 100)}
+	default:
+		return fmt.Errorf("unknown workload %q", wl)
+	}
+
+	sent := 0
+	if wl == "fixed" {
+		var send func()
+		send = func() {
+			if k.Now() > deadline {
+				return
+			}
+			sz, _ := gen.Next()
+			a.Iface.Send(theVC, make([]byte, sz), send)
+			sent++
+		}
+		for i := 0; i < window; i++ {
+			send()
+		}
+	} else {
+		var tick func()
+		tick = func() {
+			if k.Now() > deadline {
+				return
+			}
+			sz, gap := gen.Next()
+			a.Iface.Send(theVC, make([]byte, sz), nil)
+			sent++
+			k.After(gap, tick)
+		}
+		tick()
+	}
+
+	k.RunUntil(deadline)
+	// Snapshot at the deadline so the drain phase neither dilutes the
+	// utilizations nor inflates the delivered-within-window goodput.
+	utilA, utilB := a.Host.Utilization(), b.Host.Utilization()
+	txU, rxU := a.Iface.TxEngine().Utilization(), b.Iface.RxEngine().Utilization()
+	st := b.Iface.Stats()
+	k.Run()
+	fmt.Printf("architecture      %s, %v, %s, workload %s\n", arch, payloadRate, aalType, gen.Name())
+	fmt.Printf("simulated time    %v\n", k.Now())
+	fmt.Printf("packets sent      %d\n", sent)
+	fmt.Printf("packets delivered %d  (%d bytes)\n", st.Rx.Packets, st.Rx.Bytes)
+	fmt.Printf("goodput           %.2f Mb/s\n", units.ThroughputBps(int64(st.Rx.Bytes), deadline)/1e6)
+	fmt.Printf("aal errors        %d   rx fifo drops %d   unknown-vc %d\n",
+		st.Rx.AALErrors, st.Rx.FifoDrops, st.Rx.UnknownVC)
+	fmt.Printf("host cpu          tx-side %.1f%%   rx-side %.1f%%   rx interrupts %d\n",
+		100*utilA, 100*utilB, b.Host.Interrupts())
+	fmt.Printf("engines           tx %.1f%%   rx %.1f%%\n", 100*txU, 100*rxU)
+	fmt.Printf("adapter sram peak %d bytes\n", st.SRAMPeak)
+	fmt.Printf("link a->b         sent %d cells\n", st.Rx.Cells)
+	if capture != nil {
+		fmt.Println("\nfirst cells on the a->b fiber:")
+		if err := capture.Dump(os.Stdout); err != nil {
+			return err
+		}
+		for _, vs := range capture.Summary() {
+			fmt.Printf("vc %v: %d cells, %d frames, mean gap %v\n",
+				vs.VC, vs.Cells, vs.Frames, vs.MeanGap)
+		}
+	}
+	return nil
+}
+
+func runBaseline(k *sim.Kernel, rate units.BitRate, aalType aal.Type, size int,
+	deadline sim.Time, loss float64, seed uint64) error {
+	cfg := baseline.DefaultConfig()
+	cfg.PayloadRate = rate
+	cfg.AAL = aalType
+	a := netsim.NewBaselineStation(k, "a", cfg)
+	b := netsim.NewBaselineStation(k, "b", cfg)
+	netsim.ConnectBaseline(k, a, b, netsim.LinkConfig{Delay: 10_000, LossProb: loss, Seed: seed})
+	b.Adapter.OpenVC(stdVC())
+	sent := 0
+	var send func()
+	send = func() {
+		if k.Now() > deadline {
+			return
+		}
+		a.Adapter.Send(stdVC(), make([]byte, size), send)
+		sent++
+	}
+	send()
+	k.RunUntil(deadline)
+	utilB := b.Host.Utilization()
+	st := b.Adapter.Stats()
+	k.Run()
+	fmt.Printf("architecture      percell (host SAR), %v, %s\n", rate, aalType)
+	fmt.Printf("packets sent      %d\n", sent)
+	fmt.Printf("packets delivered %d  (%d bytes)\n", st.RxPackets, st.RxBytes)
+	fmt.Printf("goodput           %.2f Mb/s\n", units.ThroughputBps(int64(st.RxBytes), deadline)/1e6)
+	fmt.Printf("aal errors        %d   rx drops %d\n", st.AALErrors, st.RxDrops)
+	fmt.Printf("rx host cpu       %.1f%%   interrupts %d\n", 100*utilB, b.Host.Interrupts())
+	return nil
+}
+
+func stdVC() atm.VC { return atm.VC{VCI: 100} }

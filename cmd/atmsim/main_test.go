@@ -1,0 +1,61 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// Smoke-test every architecture/workload combination the CLI exposes, at
+// tiny simulated durations.
+func TestRunCombinations(t *testing.T) {
+	cases := []struct {
+		name          string
+		rate          int
+		aal, arch, wl string
+		size          int
+		loss          float64
+		rxEngines     int
+		interleave    bool
+	}{
+		{"default", 155, "5", "engine", "fixed", 9180, 0, 1, false},
+		{"aal34", 155, "3/4", "engine", "fixed", 4000, 0, 1, false},
+		{"622", 622, "5", "engine", "fixed", 1024, 0, 1, false},
+		{"hardwired", 155, "5", "hardwired", "fixed", 9180, 0, 1, false},
+		{"percell", 155, "5", "percell", "fixed", 1000, 0, 1, false},
+		{"bimodal", 155, "5", "engine", "bimodal", 0, 0, 1, false},
+		{"bursty", 155, "5", "engine", "bursty", 2000, 0, 1, false},
+		{"cbr", 155, "5", "engine", "cbr", 8000, 0, 1, false},
+		{"lossy", 155, "5", "engine", "fixed", 4000, 1e-3, 1, false},
+		{"multiengine", 622, "5", "engine", "fixed", 9180, 0, 3, true},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			if err := run(c.rate, c.aal, c.arch, c.size, c.wl,
+				3*time.Millisecond, c.loss, 2, 1, c.rxEngines, c.interleave, 0); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run(100, "5", "engine", 100, "fixed", time.Millisecond, 0, 1, 1, 1, false, 0); err == nil {
+		t.Fatal("bad rate accepted")
+	}
+	if err := run(155, "7", "engine", 100, "fixed", time.Millisecond, 0, 1, 1, 1, false, 0); err == nil {
+		t.Fatal("bad AAL accepted")
+	}
+	if err := run(155, "5", "warp", 100, "fixed", time.Millisecond, 0, 1, 1, 1, false, 0); err == nil {
+		t.Fatal("bad arch accepted")
+	}
+	if err := run(155, "5", "engine", 100, "telepathy", time.Millisecond, 0, 1, 1, 1, false, 0); err == nil {
+		t.Fatal("bad workload accepted")
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	if err := run(155, "5", "engine", 500, "fixed", 2*time.Millisecond, 0, 1, 1, 1, false, 3); err != nil {
+		t.Fatal(err)
+	}
+}

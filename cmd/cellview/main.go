@@ -1,0 +1,125 @@
+// Command cellview decodes hex-dumped ATM cells and AAL frames from stdin
+// or its arguments — the debugging loupe for anything this repository's
+// framers and segmenters emit.
+//
+//	echo 0000000105526a6a... | cellview            # one 53-byte cell
+//	cellview -format nni 12345678...
+//	cellview -hec 00000001                          # compute a header's HEC
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/atm"
+	"repro/internal/crc"
+)
+
+func main() {
+	format := flag.String("format", "uni", "header format: uni or nni")
+	hecOnly := flag.Bool("hec", false, "treat input as 4 header bytes; print the HEC")
+	flag.Parse()
+
+	var f atm.Format
+	switch strings.ToLower(*format) {
+	case "uni":
+		f = atm.UNI
+	case "nni":
+		f = atm.NNI
+	default:
+		fmt.Fprintf(os.Stderr, "cellview: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	inputs := flag.Args()
+	if len(inputs) == 0 {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line != "" {
+				inputs = append(inputs, line)
+			}
+		}
+	}
+	if len(inputs) == 0 {
+		fmt.Fprintln(os.Stderr, "cellview: no input (hex on stdin or as arguments)")
+		os.Exit(2)
+	}
+
+	exit := 0
+	for _, in := range inputs {
+		if err := decodeOne(os.Stdout, in, f, *hecOnly); err != nil {
+			fmt.Fprintln(os.Stderr, "cellview:", err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func decodeOne(w io.Writer, input string, f atm.Format, hecOnly bool) error {
+	clean := strings.Map(func(r rune) rune {
+		if r == ' ' || r == ':' || r == '\t' {
+			return -1
+		}
+		return r
+	}, input)
+	raw, err := hex.DecodeString(clean)
+	if err != nil {
+		return fmt.Errorf("bad hex: %v", err)
+	}
+
+	if hecOnly {
+		if len(raw) < 4 {
+			return fmt.Errorf("need 4 header bytes, got %d", len(raw))
+		}
+		fmt.Fprintf(w, "HEC(% x) = %#02x\n", raw[:4], crc.HEC([4]byte{raw[0], raw[1], raw[2], raw[3]}))
+		return nil
+	}
+
+	switch {
+	case len(raw) >= atm.CellSize:
+		var c atm.Cell
+		corrected, err := c.Decode(raw[:atm.CellSize], f)
+		if err != nil {
+			return fmt.Errorf("cell decode: %v", err)
+		}
+		printHeader(w, &c.Header, corrected)
+		fmt.Fprintf(w, "  payload   %s\n", hex.EncodeToString(c.Payload[:16])+"...")
+		if len(raw) > atm.CellSize {
+			fmt.Fprintf(w, "  (%d trailing bytes ignored)\n", len(raw)-atm.CellSize)
+		}
+	case len(raw) >= atm.HeaderSize:
+		var h atm.Header
+		corrected, err := h.Decode(raw[:atm.HeaderSize], f)
+		if err != nil {
+			return fmt.Errorf("header decode: %v", err)
+		}
+		printHeader(w, &h, corrected)
+	default:
+		return fmt.Errorf("need at least %d bytes, got %d", atm.HeaderSize, len(raw))
+	}
+	return nil
+}
+
+func printHeader(w io.Writer, h *atm.Header, corrected bool) {
+	fmt.Fprintf(w, "%v header  VPI %d  VCI %d  PT %03b  CLP %v",
+		h.Format, h.VPI, h.VCI, h.PT, h.CLP)
+	if h.Format == atm.UNI {
+		fmt.Fprintf(w, "  GFC %d", h.GFC)
+	}
+	switch {
+	case corrected:
+		fmt.Fprint(w, "  [single-bit error corrected]")
+	case h.IsIdle():
+		fmt.Fprint(w, "  [idle/unassigned]")
+	}
+	if h.PT.User() && h.PT.EndOfFrame() {
+		fmt.Fprint(w, "  [AAL5 end of frame]")
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/atm"
+)
+
+func encodeCellHex(t *testing.T, h atm.Header, fill byte) string {
+	t.Helper()
+	c := atm.Cell{Header: h}
+	for i := range c.Payload {
+		c.Payload[i] = fill
+	}
+	var wire [atm.CellSize]byte
+	if err := c.Encode(wire[:]); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, x := range wire {
+		b.WriteString(strings.ToLower(strings.TrimPrefix(hexByte(x), "0x")))
+	}
+	return b.String()
+}
+
+func hexByte(b byte) string {
+	const digits = "0123456789abcdef"
+	return "0x" + string(digits[b>>4]) + string(digits[b&0xf])
+}
+
+func TestDecodeFullCell(t *testing.T) {
+	h := atm.Header{Format: atm.UNI, VPI: 3, VCI: 77, PT: atm.PTUserEnd}
+	var out strings.Builder
+	if err := decodeOne(&out, encodeCellHex(t, h, 0xab), atm.UNI, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"VPI 3", "VCI 77", "AAL5 end of frame", "abab"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDecodeHeaderOnly(t *testing.T) {
+	h := atm.Header{Format: atm.UNI, VPI: 1, VCI: 2, PT: atm.PTUser0}
+	var buf [5]byte
+	if err := h.Encode(buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	hexStr := ""
+	for _, b := range buf {
+		hexStr += strings.TrimPrefix(hexByte(b), "0x")
+	}
+	var out strings.Builder
+	if err := decodeOne(&out, hexStr, atm.UNI, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "VCI 2") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestDecodeCorrectsHeaderBit(t *testing.T) {
+	h := atm.Header{Format: atm.UNI, VPI: 0, VCI: 9, PT: atm.PTUser0}
+	var buf [5]byte
+	h.Encode(buf[:])
+	buf[2] ^= 0x01
+	hexStr := ""
+	for _, b := range buf {
+		hexStr += strings.TrimPrefix(hexByte(b), "0x")
+	}
+	var out strings.Builder
+	if err := decodeOne(&out, hexStr, atm.UNI, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "corrected") {
+		t.Fatalf("correction not reported:\n%s", out.String())
+	}
+}
+
+func TestDecodeSpacedAndColonedHex(t *testing.T) {
+	var out strings.Builder
+	if err := decodeOne(&out, "00 00:00 01 52", atm.UNI, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "idle/unassigned") {
+		t.Fatalf("idle cell not flagged:\n%s", out.String())
+	}
+}
+
+func TestHECMode(t *testing.T) {
+	var out strings.Builder
+	if err := decodeOne(&out, "00000001", atm.UNI, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "0x52") {
+		t.Fatalf("HEC output:\n%s", out.String())
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	var out strings.Builder
+	if err := decodeOne(&out, "zz", atm.UNI, false); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+	if err := decodeOne(&out, "0102", atm.UNI, false); err == nil {
+		t.Fatal("short input accepted")
+	}
+	if err := decodeOne(&out, "deadbeef00", atm.UNI, false); err == nil {
+		t.Fatal("garbage header accepted")
+	}
+	if err := decodeOne(&out, "01", atm.UNI, true); err == nil {
+		t.Fatal("short HEC input accepted")
+	}
+}

@@ -1,0 +1,53 @@
+// Quickstart: two simulated workstations with the SIGCOMM '91 ATM host
+// interface, one virtual connection, one message each way.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// A testbed is two stations — each a host CPU, a TURBOchannel-class
+	// bus, and the interface (protocol engines + FIFOs) — joined by 2 km
+	// of fiber at STS-3c. The zero Options value is the board as built.
+	tb, err := core.NewTestbed(core.Options{}, core.LinkOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ATM is connection-oriented: open a virtual connection first.
+	vc := core.VC{VPI: 0, VCI: 42}
+	if err := tb.OpenVC(vc); err != nil {
+		log.Fatal(err)
+	}
+
+	// Receive callbacks fire when the host's receive interrupt completes —
+	// one interrupt per packet, never per cell; that is the architecture.
+	tb.B.OnReceive(func(p core.Packet) {
+		fmt.Printf("B got %q on %v after %v (%d cells)\n",
+			p.Data, p.VC, p.At, p.Cells)
+		// Reply.
+		if err := tb.B.Send(p.VC, []byte("pong from 1991"), nil); err != nil {
+			log.Fatal(err)
+		}
+	})
+	tb.A.OnReceive(func(p core.Packet) {
+		fmt.Printf("A got %q back at %v\n", p.Data, p.At)
+	})
+
+	if err := tb.A.Send(vc, []byte("ping across the testbed"), nil); err != nil {
+		log.Fatal(err)
+	}
+
+	end := tb.Run() // run the discrete-event simulation to completion
+	fmt.Printf("simulation finished at %v\n", end)
+
+	st := tb.B.Stats()
+	fmt.Printf("B's interface saw %d cells, delivered %d packets, %d errors\n",
+		st.Rx.Cells, st.Rx.Packets, st.Rx.AALErrors)
+}

@@ -1,0 +1,78 @@
+package aal
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/atm"
+)
+
+// MIDReassembler34 demultiplexes AAL3/4's 10-bit multiplexing identifier:
+// the one capability AAL3/4 has that AAL5 gave up. Multiple senders'
+// frames can interleave cell-by-cell on a single VC, each stream tagged by
+// its MID; this wrapper keeps an independent reassembly state per MID.
+//
+// This is what made AAL3/4 attractive for connectionless service (SMDS) and
+// shared-VC LAN emulation, at the price of the 4-byte per-cell tax the E3
+// experiment quantifies.
+type MIDReassembler34 struct {
+	maxFrame int
+	maxMIDs  int
+	streams  map[uint16]*Reassembler34
+}
+
+// ErrTooManyMIDs is returned when a new MID would exceed the configured
+// concurrent-stream limit (the board's per-VC state memory is finite).
+var ErrTooManyMIDs = errors.New("aal: too many concurrent MIDs on one VC")
+
+// NewMIDReassembler34 builds a MID demultiplexer; maxMIDs bounds concurrent
+// interleaved frames (0 = 16, a plausible adapter table size), maxFrame as
+// for NewReassembler34.
+func NewMIDReassembler34(maxFrame, maxMIDs int) *MIDReassembler34 {
+	if maxMIDs <= 0 {
+		maxMIDs = 16
+	}
+	return &MIDReassembler34{
+		maxFrame: maxFrame,
+		maxMIDs:  maxMIDs,
+		streams:  make(map[uint16]*Reassembler34),
+	}
+}
+
+// MIDOf extracts the multiplexing identifier from an AAL3/4 SAR payload.
+func MIDOf(payload *[atm.PayloadSize]byte) uint16 {
+	return uint16(payload[0]&0x3)<<8 | uint16(payload[1])
+}
+
+// Push routes one cell to its MID's reassembler. It returns the cell's MID,
+// a completed frame (if any), and any per-stream error. An idle stream's
+// state is reclaimed when its frame completes or dies.
+func (m *MIDReassembler34) Push(payload *[atm.PayloadSize]byte, pt atm.PT) (uint16, *Result, error) {
+	mid := MIDOf(payload)
+	ras, ok := m.streams[mid]
+	if !ok {
+		if len(m.streams) >= m.maxMIDs {
+			return mid, nil, fmt.Errorf("%w: %d active", ErrTooManyMIDs, len(m.streams))
+		}
+		ras = NewReassembler34(m.maxFrame)
+		m.streams[mid] = ras
+	}
+	res, err := ras.Push(payload, pt)
+	// Reclaim state when the stream returns to idle: a completed frame or
+	// a mid-frame abort both leave the sub-reassembler out of frame.
+	if res != nil || (err != nil && !ras.inFrame) {
+		delete(m.streams, mid)
+	}
+	return mid, res, err
+}
+
+// ActiveMIDs reports the number of frames currently mid-reassembly.
+func (m *MIDReassembler34) ActiveMIDs() int { return len(m.streams) }
+
+// Abort discards all partial frames.
+func (m *MIDReassembler34) Abort() {
+	for mid, ras := range m.streams {
+		ras.Abort()
+		delete(m.streams, mid)
+	}
+}

@@ -1,0 +1,135 @@
+package aal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/atm"
+)
+
+// cellsOf segments an SDU with the given MID and returns the cell payloads.
+func cellsOf(t *testing.T, mid uint16, sdu []byte) [][atm.PayloadSize]byte {
+	t.Helper()
+	seg := NewSegmenter34()
+	seg.MID = mid
+	n, err := seg.Begin(sdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][atm.PayloadSize]byte, n)
+	for i := 0; i < n; i++ {
+		if _, _, err := seg.Next(&out[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func TestMIDInterleavedFramesReassemble(t *testing.T) {
+	// Three senders interleave cell-by-cell on one VC.
+	m := NewMIDReassembler34(0, 0)
+	sdus := map[uint16][]byte{
+		1:   patterned(1000),
+		2:   patterned(2000),
+		513: patterned(500), // exercises the 2-bit high MID field
+	}
+	streams := map[uint16][][atm.PayloadSize]byte{}
+	maxLen := 0
+	for mid, sdu := range sdus {
+		streams[mid] = cellsOf(t, mid, sdu)
+		if len(streams[mid]) > maxLen {
+			maxLen = len(streams[mid])
+		}
+	}
+	got := map[uint16][]byte{}
+	// Round-robin the streams cell by cell.
+	for i := 0; i < maxLen; i++ {
+		for mid := range streams {
+			if i < len(streams[mid]) {
+				cell := streams[mid][i]
+				gotMID, res, err := m.Push(&cell, atm.PTUser0)
+				if err != nil {
+					t.Fatalf("mid %d cell %d: %v", mid, i, err)
+				}
+				if gotMID != mid {
+					t.Fatalf("MID parsed as %d, want %d", gotMID, mid)
+				}
+				if res != nil {
+					got[mid] = res.SDU
+				}
+			}
+		}
+	}
+	for mid, sdu := range sdus {
+		if !bytes.Equal(got[mid], sdu) {
+			t.Fatalf("MID %d frame corrupted or missing", mid)
+		}
+	}
+	if m.ActiveMIDs() != 0 {
+		t.Fatalf("%d streams leaked", m.ActiveMIDs())
+	}
+}
+
+func TestMIDLimitEnforced(t *testing.T) {
+	m := NewMIDReassembler34(0, 2)
+	// Start two frames (BOMs only).
+	for mid := uint16(1); mid <= 2; mid++ {
+		cells := cellsOf(t, mid, patterned(500))
+		if _, _, err := m.Push(&cells[0], atm.PTUser0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cells := cellsOf(t, 3, patterned(500))
+	if _, _, err := m.Push(&cells[0], atm.PTUser0); !errors.Is(err, ErrTooManyMIDs) {
+		t.Fatalf("err = %v, want ErrTooManyMIDs", err)
+	}
+	if m.ActiveMIDs() != 2 {
+		t.Fatalf("active = %d", m.ActiveMIDs())
+	}
+}
+
+func TestMIDStateReclaimedOnError(t *testing.T) {
+	m := NewMIDReassembler34(0, 4)
+	cells := cellsOf(t, 7, patterned(300)) // BOM + COMs + EOM
+	m.Push(&cells[0], atm.PTUser0)
+	// Skip cell 1: SN gap kills the frame at cell 2.
+	_, _, err := m.Push(&cells[2], atm.PTUser0)
+	if !errors.Is(err, ErrLostCell) {
+		t.Fatalf("err = %v", err)
+	}
+	if m.ActiveMIDs() != 0 {
+		t.Fatal("dead stream not reclaimed")
+	}
+}
+
+func TestMIDAbortClearsAll(t *testing.T) {
+	m := NewMIDReassembler34(0, 8)
+	for mid := uint16(1); mid <= 3; mid++ {
+		cells := cellsOf(t, mid, patterned(500))
+		m.Push(&cells[0], atm.PTUser0)
+	}
+	if m.ActiveMIDs() != 3 {
+		t.Fatalf("active = %d", m.ActiveMIDs())
+	}
+	m.Abort()
+	if m.ActiveMIDs() != 0 {
+		t.Fatal("abort left streams")
+	}
+}
+
+func TestMIDSingleStreamMatchesPlainReassembler(t *testing.T) {
+	// With one MID the wrapper must behave exactly like Reassembler34.
+	m := NewMIDReassembler34(0, 0)
+	sdu := patterned(3000)
+	for _, cell := range cellsOf(t, 42, sdu) {
+		cell := cell
+		_, res, err := m.Push(&cell, atm.PTUser0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != nil && !bytes.Equal(res.SDU, sdu) {
+			t.Fatal("SDU corrupted")
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package atm_test
+
+import (
+	"fmt"
+
+	"repro/internal/atm"
+)
+
+// Encoding and decoding one cell header, HEC included.
+func ExampleHeader() {
+	h := atm.Header{Format: atm.UNI, VPI: 1, VCI: 42, PT: atm.PTUserEnd}
+	var wire [5]byte
+	if err := h.Encode(wire[:]); err != nil {
+		panic(err)
+	}
+	fmt.Printf("wire: % x\n", wire)
+
+	var got atm.Header
+	corrected, err := got.Decode(wire[:], atm.UNI)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("vc %v, end-of-frame %v, corrected %v\n",
+		got.VC(), got.PT.EndOfFrame(), corrected)
+	// Output:
+	// wire: 00 10 02 a2 ba
+	// vc 1/42, end-of-frame true, corrected false
+}
+
+// The HEC corrects any single-bit header error in place.
+func ExampleHeader_Decode() {
+	h := atm.Header{Format: atm.UNI, VPI: 0, VCI: 100, PT: atm.PTUser0}
+	var wire [5]byte
+	h.Encode(wire[:])
+	wire[2] ^= 0x08 // one bit flipped in flight
+
+	var got atm.Header
+	corrected, err := got.Decode(wire[:], atm.UNI)
+	fmt.Println(got.VCI, corrected, err)
+	// Output:
+	// 100 true <nil>
+}

@@ -1,0 +1,190 @@
+// Package bus models the workstation I/O bus the interface sits on — a
+// TURBOchannel-class synchronous 32-bit bus.  Everything the adapter moves
+// to or from host memory crosses this bus, and bus occupancy is a first-order
+// term in the paper's analysis: DMA bursts amortize arbitration and address
+// cycles over many words, while programmed I/O pays full price per word,
+// which is why the architecture DMAs packets and never makes the host touch
+// cells.
+package bus
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config sets the bus timing. The defaults model TURBOchannel on a
+// DECstation 5000/200: 25 MHz, 32-bit words (peak 100 MB/s), a handful of
+// cycles of arbitration/address setup per transaction, and expensive
+// single-word programmed I/O.
+type Config struct {
+	// WordTime is the time to move one 32-bit word in a burst.
+	WordTime sim.Duration
+	// BurstSetup is arbitration + address time paid once per DMA burst.
+	BurstSetup sim.Duration
+	// MaxBurst is the largest single burst in bytes; longer transfers
+	// split into multiple bursts (re-paying setup), letting other
+	// requesters in between. 0 means unlimited.
+	MaxBurst int
+	// PIOTime is the full cost of one programmed-I/O word: the host CPU
+	// drives an entire bus transaction for 4 bytes.
+	PIOTime sim.Duration
+}
+
+// DefaultConfig returns TURBOchannel-class timing: 40 ns/word, 200 ns burst
+// setup, 2 KiB max burst, 600 ns per PIO word.
+func DefaultConfig() Config {
+	return Config{
+		WordTime:   40,
+		BurstSetup: 200,
+		MaxBurst:   2048,
+		PIOTime:    600,
+	}
+}
+
+// Bus is a shared, FIFO-arbitrated word bus.
+type Bus struct {
+	k    *sim.Kernel
+	cfg  Config
+	res  *sim.Resource
+	devs []*Device
+}
+
+// New creates a bus on kernel k.
+func New(k *sim.Kernel, cfg Config) *Bus {
+	if cfg.WordTime <= 0 {
+		panic("bus: non-positive word time")
+	}
+	if cfg.PIOTime <= 0 {
+		cfg.PIOTime = cfg.WordTime
+	}
+	return &Bus{k: k, cfg: cfg, res: sim.NewResource(k, "bus")}
+}
+
+// Config returns the bus timing in force.
+func (b *Bus) Config() Config { return b.cfg }
+
+// Utilization returns the fraction of simulated time the bus was occupied.
+func (b *Bus) Utilization() float64 { return b.res.Utilization() }
+
+// QueueLen returns the number of transactions waiting for the bus.
+func (b *Bus) QueueLen() int { return b.res.QueueLen() }
+
+// Device is a bus requester (the NIC's DMA engine, the host CPU). Each
+// device gets its own occupancy accounting.
+type Device struct {
+	bus  *Bus
+	name string
+
+	dmaBytes  uint64
+	dmaBursts uint64
+	pioWords  uint64
+	busTime   sim.Duration
+}
+
+// Attach registers a named requester.
+func (b *Bus) Attach(name string) *Device {
+	d := &Device{bus: b, name: name}
+	b.devs = append(b.devs, d)
+	return d
+}
+
+// Name returns the device's diagnostic name.
+func (d *Device) Name() string { return d.name }
+
+// MaxBurst returns the bus's burst-size limit in bytes (0 = unlimited),
+// for callers that chunk their own transfers.
+func (d *Device) MaxBurst() int { return d.bus.cfg.MaxBurst }
+
+// words converts a byte count to bus words, rounding up.
+func words(n int) int { return (n + 3) / 4 }
+
+// DMATime returns the bus time a transfer of n bytes will occupy, including
+// per-burst setup and burst splitting — the deterministic cost the paper's
+// throughput budget uses.
+func (d *Device) DMATime(n int) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	cfg := d.bus.cfg
+	var t sim.Duration
+	for n > 0 {
+		chunk := n
+		if cfg.MaxBurst > 0 && chunk > cfg.MaxBurst {
+			chunk = cfg.MaxBurst
+		}
+		t += cfg.BurstSetup + sim.Duration(words(chunk))*cfg.WordTime
+		n -= chunk
+	}
+	return t
+}
+
+// DMA requests a DMA transfer of n bytes. done runs when the transfer
+// completes (after queueing behind earlier transactions). It returns the
+// predicted completion time.
+//
+// A transfer longer than MaxBurst is issued as consecutive bursts; because
+// the underlying resource is FIFO, another device's transaction can slip in
+// between bursts, which is the fairness property real buses get from
+// re-arbitration.
+func (d *Device) DMA(n int, done func()) sim.Time {
+	if n < 0 {
+		panic(fmt.Sprintf("bus: negative DMA length %d", n))
+	}
+	if n == 0 {
+		if done != nil {
+			d.bus.k.After(0, done)
+		}
+		return d.bus.k.Now()
+	}
+	cfg := d.bus.cfg
+	d.dmaBytes += uint64(n)
+	var last sim.Time
+	for n > 0 {
+		chunk := n
+		if cfg.MaxBurst > 0 && chunk > cfg.MaxBurst {
+			chunk = cfg.MaxBurst
+		}
+		burst := cfg.BurstSetup + sim.Duration(words(chunk))*cfg.WordTime
+		n -= chunk
+		final := n == 0
+		cb := func() {}
+		if final && done != nil {
+			cb = done
+		}
+		d.busTime += burst
+		d.dmaBursts++
+		last = d.bus.res.Use(burst, cb)
+	}
+	return last
+}
+
+// PIO performs programmed I/O of n words. done runs at completion.
+func (d *Device) PIO(nwords int, done func()) sim.Time {
+	if nwords < 0 {
+		panic("bus: negative PIO length")
+	}
+	if nwords == 0 {
+		if done != nil {
+			d.bus.k.After(0, done)
+		}
+		return d.bus.k.Now()
+	}
+	t := sim.Duration(nwords) * d.bus.cfg.PIOTime
+	d.pioWords += uint64(nwords)
+	d.busTime += t
+	return d.bus.res.Use(t, done)
+}
+
+// Stats reports per-device counters.
+type Stats struct {
+	DMABytes  uint64
+	DMABursts uint64
+	PIOWords  uint64
+	BusTime   sim.Duration
+}
+
+// Stats returns the device's counters.
+func (d *Device) Stats() Stats {
+	return Stats{DMABytes: d.dmaBytes, DMABursts: d.dmaBursts, PIOWords: d.pioWords, BusTime: d.busTime}
+}

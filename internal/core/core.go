@@ -1,0 +1,234 @@
+// Package core is the library's front door: it assembles the simulated
+// hardware (host, bus, protocol engines, FIFOs, fiber) into endpoints and
+// testbeds with a small API, so examples and downstream users don't touch
+// the wiring.
+//
+// The architecture under the hood is the SIGCOMM '91 host–network interface:
+// per-packet host involvement, per-cell protocol engines, per-bit hardware.
+// See DESIGN.md for the full inventory and the experiment index.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/aal"
+	"repro/internal/atm"
+	"repro/internal/bufmgr"
+	"repro/internal/bus"
+	"repro/internal/engine"
+	"repro/internal/host"
+	"repro/internal/netsim"
+	"repro/internal/nic"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Re-exported option enums, so callers need only import core.
+const (
+	// Rate155 selects STS-3c (155.52 Mb/s line, 149.76 payload).
+	Rate155 = units.STS3cPayload
+	// Rate622 selects STS-12c (622.08 Mb/s line, 599.04 payload).
+	Rate622 = units.STS12cPayload
+)
+
+// Options configures an endpoint. The zero value selects the board as
+// built: STS-3c, AAL5, 25 MHz engines, CAM lookup, paged buffers.
+type Options struct {
+	// Rate is the link payload rate (Rate155 or Rate622).
+	Rate units.BitRate
+	// AAL34 selects the AAL3/4 firmware build instead of AAL5.
+	AAL34 bool
+	// EngineMHz overrides the protocol engines' clock (default 25).
+	EngineMHz int
+	// FifoCells overrides both cell FIFO depths (default 32).
+	FifoCells int
+	// Lookup overrides the VC lookup strategy (default CAM).
+	Lookup nic.LookupKind
+	// Buffers overrides the reassembly organization (default paged).
+	Buffers bufmgr.Organization
+	// AdapterSRAM bounds reassembly memory in bytes (default 256 KiB).
+	AdapterSRAM int
+	// Hardwired replaces the programmable engines with fixed-function
+	// hardware (the inflexible baseline).
+	Hardwired bool
+	// RxEngines sets the number of parallel receive engines (default 1).
+	RxEngines int
+	// InterleaveVCs enables multi-VC interleaved segmentation on transmit.
+	InterleaveVCs bool
+}
+
+func (o Options) nicConfig(name string) nic.Config {
+	cfg := nic.DefaultConfig(name)
+	if o.Rate != 0 {
+		cfg.PayloadRate = o.Rate
+	}
+	if o.AAL34 {
+		cfg.AAL = aal.AAL34
+	}
+	if o.EngineMHz > 0 {
+		cfg.Engine.ClockHz = int64(o.EngineMHz) * 1_000_000
+	}
+	if o.FifoCells > 0 {
+		cfg.TxFifoDepth = o.FifoCells
+		cfg.RxFifoDepth = o.FifoCells
+	}
+	cfg.Lookup = o.Lookup
+	// bufmgr.Linked is organization zero; treat the zero value as
+	// "default" (paged, matching the board) — callers who really want the
+	// linked organization set it alongside a nonzero AdapterSRAM or use
+	// nic.Config directly.
+	cfg.BufOrg = bufmgr.Paged
+	if o.Buffers != 0 {
+		cfg.BufOrg = o.Buffers
+	}
+	if o.AdapterSRAM > 0 {
+		cfg.AdapterSRAM = o.AdapterSRAM
+	}
+	cfg.RxEngines = o.RxEngines
+	cfg.InterleaveVCs = o.InterleaveVCs
+	return cfg
+}
+
+// VC identifies a virtual connection (re-exported from the cell layer).
+type VC = atm.VC
+
+// Packet is a received SDU.
+type Packet struct {
+	VC    VC
+	Data  []byte
+	Cells int
+	At    sim.Time
+}
+
+// Endpoint is one workstation plus interface.
+type Endpoint struct {
+	station *netsim.Station
+	tb      *Testbed
+}
+
+// Testbed is a complete two-endpoint simulation: A and B connected by a
+// duplex fiber.
+type Testbed struct {
+	kernel *sim.Kernel
+	A, B   *Endpoint
+	AtoB   *phy.CellLink
+	BtoA   *phy.CellLink
+}
+
+// LinkOptions configures the testbed fiber.
+type LinkOptions struct {
+	// DistanceKm sets propagation delay at 5 µs/km (default 2 km).
+	DistanceKm float64
+	// CellLossProb injects uniform cell loss.
+	CellLossProb float64
+	// Seed makes fault injection reproducible.
+	Seed uint64
+}
+
+// NewTestbed builds two identical endpoints connected back to back.
+func NewTestbed(opts Options, link LinkOptions) (*Testbed, error) {
+	k := sim.NewKernel()
+	tb := &Testbed{kernel: k}
+	build := func(name string) (*netsim.Station, error) {
+		if opts.Hardwired {
+			return netsim.NewHardwiredStation(k, opts.nicConfig(name))
+		}
+		return netsim.NewStation(k, opts.nicConfig(name))
+	}
+	sa, err := build("A")
+	if err != nil {
+		return nil, err
+	}
+	sb, err := build("B")
+	if err != nil {
+		return nil, err
+	}
+	if link.DistanceKm == 0 {
+		link.DistanceKm = 2
+	}
+	ab, ba := netsim.Connect(k, sa, sb, netsim.LinkConfig{
+		Delay:    phy.PropDelay(link.DistanceKm),
+		LossProb: link.CellLossProb,
+		Seed:     link.Seed + 1,
+	})
+	tb.A = &Endpoint{station: sa, tb: tb}
+	tb.B = &Endpoint{station: sb, tb: tb}
+	tb.AtoB, tb.BtoA = ab, ba
+	return tb, nil
+}
+
+// Kernel exposes the simulation clock/scheduler.
+func (t *Testbed) Kernel() *sim.Kernel { return t.kernel }
+
+// Run drains all scheduled work and returns the final simulated time.
+func (t *Testbed) Run() sim.Time { return t.kernel.Run() }
+
+// RunFor advances the simulation by d.
+func (t *Testbed) RunFor(d sim.Duration) sim.Time { return t.kernel.RunFor(d) }
+
+// Now returns the current simulated time.
+func (t *Testbed) Now() sim.Time { return t.kernel.Now() }
+
+// OpenVC opens vc on both endpoints (each direction).
+func (t *Testbed) OpenVC(vc VC) error {
+	if err := t.A.station.Iface.OpenVC(vc); err != nil {
+		return fmt.Errorf("endpoint A: %w", err)
+	}
+	if err := t.B.station.Iface.OpenVC(vc); err != nil {
+		return fmt.Errorf("endpoint B: %w", err)
+	}
+	return nil
+}
+
+// Interface exposes the endpoint's interface model for stats and tuning.
+func (e *Endpoint) Interface() *nic.Interface { return e.station.Iface }
+
+// Host exposes the endpoint's host CPU model.
+func (e *Endpoint) Host() *host.Host { return e.station.Host }
+
+// Bus exposes the endpoint's I/O bus model.
+func (e *Endpoint) Bus() *bus.Bus { return e.station.Bus }
+
+// Send queues data for transmission on vc. onSent (may be nil) fires when
+// the host could reuse the buffer (after the transmit-complete interrupt).
+func (e *Endpoint) Send(vc VC, data []byte, onSent func()) error {
+	return e.station.Iface.Send(vc, data, onSent)
+}
+
+// OnReceive registers the delivery callback.
+func (e *Endpoint) OnReceive(fn func(Packet)) {
+	e.station.Iface.OnReceive(func(d nic.Delivered) {
+		fn(Packet{VC: d.VC, Data: d.SDU, Cells: d.Cells, At: d.At})
+	})
+}
+
+// Stats returns the endpoint interface's counters.
+func (e *Endpoint) Stats() nic.Stats { return e.station.Iface.Stats() }
+
+// EngineFor returns the endpoint's engines for headroom analysis.
+func (e *Endpoint) Engines() (tx, rx *engine.Engine) {
+	return e.station.Iface.TxEngine(), e.station.Iface.RxEngine()
+}
+
+// SetPeakCellRate paces a VC's transmit path (see nic.Interface).
+func (e *Endpoint) SetPeakCellRate(vc VC, cellsPerSec float64) error {
+	return e.station.Iface.SetPeakCellRate(vc, cellsPerSec)
+}
+
+// Ping sends an F5 OAM loopback on vc; reply fires the handler registered
+// with OnPingReply.
+func (e *Endpoint) Ping(vc VC, correlation uint32) error {
+	return e.station.Iface.SendLoopback(vc, correlation)
+}
+
+// OnPingReply registers the loopback-reply handler.
+func (e *Endpoint) OnPingReply(fn func(vc VC, correlation uint32)) {
+	e.station.Iface.OnLoopbackReply(fn)
+}
+
+// Goodput returns delivered SDU bits per second at endpoint e over the
+// elapsed simulated time.
+func (e *Endpoint) Goodput() float64 {
+	return units.ThroughputBps(int64(e.Stats().Rx.Bytes), e.tb.Now())
+}

@@ -1,0 +1,268 @@
+// Package crc implements the three cyclic redundancy checks the ATM host
+// interface depends on:
+//
+//   - HEC: the 8-bit header error control over the first four header bytes
+//     of every cell, generator x⁸+x²+x+1 with the ITU coset 0x55 added, able
+//     to correct any single-bit header error;
+//   - CRC-10: the per-cell SAR payload check used by AAL3/4, generator
+//     x¹⁰+x⁹+x⁵+x⁴+x+1;
+//   - CRC-32: the AAL5 CPCS trailer check, the IEEE 802.3 polynomial applied
+//     MSB-first with pre- and post-inversion, as I.363 specifies.
+//
+// Each check has a bitwise reference implementation and a table-driven fast
+// implementation; the tests cross-validate them. On the real adapter these
+// are dedicated hardware, so the simulator charges them zero engine cycles —
+// but the bytes still have to be right for frames to survive the wire model.
+package crc
+
+// ---------------------------------------------------------------------------
+// HEC (CRC-8 over the first 4 header bytes)
+
+// hecPoly is x⁸+x²+x+1 with the x⁸ term implicit.
+const hecPoly = 0x07
+
+// HECCoset is the fixed pattern XORed into the HEC register after
+// computation, per ITU-T I.432.  It improves cell delineation robustness
+// against slips in an all-zeros header stream.
+const HECCoset = 0x55
+
+var hecTable [256]byte
+
+func init() {
+	for i := 0; i < 256; i++ {
+		crc := byte(i)
+		for b := 0; b < 8; b++ {
+			if crc&0x80 != 0 {
+				crc = crc<<1 ^ hecPoly
+			} else {
+				crc <<= 1
+			}
+		}
+		hecTable[i] = crc
+	}
+}
+
+// HEC computes the header error control byte over the four bytes h.
+func HEC(h [4]byte) byte {
+	var crc byte
+	for _, b := range h {
+		crc = hecTable[crc^b]
+	}
+	return crc ^ HECCoset
+}
+
+// HECBitwise is the reference bit-serial HEC, used to validate the table.
+func HECBitwise(h [4]byte) byte {
+	var crc byte
+	for _, by := range h {
+		crc ^= by
+		for b := 0; b < 8; b++ {
+			if crc&0x80 != 0 {
+				crc = crc<<1 ^ hecPoly
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc ^ HECCoset
+}
+
+// hecSyndrome returns the HEC syndrome for a received 5-byte header: zero
+// means the header is error-free.
+func hecSyndrome(h [5]byte) byte {
+	var first [4]byte
+	copy(first[:], h[:4])
+	return HEC(first) ^ h[4]
+}
+
+// singleBitSyndrome[s] is the bit position (0..39, MSB of byte 0 = 0) whose
+// single flip produces syndrome s, or -1 if no single-bit error does.
+var singleBitSyndrome [256]int8
+
+func init() {
+	for i := range singleBitSyndrome {
+		singleBitSyndrome[i] = -1
+	}
+	var zero [5]byte
+	zh := hecSyndrome([5]byte{zero[0], zero[1], zero[2], zero[3], HEC([4]byte{})})
+	_ = zh
+	// Flip each of the 40 header bits in an otherwise correct header and
+	// record the syndrome it produces. Syndromes are linear, so the map
+	// holds for any header.
+	base := [5]byte{0, 0, 0, 0, HEC([4]byte{})}
+	for bit := 0; bit < 40; bit++ {
+		h := base
+		h[bit/8] ^= 0x80 >> (bit % 8)
+		s := hecSyndrome(h)
+		if s == 0 {
+			continue // cannot happen for a nonzero flip
+		}
+		singleBitSyndrome[s] = int8(bit)
+	}
+}
+
+// HECCheck verifies a received 5-byte header. It returns:
+//
+//	ok=true, corrected=false         — header valid as received;
+//	ok=true, corrected=true          — a single-bit error was corrected
+//	                                   in place;
+//	ok=false                         — multi-bit error, discard the cell.
+func HECCheck(h *[5]byte) (ok, corrected bool) {
+	s := hecSyndrome(*h)
+	if s == 0 {
+		return true, false
+	}
+	if bit := singleBitSyndrome[s]; bit >= 0 {
+		h[bit/8] ^= 0x80 >> (bit % 8)
+		return true, true
+	}
+	return false, false
+}
+
+// ---------------------------------------------------------------------------
+// CRC-10 (AAL3/4 SAR payload)
+
+// crc10Poly is x¹⁰+x⁹+x⁵+x⁴+x+1 with x¹⁰ implicit: 0b11_0011_0011.
+const crc10Poly = 0x633
+
+var crc10Table [256]uint16
+
+func init() {
+	for i := 0; i < 256; i++ {
+		crc := uint16(i) << 2
+		for b := 0; b < 8; b++ {
+			if crc&0x200 != 0 {
+				crc = crc<<1 ^ crc10Poly
+			} else {
+				crc <<= 1
+			}
+			crc &= 0x3ff
+		}
+		crc10Table[i] = crc
+	}
+}
+
+// CRC10 computes the 10-bit SAR check over p, initial register zero.
+func CRC10(p []byte) uint16 {
+	var crc uint16
+	for _, b := range p {
+		crc = (crc<<8)&0x3ff ^ crc10Table[byte(crc>>2)^b]
+	}
+	return crc
+}
+
+// CRC10Bitwise is the reference bit-serial CRC-10.
+func CRC10Bitwise(p []byte) uint16 {
+	var crc uint16
+	for _, by := range p {
+		for b := 0; b < 8; b++ {
+			bit := (by >> (7 - b)) & 1
+			top := (crc >> 9) & 1
+			crc = (crc << 1) & 0x3ff
+			if top^uint16(bit) != 0 {
+				crc ^= crc10Poly & 0x3ff
+			}
+		}
+	}
+	return crc
+}
+
+// crc10Bits advances the register over the most-significant nbits bits of p.
+func crc10Bits(crc uint16, p []byte, nbits int) uint16 {
+	i := 0
+	for ; nbits >= 8; nbits -= 8 {
+		crc = (crc<<8)&0x3ff ^ crc10Table[byte(crc>>2)^p[i]]
+		i++
+	}
+	for b := 0; b < nbits; b++ {
+		bit := (p[i] >> (7 - b)) & 1
+		top := (crc >> 9) & 1
+		crc = (crc << 1) & 0x3ff
+		if top^uint16(bit) != 0 {
+			crc ^= crc10Poly & 0x3ff
+		}
+	}
+	return crc
+}
+
+// CRC10Fill computes the CRC-10 over all but the final 10 bits of pdu (the
+// covered region is not byte-aligned: in an AAL3/4 SAR-PDU the 6-bit LI
+// field shares the last two bytes with the CRC) and writes it into those
+// final 10 bits. A receiver checking the completed PDU with CRC10Check sees
+// it verify.
+func CRC10Fill(pdu []byte) {
+	if len(pdu) < 2 {
+		panic("crc: CRC10Fill needs at least 2 bytes")
+	}
+	n := len(pdu)
+	c := crc10Bits(0, pdu, n*8-10)
+	pdu[n-2] = pdu[n-2]&^0x03 | byte(c>>8)
+	pdu[n-1] = byte(c)
+}
+
+// CRC10Check reports whether a PDU whose trailing 10 bits carry its CRC-10
+// (as written by CRC10Fill) verifies.
+func CRC10Check(pdu []byte) bool {
+	if len(pdu) < 2 {
+		return false
+	}
+	n := len(pdu)
+	c := crc10Bits(0, pdu, n*8-10)
+	got := uint16(pdu[n-2]&0x03)<<8 | uint16(pdu[n-1])
+	return c == got
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (AAL5 CPCS)
+
+// crc32Poly is the IEEE 802.3 polynomial, MSB-first form.
+const crc32Poly = 0x04c11db7
+
+var crc32Table [256]uint32
+
+func init() {
+	for i := 0; i < 256; i++ {
+		crc := uint32(i) << 24
+		for b := 0; b < 8; b++ {
+			if crc&0x8000_0000 != 0 {
+				crc = crc<<1 ^ crc32Poly
+			} else {
+				crc <<= 1
+			}
+		}
+		crc32Table[i] = crc
+	}
+}
+
+// CRC32 computes the AAL5 CPCS CRC: register preset to all ones, MSB-first,
+// result complemented.
+func CRC32(p []byte) uint32 {
+	return CRC32Update(0xffff_ffff, p) ^ 0xffff_ffff
+}
+
+// CRC32Update advances a running (uncomplemented) CRC register over p.
+// Start from 0xffffffff; complement the final value to get the transmitted
+// CRC. This form lets the segmenter fold the check in cell-sized pieces, as
+// the hardware does.
+func CRC32Update(crc uint32, p []byte) uint32 {
+	for _, b := range p {
+		crc = crc<<8 ^ crc32Table[byte(crc>>24)^b]
+	}
+	return crc
+}
+
+// CRC32Bitwise is the reference bit-serial AAL5 CRC.
+func CRC32Bitwise(p []byte) uint32 {
+	crc := uint32(0xffff_ffff)
+	for _, by := range p {
+		for b := 0; b < 8; b++ {
+			bit := uint32(by>>(7-b)) & 1
+			top := crc >> 31
+			crc <<= 1
+			if top^bit != 0 {
+				crc ^= crc32Poly
+			}
+		}
+	}
+	return crc ^ 0xffff_ffff
+}

@@ -1,0 +1,281 @@
+package crc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHECMatchesBitwise(t *testing.T) {
+	f := func(h [4]byte) bool { return HEC(h) == HECBitwise(h) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHECKnownVector(t *testing.T) {
+	// All-zero header: CRC of 0 is 0, coset gives 0x55. This is the idle
+	// cell pattern's well-known HEC.
+	if got := HEC([4]byte{0, 0, 0, 0}); got != 0x55 {
+		t.Fatalf("HEC(0,0,0,0) = %#02x, want 0x55", got)
+	}
+	// Unassigned-cell header 00 00 00 01 has HEC 0x52 per I.432 examples.
+	if got := HEC([4]byte{0x00, 0x00, 0x00, 0x01}); got != 0x52 {
+		t.Fatalf("HEC(00 00 00 01) = %#02x, want 0x52", got)
+	}
+}
+
+func TestHECCheckValidHeader(t *testing.T) {
+	h := [5]byte{0x12, 0x34, 0x56, 0x78, 0}
+	h[4] = HEC([4]byte{0x12, 0x34, 0x56, 0x78})
+	ok, corrected := HECCheck(&h)
+	if !ok || corrected {
+		t.Fatalf("valid header: ok=%v corrected=%v", ok, corrected)
+	}
+}
+
+func TestHECCheckCorrectsEverySingleBitError(t *testing.T) {
+	orig := [5]byte{0xa5, 0x5a, 0x0f, 0xf0, 0}
+	orig[4] = HEC([4]byte{0xa5, 0x5a, 0x0f, 0xf0})
+	for bit := 0; bit < 40; bit++ {
+		h := orig
+		h[bit/8] ^= 0x80 >> (bit % 8)
+		ok, corrected := HECCheck(&h)
+		if !ok || !corrected {
+			t.Fatalf("bit %d: ok=%v corrected=%v", bit, ok, corrected)
+		}
+		if h != orig {
+			t.Fatalf("bit %d: correction produced %x, want %x", bit, h, orig)
+		}
+	}
+}
+
+func TestHECCheckRejectsDoubleBitErrors(t *testing.T) {
+	orig := [5]byte{0x01, 0x02, 0x03, 0x04, 0}
+	orig[4] = HEC([4]byte{0x01, 0x02, 0x03, 0x04})
+	rejected, miscorrected := 0, 0
+	for b1 := 0; b1 < 40; b1++ {
+		for b2 := b1 + 1; b2 < 40; b2++ {
+			h := orig
+			h[b1/8] ^= 0x80 >> (b1 % 8)
+			h[b2/8] ^= 0x80 >> (b2 % 8)
+			ok, corrected := HECCheck(&h)
+			switch {
+			case !ok:
+				rejected++
+			case corrected:
+				miscorrected++ // corrected to the *wrong* header
+				if h == orig {
+					t.Fatalf("double error %d,%d claimed corrected to original", b1, b2)
+				}
+			default:
+				t.Fatalf("double error %d,%d passed as error-free", b1, b2)
+			}
+		}
+	}
+	// An (40,32) code with 8 check bits cannot correct 2-bit errors; every
+	// double error must be either rejected or miscorrected, and a CRC-8
+	// with this polynomial detects (rejects) the large majority.
+	if rejected == 0 {
+		t.Fatal("no double-bit errors rejected; correction logic broken")
+	}
+	total := rejected + miscorrected
+	if total != 40*39/2 {
+		t.Fatalf("accounted %d of %d double errors", total, 40*39/2)
+	}
+}
+
+func TestHECSingleBitSyndromesDistinct(t *testing.T) {
+	seen := map[byte]int{}
+	base := [5]byte{0, 0, 0, 0, HEC([4]byte{})}
+	for bit := 0; bit < 40; bit++ {
+		h := base
+		h[bit/8] ^= 0x80 >> (bit % 8)
+		s := hecSyndrome(h)
+		if s == 0 {
+			t.Fatalf("bit %d produced zero syndrome", bit)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("bits %d and %d share syndrome %#02x", prev, bit, s)
+		}
+		seen[s] = bit
+	}
+}
+
+func TestCRC10MatchesBitwise(t *testing.T) {
+	f := func(p []byte) bool { return CRC10(p) == CRC10Bitwise(p) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRC10Empty(t *testing.T) {
+	if got := CRC10(nil); got != 0 {
+		t.Fatalf("CRC10(nil) = %#x, want 0", got)
+	}
+}
+
+func TestCRC10FillResidue(t *testing.T) {
+	// Filling the trailing 10-bit field then running the register over
+	// the whole PDU yields residue 0.
+	pdu := append([]byte("ATM SAR payload test vector...."), 0, 0)
+	CRC10Fill(pdu)
+	if !CRC10Check(pdu) {
+		t.Fatalf("residue = %#x, want 0", CRC10(pdu))
+	}
+}
+
+func TestCRC10FillPreservesLI(t *testing.T) {
+	// The 6 high bits of the penultimate byte carry the AAL3/4 LI field;
+	// CRC10Fill must leave them alone.
+	pdu := make([]byte, 48)
+	pdu[46] = 0xac // LI bits 101011, low 2 bits dirty
+	pdu[47] = 0xff // dirty CRC bits
+	CRC10Fill(pdu)
+	if pdu[46]&0xfc != 0xac {
+		t.Fatalf("LI bits clobbered: %#02x", pdu[46])
+	}
+	if !CRC10Check(pdu) {
+		t.Fatal("filled PDU does not verify")
+	}
+}
+
+func TestCRC10FillShortPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CRC10Fill on 1 byte did not panic")
+		}
+	}()
+	CRC10Fill([]byte{1})
+}
+
+func TestCRC10DetectsCorruption(t *testing.T) {
+	msg := make([]byte, 44)
+	for i := range msg {
+		msg[i] = byte(i * 7)
+	}
+	c := CRC10(msg)
+	for bit := 0; bit < len(msg)*8; bit += 13 {
+		m := append([]byte{}, msg...)
+		m[bit/8] ^= 1 << (bit % 8)
+		if CRC10(m) == c {
+			t.Fatalf("single-bit flip at %d not detected", bit)
+		}
+	}
+}
+
+func TestCRC32MatchesBitwise(t *testing.T) {
+	f := func(p []byte) bool { return CRC32(p) == CRC32Bitwise(p) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRC32KnownVector(t *testing.T) {
+	// "123456789" under CRC-32/MPEG-2-style MSB-first with pre/post
+	// inversion (the AAL5 form, aka CRC-32/BZIP2): 0xFC891918.
+	if got := CRC32([]byte("123456789")); got != 0xfc891918 {
+		t.Fatalf("CRC32(123456789) = %#08x, want 0xfc891918", got)
+	}
+}
+
+func TestCRC32Incremental(t *testing.T) {
+	msg := make([]byte, 480)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	whole := CRC32(msg)
+	// Fold in 48-byte (cell payload) pieces as the hardware does.
+	reg := uint32(0xffff_ffff)
+	for off := 0; off < len(msg); off += 48 {
+		reg = CRC32Update(reg, msg[off:off+48])
+	}
+	if got := reg ^ 0xffff_ffff; got != whole {
+		t.Fatalf("incremental CRC %#08x != whole %#08x", got, whole)
+	}
+}
+
+func TestCRC32Empty(t *testing.T) {
+	// Empty message: preset^post-invert = 0.
+	if got := CRC32(nil); got != 0 {
+		t.Fatalf("CRC32(nil) = %#08x, want 0", got)
+	}
+}
+
+func TestCRC32DetectsBurstErrors(t *testing.T) {
+	msg := make([]byte, 1000)
+	for i := range msg {
+		msg[i] = byte(i * 31)
+	}
+	c := CRC32(msg)
+	// Any burst up to 32 bits must be detected.
+	for start := 0; start < 968; start += 97 {
+		m := append([]byte{}, msg...)
+		for j := 0; j < 4; j++ {
+			m[start+j] ^= 0xff
+		}
+		if CRC32(m) == c {
+			t.Fatalf("32-bit burst at byte %d not detected", start)
+		}
+	}
+}
+
+// Property: CRC10Fill always produces a PDU with zero residue, and any
+// single bit flip breaks it.
+func TestPropertyCRC10FillResidue(t *testing.T) {
+	f := func(p []byte, flip uint16) bool {
+		pdu := append(append([]byte{}, p...), 0, 0)
+		CRC10Fill(pdu)
+		if !CRC10Check(pdu) {
+			return false
+		}
+		bit := int(flip) % (len(pdu) * 8)
+		pdu[bit/8] ^= 1 << (bit % 8)
+		return !CRC10Check(pdu)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flipping any single byte changes CRC32.
+func TestPropertyCRC32SensitiveToEveryByte(t *testing.T) {
+	f := func(p []byte, idx uint16, delta byte) bool {
+		if len(p) == 0 || delta == 0 {
+			return true
+		}
+		i := int(idx) % len(p)
+		c := CRC32(p)
+		q := append([]byte{}, p...)
+		q[i] ^= delta
+		return CRC32(q) != c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHEC(b *testing.B) {
+	h := [4]byte{0x12, 0x34, 0x56, 0x78}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = HEC(h)
+	}
+}
+
+func BenchmarkCRC32Cell(b *testing.B) {
+	p := make([]byte, 48)
+	b.SetBytes(48)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = CRC32Update(0xffffffff, p)
+	}
+}
+
+func BenchmarkCRC10Cell(b *testing.B) {
+	p := make([]byte, 44)
+	b.SetBytes(44)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = CRC10(p)
+	}
+}

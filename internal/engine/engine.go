@@ -1,0 +1,153 @@
+// Package engine models the embedded RISC protocol engines (Intel 80960
+// class) that the host interface architecture puts between the host bus and
+// the cell stream — one on the transmit side running segmentation firmware,
+// one on the receive side running reassembly firmware.
+//
+// The paper's central quantitative exercise is a cycle budget: count the
+// instructions each firmware routine executes per cell, multiply by the
+// engine's cycle time, and compare against the cell interarrival time
+// (2.7 µs at 155 Mb/s, 0.68 µs at 622 Mb/s).  This package is that model
+// made executable: firmware routines are declared as named instruction
+// counts (see the nic package for the per-routine pseudo-code they were
+// counted from), and Run charges simulated engine time accordingly.
+//
+// Cost conventions: single-cycle register instructions (the i960 issues most
+// ALU ops in one cycle), with memory touches and FIFO accesses charged extra
+// cycles by the routine definitions themselves.  The CPI knob covers
+// everything we don't model (cache misses, branch bubbles).
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Config sets an engine's speed.
+type Config struct {
+	// ClockHz is the processor clock. The board's i960 ran at 25 MHz.
+	ClockHz int64
+	// CPI is average cycles per instruction, in thousandths (1000 = 1.0).
+	// The i960 sustains close to 1.0 on register code; 1500 is a
+	// conservative figure once load/store stalls are included.
+	CPIMilli int64
+	// DispatchInstr is the fixed instruction overhead to enter a firmware
+	// routine: the event-loop poll, vector dispatch, and register save.
+	// The i960's register-window design made this small (~10 instructions
+	// versus ~50+ for a full interrupt frame) — one of the reasons the
+	// paper's architecture could afford per-cell firmware at all.
+	DispatchInstr int
+}
+
+// DefaultConfig is a 25 MHz i960 with CPI 1.2 and 10-instruction dispatch.
+func DefaultConfig() Config {
+	return Config{ClockHz: 25_000_000, CPIMilli: 1200, DispatchInstr: 10}
+}
+
+// Engine is one protocol processor. All firmware runs to completion: the
+// engines poll FIFOs rather than take nested interrupts, so routines are
+// serialized, which a sim.Resource captures exactly.
+type Engine struct {
+	k    *sim.Kernel
+	name string
+	cfg  Config
+	res  *sim.Resource
+
+	routines map[string]*RoutineStat
+}
+
+// RoutineStat accumulates per-routine accounting.
+type RoutineStat struct {
+	Name  string
+	Calls uint64
+	Instr uint64
+	Time  sim.Duration
+}
+
+// New creates an engine.
+func New(k *sim.Kernel, name string, cfg Config) *Engine {
+	if cfg.ClockHz <= 0 {
+		panic("engine: non-positive clock")
+	}
+	if cfg.CPIMilli <= 0 {
+		cfg.CPIMilli = 1000
+	}
+	return &Engine{k: k, name: name, cfg: cfg, res: sim.NewResource(k, name),
+		routines: make(map[string]*RoutineStat)}
+}
+
+// Name returns the engine's diagnostic name.
+func (e *Engine) Name() string { return e.name }
+
+// Config returns the engine's timing parameters.
+func (e *Engine) Config() Config { return e.cfg }
+
+// InstrTime converts an instruction count to engine-occupancy time,
+// including nothing but the instructions themselves.
+func (e *Engine) InstrTime(instr int) sim.Duration {
+	if instr < 0 {
+		panic(fmt.Sprintf("engine: negative instruction count %d", instr))
+	}
+	// ns = instr * CPI * 1e9 / clock. CPIMilli is thousandths.
+	cycles := int64(instr) * e.cfg.CPIMilli // milli-cycles
+	ns := cycles * 1_000_000 / e.cfg.ClockHz
+	// Round up: an engine cannot finish a routine mid-cycle.
+	if cycles*1_000_000%e.cfg.ClockHz != 0 {
+		ns++
+	}
+	return sim.Duration(ns)
+}
+
+// RoutineTime is InstrTime plus the dispatch overhead — the wall time one
+// firmware activation occupies the engine.
+func (e *Engine) RoutineTime(instr int) sim.Duration {
+	return e.InstrTime(instr + e.cfg.DispatchInstr)
+}
+
+// Run schedules the named routine (instr instructions plus dispatch) on the
+// engine. done runs when the routine completes; routines queue FIFO. The
+// return value is the predicted completion time.
+func (e *Engine) Run(label string, instr int, done func()) sim.Time {
+	d := e.RoutineTime(instr)
+	st := e.routines[label]
+	if st == nil {
+		st = &RoutineStat{Name: label}
+		e.routines[label] = st
+	}
+	st.Calls++
+	st.Instr += uint64(instr + e.cfg.DispatchInstr)
+	st.Time += d
+	return e.res.Use(d, done)
+}
+
+// Busy reports whether firmware is executing now.
+func (e *Engine) Busy() bool { return e.res.Busy() }
+
+// QueueLen reports routines waiting to run.
+func (e *Engine) QueueLen() int { return e.res.QueueLen() }
+
+// Utilization is the fraction of simulated time the engine was busy.
+func (e *Engine) Utilization() float64 { return e.res.Utilization() }
+
+// Routines returns per-routine statistics sorted by name.
+func (e *Engine) Routines() []RoutineStat {
+	out := make([]RoutineStat, 0, len(e.routines))
+	for _, st := range e.routines {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// HeadroomAt returns the ratio cellTime/routineTime for a routine of instr
+// instructions against the given cell interarrival time: >1 means the
+// engine keeps up at line rate, <1 means it is the bottleneck.  This is the
+// number the paper's Figure-style analysis reports per configuration.
+func (e *Engine) HeadroomAt(instr int, cellTime sim.Duration) float64 {
+	rt := e.RoutineTime(instr)
+	if rt == 0 {
+		return 0
+	}
+	return float64(cellTime) / float64(rt)
+}

@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func test25MHz() Config {
+	return Config{ClockHz: 25_000_000, CPIMilli: 1000, DispatchInstr: 0}
+}
+
+func TestInstrTimeExact(t *testing.T) {
+	k := sim.NewKernel()
+	e := New(k, "tx", test25MHz())
+	// 25 MHz, CPI 1: one instruction = 40 ns.
+	if got := e.InstrTime(1); got != 40 {
+		t.Fatalf("InstrTime(1) = %v, want 40", int64(got))
+	}
+	if got := e.InstrTime(50); got != 2000 {
+		t.Fatalf("InstrTime(50) = %v, want 2000", int64(got))
+	}
+	if got := e.InstrTime(0); got != 0 {
+		t.Fatalf("InstrTime(0) = %v, want 0", int64(got))
+	}
+}
+
+func TestInstrTimeRoundsUp(t *testing.T) {
+	k := sim.NewKernel()
+	e := New(k, "tx", Config{ClockHz: 30_000_000, CPIMilli: 1000})
+	// 1 instr at 30 MHz = 33.33 ns -> 34.
+	if got := e.InstrTime(1); got != 34 {
+		t.Fatalf("InstrTime(1)@30MHz = %v, want 34", int64(got))
+	}
+}
+
+func TestCPIScaling(t *testing.T) {
+	k := sim.NewKernel()
+	e := New(k, "tx", Config{ClockHz: 25_000_000, CPIMilli: 1500})
+	// 10 instr * 1.5 CPI = 15 cycles = 600 ns.
+	if got := e.InstrTime(10); got != 600 {
+		t.Fatalf("InstrTime = %v, want 600", int64(got))
+	}
+}
+
+func TestRoutineTimeAddsDispatch(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := test25MHz()
+	cfg.DispatchInstr = 10
+	e := New(k, "tx", cfg)
+	if got := e.RoutineTime(40); got != e.InstrTime(50) {
+		t.Fatalf("RoutineTime(40) = %v, want %v", got, e.InstrTime(50))
+	}
+}
+
+func TestRunSerializesRoutines(t *testing.T) {
+	k := sim.NewKernel()
+	e := New(k, "rx", test25MHz())
+	var done []sim.Time
+	e.Run("a", 25, func() { done = append(done, k.Now()) }) // 1000 ns
+	e.Run("b", 25, func() { done = append(done, k.Now()) })
+	k.Run()
+	if len(done) != 2 || done[0] != 1000 || done[1] != 2000 {
+		t.Fatalf("completions %v, want [1000 2000]", done)
+	}
+}
+
+func TestRoutineStats(t *testing.T) {
+	k := sim.NewKernel()
+	e := New(k, "rx", test25MHz())
+	e.Run("reasm", 30, nil)
+	e.Run("reasm", 30, nil)
+	e.Run("eop", 50, nil)
+	k.Run()
+	rs := e.Routines()
+	if len(rs) != 2 {
+		t.Fatalf("%d routines, want 2", len(rs))
+	}
+	// Sorted by name: eop, reasm.
+	if rs[0].Name != "eop" || rs[0].Calls != 1 || rs[0].Instr != 50 {
+		t.Fatalf("eop stat %+v", rs[0])
+	}
+	if rs[1].Name != "reasm" || rs[1].Calls != 2 || rs[1].Instr != 60 {
+		t.Fatalf("reasm stat %+v", rs[1])
+	}
+	if rs[1].Time != 2*e.InstrTime(30) {
+		t.Fatalf("reasm time %v", rs[1].Time)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	k := sim.NewKernel()
+	e := New(k, "tx", test25MHz())
+	e.Run("x", 25, nil) // 1000 ns busy
+	k.Run()
+	k.RunUntil(2000)
+	u := e.Utilization()
+	if u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization %v, want ~0.5", u)
+	}
+}
+
+// The paper's headline numbers: a 25 MHz engine running ~50-instruction
+// per-cell firmware fits comfortably inside the 155 Mb/s cell time but NOT
+// inside the 622 Mb/s cell time.
+func TestHeadroomPaperShape(t *testing.T) {
+	k := sim.NewKernel()
+	e := New(k, "rx", DefaultConfig())
+	perCell := 45 // representative receive per-cell instruction count
+	h155 := e.HeadroomAt(perCell, units.CellTime(units.STS3cPayload))
+	h622 := e.HeadroomAt(perCell, units.CellTime(units.STS12cPayload))
+	if h155 <= 1.0 {
+		t.Fatalf("headroom at 155 Mb/s = %v, want > 1 (engine keeps up)", h155)
+	}
+	if h622 >= 1.0 {
+		t.Fatalf("headroom at 622 Mb/s = %v, want < 1 (engine is the bottleneck)", h622)
+	}
+}
+
+func TestHeadroomScalesWithClock(t *testing.T) {
+	k := sim.NewKernel()
+	slow := New(k, "a", Config{ClockHz: 25_000_000, CPIMilli: 1000})
+	fast := New(k, "b", Config{ClockHz: 66_000_000, CPIMilli: 1000})
+	ct := units.CellTime(units.STS12cPayload)
+	if fast.HeadroomAt(45, ct) <= slow.HeadroomAt(45, ct) {
+		t.Fatal("faster clock did not increase headroom")
+	}
+}
+
+func TestNegativeInstrPanics(t *testing.T) {
+	k := sim.NewKernel()
+	e := New(k, "tx", test25MHz())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative instr did not panic")
+		}
+	}()
+	e.InstrTime(-1)
+}
+
+func TestZeroClockPanics(t *testing.T) {
+	k := sim.NewKernel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero clock did not panic")
+		}
+	}()
+	New(k, "x", Config{})
+}
+
+func TestDefaultCPIApplied(t *testing.T) {
+	k := sim.NewKernel()
+	e := New(k, "x", Config{ClockHz: 25_000_000})
+	if e.Config().CPIMilli != 1000 {
+		t.Fatalf("default CPI = %d, want 1000", e.Config().CPIMilli)
+	}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"repro/internal/atm"
+	"repro/internal/bus"
+	"repro/internal/host"
+	"repro/internal/netsim"
+	"repro/internal/nic"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// E11Point is one (engine count) measurement at STS-12c.
+type E11Point struct {
+	Engines    int
+	GoodputBps float64
+	FifoDrops  uint64
+	Packets    uint64
+	MeanUtil   float64
+}
+
+// E11 measures aggregate goodput at STS-12c across 8 concurrent VCs as the
+// number of receive engines grows — the scale-out the era's delay analyses
+// proposed for OC-12 ("a set of three processors…"). Shape: one 25 MHz
+// engine drops cells and delivers almost nothing; goodput grows with
+// engines until the wire (or the transmit side) becomes the limit, around
+// 2-3 engines on this cost model.
+func E11(engineCounts []int, runTime sim.Duration) ([]E11Point, *report.Series) {
+	if len(engineCounts) == 0 {
+		engineCounts = []int{1, 2, 3, 4, 8}
+	}
+	// 8 VCs, chosen to hash reasonably evenly across small engine counts.
+	var vcs []atm.VC
+	for i := 0; i < 8; i++ {
+		vcs = append(vcs, atm.VC{VCI: uint16(200 + 13*i)})
+	}
+	var pts []E11Point
+	for _, n := range engineCounts {
+		k := sim.NewKernel()
+		cfgTx := nic.DefaultConfig("tx")
+		cfgTx.PayloadRate = units.STS12cPayload
+		cfgTx.InterleaveVCs = true
+		cfgRx := cfgTx
+		cfgRx.Name = "rx"
+		cfgRx.RxEngines = n
+		// E9's result applied: per-engine FIFOs must absorb a full
+		// single-VC burst backlog (~96 cells at this engine speed),
+		// because the round-robin is only as smooth as the senders.
+		cfgRx.RxFifoDepth = 128
+		tx, err := netsim.NewStation(k, cfgTx)
+		if err != nil {
+			panic(err)
+		}
+		rx, err := netsim.NewStationFull(k, cfgRx, fastHost(), bus.DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		netsim.Connect(k, tx, rx, netsim.LinkConfig{Delay: 10_000, Seed: 23})
+		deadline := sim.Time(runTime)
+		for _, vc := range vcs {
+			tx.Iface.OpenVC(vc)
+			rx.Iface.OpenVC(vc)
+			vc := vc
+			var send func()
+			send = func() {
+				if k.Now() > deadline {
+					return
+				}
+				tx.Iface.Send(vc, make([]byte, 9180), send)
+			}
+			send()
+		}
+		k.RunUntil(deadline)
+		bytes := rx.Iface.Stats().Rx.Bytes
+		var util float64
+		for _, e := range rx.Iface.RxEngines() {
+			util += e.Utilization()
+		}
+		util /= float64(n)
+		k.Run()
+		st := rx.Iface.Stats()
+		pts = append(pts, E11Point{
+			Engines:    n,
+			GoodputBps: units.ThroughputBps(int64(bytes), deadline),
+			FifoDrops:  st.Rx.FifoDrops,
+			Packets:    st.Rx.Packets,
+			MeanUtil:   util,
+		})
+	}
+	x := make([]float64, len(engineCounts))
+	for i, n := range engineCounts {
+		x[i] = float64(n)
+	}
+	sr := report.NewSeries("E11: STS-12c aggregate goodput vs receive engines (8 VCs, 9180-B frames)",
+		"rx-engines", x)
+	var gps, utils []float64
+	for _, p := range pts {
+		gps = append(gps, p.GoodputBps/1e6)
+		utils = append(utils, p.MeanUtil)
+	}
+	sr.Add("goodput-Mb/s", gps)
+	sr.Add("mean-engine-util", utils)
+	return pts, sr
+}
+
+// fastHost is a host model fast enough not to become the bottleneck at
+// multi-hundred-Mb/s receive rates — E11 isolates the engine scaling, so
+// the (separable) host term is taken out of the way, standing in for the
+// era's faster server hosts.
+func fastHost() host.Config {
+	cfg := host.DefaultConfig()
+	cfg.InstrRate = 200_000_000
+	return cfg
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/aal"
+	"repro/internal/netsim"
+	"repro/internal/nic"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// E3Point is one (SDU size, configuration) goodput measurement.
+type E3Point struct {
+	Size       int
+	AAL        aal.Type
+	Rate       units.BitRate
+	GoodputBps float64
+	CeilingBps float64 // physics for this size/AAL
+	Efficiency float64 // goodput / payload line rate
+}
+
+// E3Config tunes the sweep (the benchmark uses a shorter run).
+type E3Config struct {
+	Sizes   []int
+	RunTime sim.Duration
+	Window  int // packets kept in flight
+}
+
+// DefaultE3 is the full sweep.
+func DefaultE3() E3Config {
+	return E3Config{
+		Sizes:   []int{64, 256, 1024, 4096, 9180, 32768, 65535},
+		RunTime: 30 * sim.Millisecond,
+		Window:  4,
+	}
+}
+
+// E3 measures end-to-end goodput versus SDU size for both AAL builds at
+// both line rates. Paper shape: goodput climbs with packet size as
+// per-packet costs amortize; at 155 Mb/s big AAL5 packets saturate near the
+// 135 Mb/s SDU ceiling; AAL5 beats AAL3/4 everywhere (44 vs 48 payload
+// bytes per cell); at 622 Mb/s the engines cap throughput well below the
+// wire.
+func E3(ec E3Config) ([]E3Point, *report.Series, *report.Series) {
+	var pts []E3Point
+	for _, rate := range []units.BitRate{units.STS3cPayload, units.STS12cPayload} {
+		for _, t := range []aal.Type{aal.AAL5, aal.AAL34} {
+			for _, size := range ec.Sizes {
+				cfg := nic.DefaultConfig("x")
+				cfg.PayloadRate = rate
+				cfg.AAL = t
+				deadline := sim.Time(ec.RunTime)
+				var src *netsim.Source
+				var lastAt sim.Time
+				_, b, _ := runPair(cfg, netsim.LinkConfig{Delay: 10_000, Seed: 7},
+					deadline+sim.Time(ec.RunTime/2),
+					func(k *sim.Kernel, a, b *netsim.Station) {
+						b.Iface.OnReceive(func(d nic.Delivered) { lastAt = d.At })
+						src = netsim.NewSource(k, a, stdVC, size, deadline)
+						src.Start(ec.Window)
+					})
+				cells := aal.CellsForSDU5(size)
+				if t == aal.AAL34 {
+					cells = aal.CellsForSDU34(size)
+				}
+				// Goodput over the span in which deliveries actually
+				// happened, not the (longer) drain window.
+				if lastAt == 0 {
+					lastAt = deadline
+				}
+				gp := goodputBps(b, lastAt)
+				pts = append(pts, E3Point{
+					Size: size, AAL: t, Rate: rate,
+					GoodputBps: gp,
+					CeilingBps: sduCeilingBps(rate, size, cells),
+					Efficiency: gp / float64(rate),
+				})
+			}
+		}
+	}
+
+	x := make([]float64, len(ec.Sizes))
+	for i, s := range ec.Sizes {
+		x[i] = float64(s)
+	}
+	mk := func(rate units.BitRate, title string) *report.Series {
+		s := report.NewSeries(title, "sdu-bytes", x)
+		for _, t := range []aal.Type{aal.AAL5, aal.AAL34} {
+			var y, ceil []float64
+			for _, p := range pts {
+				if p.Rate == rate && p.AAL == t {
+					y = append(y, p.GoodputBps/1e6)
+					ceil = append(ceil, p.CeilingBps/1e6)
+				}
+			}
+			s.Add(fmt.Sprintf("%s-Mb/s", t), y)
+			s.Add(fmt.Sprintf("%s-ceiling", t), ceil)
+		}
+		return s
+	}
+	s155 := mk(units.STS3cPayload, "E3a: goodput vs SDU size at STS-3c")
+	s622 := mk(units.STS12cPayload, "E3b: goodput vs SDU size at STS-12c")
+	return pts, s155, s622
+}

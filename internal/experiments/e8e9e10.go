@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/aal"
+	"repro/internal/engine"
+	"repro/internal/netsim"
+	"repro/internal/nic"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// E8Point is one (loss rate, SDU size) goodput measurement.
+type E8Point struct {
+	LossProb      float64
+	Size          int
+	DeliveredFrac float64 // frames delivered / frames sent
+	GoodputBps    float64
+	PredictedFrac float64 // (1-p)^cells — the whole-frame-discard model
+}
+
+// E8Config tunes the sweep.
+type E8Config struct {
+	LossProbs []float64
+	Sizes     []int
+	RunTime   sim.Duration
+}
+
+// DefaultE8 is the full sweep.
+func DefaultE8() E8Config {
+	return E8Config{
+		LossProbs: []float64{1e-5, 1e-4, 1e-3, 3e-3, 1e-2, 3e-2},
+		Sizes:     []int{1024, 9180, 65535},
+		RunTime:   60 * sim.Millisecond,
+	}
+}
+
+// E8 measures AAL5 goodput versus cell-loss rate. AAL5 discards the whole
+// frame on any lost cell, so delivered fraction tracks (1-p)^cells and
+// collapses where p·cells ≈ 1 — earlier for bigger frames. This is the
+// loss-sensitivity cliff that motivated the era's FEC/retransmission work.
+func E8(ec E8Config) ([]E8Point, *report.Series) {
+	var pts []E8Point
+	for _, size := range ec.Sizes {
+		for _, p := range ec.LossProbs {
+			cfg := nic.DefaultConfig("x")
+			deadline := sim.Time(ec.RunTime)
+			var src *netsim.Source
+			_, b, k := runPair(cfg,
+				netsim.LinkConfig{Delay: 10_000, LossProb: p, Seed: uint64(size) + uint64(p*1e7)},
+				deadline+sim.Time(ec.RunTime/2),
+				func(k *sim.Kernel, a, b *netsim.Station) {
+					src = netsim.NewSource(k, a, stdVC, size, deadline)
+					src.Start(4)
+				})
+			st := b.Iface.Stats()
+			sent := src.Sent
+			frac := 0.0
+			if sent > 0 {
+				frac = float64(st.Rx.Packets) / float64(sent)
+			}
+			cells := aal.CellsForSDU5(size)
+			pts = append(pts, E8Point{
+				LossProb: p, Size: size,
+				DeliveredFrac: frac,
+				GoodputBps:    goodputBps(b, k.Now()),
+				PredictedFrac: math.Pow(1-p, float64(cells)),
+			})
+		}
+	}
+	x := make([]float64, len(ec.LossProbs))
+	for i, p := range ec.LossProbs {
+		x[i] = p
+	}
+	sr := report.NewSeries("E8: AAL5 delivered-frame fraction vs cell loss probability", "loss-prob", x)
+	for _, size := range ec.Sizes {
+		var y, pred []float64
+		for _, pt := range pts {
+			if pt.Size == size {
+				y = append(y, pt.DeliveredFrac)
+				pred = append(pred, pt.PredictedFrac)
+			}
+		}
+		sr.Add(sizeLabel(size), y)
+		sr.Add(sizeLabel(size)+"-model", pred)
+	}
+	return pts, sr
+}
+
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1024 && n%1024 == 0:
+		return itoa(n/1024) + "KiB"
+	default:
+		return itoa(n) + "B"
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// E9Point is one FIFO-depth measurement at STS-12c.
+type E9Point struct {
+	Depth     int
+	FifoDrops uint64
+	Packets   uint64
+	MaxFifo   int
+}
+
+// E9 sweeps the RX FIFO depth at STS-12c with paced MTU packets. Within one
+// 192-cell frame the 25 MHz receive engine falls behind the arriving cells;
+// the FIFO must absorb that intra-frame backlog (~60-100 cells) and drain
+// in the inter-packet gap the pacing provides. Paper shape: a hard cliff —
+// depths below the per-frame backlog lose cells on every frame, depths
+// above it lose none. (An unpaced greedy source oversubscribes the engine
+// permanently and no finite FIFO survives; that regime is E3's 622 result.)
+func E9(depths []int, runTime sim.Duration) ([]E9Point, *report.Series) {
+	if len(depths) == 0 {
+		depths = []int{8, 16, 32, 64, 96, 128, 192}
+	}
+	var pts []E9Point
+	for _, d := range depths {
+		cfg := nic.DefaultConfig("x")
+		cfg.PayloadRate = units.STS12cPayload
+		cfg.RxFifoDepth = d
+		deadline := sim.Time(runTime)
+		_, b, _ := runPair(cfg, netsim.LinkConfig{Delay: 10_000, Seed: 17},
+			deadline+sim.Time(runTime/2),
+			func(k *sim.Kernel, a, b *netsim.Station) {
+				// One 192-cell frame every 500 µs: the wire burst lasts
+				// ~136 µs (or ~185 µs engine-paced), leaving a drain gap.
+				payload := make([]byte, 9180)
+				var tick func()
+				tick = func() {
+					if k.Now() > deadline {
+						return
+					}
+					a.Iface.Send(stdVC, payload, nil)
+					k.After(500*sim.Microsecond, tick)
+				}
+				tick()
+			})
+		st := b.Iface.Stats()
+		pts = append(pts, E9Point{Depth: d, FifoDrops: st.Rx.FifoDrops,
+			Packets: st.Rx.Packets, MaxFifo: st.Rx.MaxFifo})
+	}
+	x := make([]float64, len(depths))
+	for i, d := range depths {
+		x[i] = float64(d)
+	}
+	sr := report.NewSeries("E9: RX FIFO depth vs overflow at STS-12c (9180-B frames)", "fifo-cells", x)
+	var drops, pkts []float64
+	for _, p := range pts {
+		drops = append(drops, float64(p.FifoDrops))
+		pkts = append(pkts, float64(p.Packets))
+	}
+	sr.Add("cell-drops", drops)
+	sr.Add("packets-delivered", pkts)
+	return pts, sr
+}
+
+// E10Point is one engine-clock measurement.
+type E10Point struct {
+	ClockMHz   int
+	RxCellTime sim.Duration
+	MaxMbps    float64 // payload rate the rx engine sustains
+	OK155      bool
+	OK622      bool
+}
+
+// E10 computes, for a range of engine clocks, the maximum ATM payload rate
+// the receive engine sustains on MTU-dominated traffic: the steady-state
+// per-cell routine (CAM lookup, paged append) with the per-frame EOP cost
+// amortized over a 192-cell frame. Paper shape: 25 MHz-class parts clear
+// 155 Mb/s with margin; 622 Mb/s needs either a ~3x faster engine, multiple
+// engines, or hardware assist.
+func E10(clocksMHz []int) ([]E10Point, *report.Series) {
+	if len(clocksMHz) == 0 {
+		clocksMHz = []int{12, 25, 33, 50, 66, 100, 150}
+	}
+	var pts []E10Point
+	for _, mhz := range clocksMHz {
+		k := sim.NewKernel()
+		cfg := engine.DefaultConfig()
+		cfg.ClockHz = int64(mhz) * 1_000_000
+		eng := engine.New(k, "e10", cfg)
+		// Steady-state per-cell work: rx_cell with CAM lookup (3) and
+		// paged append (5), plus 1/192 of the EOP routine.
+		perCell := eng.RoutineTime(12+3+5) + eng.RoutineTime(22)/192
+		// Max sustainable cell rate = 1/perCell; payload bits/s.
+		maxMbps := 1e9 / float64(perCell) * 53 * 8 / 1e6
+		pts = append(pts, E10Point{
+			ClockMHz: mhz, RxCellTime: perCell, MaxMbps: maxMbps,
+			OK155: perCell <= units.CellTime(units.STS3cPayload),
+			OK622: perCell <= units.CellTime(units.STS12cPayload),
+		})
+	}
+	x := make([]float64, len(clocksMHz))
+	for i, m := range clocksMHz {
+		x[i] = float64(m)
+	}
+	sr := report.NewSeries("E10: max sustainable payload rate vs engine clock (MTU-amortized receive path)",
+		"engine-MHz", x)
+	var y []float64
+	for _, p := range pts {
+		y = append(y, p.MaxMbps)
+	}
+	sr.Add("max-Mb/s", y)
+	sr.Add("need-155", constSeries(149.76, len(x)))
+	sr.Add("need-622", constSeries(599.04, len(x)))
+	return pts, sr
+}
+
+func constSeries(v float64, n int) []float64 {
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = v
+	}
+	return y
+}

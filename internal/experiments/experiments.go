@@ -1,0 +1,55 @@
+// Package experiments regenerates the paper's evaluation: one function per
+// reconstructed table/figure (E1…E10; see DESIGN.md for the index and the
+// reconstruction caveat). Each returns a machine-readable result plus a
+// report.Table or report.Series rendering, so the same code backs the
+// atmbench binary, the test suite's shape assertions, and the root
+// bench_test.go benchmarks.
+package experiments
+
+import (
+	"repro/internal/atm"
+	"repro/internal/netsim"
+	"repro/internal/nic"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// stdVC is the connection every end-to-end experiment runs on.
+var stdVC = atm.VC{VPI: 0, VCI: 100}
+
+// runPair builds a station pair, runs fn to configure sources, then runs
+// the kernel until deadline+drain and returns both stations.
+func runPair(cfg nic.Config, link netsim.LinkConfig, deadline sim.Time,
+	drive func(k *sim.Kernel, a, b *netsim.Station)) (a, b *netsim.Station, k *sim.Kernel) {
+	k = sim.NewKernel()
+	cfgA, cfgB := cfg, cfg
+	cfgA.Name, cfgB.Name = "a", "b"
+	var err error
+	a, err = netsim.NewStation(k, cfgA)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	b, err = netsim.NewStation(k, cfgB)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	netsim.Connect(k, a, b, link)
+	a.Iface.OpenVC(stdVC)
+	b.Iface.OpenVC(stdVC)
+	drive(k, a, b)
+	k.RunUntil(deadline)
+	k.Run() // drain in-flight work
+	return a, b, k
+}
+
+// goodputBps returns delivered SDU goodput at station b.
+func goodputBps(b *netsim.Station, at sim.Time) float64 {
+	return units.ThroughputBps(int64(b.Iface.Stats().Rx.Bytes), at)
+}
+
+// sduCeilingBps returns the physics ceiling for SDU goodput: the payload
+// rate scaled by SDU bytes per wire byte for an n-byte SDU over the given
+// AAL cell count.
+func sduCeilingBps(rate units.BitRate, sduBytes, cells int) float64 {
+	return float64(rate) * float64(sduBytes) / float64(cells*atm.CellSize)
+}

@@ -1,0 +1,255 @@
+package fec
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func payloads(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		p := make([]byte, 100+i*37)
+		for j := range p {
+			p[j] = byte(i*13 + j)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// pump encodes payloads and pushes the wrapped packets through a decoder,
+// optionally dropping packets whose global index is in drop.
+func pump(t *testing.T, k int, msgs [][]byte, drop map[int]bool) (got [][]byte, recovered int, dec *Decoder) {
+	t.Helper()
+	enc := NewEncoder(k)
+	dec = NewDecoder(func(p []byte, rec bool) {
+		got = append(got, p)
+		if rec {
+			recovered++
+		}
+	})
+	idx := 0
+	push := func(pkt []byte) {
+		if pkt == nil {
+			return
+		}
+		if !drop[idx] {
+			if err := dec.Push(pkt); err != nil {
+				t.Fatalf("push %d: %v", idx, err)
+			}
+		}
+		idx++
+	}
+	for _, m := range msgs {
+		data, parity, err := enc.Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		push(data)
+		push(parity)
+	}
+	return got, recovered, dec
+}
+
+func TestNoLossPassThrough(t *testing.T) {
+	msgs := payloads(8) // two full groups of 4
+	got, recovered, dec := pump(t, 4, msgs, nil)
+	if recovered != 0 {
+		t.Fatalf("recovered %d with no loss", recovered)
+	}
+	if len(got) != 8 {
+		t.Fatalf("delivered %d of 8", len(got))
+	}
+	for i := range msgs {
+		if !bytes.Equal(got[i], msgs[i]) {
+			t.Fatalf("payload %d corrupted", i)
+		}
+	}
+	if dec.Stats().Parity != 2 {
+		t.Fatalf("stats %+v", dec.Stats())
+	}
+}
+
+func TestSingleLossRecovered(t *testing.T) {
+	msgs := payloads(4)
+	// Wire order: d0 d1 d2 d3 parity (indices 0..4). Drop d1.
+	got, recovered, dec := pump(t, 4, msgs, map[int]bool{1: true})
+	if recovered != 1 {
+		t.Fatalf("recovered = %d, want 1", recovered)
+	}
+	if len(got) != 4 {
+		t.Fatalf("delivered %d of 4", len(got))
+	}
+	// Delivery order: d0, d2, d3, then the reconstructed d1.
+	if !bytes.Equal(got[3], msgs[1]) {
+		t.Fatal("reconstructed payload wrong")
+	}
+	if dec.Stats().Recovered != 1 || dec.Stats().Unusable != 0 {
+		t.Fatalf("stats %+v", dec.Stats())
+	}
+}
+
+func TestEveryPositionRecoverable(t *testing.T) {
+	for lost := 0; lost < 5; lost++ {
+		msgs := payloads(5)
+		got, recovered, _ := pump(t, 5, msgs, map[int]bool{lost: true})
+		if recovered != 1 {
+			t.Fatalf("lost=%d: recovered %d", lost, recovered)
+		}
+		found := false
+		for _, g := range got {
+			if bytes.Equal(g, msgs[lost]) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("lost=%d: payload not reconstructed", lost)
+		}
+	}
+}
+
+func TestDoubleLossUnrecoverable(t *testing.T) {
+	msgs := payloads(4)
+	got, recovered, dec := pump(t, 4, msgs, map[int]bool{0: true, 2: true})
+	if recovered != 0 {
+		t.Fatal("recovered from a double loss?!")
+	}
+	if len(got) != 2 {
+		t.Fatalf("delivered %d, want 2 survivors", len(got))
+	}
+	if dec.Stats().Unusable != 1 {
+		t.Fatalf("stats %+v", dec.Stats())
+	}
+}
+
+func TestParityLossHarmlessWhenDataComplete(t *testing.T) {
+	msgs := payloads(4)
+	got, recovered, _ := pump(t, 4, msgs, map[int]bool{4: true}) // drop parity
+	if len(got) != 4 || recovered != 0 {
+		t.Fatalf("delivered %d recovered %d", len(got), recovered)
+	}
+}
+
+func TestVariableLengthRecovery(t *testing.T) {
+	// The XOR carries a length prefix, so a short packet missing among
+	// long ones reconstructs at its true length.
+	msgs := [][]byte{bytes.Repeat([]byte{1}, 5000), {0xaa}, bytes.Repeat([]byte{2}, 3000)}
+	got, recovered, _ := pump(t, 3, msgs, map[int]bool{1: true})
+	if recovered != 1 {
+		t.Fatalf("recovered %d", recovered)
+	}
+	if !bytes.Equal(got[len(got)-1], []byte{0xaa}) {
+		t.Fatalf("short payload reconstructed as %d bytes", len(got[len(got)-1]))
+	}
+}
+
+func TestRejections(t *testing.T) {
+	dec := NewDecoder(func([]byte, bool) {})
+	if err := dec.Push([]byte{1, 2, 3}); !errors.Is(err, ErrNotFEC) {
+		t.Fatalf("short err = %v", err)
+	}
+	if err := dec.Push(make([]byte, 20)); !errors.Is(err, ErrNotFEC) {
+		t.Fatalf("bad magic err = %v", err)
+	}
+	enc := NewEncoder(2)
+	if _, _, err := enc.Encode(make([]byte, MaxData+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize err = %v", err)
+	}
+	// Duplicate data packet.
+	data, _, _ := enc.Encode([]byte{1, 2})
+	if err := dec.Push(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Push(data); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("dup err = %v", err)
+	}
+}
+
+func TestInvalidKPanics(t *testing.T) {
+	for _, k := range []int{0, 1, 256} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d did not panic", k)
+				}
+			}()
+			NewEncoder(k)
+		}()
+	}
+}
+
+// Property: for any group size and any single dropped index, all payloads
+// are eventually delivered intact.
+func TestPropertySingleLossAlwaysRecovered(t *testing.T) {
+	f := func(kRaw, dropRaw uint8, seed uint8) bool {
+		k := int(kRaw)%6 + 2
+		msgs := make([][]byte, k)
+		for i := range msgs {
+			p := make([]byte, (int(seed)+i*31)%400+1)
+			for j := range p {
+				p[j] = byte(i + j + int(seed))
+			}
+			msgs[i] = p
+		}
+		drop := int(dropRaw) % (k + 1) // may drop the parity itself
+		enc := NewEncoder(k)
+		var got [][]byte
+		dec := NewDecoder(func(p []byte, rec bool) { got = append(got, p) })
+		idx := 0
+		for _, m := range msgs {
+			data, parity, err := enc.Encode(m)
+			if err != nil {
+				return false
+			}
+			for _, pkt := range [][]byte{data, parity} {
+				if pkt == nil {
+					continue
+				}
+				if idx != drop {
+					if dec.Push(pkt) != nil {
+						return false
+					}
+				}
+				idx++
+			}
+		}
+		if len(got) != k && !(drop == k && len(got) == k) {
+			// Dropping a data packet still yields k deliveries; dropping
+			// the parity yields k as well.
+			return false
+		}
+		// Every original payload present exactly once.
+		for _, m := range msgs {
+			found := 0
+			for _, g := range got {
+				if bytes.Equal(g, m) {
+					found++
+				}
+			}
+			if found != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeDecodeK8(b *testing.B) {
+	enc := NewEncoder(8)
+	dec := NewDecoder(func([]byte, bool) {})
+	payload := make([]byte, 8192)
+	b.SetBytes(8192)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, parity, _ := enc.Encode(payload)
+		dec.Push(data)
+		if parity != nil {
+			dec.Push(parity)
+		}
+	}
+}

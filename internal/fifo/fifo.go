@@ -1,0 +1,128 @@
+// Package fifo models the hardware cell FIFOs that decouple the SONET
+// framer's fixed cell clock from the protocol engines' variable per-cell
+// processing time.
+//
+// Sizing these FIFOs is experiment E9: too shallow and a burst of
+// back-to-back cells overflows while the receive engine is held off the bus
+// by a host DMA; the paper's architecture places a FIFO on each side of each
+// engine for exactly this reason.
+package fifo
+
+import "fmt"
+
+// Ring is a bounded FIFO of fixed-size items (one ATM cell each).  It is a
+// power-of-two ring buffer with drop-on-overflow semantics, which is what
+// the hardware does: a full receive FIFO loses the incoming cell, it does
+// not exert backpressure on the fiber.
+type Ring[T any] struct {
+	buf   []T
+	head  int // next pop
+	tail  int // next push
+	count int
+
+	// Accounting.
+	pushes   uint64
+	pops     uint64
+	drops    uint64
+	maxDepth int
+	depthSum uint64 // for mean-depth over pushes
+}
+
+// NewRing returns a FIFO holding at most depth items. depth must be > 0.
+func NewRing[T any](depth int) *Ring[T] {
+	if depth <= 0 {
+		panic(fmt.Sprintf("fifo: invalid depth %d", depth))
+	}
+	return &Ring[T]{buf: make([]T, depth)}
+}
+
+// Cap returns the FIFO's capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Len returns the current occupancy.
+func (r *Ring[T]) Len() int { return r.count }
+
+// Empty reports whether the FIFO holds nothing.
+func (r *Ring[T]) Empty() bool { return r.count == 0 }
+
+// Full reports whether a push would drop.
+func (r *Ring[T]) Full() bool { return r.count == len(r.buf) }
+
+// Push appends v. If the FIFO is full the item is dropped and Push reports
+// false — hardware overflow semantics.
+func (r *Ring[T]) Push(v T) bool {
+	r.depthSum += uint64(r.count)
+	if r.count == len(r.buf) {
+		r.drops++
+		return false
+	}
+	r.buf[r.tail] = v
+	r.tail++
+	if r.tail == len(r.buf) {
+		r.tail = 0
+	}
+	r.count++
+	r.pushes++
+	if r.count > r.maxDepth {
+		r.maxDepth = r.count
+	}
+	return true
+}
+
+// Pop removes and returns the oldest item. ok is false when empty.
+func (r *Ring[T]) Pop() (v T, ok bool) {
+	if r.count == 0 {
+		var zero T
+		return zero, false
+	}
+	v = r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero // release references
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.count--
+	r.pops++
+	return v, true
+}
+
+// Peek returns the oldest item without removing it.
+func (r *Ring[T]) Peek() (v T, ok bool) {
+	if r.count == 0 {
+		var zero T
+		return zero, false
+	}
+	return r.buf[r.head], true
+}
+
+// Stats reports cumulative counters.
+type Stats struct {
+	Pushes   uint64
+	Pops     uint64
+	Drops    uint64
+	MaxDepth int
+	// MeanDepth is the average occupancy observed at push attempts —
+	// a cheap proxy for time-averaged depth under a steady cell clock.
+	MeanDepth float64
+}
+
+// Stats returns the FIFO's counters.
+func (r *Ring[T]) Stats() Stats {
+	s := Stats{Pushes: r.pushes, Pops: r.pops, Drops: r.drops, MaxDepth: r.maxDepth}
+	attempts := r.pushes + r.drops
+	if attempts > 0 {
+		s.MeanDepth = float64(r.depthSum) / float64(attempts)
+	}
+	return s
+}
+
+// Reset empties the FIFO and clears counters.
+func (r *Ring[T]) Reset() {
+	var zero T
+	for i := range r.buf {
+		r.buf[i] = zero
+	}
+	r.head, r.tail, r.count = 0, 0, 0
+	r.pushes, r.pops, r.drops, r.maxDepth, r.depthSum = 0, 0, 0, 0, 0
+}

@@ -1,0 +1,191 @@
+// Package host models the workstation behind the interface: a single CPU
+// that must run the application *and* every per-packet (or, in the baseline
+// architecture, per-cell) networking cost — interrupt handling, the device
+// driver, and the protocol stack.
+//
+// The paper's host-involvement argument is quantitative: a 9180-byte packet
+// is 192 cells, so an interface that interrupts per cell asks the host for
+// 192 interrupt round-trips where the paper's architecture asks for one.
+// Experiment E4 plots what that does to host CPU utilization as offered
+// load rises; this package is the ledger those curves come from.
+package host
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Config sets the host CPU model. Instruction counts follow the DECstation
+// 5000-class workstation of the paper's era.
+type Config struct {
+	// InstrRate is sustained instructions per second (≈25 MIPS).
+	InstrRate int64
+	// InterruptEntry/Exit are the mode-switch costs around every device
+	// interrupt: trap, register save, dispatch; restore, return.
+	InterruptEntry int
+	InterruptExit  int
+	// DriverRxPacket is driver work per received packet: read status,
+	// unlink buffer, hand to stack, replenish descriptor.
+	DriverRxPacket int
+	// DriverTxPacket is driver work per transmitted packet: build
+	// descriptor, PIO doorbell bookkeeping (bus time charged separately).
+	DriverTxPacket int
+	// DriverRxCell is driver work per *cell* for the per-cell-interrupt
+	// baseline: read cell from board, append to pbuf, check for EOP.
+	DriverRxCell int
+	// StackPerPacket is transport+network per-packet cost (headers,
+	// demux, ACK bookkeeping).
+	StackPerPacket int
+	// StackPerByteMilli is per-byte cost in thousandths of an instruction
+	// (checksum + any copy), e.g. 500 = 0.5 instr/byte.
+	StackPerByteMilli int
+}
+
+// DefaultConfig returns the workstation model used across the experiments.
+func DefaultConfig() Config {
+	return Config{
+		InstrRate:         25_000_000,
+		InterruptEntry:    120,
+		InterruptExit:     80,
+		DriverRxPacket:    200,
+		DriverTxPacket:    250,
+		DriverRxCell:      90,
+		StackPerPacket:    450,
+		StackPerByteMilli: 500,
+	}
+}
+
+// Host is the workstation CPU.
+type Host struct {
+	k   *sim.Kernel
+	cfg Config
+	cpu *sim.Resource
+
+	categories map[string]*CategoryStat
+	interrupts uint64
+}
+
+// CategoryStat accumulates CPU time by work category.
+type CategoryStat struct {
+	Name  string
+	Calls uint64
+	Instr uint64
+	Time  sim.Duration
+}
+
+// New creates a host on kernel k.
+func New(k *sim.Kernel, cfg Config) *Host {
+	if cfg.InstrRate <= 0 {
+		panic("host: non-positive instruction rate")
+	}
+	return &Host{k: k, cfg: cfg, cpu: sim.NewResource(k, "hostcpu"),
+		categories: make(map[string]*CategoryStat)}
+}
+
+// Config returns the host's cost model.
+func (h *Host) Config() Config { return h.cfg }
+
+// InstrTime converts instructions to CPU time (rounded up).
+func (h *Host) InstrTime(instr int) sim.Duration {
+	if instr <= 0 {
+		return 0
+	}
+	ns := int64(instr) * 1_000_000_000 / h.cfg.InstrRate
+	if int64(instr)*1_000_000_000%h.cfg.InstrRate != 0 {
+		ns++
+	}
+	return sim.Duration(ns)
+}
+
+// run charges instr instructions under the named category, then calls done.
+func (h *Host) run(category string, instr int, done func()) sim.Time {
+	d := h.InstrTime(instr)
+	st := h.categories[category]
+	if st == nil {
+		st = &CategoryStat{Name: category}
+		h.categories[category] = st
+	}
+	st.Calls++
+	st.Instr += uint64(instr)
+	st.Time += d
+	return h.cpu.Use(d, done)
+}
+
+// Work charges application or benchmark-harness CPU work.
+func (h *Host) Work(category string, instr int, done func()) sim.Time {
+	return h.run(category, instr, done)
+}
+
+// Spin occupies the CPU for a fixed duration — programmed I/O: the
+// processor drives the bus transaction itself and does nothing else
+// meanwhile. The duration is converted to the equivalent instruction count
+// for the category ledger.
+func (h *Host) Spin(category string, d sim.Duration, done func()) sim.Time {
+	instr := int(int64(d) * h.cfg.InstrRate / 1_000_000_000)
+	if instr < 1 {
+		instr = 1
+	}
+	return h.run(category, instr, done)
+}
+
+// Interrupt charges a full interrupt round trip (entry + body + exit) under
+// the given category. The body instruction count excludes the mode switches.
+func (h *Host) Interrupt(category string, body int, done func()) sim.Time {
+	h.interrupts++
+	return h.run(category, h.cfg.InterruptEntry+body+h.cfg.InterruptExit, done)
+}
+
+// RxPacketInterrupt charges the per-packet receive path: interrupt + driver
+// + stack (per-packet and per-byte terms).
+func (h *Host) RxPacketInterrupt(payloadBytes int, done func()) sim.Time {
+	body := h.cfg.DriverRxPacket + h.cfg.StackPerPacket +
+		(payloadBytes*h.cfg.StackPerByteMilli+999)/1000
+	return h.Interrupt("rx", body, done)
+}
+
+// RxCellInterrupt charges the per-cell receive path the baseline suffers.
+// eop adds the per-packet stack cost on the final cell of a packet.
+func (h *Host) RxCellInterrupt(payloadBytes int, eop bool, done func()) sim.Time {
+	body := h.cfg.DriverRxCell + (payloadBytes*h.cfg.StackPerByteMilli+999)/1000
+	if eop {
+		body += h.cfg.StackPerPacket + h.cfg.DriverRxPacket
+	}
+	return h.Interrupt("rx-cell", body, done)
+}
+
+// TxPacket charges the per-packet transmit path: stack + driver (syscall
+// context, no interrupt).
+func (h *Host) TxPacket(payloadBytes int, done func()) sim.Time {
+	instr := h.cfg.DriverTxPacket + h.cfg.StackPerPacket +
+		(payloadBytes*h.cfg.StackPerByteMilli+999)/1000
+	return h.run("tx", instr, done)
+}
+
+// TxCompleteInterrupt charges the transmit-done interrupt (descriptor
+// reclaim).
+func (h *Host) TxCompleteInterrupt(done func()) sim.Time {
+	return h.Interrupt("tx-done", 60, done)
+}
+
+// Utilization is the fraction of simulated time the CPU was busy.
+func (h *Host) Utilization() float64 { return h.cpu.Utilization() }
+
+// Interrupts returns the total interrupts taken.
+func (h *Host) Interrupts() uint64 { return h.interrupts }
+
+// Busy reports whether the CPU is occupied right now.
+func (h *Host) Busy() bool { return h.cpu.Busy() }
+
+// QueueLen reports work items awaiting the CPU.
+func (h *Host) QueueLen() int { return h.cpu.QueueLen() }
+
+// Categories returns per-category statistics sorted by name.
+func (h *Host) Categories() []CategoryStat {
+	out := make([]CategoryStat, 0, len(h.categories))
+	for _, st := range h.categories {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,195 @@
+package host
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func testCfg() Config {
+	return Config{
+		InstrRate:         25_000_000,
+		InterruptEntry:    120,
+		InterruptExit:     80,
+		DriverRxPacket:    200,
+		DriverTxPacket:    250,
+		DriverRxCell:      90,
+		StackPerPacket:    450,
+		StackPerByteMilli: 500,
+	}
+}
+
+func TestInstrTime(t *testing.T) {
+	k := sim.NewKernel()
+	h := New(k, testCfg())
+	// 25 instructions at 25 MIPS = 1 µs.
+	if got := h.InstrTime(25); got != 1000 {
+		t.Fatalf("InstrTime(25) = %v, want 1000", int64(got))
+	}
+	if got := h.InstrTime(0); got != 0 {
+		t.Fatalf("InstrTime(0) = %v", int64(got))
+	}
+}
+
+func TestInterruptChargesEntryAndExit(t *testing.T) {
+	k := sim.NewKernel()
+	h := New(k, testCfg())
+	var done sim.Time
+	h.Interrupt("test", 100, func() { done = k.Now() })
+	k.Run()
+	// 120+100+80 = 300 instr = 12 µs.
+	if done != 12000 {
+		t.Fatalf("interrupt completed at %v, want 12000", int64(done))
+	}
+	if h.Interrupts() != 1 {
+		t.Fatalf("Interrupts() = %d", h.Interrupts())
+	}
+}
+
+func TestRxPacketCost(t *testing.T) {
+	k := sim.NewKernel()
+	h := New(k, testCfg())
+	h.RxPacketInterrupt(9180, nil)
+	k.Run()
+	// entry+exit 200, driver 200, stack 450, bytes 4590 -> 5440 instr.
+	cats := h.Categories()
+	if len(cats) != 1 || cats[0].Name != "rx" {
+		t.Fatalf("categories %+v", cats)
+	}
+	if cats[0].Instr != 5440 {
+		t.Fatalf("rx instr = %d, want 5440", cats[0].Instr)
+	}
+}
+
+func TestPerCellPathFarCostlierPerPacket(t *testing.T) {
+	// The E4 argument at unit scale: receiving one 9180-byte packet as
+	// 192 per-cell interrupts costs >10x the per-packet path.
+	k := sim.NewKernel()
+	perPacket := New(k, testCfg())
+	perCell := New(k, testCfg())
+	perPacket.RxPacketInterrupt(9180, nil)
+	for i := 0; i < 192; i++ {
+		perCell.RxCellInterrupt(48, i == 191, nil)
+	}
+	k.Run()
+	pp := perPacket.Categories()[0].Instr
+	pc := perCell.Categories()[0].Instr
+	if pc < 10*pp {
+		t.Fatalf("per-cell %d instr not >= 10x per-packet %d", pc, pp)
+	}
+}
+
+func TestTxPacketNoInterrupt(t *testing.T) {
+	k := sim.NewKernel()
+	h := New(k, testCfg())
+	h.TxPacket(1000, nil)
+	k.Run()
+	if h.Interrupts() != 0 {
+		t.Fatal("TxPacket took an interrupt")
+	}
+	cats := h.Categories()
+	// driver 250 + stack 450 + 500 = 1200.
+	if cats[0].Instr != 1200 {
+		t.Fatalf("tx instr = %d, want 1200", cats[0].Instr)
+	}
+}
+
+func TestTxCompleteInterrupt(t *testing.T) {
+	k := sim.NewKernel()
+	h := New(k, testCfg())
+	h.TxCompleteInterrupt(nil)
+	k.Run()
+	if h.Interrupts() != 1 {
+		t.Fatal("no interrupt recorded")
+	}
+}
+
+func TestCPUSerializesWork(t *testing.T) {
+	k := sim.NewKernel()
+	h := New(k, testCfg())
+	var order []string
+	h.Work("app", 25, func() { order = append(order, "app") })     // 1 µs
+	h.Interrupt("rx", 50, func() { order = append(order, "irq") }) // queued behind
+	k.Run()
+	if len(order) != 2 || order[0] != "app" || order[1] != "irq" {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	k := sim.NewKernel()
+	h := New(k, testCfg())
+	h.Work("app", 25, nil) // 1 µs busy
+	k.Run()
+	k.RunUntil(2000)
+	u := h.Utilization()
+	if u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization %v", u)
+	}
+}
+
+func TestCategoriesSorted(t *testing.T) {
+	k := sim.NewKernel()
+	h := New(k, testCfg())
+	h.Work("zeta", 1, nil)
+	h.Work("alpha", 1, nil)
+	k.Run()
+	cats := h.Categories()
+	if cats[0].Name != "alpha" || cats[1].Name != "zeta" {
+		t.Fatalf("not sorted: %+v", cats)
+	}
+}
+
+func TestPerByteCostRoundsUp(t *testing.T) {
+	k := sim.NewKernel()
+	h := New(k, testCfg())
+	h.RxPacketInterrupt(1, nil) // 0.5 instr of byte cost -> 1
+	k.Run()
+	// 200+200+450+1 = 851.
+	if got := h.Categories()[0].Instr; got != 851 {
+		t.Fatalf("instr = %d, want 851", got)
+	}
+}
+
+func TestZeroRatePanics(t *testing.T) {
+	k := sim.NewKernel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero instr rate did not panic")
+		}
+	}()
+	New(k, Config{})
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.InstrRate <= 0 || cfg.InterruptEntry <= 0 || cfg.StackPerPacket <= 0 {
+		t.Fatalf("default config has zero fields: %+v", cfg)
+	}
+}
+
+func TestSpinChargesWallTime(t *testing.T) {
+	k := sim.NewKernel()
+	h := New(k, testCfg())
+	var done sim.Time
+	h.Spin("pio", 8400, func() { done = k.Now() })
+	k.Run()
+	// 8.4 µs at 25 MIPS = 210 instructions; InstrTime(210) = 8.4 µs.
+	if done != 8400 {
+		t.Fatalf("spin completed at %v, want 8400", int64(done))
+	}
+	cats := h.Categories()
+	if cats[0].Name != "pio" || cats[0].Instr != 210 {
+		t.Fatalf("categories %+v", cats)
+	}
+}
+
+func TestSpinMinimumOneInstr(t *testing.T) {
+	k := sim.NewKernel()
+	h := New(k, testCfg())
+	h.Spin("tiny", 1, nil) // less than one instruction of wall time
+	k.Run()
+	if got := h.Categories()[0].Instr; got != 1 {
+		t.Fatalf("instr = %d, want 1", got)
+	}
+}

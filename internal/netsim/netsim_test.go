@@ -1,0 +1,339 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/atm"
+	"repro/internal/baseline"
+	"repro/internal/nic"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func vc(n uint16) atm.VC { return atm.VC{VCI: n} }
+
+func TestStationPairEndToEnd(t *testing.T) {
+	k := sim.NewKernel()
+	a, err := NewStation(k, nic.DefaultConfig("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewStation(k, nic.DefaultConfig("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Connect(k, a, b, LinkConfig{Delay: 5000, Seed: 1})
+	a.Iface.OpenVC(vc(5))
+	b.Iface.OpenVC(vc(5))
+	payload := bytes.Repeat([]byte{0xab}, 3000)
+	var got []byte
+	b.Iface.OnReceive(func(d nic.Delivered) { got = d.SDU })
+	a.Iface.Send(vc(5), payload, nil)
+	k.Run()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("station pair round trip failed")
+	}
+}
+
+func TestDuplexLinksIndependent(t *testing.T) {
+	k := sim.NewKernel()
+	a, _ := NewStation(k, nic.DefaultConfig("a"))
+	b, _ := NewStation(k, nic.DefaultConfig("b"))
+	Connect(k, a, b, LinkConfig{Delay: 1000, Seed: 2})
+	for _, s := range []*Station{a, b} {
+		s.Iface.OpenVC(vc(9))
+	}
+	var atA, atB int
+	a.Iface.OnReceive(func(d nic.Delivered) { atA++ })
+	b.Iface.OnReceive(func(d nic.Delivered) { atB++ })
+	a.Iface.Send(vc(9), []byte{1, 2, 3}, nil)
+	b.Iface.Send(vc(9), []byte{4, 5, 6}, nil)
+	k.Run()
+	if atA != 1 || atB != 1 {
+		t.Fatalf("deliveries a=%d b=%d, want 1/1", atA, atB)
+	}
+}
+
+func TestSourceClosedLoop(t *testing.T) {
+	k := sim.NewKernel()
+	a, _ := NewStation(k, nic.DefaultConfig("a"))
+	b, _ := NewStation(k, nic.DefaultConfig("b"))
+	Connect(k, a, b, LinkConfig{Delay: 1000, Seed: 3})
+	a.Iface.OpenVC(vc(1))
+	b.Iface.OpenVC(vc(1))
+	deadline := sim.Time(5 * sim.Millisecond)
+	src := NewSource(k, a, vc(1), 9180, deadline)
+	src.Start(4)
+	k.RunUntil(deadline + sim.Time(5*sim.Millisecond))
+	if src.Sent < 4 {
+		t.Fatalf("source sent %d", src.Sent)
+	}
+	st := b.Iface.Stats()
+	if st.Rx.Packets == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestSwitchRoutesAndTranslates(t *testing.T) {
+	k := sim.NewKernel()
+	a, _ := NewStation(k, nic.DefaultConfig("a"))
+	b, _ := NewStation(k, nic.DefaultConfig("b"))
+	sw := NewSwitch(k, "sw", 2, units.STS3cPayload, 64)
+	sw.SwitchingDelay = 2000
+
+	// a → port0 → switch → port1 → b, with VC translation 10→20.
+	sw.AttachOutput(1, b.Iface.DeliverCell)
+	sw.Route(0, vc(10), 1, vc(20))
+	a.Iface.SetOutput(sw.Input(0))
+
+	a.Iface.OpenVC(vc(10))
+	b.Iface.OpenVC(vc(20))
+	var got *nic.Delivered
+	b.Iface.OnReceive(func(d nic.Delivered) { got = &d })
+	payload := bytes.Repeat([]byte{7}, 500)
+	a.Iface.Send(vc(10), payload, nil)
+	k.Run()
+	if got == nil {
+		t.Fatal("switch delivered nothing")
+	}
+	if got.VC != vc(20) {
+		t.Fatalf("VC not translated: %v", got.VC)
+	}
+	if !bytes.Equal(got.SDU, payload) {
+		t.Fatal("payload corrupted through switch")
+	}
+	if sw.Stats().Routed == 0 || sw.Stats().NoRoute != 0 {
+		t.Fatalf("switch stats %+v", sw.Stats())
+	}
+}
+
+func TestSwitchDropsUnrouted(t *testing.T) {
+	k := sim.NewKernel()
+	a, _ := NewStation(k, nic.DefaultConfig("a"))
+	sw := NewSwitch(k, "sw", 2, units.STS3cPayload, 16)
+	a.Iface.SetOutput(sw.Input(0))
+	a.Iface.OpenVC(vc(99))
+	a.Iface.Send(vc(99), []byte{1}, nil)
+	k.Run()
+	if sw.Stats().NoRoute == 0 {
+		t.Fatal("unrouted cells not counted")
+	}
+}
+
+func TestSwitchCongestionDrops(t *testing.T) {
+	// Two inputs converge on one output: the output queue must overflow
+	// and drop, and the survivors' frames still reassemble or fail
+	// cleanly downstream.
+	k := sim.NewKernel()
+	a, _ := NewStation(k, nic.DefaultConfig("a"))
+	b, _ := NewStation(k, nic.DefaultConfig("b"))
+	c, _ := NewStation(k, nic.DefaultConfig("c"))
+	sw := NewSwitch(k, "sw", 3, units.STS3cPayload, 8)
+	// Unequal fiber runs into the switch break the senders' cell-clock
+	// phase lock, so overflow drops hit both flows (as jittered real
+	// arrivals would).
+	linkA := phy.NewCellLink(k, 1000, 11, sw.Input(0))
+	linkB := phy.NewCellLink(k, 2400, 12, sw.Input(1))
+	a.Iface.SetOutput(linkA.Send)
+	b.Iface.SetOutput(linkB.Send)
+	sw.AttachOutput(2, c.Iface.DeliverCell)
+	sw.Route(0, vc(1), 2, vc(1))
+	sw.Route(1, vc(2), 2, vc(2))
+	a.Iface.OpenVC(vc(1))
+	b.Iface.OpenVC(vc(2))
+	c.Iface.OpenVC(vc(1))
+	c.Iface.OpenVC(vc(2))
+	delivered := 0
+	c.Iface.OnReceive(func(d nic.Delivered) { delivered++ })
+	// Both senders blast simultaneously: 2x line rate into 1x output.
+	deadline := sim.Time(10 * sim.Millisecond)
+	// Different packet sizes give the two flows different burst/gap
+	// rhythms, so overflow drops land mid-frame on both.
+	NewSource(k, a, vc(1), 9180, deadline).Start(3)
+	NewSource(k, b, vc(2), 1000, deadline).Start(3)
+	k.RunUntil(deadline + sim.Time(10*sim.Millisecond))
+	if sw.Stats().Dropped == 0 {
+		t.Fatal("2:1 overload produced no switch drops")
+	}
+	st := c.Iface.Stats()
+	if st.Rx.AALErrors == 0 {
+		t.Fatal("switch drops never surfaced as AAL errors")
+	}
+	_ = delivered // some frames may survive; all that matters is clean failure
+}
+
+func TestBaselineStationPair(t *testing.T) {
+	k := sim.NewKernel()
+	a := NewBaselineStation(k, "a", baseline.DefaultConfig())
+	b := NewBaselineStation(k, "b", baseline.DefaultConfig())
+	ConnectBaseline(k, a, b, LinkConfig{Delay: 1000, Seed: 4})
+	b.Adapter.OpenVC(vc(3))
+	var got []byte
+	b.Adapter.OnReceive(func(v atm.VC, sdu []byte) { got = sdu })
+	payload := bytes.Repeat([]byte{9}, 800)
+	a.Adapter.Send(vc(3), payload, nil)
+	k.Run()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("baseline station pair failed")
+	}
+}
+
+func TestHardwiredStation(t *testing.T) {
+	k := sim.NewKernel()
+	a, err := NewHardwiredStation(k, nic.DefaultConfig("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewHardwiredStation(k, nic.DefaultConfig("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Connect(k, a, b, LinkConfig{Delay: 1000, Seed: 5})
+	a.Iface.OpenVC(vc(1))
+	b.Iface.OpenVC(vc(1))
+	got := 0
+	b.Iface.OnReceive(func(d nic.Delivered) { got++ })
+	a.Iface.Send(vc(1), []byte{1, 2, 3, 4}, nil)
+	k.Run()
+	if got != 1 {
+		t.Fatal("hardwired station pair failed")
+	}
+}
+
+func TestSwitchInvalidGeometryPanics(t *testing.T) {
+	k := sim.NewKernel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero ports did not panic")
+		}
+	}()
+	NewSwitch(k, "x", 0, units.STS3cPayload, 8)
+}
+
+func TestSwitchRateMismatchCongestion(t *testing.T) {
+	// A 622 Mb/s sender through a switch whose output port drains at
+	// 155 Mb/s: the 4:1 rate mismatch must overflow the output queue for
+	// a greedy flow, and a properly paced flow must pass clean.
+	run := func(paceCellsPerSec float64) (drops uint64, delivered uint64) {
+		k := sim.NewKernel()
+		cfgA := nic.DefaultConfig("a")
+		cfgA.PayloadRate = units.STS12cPayload
+		a, _ := NewStation(k, cfgA)
+		c, _ := NewStation(k, nic.DefaultConfig("c")) // 155 edge station
+		sw := NewSwitch(k, "sw", 2, units.STS12cPayload, 32)
+		sw.SetPortRate(1, units.STS3cPayload)
+		a.Iface.SetOutput(sw.Input(0))
+		sw.AttachOutput(1, c.Iface.DeliverCell)
+		sw.Route(0, vc(1), 1, vc(1))
+		a.Iface.OpenVC(vc(1))
+		c.Iface.OpenVC(vc(1))
+		if paceCellsPerSec > 0 {
+			a.Iface.SetPeakCellRate(vc(1), paceCellsPerSec)
+		}
+		got := uint64(0)
+		c.Iface.OnReceive(func(nic.Delivered) { got++ })
+		deadline := sim.Time(10 * sim.Millisecond)
+		NewSource(k, a, vc(1), 9180, deadline).Start(3)
+		k.RunUntil(deadline + sim.Time(20*sim.Millisecond))
+		return sw.Stats().Dropped, got
+	}
+	greedyDrops, _ := run(0)
+	if greedyDrops == 0 {
+		t.Fatal("4:1 rate mismatch produced no switch drops")
+	}
+	// Paced to 300k cells/s (< 353k of STS-3c payload): clean.
+	pacedDrops, pacedDelivered := run(300_000)
+	if pacedDrops != 0 {
+		t.Fatalf("paced flow still dropped %d at the slow port", pacedDrops)
+	}
+	if pacedDelivered == 0 {
+		t.Fatal("paced flow delivered nothing")
+	}
+}
+
+// Property: under random sizes, random VC assignment and random loss, the
+// receiver delivers a prefix-correct per-VC subsequence of what was sent:
+// nothing corrupted, nothing reordered, nothing invented.
+func TestPropertyEndToEndIntegrity(t *testing.T) {
+	run := func(seed uint64, sizes []uint16, lossMilli uint8) bool {
+		k := sim.NewKernel()
+		a, _ := NewStation(k, nic.DefaultConfig("a"))
+		b, _ := NewStation(k, nic.DefaultConfig("b"))
+		loss := float64(lossMilli%20) / 1000
+		Connect(k, a, b, LinkConfig{Delay: 5000, LossProb: loss, Seed: seed})
+		vcs := []atm.VC{{VCI: 1}, {VCI: 2}, {VCI: 3}}
+		for _, vc := range vcs {
+			a.Iface.OpenVC(vc)
+			b.Iface.OpenVC(vc)
+		}
+		type msg struct {
+			vc  atm.VC
+			sdu []byte
+		}
+		var sent []msg
+		var recv []msg
+		b.Iface.OnReceive(func(d nic.Delivered) {
+			recv = append(recv, msg{d.VC, d.SDU})
+		})
+		for i, s := range sizes {
+			n := int(s)%5000 + 1
+			payload := make([]byte, n)
+			for j := range payload {
+				payload[j] = byte(j*7 + i)
+			}
+			vc := vcs[i%len(vcs)]
+			sent = append(sent, msg{vc, payload})
+			if err := a.Iface.Send(vc, payload, nil); err != nil {
+				return false
+			}
+		}
+		k.Run()
+		// Per VC: received messages are a subsequence (in fact a
+		// loss-filtered subsequence preserving order) of sent ones.
+		for _, vc := range vcs {
+			var s, r [][]byte
+			for _, m := range sent {
+				if m.vc == vc {
+					s = append(s, m.sdu)
+				}
+			}
+			for _, m := range recv {
+				if m.vc == vc {
+					r = append(r, m.sdu)
+				}
+			}
+			si := 0
+			for _, got := range r {
+				found := false
+				for si < len(s) {
+					if bytes.Equal(s[si], got) {
+						found = true
+						si++
+						break
+					}
+					si++
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		if loss == 0 && len(recv) != len(sent) {
+			return false
+		}
+		return true
+	}
+	seeds := []uint64{1, 2, 3}
+	for _, seed := range seeds {
+		sizes := make([]uint16, 12)
+		rng := sim.NewRand(seed * 77)
+		for i := range sizes {
+			sizes[i] = uint16(rng.Uint64())
+		}
+		if !run(seed, sizes, uint8(seed*7)) {
+			t.Fatalf("integrity violated for seed %d", seed)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/atm"
+	"repro/internal/fifo"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Switch is a small output-queued ATM switch: cells arriving on any input
+// port are routed by (input port, VC) to an output port, optionally with
+// VC translation, and drain onto the output fiber at the port's cell rate.
+// A full output queue drops the arriving cell — the congestive loss the
+// adaptation layers must survive (experiment E8's loss has this origin).
+type Switch struct {
+	k     *sim.Kernel
+	name  string
+	ports []*swPort
+	table map[swKey]swRoute
+
+	// SwitchingDelay models the fabric's fixed per-cell latency.
+	SwitchingDelay sim.Duration
+
+	stats SwitchStats
+}
+
+// SwitchStats counts switch events.
+type SwitchStats struct {
+	Routed     uint64
+	Dropped    uint64 // output-queue overflows
+	NoRoute    uint64
+	Broadcasts uint64
+}
+
+type swKey struct {
+	inPort int
+	vc     atm.VC
+}
+
+type swRoute struct {
+	outPort int
+	outVC   atm.VC
+}
+
+type swPort struct {
+	queue    *fifo.Ring[*atm.Cell]
+	out      func(*atm.Cell)
+	cellTime sim.Duration
+	draining bool
+}
+
+// NewSwitch builds a switch with nPorts ports whose output links run at the
+// given payload rate, queueDepth cells of output buffering each.
+func NewSwitch(k *sim.Kernel, name string, nPorts int, rate units.BitRate, queueDepth int) *Switch {
+	if nPorts <= 0 || queueDepth <= 0 {
+		panic("netsim: invalid switch geometry")
+	}
+	s := &Switch{k: k, name: name, table: make(map[swKey]swRoute)}
+	ct := units.CellTime(rate)
+	for i := 0; i < nPorts; i++ {
+		s.ports = append(s.ports, &swPort{
+			queue:    fifo.NewRing[*atm.Cell](queueDepth),
+			cellTime: ct,
+		})
+	}
+	return s
+}
+
+// SetPortRate overrides one output port's drain rate — a switch bridging a
+// 622 Mb/s backbone to 155 Mb/s edges is the canonical rate-mismatch
+// congestion point of the era's topologies.
+func (s *Switch) SetPortRate(port int, rate units.BitRate) {
+	if port < 0 || port >= len(s.ports) {
+		panic("netsim: port out of range")
+	}
+	s.ports[port].cellTime = units.CellTime(rate)
+}
+
+// Stats returns the switch counters.
+func (s *Switch) Stats() SwitchStats { return s.stats }
+
+// AttachOutput connects a port's output to a sink (typically a
+// phy.CellLink.Send or a station's DeliverCell).
+func (s *Switch) AttachOutput(port int, out func(*atm.Cell)) {
+	s.ports[port].out = out
+}
+
+// Route installs a unidirectional route: cells arriving on inPort with
+// header VC inVC leave on outPort carrying outVC.
+func (s *Switch) Route(inPort int, inVC atm.VC, outPort int, outVC atm.VC) {
+	if inPort < 0 || inPort >= len(s.ports) || outPort < 0 || outPort >= len(s.ports) {
+		panic(fmt.Sprintf("netsim: route port out of range %d->%d", inPort, outPort))
+	}
+	s.table[swKey{inPort: inPort, vc: inVC}] = swRoute{outPort: outPort, outVC: outVC}
+}
+
+// Input returns the cell sink for an input port, suitable for wiring a
+// link's delivery callback to.
+func (s *Switch) Input(port int) func(*atm.Cell) {
+	if port < 0 || port >= len(s.ports) {
+		panic("netsim: input port out of range")
+	}
+	return func(c *atm.Cell) { s.receive(port, c) }
+}
+
+func (s *Switch) receive(port int, c *atm.Cell) {
+	rt, ok := s.table[swKey{inPort: port, vc: c.Header.VC()}]
+	if !ok {
+		s.stats.NoRoute++
+		return
+	}
+	c.Header.VPI, c.Header.VCI = rt.outVC.VPI, rt.outVC.VCI
+	s.k.After(s.SwitchingDelay, func() { s.enqueue(rt.outPort, c) })
+}
+
+func (s *Switch) enqueue(port int, c *atm.Cell) {
+	p := s.ports[port]
+	if !p.queue.Push(c) {
+		s.stats.Dropped++
+		return
+	}
+	s.stats.Routed++
+	if !p.draining {
+		p.draining = true
+		s.k.After(p.cellTime, func() { s.drain(port) })
+	}
+}
+
+func (s *Switch) drain(port int) {
+	p := s.ports[port]
+	cell, ok := p.queue.Pop()
+	if !ok {
+		p.draining = false
+		return
+	}
+	if p.out != nil {
+		p.out(cell)
+	}
+	if p.queue.Empty() {
+		p.draining = false
+		return
+	}
+	s.k.After(p.cellTime, func() { s.drain(port) })
+}
+
+// QueueDepth returns a port's current output occupancy.
+func (s *Switch) QueueDepth(port int) int { return s.ports[port].queue.Len() }

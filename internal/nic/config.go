@@ -1,0 +1,153 @@
+package nic
+
+import (
+	"fmt"
+
+	"repro/internal/aal"
+	"repro/internal/bufmgr"
+	"repro/internal/engine"
+	"repro/internal/units"
+	"repro/internal/vclookup"
+)
+
+// LookupKind selects the receive path's VC-lookup implementation.
+type LookupKind uint8
+
+const (
+	// LookupCAM is the hardware content-addressable memory the board used.
+	LookupCAM LookupKind = iota
+	// LookupHash is firmware open-addressing hash.
+	LookupHash
+	// LookupLinear is a firmware table scan (the E6 strawman).
+	LookupLinear
+)
+
+// String implements fmt.Stringer.
+func (l LookupKind) String() string {
+	switch l {
+	case LookupCAM:
+		return "cam"
+	case LookupHash:
+		return "hash"
+	case LookupLinear:
+		return "linear"
+	default:
+		return fmt.Sprintf("LookupKind(%d)", uint8(l))
+	}
+}
+
+func (l LookupKind) build(capacity int) vclookup.Strategy {
+	switch l {
+	case LookupCAM:
+		return vclookup.NewCAM(capacity)
+	case LookupHash:
+		return vclookup.NewHash(capacity)
+	case LookupLinear:
+		return vclookup.NewLinear(capacity)
+	default:
+		panic("nic: unknown lookup kind")
+	}
+}
+
+// Config parameterizes one interface.
+type Config struct {
+	// Name prefixes diagnostic names ("a.tx", "a.rx").
+	Name string
+	// PayloadRate is the ATM payload rate of the attached link
+	// (units.STS3cPayload or units.STS12cPayload).
+	PayloadRate units.BitRate
+	// AAL selects the adaptation layer firmware build.
+	AAL aal.Type
+	// Engine is the protocol-engine model used for both engines.
+	Engine engine.Config
+	// TxFifoDepth and RxFifoDepth size the cell FIFOs between the
+	// engines and the framer, in cells.
+	TxFifoDepth int
+	RxFifoDepth int
+	// MaxVCs bounds the VC table.
+	MaxVCs int
+	// Lookup selects the VC-lookup strategy.
+	Lookup LookupKind
+	// BufOrg selects the reassembly-buffer organization.
+	BufOrg bufmgr.Organization
+	// AdapterSRAM bounds reassembly memory in bytes (0 = unlimited).
+	AdapterSRAM int
+	// MaxSDU bounds accepted packet size.
+	MaxSDU int
+	// RxEngines sets how many parallel receive engines share the load
+	// (default 1 — the board as built). Cells are steered by a hardware
+	// VC hash, so one VC's cells stay ordered on one engine; scaling is
+	// across connections. Each engine gets its own RxFifoDepth FIFO.
+	RxEngines int
+	// MIDMux (AAL3/4 only) enables multiplexing-identifier demultiplexing
+	// on receive: frames from several senders may interleave cell-by-cell
+	// on ONE VC, distinguished by their 10-bit MID — the shared-VC
+	// (SMDS/CLNAP-style) service AAL3/4 was designed for. Senders pick
+	// their MID with Interface.SetMID.
+	MIDMux bool
+	// InterleaveVCs lets the transmit engine segment frames from several
+	// VCs concurrently, emitting their cells round-robin. Off, the engine
+	// finishes each frame before starting the next (the base design);
+	// on, one VC's long frame no longer holds up another's — the QoS
+	// behaviour per-VC pacing needs. Cells of a single VC's frame are
+	// never interleaved with each other (AAL requirement).
+	InterleaveVCs bool
+}
+
+// DefaultConfig returns the as-built board: STS-3c, AAL5 firmware, 25 MHz
+// engines, 32-cell FIFOs, a 256-entry CAM, paged reassembly buffers in
+// 256 KiB of adapter SRAM.
+func DefaultConfig(name string) Config {
+	return Config{
+		Name:        name,
+		PayloadRate: units.STS3cPayload,
+		AAL:         aal.AAL5,
+		Engine:      engine.DefaultConfig(),
+		TxFifoDepth: 32,
+		RxFifoDepth: 32,
+		MaxVCs:      256,
+		Lookup:      LookupCAM,
+		BufOrg:      bufmgr.Paged,
+		AdapterSRAM: 256 * 1024,
+		MaxSDU:      aal.MaxSDU,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.PayloadRate <= 0 {
+		return fmt.Errorf("nic: non-positive payload rate")
+	}
+	if c.TxFifoDepth <= 0 || c.RxFifoDepth <= 0 {
+		return fmt.Errorf("nic: FIFO depths must be positive")
+	}
+	if c.MaxVCs <= 0 {
+		return fmt.Errorf("nic: MaxVCs must be positive")
+	}
+	if c.RxEngines < 0 || c.RxEngines > 64 {
+		return fmt.Errorf("nic: RxEngines %d out of range", c.RxEngines)
+	}
+	if c.MIDMux && c.AAL != aal.AAL34 {
+		return fmt.Errorf("nic: MIDMux requires AAL3/4")
+	}
+	if c.RxEngines == 0 {
+		c.RxEngines = 1
+	}
+	if c.MaxSDU <= 0 {
+		c.MaxSDU = aal.MaxSDU
+	}
+	if c.MaxSDU > aal.MaxSDU {
+		return fmt.Errorf("nic: MaxSDU %d exceeds AAL limit %d", c.MaxSDU, aal.MaxSDU)
+	}
+	return nil
+}
+
+// perCellPayload returns SAR payload bytes per cell for the configured AAL.
+func (c *Config) perCellPayload() int { return c.AAL.PerCellPayload() }
+
+// maxFrameCells returns the largest cell count a frame can reach.
+func (c *Config) maxFrameCells() int {
+	if c.AAL == aal.AAL34 {
+		return aal.CellsForSDU34(c.MaxSDU)
+	}
+	return aal.CellsForSDU5(c.MaxSDU)
+}

@@ -1,0 +1,129 @@
+// Package nic implements the paper's contribution: the host–network
+// interface architecture.  Dedicated hardware owns the per-bit and per-word
+// work (SONET framing, CRCs, FIFOs, DMA); two programmable protocol engines
+// own the per-cell work (segmentation on transmit, VC demultiplexing and
+// reassembly on receive); and the host is involved exactly once per packet
+// on each side.
+//
+// This file holds the firmware instruction budgets the delay analysis
+// (experiments E1/E2) is computed from.  Each count was produced by writing
+// the routine in i960-class assembly pseudo-code and counting instructions,
+// with these conventions: register ALU ops and stores cost 1; loads cost 1
+// (stall slack lives in the engine CPI); the CRC, HEC generation and byte
+// movement between FIFOs, staging RAM and the DMA engine are hardware and
+// cost the firmware nothing beyond issuing a command word.
+package nic
+
+// Transmit-side firmware budgets.
+//
+// txStart — per packet: pop a transmit descriptor, set up segmentation
+// state, and program the DMA engine to stage the packet:
+//
+//	ld   desc.addr, r4      ; 1   packet base in host memory
+//	ld   desc.len,  r5      ; 1
+//	ld   desc.vc,   r6      ; 1
+//	ld   desc.flags,r7      ; 1
+//	chk  r5, #maxlen        ; 2   bounds + branch
+//	ld   vcstate[r6], r8    ; 2   per-VC header template, seg state
+//	st   r4, dma.src        ; 1
+//	st   r5, dma.len        ; 1
+//	st   #stage, dma.dst    ; 1
+//	st   #go, dma.cmd       ; 1
+//	mov  r5, seg.remain     ; 1
+//	calc cells(r5)          ; 4   shift/add ceil divide
+//	st   cells, seg.cells   ; 1
+//	init crc  (hw cmd)      ; 1
+//	build trailer template  ; 6   UU/CPI/len into staging tail
+//	branch to cell loop     ; 1
+const txStartInstr = 26
+
+// txStartAAL34Extra — AAL3/4 adds BTag/ETag generation, BASize fill and the
+// CPCS envelope around the staged payload.
+const txStartAAL34Extra = 8
+
+// txCellInstr — per mid-frame cell under AAL5: advance the staging pointer,
+// emit the prebuilt header word, command the FIFO write:
+//
+//	ld   seg.off, r4        ; 1
+//	add  #48, r4            ; 1
+//	st   r4, seg.off        ; 1
+//	dec  seg.cells          ; 1
+//	st   hdr.word, fifo.hdr ; 2   header template (HEC appended by hw)
+//	st   r4, fifo.src       ; 1   where hardware reads the 48 bytes
+//	st   #xmit, fifo.cmd    ; 1
+//	crc  update (hw)        ; 0
+//	cmp/branch loop         ; 2
+const txCellInstr = 10
+
+// txCellLastExtra — the final cell of an AAL5 frame: pad accounting, place
+// Length into the trailer, command the hardware CRC read-out into the last
+// word, set the PT AAU bit in the header word.
+const txCellLastExtra = 12
+
+// txCellAAL34Extra — every AAL3/4 cell also builds the 2-byte SAR header
+// (ST/SN/MID) and the LI field, and commands the CRC-10 unit:
+//
+//	ld   seg.sn, r4         ; 1
+//	addi 1, r4 / and 0xf    ; 2
+//	st   r4, seg.sn         ; 1
+//	or   st|sn|mid, r5      ; 3
+//	st   r5, fifo.sarhdr    ; 1
+//	st   li, fifo.li        ; 1
+//	crc10 cmd (hw)          ; 1
+const txCellAAL34Extra = 10
+
+// txDoneInstr — per packet: write back the descriptor status and post the
+// transmit-complete interrupt through the doorbell register.
+const txDoneInstr = 12
+
+// Receive-side firmware budgets.
+//
+// rxCellInstr — per cell, before lookup and buffer costs: pop the FIFO
+// status word, split the header fields, classify PT:
+//
+//	ld   fifo.status, r4    ; 1
+//	ld   fifo.hdr, r5       ; 2   header word (HEC already checked by hw)
+//	extract vpi/vci         ; 3   shifts+masks
+//	extract pt/clp          ; 2
+//	tst  oam / branch       ; 2
+//	tst  idle / branch      ; 2
+const rxCellInstr = 12
+
+// rxCellAAL34Extra — AAL3/4 parses the SAR header and trailer and runs the
+// sequence-number check in firmware (the CRC-10 verdict itself is a
+// hardware status bit):
+//
+//	ld   sar.hdr, r6        ; 1
+//	extract st/sn/mid       ; 3
+//	ld   vc.expectsn, r7    ; 1
+//	cmp/branch sn           ; 2
+//	st   next sn            ; 1
+//	ld   li / bounds        ; 2
+const rxCellAAL34Extra = 10
+
+// rxEOPInstr — per packet: read the hardware CRC verdict, validate the
+// trailer length, build the host completion descriptor, program the DMA of
+// the assembled frame, and post the receive interrupt:
+//
+//	ld   crc.status, r4     ; 1
+//	branch bad              ; 1
+//	ld   trailer.len, r5    ; 2
+//	bounds check            ; 3
+//	st   host.desc fields   ; 6
+//	st   dma.src/dst/len/go ; 4
+//	st   #irq, doorbell     ; 1
+//	free accounting         ; 4
+const rxEOPInstr = 22
+
+// rxErrInstr — abandoning a damaged frame: mark the VC state, return the
+// buffer chain to the free list (hardware-assisted), bump an error counter.
+const rxErrInstr = 15
+
+// rxUnknownVCInstr — cells addressed to no open VC are counted and dropped.
+const rxUnknownVCInstr = 6
+
+// rxOAMInstr — handling a management cell on the slow path: verify the
+// CRC-10 status bit, parse type/function, and for a loopback request flip
+// the indication, refresh the CRC (hardware) and hand the cell to the
+// transmit FIFO. No host involvement — the engines answer loopbacks alone.
+const rxOAMInstr = 30

@@ -1,0 +1,295 @@
+package nic
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/atm"
+	"repro/internal/bus"
+	"repro/internal/engine"
+	"repro/internal/fifo"
+	"repro/internal/host"
+	"repro/internal/oam"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/vclookup"
+)
+
+// Interface is one host–network interface: the transmit and receive halves,
+// their protocol engines, their cell FIFOs, and their attachment to the
+// host's bus and CPU.
+type Interface struct {
+	k    *sim.Kernel
+	cfg  Config
+	hst  *host.Host
+	pool *atm.Pool
+
+	txEngine  *engine.Engine
+	rxEngines []*engine.Engine
+	txDev     *bus.Device // transmit staging DMA
+	rxDev     *bus.Device // receive completion DMA
+	hostDev   *bus.Device // host PIO (descriptor writes)
+
+	tx *transmitter
+	rx *receiver
+
+	txVCs      map[atm.VC]bool
+	onLoopback func(vc atm.VC, correlation uint32)
+}
+
+// Errors surfaced by the interface API.
+var (
+	ErrBadSDU    = errors.New("nic: SDU empty or exceeds configured MaxSDU")
+	ErrUnknownVC = errors.New("nic: VC not open")
+	ErrTableFull = errors.New("nic: VC table full")
+	ErrVCExists  = errVCExists
+)
+
+// New builds an interface attached to the given host CPU and bus.
+func New(k *sim.Kernel, cfg Config, hst *host.Host, b *bus.Bus) (*Interface, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if hst == nil || b == nil {
+		return nil, fmt.Errorf("nic: nil host or bus")
+	}
+	i := &Interface{
+		k:        k,
+		cfg:      cfg,
+		hst:      hst,
+		pool:     atm.NewPool(cfg.TxFifoDepth + cfg.RxEngines*cfg.RxFifoDepth + 64),
+		txEngine: engine.New(k, cfg.Name+".txeng", cfg.Engine),
+		txDev:    b.Attach(cfg.Name + ".txdma"),
+		rxDev:    b.Attach(cfg.Name + ".rxdma"),
+		hostDev:  b.Attach(cfg.Name + ".pio"),
+		txVCs:    make(map[atm.VC]bool),
+	}
+	for e := 0; e < cfg.RxEngines; e++ {
+		i.rxEngines = append(i.rxEngines, engine.New(k, fmt.Sprintf("%s.rxeng%d", cfg.Name, e), cfg.Engine))
+	}
+	cellTime := units.CellTime(cfg.PayloadRate)
+	i.tx = newTransmitter(k, &i.cfg, i.txEngine, i.txDev, i.pool, cellTime, func(c *atm.Cell) {
+		// Default output discards (no link attached yet).
+		i.pool.Put(c)
+	})
+	i.rx = newReceiver(k, &i.cfg, i.rxEngines, i.rxDev, hst, i.pool)
+	// Management slow path: the receive firmware answers F5 loopback
+	// requests by reflecting the cell through the transmit FIFO; loopback
+	// responses go to the host's registered handler (or are dropped).
+	i.rx.onOAM = func(c *atm.Cell) {
+		var lb oam.Loopback
+		if err := lb.Decode(&c.Payload); err != nil {
+			i.pool.Put(c) // AIS/RDI or damaged: count was taken, drop
+			return
+		}
+		if lb.Indication {
+			if err := oam.Respond(c); err != nil || !i.tx.injectCell(c) {
+				i.pool.Put(c)
+			}
+			return
+		}
+		if i.onLoopback != nil {
+			i.onLoopback(c.Header.VC(), lb.Correlation)
+		}
+		i.pool.Put(c)
+	}
+	return i, nil
+}
+
+// SendLoopback emits an F5 loopback request on vc. The reply (if the far
+// end is alive) arrives at the handler registered with OnLoopbackReply.
+// Loopback cells bypass the segmentation engine: the host writes them via
+// the management register path, so no VC need be open for transmit.
+func (i *Interface) SendLoopback(vc atm.VC, correlation uint32) error {
+	var src [16]byte
+	copy(src[:], i.cfg.Name)
+	req := oam.NewRequest(vc, correlation, src)
+	cell := i.pool.Get()
+	*cell = *req
+	if !i.tx.injectCell(cell) {
+		i.pool.Put(cell)
+		return errTxFull
+	}
+	return nil
+}
+
+// OnLoopbackReply registers the handler for loopback responses.
+func (i *Interface) OnLoopbackReply(fn func(vc atm.VC, correlation uint32)) {
+	i.onLoopback = fn
+}
+
+var errTxFull = errors.New("nic: TX FIFO full, management cell dropped")
+
+// Config returns the interface configuration.
+func (i *Interface) Config() Config { return i.cfg }
+
+// Host returns the attached host model.
+func (i *Interface) Host() *host.Host { return i.hst }
+
+// Pool returns the interface's cell pool; links that deliver cells into
+// this interface should draw from it so cells recycle.
+func (i *Interface) Pool() *atm.Pool { return i.pool }
+
+// CellTime returns the wire's cell slot duration.
+func (i *Interface) CellTime() sim.Duration { return units.CellTime(i.cfg.PayloadRate) }
+
+// SetOutput attaches the transmit side to a link: out is called once per
+// occupied cell slot with an encoded cell. Ownership of the cell transfers
+// to the callee.
+func (i *Interface) SetOutput(out func(*atm.Cell)) {
+	if out == nil {
+		panic("nic: nil output")
+	}
+	i.tx.out = out
+}
+
+// OnReceive registers the host-side delivery callback.
+func (i *Interface) OnReceive(fn func(Delivered)) { i.rx.onDeliver = fn }
+
+// OpenVC opens a VC for both send and receive.
+func (i *Interface) OpenVC(vc atm.VC) error {
+	if i.txVCs[vc] {
+		return ErrVCExists
+	}
+	if err := i.rx.open(vc); err != nil {
+		switch {
+		case errors.Is(err, vclookup.ErrFull):
+			return ErrTableFull
+		case errors.Is(err, vclookup.ErrDuplicate):
+			return ErrVCExists
+		default:
+			return err
+		}
+	}
+	i.txVCs[vc] = true
+	i.tx.open(vc)
+	return nil
+}
+
+// CloseVC tears down a VC: queued transmit descriptors are dropped (a frame
+// already being segmented drains), and the receive side discards any
+// partial frame.
+func (i *Interface) CloseVC(vc atm.VC) {
+	delete(i.txVCs, vc)
+	i.tx.close(vc)
+	i.rx.close(vc)
+}
+
+// SetMID stamps the AAL3/4 multiplexing identifier used for vc's frames
+// (10 bits; meaningful with a MIDMux receiver on a shared VC).
+func (i *Interface) SetMID(vc atm.VC, mid uint16) error {
+	if !i.txVCs[vc] {
+		return ErrUnknownVC
+	}
+	if mid > 0x3ff {
+		return fmt.Errorf("nic: MID %d exceeds 10 bits", mid)
+	}
+	if !i.tx.setMID(vc, mid) {
+		return fmt.Errorf("nic: SetMID requires the AAL3/4 build")
+	}
+	return nil
+}
+
+// SetPeakCellRate installs per-VC transmit pacing: cells of vc leave at
+// most every 1/cellsPerSec seconds (a depth-1 leaky bucket — the usage
+// parameter control knob ATM networks police at the UNI). cellsPerSec <= 0
+// restores line rate.
+func (i *Interface) SetPeakCellRate(vc atm.VC, cellsPerSec float64) error {
+	if !i.txVCs[vc] {
+		return ErrUnknownVC
+	}
+	var gap sim.Duration
+	if cellsPerSec > 0 {
+		gap = sim.Duration(1e9 / cellsPerSec)
+	}
+	if !i.tx.setPeakCellRate(vc, gap) {
+		return ErrUnknownVC
+	}
+	return nil
+}
+
+// Send queues one SDU for transmission on vc. The host CPU cost (stack +
+// driver) and the descriptor PIO are charged before the adapter sees the
+// descriptor; onSent (may be nil) fires after the transmit-complete
+// interrupt — i.e. when the host could reuse the buffer.
+func (i *Interface) Send(vc atm.VC, sdu []byte, onSent func()) error {
+	if len(sdu) == 0 || len(sdu) > i.cfg.MaxSDU {
+		return ErrBadSDU
+	}
+	if !i.txVCs[vc] {
+		return ErrUnknownVC
+	}
+	buf := make([]byte, len(sdu))
+	copy(buf, sdu)
+	i.hst.TxPacket(len(buf), func() {
+		// Driver writes a 4-word descriptor across the bus.
+		i.hostDev.PIO(4, func() {
+			i.tx.enqueue(vc, txDescriptor{sdu: buf, onSent: func() {
+				i.hst.TxCompleteInterrupt(onSent)
+			}})
+		})
+	})
+	return nil
+}
+
+// DeliverCell is the link-side entry point for arriving cells. The cell
+// must come from (or be returned to) this interface's Pool.
+func (i *Interface) DeliverCell(c *atm.Cell) { i.rx.deliverCell(c) }
+
+// Stats is a point-in-time snapshot of every counter the experiments read.
+type Stats struct {
+	Tx        TxStats
+	Rx        RxStats
+	TxFifo    fifo.Stats
+	RxFifo    fifo.Stats
+	TxEngine  []engine.RoutineStat
+	RxEngine  []engine.RoutineStat
+	TxEngUtil float64
+	RxEngUtil float64
+	SRAMPeak  int
+}
+
+// Stats returns the snapshot. With multiple receive engines, RxFifo
+// aggregates drops/pushes across the per-engine FIFOs and RxEngUtil is the
+// mean engine utilization.
+func (i *Interface) Stats() Stats {
+	rx := i.rx.stats
+	var agg fifo.Stats
+	for _, f := range i.rx.fifos {
+		st := f.Stats()
+		agg.Pushes += st.Pushes
+		agg.Pops += st.Pops
+		agg.Drops += st.Drops
+		if st.MaxDepth > agg.MaxDepth {
+			agg.MaxDepth = st.MaxDepth
+		}
+	}
+	rx.MaxFifo = agg.MaxDepth
+	var rxUtil float64
+	var rxRoutines []engine.RoutineStat
+	for _, e := range i.rxEngines {
+		rxUtil += e.Utilization()
+		rxRoutines = append(rxRoutines, e.Routines()...)
+	}
+	rxUtil /= float64(len(i.rxEngines))
+	return Stats{
+		Tx:        i.tx.stats,
+		Rx:        rx,
+		TxFifo:    i.tx.fifo.Stats(),
+		RxFifo:    agg,
+		TxEngine:  i.txEngine.Routines(),
+		RxEngine:  rxRoutines,
+		TxEngUtil: i.txEngine.Utilization(),
+		RxEngUtil: rxUtil,
+		SRAMPeak:  i.rx.alloc.Peak(),
+	}
+}
+
+// TxEngine exposes the transmit engine (for headroom analysis).
+func (i *Interface) TxEngine() *engine.Engine { return i.txEngine }
+
+// RxEngine exposes the first receive engine.
+func (i *Interface) RxEngine() *engine.Engine { return i.rxEngines[0] }
+
+// RxEngines exposes all receive engines.
+func (i *Interface) RxEngines() []*engine.Engine { return i.rxEngines }

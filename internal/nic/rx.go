@@ -1,0 +1,323 @@
+package nic
+
+import (
+	"errors"
+
+	"repro/internal/aal"
+	"repro/internal/atm"
+	"repro/internal/bufmgr"
+	"repro/internal/bus"
+	"repro/internal/engine"
+	"repro/internal/fifo"
+	"repro/internal/host"
+	"repro/internal/sim"
+	"repro/internal/vclookup"
+)
+
+// RxStats counts receive-side events.
+type RxStats struct {
+	Cells     uint64 // cells popped from the RX FIFO
+	FifoDrops uint64 // cells lost to RX FIFO overflow
+	UnknownVC uint64 // cells to unopened VCs
+	OAMCells  uint64 // management cells diverted off the fast path
+	AALErrors uint64 // frames discarded by AAL checks
+	SRAMDrops uint64 // frames abandoned for adapter memory exhaustion
+	Packets   uint64 // frames delivered to the host
+	Bytes     uint64 // SDU bytes delivered
+	MaxFifo   int    // RX FIFO high-water mark (from fifo stats at read)
+}
+
+// Delivered describes one received packet handed to the host.
+type Delivered struct {
+	VC    atm.VC
+	SDU   []byte
+	Cells int
+	// MID is the AAL3/4 multiplexing identifier the frame arrived under
+	// (0 unless the interface runs with Config.MIDMux).
+	MID uint16
+	// At is the simulated time the host finished the receive interrupt.
+	At sim.Time
+}
+
+// rxVC is per-open-VC receive state.
+type rxVC struct {
+	vc     atm.VC
+	ras    aal.Reassembler       // nil when midras is used
+	midras *aal.MIDReassembler34 // MID-demultiplexed AAL3/4 (Config.MIDMux)
+	frame  bufmgr.Frame          // nil when no frame in progress
+}
+
+// receiver is the receive half: per-engine RX FIFOs behind a hardware VC
+// demux, the demultiplex + reassembly engines, completion DMA and the
+// per-packet host interrupt.
+//
+// With Config.RxEngines > 1 the receive path scales out the way the era's
+// delay analyses proposed: a cheap hardware hash on VPI/VCI steers each
+// cell to one of N engine-FIFO pairs, so cells of one VC always visit the
+// same engine (reassembly stays ordered) while different VCs proceed in
+// parallel. A single VC gains nothing — the scaling is across connections,
+// exactly as with the real proposal.
+type receiver struct {
+	k    *sim.Kernel
+	cfg  *Config
+	engs []*engine.Engine
+	dev  *bus.Device
+	hst  *host.Host
+	pool *atm.Pool
+
+	fifos      []*fifo.Ring[*atm.Cell]
+	processing []bool
+	lookup     vclookup.Strategy
+	alloc      *bufmgr.Allocator
+	vcs        map[int]*rxVC
+	steer      map[atm.VC]int // VC → engine (round-robin at open)
+	nextSteer  int
+
+	onDeliver func(Delivered)
+	onOAM     func(*atm.Cell) // owns the cell; nil = drop
+
+	stats RxStats
+}
+
+func newReceiver(k *sim.Kernel, cfg *Config, engs []*engine.Engine, dev *bus.Device,
+	hst *host.Host, pool *atm.Pool) *receiver {
+	n := len(engs)
+	r := &receiver{
+		k: k, cfg: cfg, engs: engs, dev: dev, hst: hst, pool: pool,
+		fifos:      make([]*fifo.Ring[*atm.Cell], n),
+		processing: make([]bool, n),
+		lookup:     cfg.Lookup.build(cfg.MaxVCs),
+		alloc:      bufmgr.NewAllocator(cfg.BufOrg, cfg.AdapterSRAM),
+		vcs:        make(map[int]*rxVC),
+		steer:      make(map[atm.VC]int),
+	}
+	for i := range r.fifos {
+		r.fifos[i] = fifo.NewRing[*atm.Cell](cfg.RxFifoDepth)
+	}
+	return r
+}
+
+// engineFor steers a VC to its engine. Steering rides in the VC table the
+// hardware demux consults at wire rate: connections are assigned round-robin
+// when opened, which balances by construction (the same table-driven scheme
+// the multi-processor proposals used). Cells of unopened VCs go to engine 0,
+// which will count and drop them.
+func (r *receiver) engineFor(vc atm.VC) int {
+	if len(r.engs) == 1 {
+		return 0
+	}
+	if e, ok := r.steer[vc]; ok {
+		return e
+	}
+	return 0
+}
+
+// open registers a VC for receive.
+func (r *receiver) open(vc atm.VC) error {
+	idx, err := r.lookup.Insert(vc)
+	if err != nil {
+		return err
+	}
+	st := &rxVC{vc: vc}
+	if r.cfg.MIDMux {
+		st.midras = aal.NewMIDReassembler34(r.cfg.MaxSDU+64, 0)
+	} else {
+		_, st.ras = aal.New(r.cfg.AAL, r.cfg.MaxSDU+64)
+	}
+	r.vcs[idx] = st
+	r.steer[vc] = r.nextSteer % len(r.engs)
+	r.nextSteer++
+	return nil
+}
+
+// close tears down a VC, discarding any partial frame.
+func (r *receiver) close(vc atm.VC) {
+	idx, _, ok := r.lookup.Lookup(vc)
+	if !ok {
+		return
+	}
+	if st := r.vcs[idx]; st != nil {
+		if st.midras != nil {
+			st.midras.Abort()
+		} else {
+			st.ras.Abort()
+		}
+		if st.frame != nil {
+			st.frame.Release()
+			st.frame = nil
+		}
+	}
+	delete(r.vcs, idx)
+	delete(r.steer, vc)
+	r.lookup.Remove(vc)
+}
+
+// deliverCell is the link-side entry point: a cell has arrived from the
+// framer. The VC demux runs at wire speed in hardware; the per-engine FIFO
+// it lands in is where overflow happens.
+func (r *receiver) deliverCell(c *atm.Cell) {
+	e := r.engineFor(c.Header.VC())
+	if !r.fifos[e].Push(c) {
+		// Hardware overflow: the cell is gone. The AAL discovers the
+		// damage later; that is the whole E9 story.
+		r.stats.FifoDrops++
+		r.pool.Put(c)
+		return
+	}
+	r.process(e)
+}
+
+// process drains engine e's RX FIFO, one firmware activation per cell.
+func (r *receiver) process(e int) {
+	if r.processing[e] {
+		return
+	}
+	cell, ok := r.fifos[e].Pop()
+	if !ok {
+		return
+	}
+	r.processing[e] = true
+	r.stats.Cells++
+
+	// Idle cells are discarded outright; OAM cells leave the fast path
+	// for the firmware's management handler.
+	if cell.Header.IsIdle() {
+		r.pool.Put(cell)
+		r.engs[e].Run("rx_idle", rxCellInstr, func() { r.next(e) })
+		return
+	}
+	if !cell.Header.PT.User() {
+		r.stats.OAMCells++
+		r.engs[e].Run("rx_oam", rxCellInstr+rxOAMInstr, func() {
+			if r.onOAM != nil {
+				r.onOAM(cell)
+			} else {
+				r.pool.Put(cell)
+			}
+			r.next(e)
+		})
+		return
+	}
+
+	idx, lookCycles, found := r.lookup.Lookup(cell.Header.VC())
+	if !found {
+		r.stats.UnknownVC++
+		r.pool.Put(cell)
+		r.engs[e].Run("rx_unknown", rxCellInstr+lookCycles+rxUnknownVCInstr, func() { r.next(e) })
+		return
+	}
+	st := r.vcs[idx]
+
+	instr := rxCellInstr + lookCycles
+	if r.cfg.AAL == aal.AAL34 {
+		instr += rxCellAAL34Extra
+	}
+
+	// Buffer the cell payload in adapter SRAM under the configured
+	// organization. (Data effects happen eagerly; their visible timing is
+	// gated by the engine-run completions below — the engine is the sole
+	// consumer, so this is observationally equivalent and much simpler.)
+	if st.frame == nil {
+		f, err := r.alloc.NewFrame(r.cfg.maxFrameCells())
+		if err != nil {
+			r.dropForMemory(e, st, cell)
+			return
+		}
+		st.frame = f
+	}
+	appendCycles, err := st.frame.Append(cell.Payload[:])
+	if err != nil {
+		r.dropForMemory(e, st, cell)
+		return
+	}
+	instr += appendCycles
+
+	var res *aal.Result
+	var aalErr error
+	var mid uint16
+	if st.midras != nil {
+		mid, res, aalErr = st.midras.Push(&cell.Payload, cell.Header.PT)
+	} else {
+		res, aalErr = st.ras.Push(&cell.Payload, cell.Header.PT)
+	}
+	r.pool.Put(cell)
+
+	r.engs[e].Run("rx_cell", instr, func() {
+		switch {
+		case res != nil:
+			// A frame completed (possibly also reporting a prior
+			// frame's loss, which the AAL already discarded).
+			if aalErr != nil {
+				r.stats.AALErrors++
+			}
+			r.completeFrame(e, st, res, mid)
+		case aalErr != nil:
+			r.stats.AALErrors++
+			r.engs[e].Run("rx_err", rxErrInstr, func() {
+				r.releaseFrame(st)
+				r.next(e)
+			})
+		default:
+			r.next(e)
+		}
+	})
+}
+
+// dropForMemory abandons the current frame when adapter SRAM is exhausted.
+func (r *receiver) dropForMemory(e int, st *rxVC, cell *atm.Cell) {
+	r.stats.SRAMDrops++
+	if st.midras != nil {
+		st.midras.Abort()
+	} else {
+		st.ras.Abort()
+	}
+	r.pool.Put(cell)
+	r.engs[e].Run("rx_err", rxErrInstr, func() {
+		r.releaseFrame(st)
+		r.next(e)
+	})
+}
+
+func (r *receiver) releaseFrame(st *rxVC) {
+	if st.frame != nil {
+		st.frame.Release()
+		st.frame = nil
+	}
+}
+
+// completeFrame runs the end-of-packet firmware, DMAs the assembled SDU to
+// host memory, and posts the per-packet interrupt.
+func (r *receiver) completeFrame(e int, st *rxVC, res *aal.Result, mid uint16) {
+	vc := st.vc
+	r.engs[e].Run("rx_eop", rxEOPInstr, func() {
+		sdu := res.SDU
+		frame := st.frame
+		st.frame = nil
+		r.dev.DMA(len(sdu), func() {
+			// Buffer freed once the data has left the adapter.
+			if frame != nil {
+				frame.Release()
+			}
+			r.hst.RxPacketInterrupt(len(sdu), func() {
+				r.stats.Packets++
+				r.stats.Bytes += uint64(len(sdu))
+				if r.onDeliver != nil {
+					r.onDeliver(Delivered{VC: vc, SDU: sdu, Cells: res.Cells, MID: mid, At: r.k.Now()})
+				}
+			})
+		})
+		// The engine moves on while the DMA and interrupt complete in
+		// the background — the pipelining that makes per-packet host
+		// involvement cheap.
+		r.next(e)
+	})
+}
+
+// next releases engine e for its following cell.
+func (r *receiver) next(e int) {
+	r.processing[e] = false
+	r.process(e)
+}
+
+// Errors surfaced by the interface API.
+var errVCExists = errors.New("nic: VC already open")

@@ -1,0 +1,335 @@
+package nic
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/aal"
+	"repro/internal/atm"
+	"repro/internal/bus"
+	"repro/internal/host"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// injectRig drives a receiver directly with synthetic line-rate cells —
+// no sender in the way, so the receive path is the only variable.
+type injectRig struct {
+	k     *sim.Kernel
+	iface *Interface
+	segs  map[atm.VC]aal.Segmenter
+}
+
+func newInjectRig(t *testing.T, mod func(cfg *Config)) *injectRig {
+	t.Helper()
+	k := sim.NewKernel()
+	cfg := DefaultConfig("rx")
+	if mod != nil {
+		mod(&cfg)
+	}
+	iface, err := New(k, cfg, host.New(k, host.DefaultConfig()), bus.New(k, bus.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &injectRig{k: k, iface: iface, segs: map[atm.VC]aal.Segmenter{}}
+}
+
+// injectFrame schedules all cells of one AAL5 frame for vc, one per cell
+// slot starting at start.
+func (r *injectRig) injectFrame(vc atm.VC, sdu []byte, start sim.Time, cellTime sim.Duration) sim.Time {
+	seg := r.segs[vc]
+	if seg == nil {
+		seg, _ = aal.New(aal.AAL5, 0)
+		r.segs[vc] = seg
+	}
+	// Segment now; schedule deliveries.
+	cells, err := seg.Begin(sdu)
+	if err != nil {
+		panic(err)
+	}
+	at := start
+	for i := 0; i < cells; i++ {
+		cell := r.iface.Pool().Get()
+		pt, _, err := seg.Next(&cell.Payload)
+		if err != nil {
+			panic(err)
+		}
+		cell.Header = atm.Header{Format: atm.UNI, VPI: vc.VPI, VCI: vc.VCI, PT: pt}
+		r.k.At(at, func() { r.iface.DeliverCell(cell) })
+		at += cellTime
+	}
+	return at
+}
+
+func TestMultiEngineScalesAcrossVCs(t *testing.T) {
+	// At STS-12c one 25 MHz engine cannot keep up with line-rate cells.
+	// With 4 VCs interleaved cell-by-cell and 4 engines, each engine sees
+	// a quarter of the rate and keeps up.
+	run := func(engines int) (pkts uint64, drops uint64) {
+		r := newInjectRig(t, func(cfg *Config) {
+			cfg.PayloadRate = units.STS12cPayload
+			cfg.RxEngines = engines
+		})
+		ct := units.CellTime(units.STS12cPayload)
+		vcs := []atm.VC{{VCI: 11}, {VCI: 12}, {VCI: 13}, {VCI: 14}}
+		for _, vc := range vcs {
+			r.iface.OpenVC(vc)
+		}
+		got := 0
+		r.iface.OnReceive(func(d Delivered) { got++ })
+		// Interleave: each VC sends cells in slots i, i+4, i+8... at full
+		// aggregate line rate.
+		sdu := pkt(2000) // 42 cells each
+		for round := 0; round < 20; round++ {
+			base := sim.Time(round*42*4) * sim.Time(ct)
+			for i, vc := range vcs {
+				r.injectFrame(vc, sdu, base+sim.Time(i)*sim.Time(ct), 4*ct)
+			}
+		}
+		r.k.Run()
+		st := r.iface.Stats()
+		return st.Rx.Packets, st.Rx.FifoDrops
+	}
+	onePkts, oneDrops := run(1)
+	fourPkts, fourDrops := run(4)
+	if oneDrops == 0 {
+		t.Fatalf("single engine survived STS-12c aggregate (%d pkts) — no bottleneck to scale away", onePkts)
+	}
+	if fourDrops != 0 {
+		t.Fatalf("4 engines still dropped %d cells", fourDrops)
+	}
+	if fourPkts != 80 {
+		t.Fatalf("4 engines delivered %d of 80", fourPkts)
+	}
+	if fourPkts <= onePkts {
+		t.Fatalf("no scaling: 1 engine %d pkts, 4 engines %d", onePkts, fourPkts)
+	}
+}
+
+func TestMultiEngineSingleVCGainsNothing(t *testing.T) {
+	// All cells of one VC hash to one engine: adding engines must not
+	// change single-VC behaviour (ordering guarantee has a price).
+	run := func(engines int) uint64 {
+		r := newInjectRig(t, func(cfg *Config) {
+			cfg.PayloadRate = units.STS12cPayload
+			cfg.RxEngines = engines
+		})
+		ct := units.CellTime(units.STS12cPayload)
+		vc := atm.VC{VCI: 9}
+		r.iface.OpenVC(vc)
+		end := sim.Time(0)
+		for i := 0; i < 10; i++ {
+			end = r.injectFrame(vc, pkt(9180), end, ct)
+		}
+		r.k.Run()
+		return r.iface.Stats().Rx.FifoDrops
+	}
+	if one, eight := run(1), run(8); one != eight {
+		t.Fatalf("single-VC drops changed with engines: %d vs %d", one, eight)
+	}
+}
+
+func TestMultiEnginePreservesPerVCOrderAndIntegrity(t *testing.T) {
+	r := newInjectRig(t, func(cfg *Config) { cfg.RxEngines = 3 })
+	ct := units.CellTime(units.STS3cPayload)
+	vcs := []atm.VC{{VCI: 21}, {VCI: 22}, {VCI: 23}}
+	for _, vc := range vcs {
+		r.iface.OpenVC(vc)
+	}
+	type rcv struct {
+		vc  atm.VC
+		sdu []byte
+	}
+	var got []rcv
+	r.iface.OnReceive(func(d Delivered) { got = append(got, rcv{d.VC, d.SDU}) })
+	// Each VC sends 5 distinct frames, interleaved in time.
+	for i := 0; i < 5; i++ {
+		for j, vc := range vcs {
+			start := sim.Time(i*3+j) * 50_000
+			r.injectFrame(vc, pkt(700+i*31+j*7), start, 3*ct)
+		}
+	}
+	r.k.Run()
+	if len(got) != 15 {
+		t.Fatalf("delivered %d of 15", len(got))
+	}
+	// Per-VC, frames arrive in send order with intact bytes.
+	idx := map[atm.VC]int{}
+	for _, g := range got {
+		j := 0
+		for jj, vc := range vcs {
+			if vc == g.vc {
+				j = jj
+			}
+		}
+		i := idx[g.vc]
+		want := pkt(700 + i*31 + j*7)
+		if !bytes.Equal(g.sdu, want) {
+			t.Fatalf("VC %v frame %d corrupted or reordered", g.vc, i)
+		}
+		idx[g.vc]++
+	}
+}
+
+func TestRxEnginesValidation(t *testing.T) {
+	k := sim.NewKernel()
+	h := host.New(k, host.DefaultConfig())
+	b := bus.New(k, bus.DefaultConfig())
+	cfg := DefaultConfig("x")
+	cfg.RxEngines = -1
+	if _, err := New(k, cfg, h, b); err == nil {
+		t.Fatal("negative RxEngines accepted")
+	}
+	cfg.RxEngines = 65
+	if _, err := New(k, cfg, h, b); err == nil {
+		t.Fatal("RxEngines 65 accepted")
+	}
+	cfg.RxEngines = 0 // default
+	iface, err := New(k, cfg, h, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iface.RxEngines()) != 1 {
+		t.Fatalf("default engines = %d", len(iface.RxEngines()))
+	}
+}
+
+func TestOAMLoopbackAnsweredByFirmware(t *testing.T) {
+	// a pings b's endpoint; b's receive firmware reflects the cell with
+	// the indication cleared and no host involvement; a's handler sees
+	// the correlation tag come home.
+	r := newRig(t, nil)
+	vc := atm.VC{VCI: 77}
+	r.a.OpenVC(vc)
+	r.b.OpenVC(vc)
+	// newRig wires only a->b; add the reverse path for the reply.
+	back := phy.NewCellLink(r.k, 10_000, 2, r.a.DeliverCell)
+	r.b.SetOutput(back.Send)
+
+	var gotVC atm.VC
+	var gotCorr uint32
+	r.a.OnLoopbackReply(func(vc atm.VC, corr uint32) { gotVC, gotCorr = vc, corr })
+	hostIrqsBefore := r.hostB.Interrupts()
+	if err := r.a.SendLoopback(vc, 0xc0ffee); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Run()
+	if gotCorr != 0xc0ffee || gotVC != vc {
+		t.Fatalf("reply: vc=%v corr=%#x", gotVC, gotCorr)
+	}
+	if r.hostB.Interrupts() != hostIrqsBefore {
+		t.Fatal("loopback involved the remote host CPU")
+	}
+	if r.b.Stats().Rx.OAMCells != 1 {
+		t.Fatalf("b OAM cells = %d", r.b.Stats().Rx.OAMCells)
+	}
+}
+
+func TestOAMLoopbackUnansweredWithoutResponder(t *testing.T) {
+	// Loopback into the void (no reverse path): no reply, no crash, and
+	// user traffic is unaffected.
+	r := newRig(t, nil)
+	vc := atm.VC{VCI: 78}
+	r.a.OpenVC(vc)
+	r.b.OpenVC(vc)
+	replied := false
+	r.a.OnLoopbackReply(func(atm.VC, uint32) { replied = true })
+	r.a.SendLoopback(vc, 1)
+	r.a.Send(vc, pkt(500), nil)
+	r.k.Run()
+	if replied {
+		t.Fatal("reply with no reverse path")
+	}
+	if len(r.received) != 1 {
+		t.Fatal("user traffic disturbed by management cell")
+	}
+}
+
+func TestMIDMuxSharedVC(t *testing.T) {
+	// Two senders' frames interleave cell-by-cell on ONE VC (merged via a
+	// shared link); the MIDMux receiver demultiplexes them by MID.
+	k := sim.NewKernel()
+	mkTx := func(name string) *Interface {
+		cfg := DefaultConfig(name)
+		cfg.AAL = aal.AAL34
+		cfg.InterleaveVCs = true
+		iface, err := New(k, cfg, host.New(k, host.DefaultConfig()), bus.New(k, bus.DefaultConfig()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return iface
+	}
+	cfgRx := DefaultConfig("rx")
+	cfgRx.AAL = aal.AAL34
+	cfgRx.MIDMux = true
+	rx, err := New(k, cfgRx, host.New(k, host.DefaultConfig()), bus.New(k, bus.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := atm.VC{VCI: 30}
+	tx1, tx2 := mkTx("tx1"), mkTx("tx2")
+	for _, iface := range []*Interface{tx1, tx2} {
+		iface.OpenVC(shared)
+	}
+	tx1.SetMID(shared, 5)
+	tx2.SetMID(shared, 9)
+	rx.OpenVC(shared)
+
+	// Both transmitters feed the same fiber (a multipoint-to-point merge,
+	// as an SMDS access line would see).
+	link := phy.NewCellLink(k, 5000, 3, rx.DeliverCell)
+	tx1.SetOutput(link.Send)
+	tx2.SetOutput(link.Send)
+
+	got := map[uint16][]byte{}
+	rx.OnReceive(func(d Delivered) { got[d.MID] = d.SDU })
+
+	tx1.Send(shared, pkt(3000), nil)
+	tx2.Send(shared, pkt(1500), nil)
+	k.Run()
+
+	if !bytes.Equal(got[5], pkt(3000)) {
+		t.Fatal("MID 5 frame corrupted or missing")
+	}
+	if !bytes.Equal(got[9], pkt(1500)) {
+		t.Fatal("MID 9 frame corrupted or missing")
+	}
+}
+
+func TestMIDMuxValidation(t *testing.T) {
+	k := sim.NewKernel()
+	h := host.New(k, host.DefaultConfig())
+	b := bus.New(k, bus.DefaultConfig())
+	cfg := DefaultConfig("x")
+	cfg.MIDMux = true // AAL5: invalid
+	if _, err := New(k, cfg, h, b); err == nil {
+		t.Fatal("MIDMux with AAL5 accepted")
+	}
+	cfg.AAL = aal.AAL34
+	iface, err := New(k, cfg, h, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := atm.VC{VCI: 4}
+	iface.OpenVC(vc)
+	if err := iface.SetMID(vc, 0x400); err == nil {
+		t.Fatal("11-bit MID accepted")
+	}
+	if err := iface.SetMID(atm.VC{VCI: 99}, 1); err == nil {
+		t.Fatal("SetMID on unopened VC accepted")
+	}
+	if err := iface.SetMID(vc, 0x3ff); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetMIDRequiresAAL34(t *testing.T) {
+	k := sim.NewKernel()
+	iface, _ := New(k, DefaultConfig("x"), host.New(k, host.DefaultConfig()), bus.New(k, bus.DefaultConfig()))
+	vc := atm.VC{VCI: 4}
+	iface.OpenVC(vc)
+	if err := iface.SetMID(vc, 1); err == nil {
+		t.Fatal("SetMID on AAL5 build accepted")
+	}
+}

@@ -1,0 +1,437 @@
+package nic
+
+import (
+	"repro/internal/aal"
+	"repro/internal/atm"
+	"repro/internal/bus"
+	"repro/internal/engine"
+	"repro/internal/fifo"
+	"repro/internal/sim"
+)
+
+// TxStats counts transmit-side events.
+type TxStats struct {
+	Packets    uint64 // packets fully segmented
+	Cells      uint64 // data cells emitted to the FIFO
+	Bytes      uint64 // SDU bytes accepted
+	IdleSlots  uint64 // cell-clock slots with an empty TX FIFO
+	FifoStalls uint64 // times the engine stalled on a full TX FIFO
+	DMAWaits   uint64 // times production waited for staging DMA
+	PaceWaits  uint64 // times production waited on per-VC pacing
+	QueuedMax  int    // per-VC descriptor queue high-water mark
+}
+
+// txDescriptor is what the host's driver writes across the bus.
+type txDescriptor struct {
+	sdu    []byte
+	onSent func()
+}
+
+// txVC is the per-connection transmit state: queued descriptors, the
+// in-progress frame's segmentation state, staging progress, and the leaky-
+// bucket pacing state. The board kept exactly this per-VC record in its
+// transmit tables.
+type txVC struct {
+	vc      atm.VC
+	pending []txDescriptor
+	seg     aal.Segmenter
+
+	active    bool
+	sdu       []byte
+	onSent    func()
+	cellsLeft int
+	cellIdx   int
+	staged    int
+	stagedOff int
+	awaitDMA  bool
+
+	// minGap is the pacing interval between consecutive cells of this VC
+	// (0 = line rate); nextEligible is when the next cell may be emitted.
+	minGap       sim.Duration
+	nextEligible sim.Time
+}
+
+// transmitter is the send half: per-VC descriptor queues, a single
+// segmentation engine shared round-robin across active frames (when
+// interleaving is enabled), staging DMA, per-VC pacing, and the TX cell
+// FIFO drained by the cell clock.
+type transmitter struct {
+	k    *sim.Kernel
+	cfg  *Config
+	eng  *engine.Engine
+	dev  *bus.Device
+	pool *atm.Pool
+	out  func(*atm.Cell)
+
+	fifo  *fifo.Ring[*atm.Cell]
+	vcs   map[atm.VC]*txVC
+	order []*txVC // round-robin order (registration order)
+	rr    int     // next round-robin index
+
+	busy        bool // an engine routine is in flight
+	stalled     bool // production blocked on FIFO space
+	wakePending bool // a pacing wakeup is scheduled
+
+	cellTime     sim.Duration
+	clockRunning bool
+
+	stats TxStats
+}
+
+func newTransmitter(k *sim.Kernel, cfg *Config, eng *engine.Engine, dev *bus.Device,
+	pool *atm.Pool, cellTime sim.Duration, out func(*atm.Cell)) *transmitter {
+	return &transmitter{
+		k: k, cfg: cfg, eng: eng, dev: dev, pool: pool, out: out,
+		fifo:     fifo.NewRing[*atm.Cell](cfg.TxFifoDepth),
+		vcs:      make(map[atm.VC]*txVC),
+		cellTime: cellTime,
+	}
+}
+
+// open registers a VC for transmit.
+func (t *transmitter) open(vc atm.VC) {
+	if _, ok := t.vcs[vc]; ok {
+		return
+	}
+	seg, _ := aal.New(t.cfg.AAL, 0)
+	st := &txVC{vc: vc, seg: seg}
+	t.vcs[vc] = st
+	t.order = append(t.order, st)
+}
+
+// close deregisters a VC. Queued descriptors are dropped; a frame already
+// being segmented runs to completion (cells of a partial AAL frame on the
+// wire would only poison the receiver).
+func (t *transmitter) close(vc atm.VC) {
+	st, ok := t.vcs[vc]
+	if !ok {
+		return
+	}
+	st.pending = nil
+	delete(t.vcs, vc)
+	for i, o := range t.order {
+		if o == st {
+			if st.active {
+				// Keep it in the round-robin until its frame drains.
+				break
+			}
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			if t.rr > i {
+				t.rr--
+			}
+			break
+		}
+	}
+}
+
+// setMID stamps the AAL3/4 multiplexing identifier on a VC's segmenter.
+func (t *transmitter) setMID(vc atm.VC, mid uint16) bool {
+	st, ok := t.vcs[vc]
+	if !ok {
+		return false
+	}
+	if seg, ok := st.seg.(*aal.Segmenter34); ok {
+		seg.MID = mid
+		return true
+	}
+	return false
+}
+
+// setPeakCellRate installs leaky-bucket pacing: at most one cell of this VC
+// per gap. gap 0 restores line rate.
+func (t *transmitter) setPeakCellRate(vc atm.VC, gap sim.Duration) bool {
+	st, ok := t.vcs[vc]
+	if !ok {
+		return false
+	}
+	st.minGap = gap
+	return true
+}
+
+// enqueue accepts a descriptor (already paid for by the host).
+func (t *transmitter) enqueue(vc atm.VC, d txDescriptor) bool {
+	st, ok := t.vcs[vc]
+	if !ok {
+		return false
+	}
+	st.pending = append(st.pending, d)
+	if len(st.pending) > t.stats.QueuedMax {
+		t.stats.QueuedMax = len(st.pending)
+	}
+	t.schedule()
+	return true
+}
+
+// anyActive reports whether any VC has a frame in progress.
+func (t *transmitter) anyActive() bool {
+	for _, st := range t.order {
+		if st.active {
+			return true
+		}
+	}
+	return false
+}
+
+// schedule is the transmit engine's dispatcher: one engine routine at a
+// time, choosing between starting a new frame and producing the next cell
+// of an active one, round-robin across VCs.
+func (t *transmitter) schedule() {
+	if t.busy || t.stalled {
+		return
+	}
+	// Starting pending frames comes first: each start is a one-time
+	// per-frame event, and in interleaved mode a newly arrived frame must
+	// join the round-robin immediately or a busy bulk VC would lock it
+	// out indefinitely. (In serial mode a start is only allowed when no
+	// frame is active, so cell production still runs uninterrupted.)
+	if t.scheduleStart() {
+		return
+	}
+	t.scheduleCell()
+}
+
+// scheduleStart begins the next pending frame if policy allows; it reports
+// whether a routine was dispatched.
+func (t *transmitter) scheduleStart() bool {
+	if !t.cfg.InterleaveVCs && t.anyActive() {
+		return false
+	}
+	n := len(t.order)
+	for i := 0; i < n; i++ {
+		st := t.order[(t.rr+i)%n]
+		if st.active || len(st.pending) == 0 {
+			continue
+		}
+		t.runStart(st)
+		return true
+	}
+	return false
+}
+
+// scheduleCell runs the per-cell firmware for the next eligible active VC.
+func (t *transmitter) scheduleCell() {
+	n := len(t.order)
+	if n == 0 {
+		return
+	}
+	earliest := sim.Never
+	now := t.k.Now()
+	for i := 0; i < n; i++ {
+		idx := (t.rr + i) % n
+		st := t.order[idx]
+		if !st.active || st.awaitDMA {
+			continue
+		}
+		if st.nextEligible > now {
+			if st.nextEligible < earliest {
+				earliest = st.nextEligible
+			}
+			continue
+		}
+		if t.fifo.Full() {
+			t.stalled = true
+			t.stats.FifoStalls++
+			return // the cell clock will resume us
+		}
+		if !t.stagedEnough(st) {
+			st.awaitDMA = true
+			t.stats.DMAWaits++
+			continue
+		}
+		t.rr = (idx + 1) % n
+		t.runCell(st)
+		return
+	}
+	if earliest != sim.Never && !t.wakePending {
+		// Everything runnable is pacing-blocked: wake at the earliest
+		// eligibility.
+		t.wakePending = true
+		t.stats.PaceWaits++
+		t.k.At(earliest, func() {
+			t.wakePending = false
+			t.schedule()
+		})
+	}
+}
+
+// stagedEnough reports whether the bytes the next cell needs are on board.
+func (t *transmitter) stagedEnough(st *txVC) bool {
+	need := (st.cellIdx + 1) * t.cfg.perCellPayload()
+	if need > len(st.sdu) {
+		need = len(st.sdu)
+	}
+	return st.staged >= need
+}
+
+// runStart executes the per-packet setup firmware.
+func (t *transmitter) runStart(st *txVC) {
+	t.busy = true
+	d := st.pending[0]
+	st.pending = st.pending[:copy(st.pending, st.pending[1:])]
+	instr := txStartInstr
+	if t.cfg.AAL == aal.AAL34 {
+		instr += txStartAAL34Extra
+	}
+	t.eng.Run("tx_start", instr, func() {
+		t.busy = false
+		cells, err := st.seg.Begin(d.sdu)
+		if err != nil {
+			panic("nic: segmenter rejected validated SDU: " + err.Error())
+		}
+		st.active = true
+		st.sdu = d.sdu
+		st.onSent = d.onSent
+		st.cellsLeft = cells
+		st.cellIdx = 0
+		st.staged = 0
+		st.stagedOff = 0
+		t.stats.Bytes += uint64(len(d.sdu))
+		t.stageNextChunk(st)
+		t.schedule()
+	})
+}
+
+// stageNextChunk issues the next staging DMA burst (host memory → adapter
+// buffer) for a VC's in-progress frame. Chunks are separate bus
+// transactions, so other devices interleave between them.
+func (t *transmitter) stageNextChunk(st *txVC) {
+	remaining := len(st.sdu) - st.stagedOff
+	if remaining <= 0 {
+		return
+	}
+	chunk := remaining
+	if mb := t.dev.MaxBurst(); mb > 0 && chunk > mb {
+		chunk = mb
+	}
+	st.stagedOff += chunk
+	t.dev.DMA(chunk, func() {
+		st.staged += chunk
+		t.stageNextChunk(st)
+		if st.awaitDMA {
+			st.awaitDMA = false
+			t.schedule()
+		}
+	})
+}
+
+// runCell executes the per-cell segmentation firmware for one cell of st.
+func (t *transmitter) runCell(st *txVC) {
+	t.busy = true
+	last := st.cellsLeft == 1
+	instr := txCellInstr
+	if last {
+		instr += txCellLastExtra
+	}
+	if t.cfg.AAL == aal.AAL34 {
+		instr += txCellAAL34Extra
+	}
+	t.eng.Run("tx_cell", instr, func() {
+		t.busy = false
+		cell := t.pool.Get()
+		pt, done, err := st.seg.Next(&cell.Payload)
+		if err != nil {
+			panic("nic: segmenter failed mid-frame: " + err.Error())
+		}
+		cell.Header = atm.Header{
+			Format: atm.UNI,
+			VPI:    st.vc.VPI,
+			VCI:    st.vc.VCI,
+			PT:     pt,
+		}
+		if !t.fifo.Push(cell) {
+			panic("nic: TX FIFO overflowed despite stall check")
+		}
+		t.stats.Cells++
+		st.cellIdx++
+		st.cellsLeft--
+		if st.minGap > 0 {
+			st.nextEligible = t.k.Now() + st.minGap
+		}
+		t.startClock()
+		if done {
+			t.finishFrame(st)
+			return
+		}
+		t.schedule()
+	})
+}
+
+// finishFrame runs the per-packet completion firmware.
+func (t *transmitter) finishFrame(st *txVC) {
+	t.busy = true
+	t.eng.Run("tx_done", txDoneInstr, func() {
+		t.busy = false
+		t.stats.Packets++
+		onSent := st.onSent
+		st.active = false
+		st.sdu = nil
+		st.onSent = nil
+		if _, open := t.vcs[st.vc]; !open {
+			// The VC was closed mid-frame; retire it from round-robin.
+			for i, o := range t.order {
+				if o == st {
+					t.order = append(t.order[:i], t.order[i+1:]...)
+					if t.rr > i {
+						t.rr--
+					}
+					break
+				}
+			}
+		}
+		if onSent != nil {
+			onSent()
+		}
+		t.schedule()
+	})
+}
+
+// injectCell pushes a fully formed cell (management traffic) straight into
+// the TX FIFO, ahead of no one: it takes the next free slot like any other
+// cell. Best-effort: a full FIFO drops it (OAM has no delivery guarantee).
+func (t *transmitter) injectCell(c *atm.Cell) bool {
+	if !t.fifo.Push(c) {
+		return false
+	}
+	t.stats.Cells++
+	t.startClock()
+	return true
+}
+
+// pendingWork reports whether anything remains to transmit.
+func (t *transmitter) pendingWork() bool {
+	for _, st := range t.order {
+		if st.active || len(st.pending) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// startClock ensures the cell clock is ticking; it stops itself when idle
+// so simulations terminate.
+func (t *transmitter) startClock() {
+	if t.clockRunning {
+		return
+	}
+	t.clockRunning = true
+	t.k.After(t.cellTime, t.tick)
+}
+
+// tick is one cell slot on the wire.
+func (t *transmitter) tick() {
+	cell, ok := t.fifo.Pop()
+	if ok {
+		t.out(cell)
+		if t.stalled {
+			t.stalled = false
+			t.schedule()
+		}
+	} else {
+		t.stats.IdleSlots++
+		if !t.pendingWork() {
+			t.clockRunning = false
+			return
+		}
+	}
+	t.k.After(t.cellTime, t.tick)
+}

@@ -1,0 +1,321 @@
+package nic
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/aal"
+	"repro/internal/atm"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// watchWire taps the rig's link to record (time, VC) of every cell.
+type wireTap struct {
+	at []sim.Time
+	vc []atm.VC
+}
+
+func tapRig(r *rig) *wireTap {
+	tap := &wireTap{}
+	orig := r.link
+	r.a.SetOutput(func(c *atm.Cell) {
+		tap.at = append(tap.at, r.k.Now())
+		tap.vc = append(tap.vc, c.Header.VC())
+		orig.Send(c)
+	})
+	return tap
+}
+
+func TestSerialModeFinishesFramesInOrder(t *testing.T) {
+	// Default (no interleave): all of frame 1's cells precede frame 2's,
+	// even across VCs.
+	r := newRig(t, nil)
+	tap := tapRig(r)
+	vcA, vcB := atm.VC{VCI: 1}, atm.VC{VCI: 2}
+	for _, vc := range []atm.VC{vcA, vcB} {
+		r.a.OpenVC(vc)
+		r.b.OpenVC(vc)
+	}
+	r.a.Send(vcA, pkt(2000), nil)
+	r.a.Send(vcB, pkt(2000), nil)
+	r.k.Run()
+	seenB := false
+	for _, vc := range tap.vc {
+		if vc == vcB {
+			seenB = true
+		}
+		if seenB && vc == vcA {
+			t.Fatal("serial mode interleaved cells across VCs")
+		}
+	}
+}
+
+func TestInterleaveModeMixesVCs(t *testing.T) {
+	r := newRig(t, func(cfg *Config) { cfg.InterleaveVCs = true })
+	tap := tapRig(r)
+	vcA, vcB := atm.VC{VCI: 1}, atm.VC{VCI: 2}
+	for _, vc := range []atm.VC{vcA, vcB} {
+		r.a.OpenVC(vc)
+		r.b.OpenVC(vc)
+	}
+	r.a.Send(vcA, pkt(4000), nil)
+	r.a.Send(vcB, pkt(4000), nil)
+	r.k.Run()
+	// Cells must alternate at least once before either frame finishes.
+	switches := 0
+	for i := 1; i < len(tap.vc); i++ {
+		if tap.vc[i] != tap.vc[i-1] {
+			switches++
+		}
+	}
+	if switches < 10 {
+		t.Fatalf("only %d VC switches on the wire; frames not interleaved", switches)
+	}
+	// And both frames still reassemble intact.
+	if len(r.received) != 2 {
+		t.Fatalf("delivered %d of 2", len(r.received))
+	}
+	byVC := map[atm.VC][]byte{}
+	for _, d := range r.received {
+		byVC[d.VC] = d.SDU
+	}
+	if !bytes.Equal(byVC[vcA], pkt(4000)) || !bytes.Equal(byVC[vcB], pkt(4000)) {
+		t.Fatal("interleaved frames corrupted")
+	}
+}
+
+func TestInterleaveBoundsShortFrameLatency(t *testing.T) {
+	// A short frame behind a 64 KiB bulk frame: serially it waits for all
+	// 1366 cells; interleaved it finishes orders of magnitude sooner.
+	measure := func(interleave bool) sim.Duration {
+		r := newRig(t, func(cfg *Config) { cfg.InterleaveVCs = interleave })
+		bulk, small := atm.VC{VCI: 1}, atm.VC{VCI: 2}
+		for _, vc := range []atm.VC{bulk, small} {
+			r.a.OpenVC(vc)
+			r.b.OpenVC(vc)
+		}
+		var smallAt sim.Time
+		r.b.OnReceive(func(d Delivered) {
+			if d.VC == small {
+				smallAt = d.At
+			}
+		})
+		r.a.Send(bulk, pkt(65535), nil)
+		r.a.Send(small, pkt(96), nil)
+		r.k.Run()
+		if smallAt == 0 {
+			t.Fatal("small frame never delivered")
+		}
+		return smallAt
+	}
+	serial := measure(false)
+	inter := measure(true)
+	if inter >= serial/4 {
+		t.Fatalf("interleaving: small frame at %v vs serial %v — no latency win", inter, serial)
+	}
+}
+
+func TestPacingSpacesCells(t *testing.T) {
+	r := newRig(t, nil)
+	tap := tapRig(r)
+	vc := atm.VC{VCI: 5}
+	r.a.OpenVC(vc)
+	r.b.OpenVC(vc)
+	// 50k cells/s = 20 µs between cells — far slower than line rate.
+	if err := r.a.SetPeakCellRate(vc, 50_000); err != nil {
+		t.Fatal(err)
+	}
+	r.a.Send(vc, pkt(480), nil) // 11 cells
+	r.k.Run()
+	if len(tap.at) < 11 {
+		t.Fatalf("%d cells on the wire", len(tap.at))
+	}
+	for i := 1; i < len(tap.at); i++ {
+		gap := tap.at[i] - tap.at[i-1]
+		if gap < 19_000 {
+			t.Fatalf("cells %d-%d only %v apart; pacing violated", i-1, i, gap)
+		}
+	}
+	// The packet still arrives intact.
+	if len(r.received) != 1 || !bytes.Equal(r.received[0].SDU, pkt(480)) {
+		t.Fatal("paced frame corrupted")
+	}
+}
+
+func TestPacingThrottlesGoodput(t *testing.T) {
+	r := newRig(t, nil)
+	vc := atm.VC{VCI: 5}
+	r.a.OpenVC(vc)
+	r.b.OpenVC(vc)
+	// 100k cells/s × 48 B = 38.4 Mb/s of SAR payload.
+	r.a.SetPeakCellRate(vc, 100_000)
+	deadline := sim.Time(20 * sim.Millisecond)
+	var send func()
+	send = func() {
+		if r.k.Now() > deadline {
+			return
+		}
+		r.a.Send(vc, pkt(9180), send)
+	}
+	send()
+	send()
+	r.k.RunUntil(deadline)
+	got := units.ThroughputBps(int64(r.b.Stats().Rx.Bytes), deadline)
+	if got > 40e6 {
+		t.Fatalf("paced goodput %.1f Mb/s exceeds the 38.4 Mb/s bucket", got/1e6)
+	}
+	if got < 25e6 {
+		t.Fatalf("paced goodput %.1f Mb/s far below the bucket; pacing over-throttles", got/1e6)
+	}
+	r.k.Run()
+}
+
+func TestPacingUnknownVC(t *testing.T) {
+	r := newRig(t, nil)
+	if err := r.a.SetPeakCellRate(atm.VC{VCI: 99}, 1000); !errors.Is(err, ErrUnknownVC) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPacedAndUnpacedShareTheLink(t *testing.T) {
+	// Interleaved mode: a paced CBR flow keeps its spacing while a greedy
+	// bulk flow soaks up the remaining slots.
+	r := newRig(t, func(cfg *Config) { cfg.InterleaveVCs = true })
+	tap := tapRig(r)
+	cbr, bulk := atm.VC{VCI: 1}, atm.VC{VCI: 2}
+	for _, vc := range []atm.VC{cbr, bulk} {
+		r.a.OpenVC(vc)
+		r.b.OpenVC(vc)
+	}
+	r.a.SetPeakCellRate(cbr, 20_000) // 50 µs spacing
+	r.a.Send(cbr, pkt(960), nil)     // 21 cells over ~1 ms
+	r.a.Send(bulk, pkt(30000), nil)
+	r.k.Run()
+	var prev sim.Time = -1
+	for i, vc := range tap.vc {
+		if vc != cbr {
+			continue
+		}
+		if prev >= 0 {
+			if gap := tap.at[i] - prev; gap < 49_000 {
+				t.Fatalf("CBR spacing %v violated under bulk load", gap)
+			}
+		}
+		prev = tap.at[i]
+	}
+	if len(r.received) != 2 {
+		t.Fatalf("delivered %d of 2", len(r.received))
+	}
+}
+
+func TestCloseVCDropsPendingKeepsActive(t *testing.T) {
+	r := newRig(t, nil)
+	vc := atm.VC{VCI: 3}
+	r.a.OpenVC(vc)
+	r.b.OpenVC(vc)
+	r.a.Send(vc, pkt(9180), nil)
+	r.a.Send(vc, pkt(9180), nil) // queued behind
+	r.k.RunUntil(500_000)        // frame 1 on the wire, frame 2 queued
+	r.a.CloseVC(vc)
+	r.k.Run()
+	// Frame 1 drains to completion; frame 2 was dropped with the VC.
+	if got := r.a.Stats().Tx.Packets; got != 1 {
+		t.Fatalf("tx packets after close = %d, want 1", got)
+	}
+}
+
+func TestInterleaveWithAAL34(t *testing.T) {
+	r := newRig(t, func(cfg *Config) {
+		cfg.InterleaveVCs = true
+		cfg.AAL = aal.AAL34
+	})
+	vcA, vcB := atm.VC{VCI: 1}, atm.VC{VCI: 2}
+	for _, vc := range []atm.VC{vcA, vcB} {
+		r.a.OpenVC(vc)
+		r.b.OpenVC(vc)
+	}
+	r.a.Send(vcA, pkt(5000), nil)
+	r.a.Send(vcB, pkt(3000), nil)
+	r.k.Run()
+	if len(r.received) != 2 {
+		t.Fatalf("delivered %d of 2", len(r.received))
+	}
+	byVC := map[atm.VC][]byte{}
+	for _, d := range r.received {
+		byVC[d.VC] = d.SDU
+	}
+	if !bytes.Equal(byVC[vcA], pkt(5000)) || !bytes.Equal(byVC[vcB], pkt(3000)) {
+		t.Fatal("AAL3/4 interleaved frames corrupted")
+	}
+}
+
+func TestPacingWithMultiEngineRx(t *testing.T) {
+	r := newRig(t, func(cfg *Config) {
+		cfg.InterleaveVCs = true
+		cfg.RxEngines = 2
+	})
+	vcs := []atm.VC{{VCI: 1}, {VCI: 2}, {VCI: 3}}
+	for _, vc := range vcs {
+		r.a.OpenVC(vc)
+		r.b.OpenVC(vc)
+		r.a.SetPeakCellRate(vc, 80_000)
+	}
+	for _, vc := range vcs {
+		r.a.Send(vc, pkt(2000), nil)
+	}
+	r.k.Run()
+	if len(r.received) != 3 {
+		t.Fatalf("delivered %d of 3", len(r.received))
+	}
+	for _, d := range r.received {
+		if !bytes.Equal(d.SDU, pkt(2000)) {
+			t.Fatal("payload corrupted with pacing + multi-engine")
+		}
+	}
+}
+
+func TestInterleaveManyVCsFairness(t *testing.T) {
+	// 6 equal greedy VCs in interleave mode: delivered byte counts per VC
+	// must be roughly equal (round-robin fairness).
+	r := newRig(t, func(cfg *Config) { cfg.InterleaveVCs = true })
+	var vcs []atm.VC
+	for i := 0; i < 6; i++ {
+		vc := atm.VC{VCI: uint16(10 + i)}
+		vcs = append(vcs, vc)
+		r.a.OpenVC(vc)
+		r.b.OpenVC(vc)
+	}
+	bytesByVC := map[atm.VC]int{}
+	r.b.OnReceive(func(d Delivered) { bytesByVC[d.VC] += len(d.SDU) })
+	deadline := sim.Time(20 * sim.Millisecond)
+	for _, vc := range vcs {
+		vc := vc
+		var send func()
+		send = func() {
+			if r.k.Now() > deadline {
+				return
+			}
+			r.a.Send(vc, pkt(4000), send)
+		}
+		send()
+	}
+	r.k.Run()
+	min, max := 1<<62, 0
+	for _, vc := range vcs {
+		n := bytesByVC[vc]
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if min == 0 {
+		t.Fatal("a VC was starved entirely")
+	}
+	if float64(max) > 1.5*float64(min) {
+		t.Fatalf("unfair round-robin: min %d max %d bytes", min, max)
+	}
+}

@@ -1,0 +1,118 @@
+package oam
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/atm"
+	"repro/internal/crc"
+)
+
+func TestLoopbackRoundTrip(t *testing.T) {
+	var src [16]byte
+	copy(src[:], "station-a")
+	lb := Loopback{
+		Indication:  true,
+		Correlation: 0xdeadbeef,
+		LocationID:  EndpointLocation,
+		SourceID:    src,
+	}
+	var p [atm.PayloadSize]byte
+	lb.Encode(&p)
+	var got Loopback
+	if err := got.Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if got != lb {
+		t.Fatalf("round trip: %+v != %+v", got, lb)
+	}
+}
+
+func TestLoopbackCRCProtects(t *testing.T) {
+	lb := Loopback{Indication: true, Correlation: 7}
+	var p [atm.PayloadSize]byte
+	lb.Encode(&p)
+	if !crc.CRC10Check(p[:]) {
+		t.Fatal("encoded loopback fails CRC-10")
+	}
+	p[10] ^= 0x04
+	var got Loopback
+	if err := got.Decode(&p); !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("err = %v, want ErrBadCRC", err)
+	}
+}
+
+func TestDecodeRejectsNonLoopback(t *testing.T) {
+	var p [atm.PayloadSize]byte
+	p[0] = TypeFaultMgmt<<4 | FuncAIS
+	crc.CRC10Fill(p[:])
+	var got Loopback
+	if err := got.Decode(&p); !errors.Is(err, ErrNotLoop) {
+		t.Fatalf("err = %v, want ErrNotLoop", err)
+	}
+}
+
+func TestNewRequestWellFormed(t *testing.T) {
+	var src [16]byte
+	src[0] = 0xaa
+	c := NewRequest(atm.VC{VPI: 1, VCI: 42}, 99, src)
+	if c.Header.PT.User() {
+		t.Fatal("request carries user PT")
+	}
+	if c.Header.VCI != 42 || c.Header.VPI != 1 {
+		t.Fatalf("header VC %v", c.Header.VC())
+	}
+	var lb Loopback
+	if err := lb.Decode(&c.Payload); err != nil {
+		t.Fatal(err)
+	}
+	if !lb.Indication || lb.Correlation != 99 || lb.SourceID != src {
+		t.Fatalf("decoded %+v", lb)
+	}
+	if lb.LocationID != EndpointLocation {
+		t.Fatal("request not addressed to endpoint")
+	}
+}
+
+func TestRespondFlipsIndication(t *testing.T) {
+	c := NewRequest(atm.VC{VCI: 5}, 123, [16]byte{})
+	if err := Respond(c); err != nil {
+		t.Fatal(err)
+	}
+	var lb Loopback
+	if err := lb.Decode(&c.Payload); err != nil {
+		t.Fatalf("response fails decode: %v", err)
+	}
+	if lb.Indication {
+		t.Fatal("indication not cleared")
+	}
+	if lb.Correlation != 123 {
+		t.Fatal("correlation lost")
+	}
+	// Responding to a response must refuse (no loops).
+	if err := Respond(c); !errors.Is(err, ErrNotLoop) {
+		t.Fatalf("double respond err = %v", err)
+	}
+}
+
+func TestRespondRejectsUserCells(t *testing.T) {
+	c := &atm.Cell{Header: atm.Header{PT: atm.PTUser0}}
+	if err := Respond(c); !errors.Is(err, ErrNotOAM) {
+		t.Fatalf("err = %v, want ErrNotOAM", err)
+	}
+}
+
+// Property: encode∘decode is the identity for arbitrary loopback fields.
+func TestPropertyLoopbackRoundTrip(t *testing.T) {
+	f := func(ind bool, corr uint32, loc, src [16]byte) bool {
+		lb := Loopback{Indication: ind, Correlation: corr, LocationID: loc, SourceID: src}
+		var p [atm.PayloadSize]byte
+		lb.Encode(&p)
+		var got Loopback
+		return got.Decode(&p) == nil && got == lb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+// Package phy models the fiber between two interfaces, at two granularities:
+//
+//   - CellLink carries decoded cells with propagation delay and per-cell
+//     loss/corruption injection — the fast path the long-running experiments
+//     use (a cell is the unit the network loses, so cell granularity loses
+//     no fidelity for loss studies);
+//   - FrameLink carries serialized SONET frames with propagation delay and
+//     bit-error injection, for end-to-end runs through the real framer,
+//     scrambler and delineation machinery.
+package phy
+
+import (
+	"repro/internal/atm"
+	"repro/internal/sim"
+)
+
+// Stats counts link-level events.
+type Stats struct {
+	Sent      uint64
+	Delivered uint64
+	Lost      uint64
+	Corrupted uint64
+}
+
+// CellLink is a unidirectional cell pipe.
+type CellLink struct {
+	k *sim.Kernel
+	// Delay is the propagation delay.
+	Delay sim.Duration
+	// LossProb is the probability an individual cell vanishes (switch
+	// buffer overflow somewhere along the path).
+	LossProb float64
+	// CorruptProb is the probability a delivered cell has one payload
+	// byte damaged (will fail the AAL checks downstream).
+	CorruptProb float64
+
+	rng   *sim.Rand
+	sink  func(*atm.Cell)
+	stats Stats
+}
+
+// NewCellLink builds a link delivering cells to sink after delay.
+func NewCellLink(k *sim.Kernel, delay sim.Duration, seed uint64, sink func(*atm.Cell)) *CellLink {
+	if sink == nil {
+		panic("phy: nil sink")
+	}
+	return &CellLink{k: k, Delay: delay, rng: sim.NewRand(seed), sink: sink}
+}
+
+// Stats returns cumulative counters.
+func (l *CellLink) Stats() Stats { return l.stats }
+
+// Send transmits one cell. The cell is owned by the link until delivery;
+// callers must not reuse it (use a pool and recycle in the sink).
+func (l *CellLink) Send(c *atm.Cell) {
+	l.stats.Sent++
+	if l.LossProb > 0 && l.rng.Bernoulli(l.LossProb) {
+		l.stats.Lost++
+		return
+	}
+	if l.CorruptProb > 0 && l.rng.Bernoulli(l.CorruptProb) {
+		l.stats.Corrupted++
+		i := l.rng.Intn(len(c.Payload))
+		c.Payload[i] ^= 1 << uint(l.rng.Intn(8))
+	}
+	l.stats.Delivered++
+	l.k.After(l.Delay, func() { l.sink(c) })
+}
+
+// FrameLink is a unidirectional SONET-frame pipe.
+type FrameLink struct {
+	k *sim.Kernel
+	// Delay is the propagation delay.
+	Delay sim.Duration
+	// BitErrProb is the probability that each frame suffers one random
+	// bit error in transit.
+	BitErrProb float64
+
+	rng   *sim.Rand
+	sink  func(frame []byte)
+	stats Stats
+}
+
+// NewFrameLink builds a frame pipe delivering to sink after delay.
+func NewFrameLink(k *sim.Kernel, delay sim.Duration, seed uint64, sink func([]byte)) *FrameLink {
+	if sink == nil {
+		panic("phy: nil sink")
+	}
+	return &FrameLink{k: k, Delay: delay, rng: sim.NewRand(seed), sink: sink}
+}
+
+// Stats returns cumulative counters.
+func (l *FrameLink) Stats() Stats { return l.stats }
+
+// Send transmits one serialized frame. The frame bytes are copied, so the
+// caller may reuse its buffer immediately.
+func (l *FrameLink) Send(frame []byte) {
+	l.stats.Sent++
+	buf := make([]byte, len(frame))
+	copy(buf, frame)
+	if l.BitErrProb > 0 && l.rng.Bernoulli(l.BitErrProb) {
+		l.stats.Corrupted++
+		i := l.rng.Intn(len(buf))
+		buf[i] ^= 1 << uint(l.rng.Intn(8))
+	}
+	l.stats.Delivered++
+	l.k.After(l.Delay, func() { l.sink(buf) })
+}
+
+// PropDelay returns the propagation delay for a fiber of the given length in
+// kilometres (5 µs/km, the standard figure for silica).
+func PropDelay(km float64) sim.Duration {
+	return sim.Duration(km * 5000)
+}

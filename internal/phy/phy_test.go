@@ -1,0 +1,140 @@
+package phy
+
+import (
+	"testing"
+
+	"repro/internal/atm"
+	"repro/internal/sim"
+)
+
+func TestCellLinkDeliversAfterDelay(t *testing.T) {
+	k := sim.NewKernel()
+	var at sim.Time = -1
+	l := NewCellLink(k, 5000, 1, func(c *atm.Cell) { at = k.Now() })
+	l.Send(&atm.Cell{})
+	k.Run()
+	if at != 5000 {
+		t.Fatalf("delivered at %v, want 5000", int64(at))
+	}
+	s := l.Stats()
+	if s.Sent != 1 || s.Delivered != 1 || s.Lost != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestCellLinkPreservesOrder(t *testing.T) {
+	k := sim.NewKernel()
+	var got []uint16
+	l := NewCellLink(k, 100, 1, func(c *atm.Cell) { got = append(got, c.Header.VCI) })
+	for i := 0; i < 10; i++ {
+		c := &atm.Cell{}
+		c.Header.VCI = uint16(i)
+		l.Send(c)
+	}
+	k.Run()
+	for i, v := range got {
+		if int(v) != i {
+			t.Fatalf("order %v", got)
+		}
+	}
+}
+
+func TestCellLinkLossRate(t *testing.T) {
+	k := sim.NewKernel()
+	delivered := 0
+	l := NewCellLink(k, 0, 42, func(c *atm.Cell) { delivered++ })
+	l.LossProb = 0.1
+	n := 100000
+	for i := 0; i < n; i++ {
+		l.Send(&atm.Cell{})
+	}
+	k.Run()
+	rate := 1 - float64(delivered)/float64(n)
+	if rate < 0.09 || rate > 0.11 {
+		t.Fatalf("loss rate %v, want ~0.1", rate)
+	}
+	if l.Stats().Lost != uint64(n-delivered) {
+		t.Fatal("loss accounting mismatch")
+	}
+}
+
+func TestCellLinkCorruptionFlipsOneBit(t *testing.T) {
+	k := sim.NewKernel()
+	var got *atm.Cell
+	l := NewCellLink(k, 0, 7, func(c *atm.Cell) { got = c })
+	l.CorruptProb = 1.0
+	c := &atm.Cell{}
+	orig := c.Payload
+	l.Send(c)
+	k.Run()
+	diff := 0
+	for i := range got.Payload {
+		x := got.Payload[i] ^ orig[i]
+		for ; x != 0; x &= x - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bits flipped, want 1", diff)
+	}
+}
+
+func TestFrameLinkCopiesBuffer(t *testing.T) {
+	k := sim.NewKernel()
+	var got []byte
+	l := NewFrameLink(k, 10, 1, func(f []byte) { got = f })
+	buf := []byte{1, 2, 3}
+	l.Send(buf)
+	buf[0] = 99 // mutate after send
+	k.Run()
+	if got[0] != 1 {
+		t.Fatal("frame link aliased caller's buffer")
+	}
+}
+
+func TestFrameLinkBitError(t *testing.T) {
+	k := sim.NewKernel()
+	var got []byte
+	l := NewFrameLink(k, 0, 3, func(f []byte) { got = f })
+	l.BitErrProb = 1.0
+	orig := make([]byte, 64)
+	l.Send(orig)
+	k.Run()
+	diff := 0
+	for i := range got {
+		x := got[i]
+		for ; x != 0; x &= x - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bits flipped, want 1", diff)
+	}
+}
+
+func TestPropDelay(t *testing.T) {
+	// 1000 km of fiber = 5 ms.
+	if got := PropDelay(1000); got != 5*sim.Millisecond {
+		t.Fatalf("PropDelay(1000) = %v", got)
+	}
+	if got := PropDelay(0.2); got != 1000 {
+		t.Fatalf("PropDelay(0.2km) = %v ns, want 1000", int64(got))
+	}
+}
+
+func TestNilSinkPanics(t *testing.T) {
+	k := sim.NewKernel()
+	for name, fn := range map[string]func(){
+		"cell":  func() { NewCellLink(k, 0, 1, nil) },
+		"frame": func() { NewFrameLink(k, 0, 1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: nil sink did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

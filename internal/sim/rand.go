@@ -1,0 +1,96 @@
+package sim
+
+import "math"
+
+// Rand is a small, deterministic pseudo-random stream for workload and fault
+// injection.  It is a 64-bit SplitMix64 generator: fast, stateless between
+// calls, and fully reproducible from its seed, which matters because every
+// experiment in this repository must be rerunnable bit-for-bit.
+//
+// math/rand would also work, but carrying our own keeps the generator stable
+// across Go releases (math/rand/v2 changed algorithms) and allows cheap
+// independent streams per model via Split.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a stream seeded with seed. Two streams with the same seed
+// produce identical sequences.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Split derives an independent stream from the current one, advancing the
+// parent. Useful to give each simulated component its own stream so adding a
+// component does not perturb the others' draws.
+func (r *Rand) Split() *Rand {
+	return &Rand{state: r.Uint64() ^ 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform draw in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bernoulli reports true with probability p.
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Exp returns an exponentially distributed draw with the given mean.
+func (r *Rand) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// ExpDuration returns an exponentially distributed simulated duration with
+// the given mean.
+func (r *Rand) ExpDuration(mean Duration) Duration {
+	d := Duration(r.Exp(float64(mean)))
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Geometric returns the number of failures before the first success in
+// Bernoulli(p) trials. Used for "cells until next loss" style fault models.
+func (r *Rand) Geometric(p float64) uint64 {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		return math.MaxUint64
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return uint64(math.Log(u) / math.Log(1-p))
+}

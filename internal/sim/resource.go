@@ -1,0 +1,110 @@
+package sim
+
+// Resource models a unit-capacity device (a bus, a processor, a DMA engine)
+// that serves requests one at a time in FIFO order.  Callers ask for the
+// resource for a known service duration and receive a callback when service
+// completes; the kernel stays single-threaded.
+//
+// The model is non-preemptive, which matches the hardware being simulated:
+// a bus burst or a firmware routine runs to completion once started.
+type Resource struct {
+	k    *Kernel
+	name string
+
+	busyUntil Time
+	queue     []pendingUse
+
+	// Accounting.
+	busyTime  Duration // total time spent serving
+	served    uint64   // completed requests
+	waitTime  Duration // total time requests spent queued
+	maxQueued int
+}
+
+type pendingUse struct {
+	arrived Time
+	dur     Duration
+	done    func()
+}
+
+// NewResource creates a FIFO-served unit resource attached to kernel k.
+func NewResource(k *Kernel, name string) *Resource {
+	return &Resource{k: k, name: name}
+}
+
+// Name returns the diagnostic name given at construction.
+func (r *Resource) Name() string { return r.name }
+
+// Busy reports whether the resource is serving a request now.
+func (r *Resource) Busy() bool { return r.k.Now() < r.busyUntil }
+
+// QueueLen reports how many requests are waiting (not counting the one in
+// service).
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Use requests the resource for dur nanoseconds. done (may be nil) runs when
+// service completes. Requests are served strictly FIFO. Use returns the time
+// at which service will complete given the current queue.
+func (r *Resource) Use(dur Duration, done func()) Time {
+	if dur < 0 {
+		panic("sim: negative service duration")
+	}
+	now := r.k.Now()
+	if !r.Busy() && len(r.queue) == 0 {
+		return r.begin(now, dur, done)
+	}
+	r.queue = append(r.queue, pendingUse{arrived: now, dur: dur, done: done})
+	if len(r.queue) > r.maxQueued {
+		r.maxQueued = len(r.queue)
+	}
+	// Completion time is an estimate assuming no later arrivals preempt
+	// FIFO order, which they cannot.
+	t := r.busyUntil
+	for _, p := range r.queue {
+		t += p.dur
+	}
+	return t
+}
+
+func (r *Resource) begin(now Time, dur Duration, done func()) Time {
+	r.busyUntil = now + dur
+	r.busyTime += dur
+	r.served++
+	r.k.At(r.busyUntil, func() {
+		if done != nil {
+			done()
+		}
+		r.next()
+	})
+	return r.busyUntil
+}
+
+func (r *Resource) next() {
+	if len(r.queue) == 0 || r.Busy() {
+		return
+	}
+	p := r.queue[0]
+	copy(r.queue, r.queue[1:])
+	r.queue = r.queue[:len(r.queue)-1]
+	r.waitTime += r.k.Now() - p.arrived
+	r.begin(r.k.Now(), p.dur, p.done)
+}
+
+// Utilization returns the fraction of time in [0, now] the resource was busy.
+func (r *Resource) Utilization() float64 {
+	now := r.k.Now()
+	if now == 0 {
+		return 0
+	}
+	busy := r.busyTime
+	if r.Busy() {
+		busy -= r.busyUntil - now // don't count future service yet
+	}
+	return float64(busy) / float64(now)
+}
+
+// Stats returns cumulative counters: completed requests, total busy time and
+// total queue-wait time.
+func (r *Resource) Stats() (served uint64, busy, wait Duration, maxQueued int) {
+	return r.served, r.busyTime, r.waitTime, r.maxQueued
+}

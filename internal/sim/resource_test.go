@@ -1,0 +1,244 @@
+package sim
+
+import "testing"
+
+func TestResourceServesImmediatelyWhenIdle(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "bus")
+	var done Time = -1
+	finish := r.Use(100, func() { done = k.Now() })
+	if finish != 100 {
+		t.Fatalf("predicted finish %v, want 100", finish)
+	}
+	k.Run()
+	if done != 100 {
+		t.Fatalf("completed at %v, want 100", done)
+	}
+}
+
+func TestResourceQueuesFIFO(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "bus")
+	var order []int
+	r.Use(10, func() { order = append(order, 1) })
+	r.Use(10, func() { order = append(order, 2) })
+	r.Use(10, func() { order = append(order, 3) })
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("completion order %v, want [1 2 3]", order)
+	}
+	if k.Now() != 30 {
+		t.Fatalf("finished at %v, want 30 (serialized)", k.Now())
+	}
+}
+
+func TestResourcePredictedFinishWithQueue(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "bus")
+	r.Use(10, nil)
+	finish := r.Use(20, nil)
+	if finish != 30 {
+		t.Fatalf("predicted finish %v, want 30", finish)
+	}
+	finish = r.Use(5, nil)
+	if finish != 35 {
+		t.Fatalf("predicted finish %v, want 35", finish)
+	}
+}
+
+func TestResourceArrivalDuringService(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "cpu")
+	var completions []Time
+	r.Use(100, func() { completions = append(completions, k.Now()) })
+	k.At(50, func() {
+		r.Use(30, func() { completions = append(completions, k.Now()) })
+	})
+	k.Run()
+	if len(completions) != 2 || completions[0] != 100 || completions[1] != 130 {
+		t.Fatalf("completions %v, want [100 130]", completions)
+	}
+}
+
+func TestResourceBusyFlag(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "cpu")
+	if r.Busy() {
+		t.Fatal("idle resource reports busy")
+	}
+	r.Use(10, nil)
+	if !r.Busy() {
+		t.Fatal("serving resource reports idle")
+	}
+	k.Run()
+	if r.Busy() {
+		t.Fatal("drained resource reports busy")
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "cpu")
+	r.Use(100, nil)
+	k.Run()
+	k.RunUntil(200) // idle 100..200
+	if u := r.Utilization(); u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+}
+
+func TestResourceStats(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "cpu")
+	r.Use(10, nil)
+	r.Use(10, nil) // waits 10
+	r.Use(10, nil) // waits 20
+	k.Run()
+	served, busy, wait, maxQ := r.Stats()
+	if served != 3 {
+		t.Errorf("served = %d, want 3", served)
+	}
+	if busy != 30 {
+		t.Errorf("busy = %v, want 30", busy)
+	}
+	if wait != 30 {
+		t.Errorf("wait = %v, want 30 (10+20)", wait)
+	}
+	if maxQ != 2 {
+		t.Errorf("maxQueued = %d, want 2", maxQ)
+	}
+}
+
+func TestResourceNegativeDurationPanics(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "cpu")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative duration did not panic")
+		}
+	}()
+	r.Use(-1, nil)
+}
+
+func TestResourceZeroDuration(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "cpu")
+	ran := false
+	r.Use(0, func() { ran = true })
+	k.Run()
+	if !ran {
+		t.Fatal("zero-duration use never completed")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+}
+
+func TestRandSplitIndependence(t *testing.T) {
+	a := NewRand(1)
+	c := a.Split()
+	if a.Uint64() == c.Uint64() {
+		t.Fatal("split stream mirrors parent")
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) only produced %d distinct values in 1000 draws", len(seen))
+	}
+}
+
+func TestRandBernoulliExtremes(t *testing.T) {
+	r := NewRand(7)
+	if r.Bernoulli(0) {
+		t.Fatal("Bernoulli(0) returned true")
+	}
+	if !r.Bernoulli(1) {
+		t.Fatal("Bernoulli(1) returned false")
+	}
+}
+
+func TestRandBernoulliMean(t *testing.T) {
+	r := NewRand(9)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	mean := float64(hits) / float64(n)
+	if mean < 0.28 || mean > 0.32 {
+		t.Fatalf("Bernoulli(0.3) empirical mean %v", mean)
+	}
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(11)
+	n := 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(100)
+	}
+	mean := sum / float64(n)
+	if mean < 95 || mean > 105 {
+		t.Fatalf("Exp(100) empirical mean %v", mean)
+	}
+}
+
+func TestRandGeometricExtremes(t *testing.T) {
+	r := NewRand(13)
+	if g := r.Geometric(1); g != 0 {
+		t.Fatalf("Geometric(1) = %d, want 0", g)
+	}
+	if g := r.Geometric(0); g != ^uint64(0) {
+		t.Fatalf("Geometric(0) = %d, want MaxUint64", g)
+	}
+}
+
+func TestRandGeometricMean(t *testing.T) {
+	r := NewRand(17)
+	n := 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(r.Geometric(0.1))
+	}
+	mean := sum / float64(n) // expect (1-p)/p = 9
+	if mean < 8.5 || mean > 9.5 {
+		t.Fatalf("Geometric(0.1) empirical mean %v, want ~9", mean)
+	}
+}
+
+func TestIntnNonPositivePanics(t *testing.T) {
+	r := NewRand(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}

@@ -1,0 +1,173 @@
+package sonet
+
+import (
+	"repro/internal/crc"
+)
+
+// DelineationState is the I.432 cell-delineation state.
+type DelineationState uint8
+
+const (
+	// Hunt: sliding byte-by-byte looking for one valid HEC.
+	Hunt DelineationState = iota
+	// Presync: candidate boundary found; needs delta consecutive valid
+	// HECs at cell spacing to be trusted.
+	Presync
+	// Sync: locked; alpha consecutive bad HECs lose lock.
+	Sync
+)
+
+// String implements fmt.Stringer.
+func (s DelineationState) String() string {
+	switch s {
+	case Hunt:
+		return "HUNT"
+	case Presync:
+		return "PRESYNC"
+	case Sync:
+		return "SYNC"
+	default:
+		return "?"
+	}
+}
+
+// I.432 recommends delta=6 and alpha=7.
+const (
+	DefaultDelta = 6
+	DefaultAlpha = 7
+)
+
+// DelineatorStats counts delineation events.
+type DelineatorStats struct {
+	Cells           uint64 // cells delivered (valid or corrected header)
+	HeaderCorrected uint64 // single-bit header errors fixed
+	HeaderDropped   uint64 // cells dropped for uncorrectable headers in SYNC
+	SyncLosses      uint64 // SYNC → HUNT transitions
+	SyncAcquired    uint64 // PRESYNC → SYNC transitions
+}
+
+// Delineator implements HEC-based cell delineation over a byte stream, and
+// descrambles each located cell's information field. Found cells are passed
+// to the sink callback as 53 clear-text bytes (the slice is reused; the sink
+// must copy what it keeps).
+type Delineator struct {
+	Delta int
+	Alpha int
+
+	state   DelineationState
+	window  []byte // pending bytes not yet consumed
+	goodRun int    // consecutive good HECs in PRESYNC
+	badRun  int    // consecutive bad HECs in SYNC
+	cs      CellScrambler
+	cell    [53]byte
+	sink    func(cell []byte, corrected bool)
+	stats   DelineatorStats
+}
+
+// NewDelineator returns a delineator in HUNT state delivering cells to sink.
+func NewDelineator(sink func(cell []byte, corrected bool)) *Delineator {
+	if sink == nil {
+		panic("sonet: nil delineation sink")
+	}
+	return &Delineator{Delta: DefaultDelta, Alpha: DefaultAlpha, sink: sink}
+}
+
+// State returns the current delineation state.
+func (d *Delineator) State() DelineationState { return d.state }
+
+// Stats returns cumulative counters.
+func (d *Delineator) Stats() DelineatorStats { return d.stats }
+
+// hecOK checks the 5 bytes at w[0:5] for an exactly matching HEC. Used in
+// HUNT and PRESYNC, where I.432 disables single-bit correction: accepting
+// correctable windows would make ~16% of random offsets look like cell
+// boundaries and delineation would false-lock constantly.
+func hecOK(w []byte) bool {
+	return crc.HEC([4]byte{w[0], w[1], w[2], w[3]}) == w[4]
+}
+
+// Push feeds payload-stream bytes to the delineator.
+func (d *Delineator) Push(p []byte) {
+	d.window = append(d.window, p...)
+	for {
+		switch d.state {
+		case Hunt:
+			// Slide until a window with a valid HEC appears.
+			for len(d.window) >= 5 {
+				if hecOK(d.window) {
+					d.state = Presync
+					d.goodRun = 0
+					break
+				}
+				d.window = d.window[1:]
+			}
+			if d.state == Hunt {
+				d.compact()
+				return
+			}
+		case Presync:
+			// Confirm delta more boundaries at exact cell spacing.
+			// The candidate cell at window[0:53] is consumed without
+			// delivery (its payload predates descrambler sync).
+			if len(d.window) < 53 {
+				d.compact()
+				return
+			}
+			if !hecOK(d.window) {
+				// False lock: resume hunting one byte on.
+				d.window = d.window[1:]
+				d.state = Hunt
+				continue
+			}
+			// Keep the descrambler fed even though we discard.
+			d.cs.Descramble(d.window[5:53])
+			d.window = d.window[53:]
+			d.goodRun++
+			if d.goodRun >= d.Delta {
+				d.state = Sync
+				d.badRun = 0
+				d.stats.SyncAcquired++
+			}
+		case Sync:
+			if len(d.window) < 53 {
+				d.compact()
+				return
+			}
+			var h [5]byte
+			copy(h[:], d.window[:5])
+			ok, corrected := crc.HECCheck(&h)
+			if !ok {
+				d.badRun++
+				d.stats.HeaderDropped++
+				// Still consume the cell slot and keep scrambler state.
+				d.cs.Descramble(d.window[5:53])
+				d.window = d.window[53:]
+				if d.badRun >= d.Alpha {
+					d.state = Hunt
+					d.stats.SyncLosses++
+				}
+				continue
+			}
+			d.badRun = 0
+			if corrected {
+				d.stats.HeaderCorrected++
+			}
+			copy(d.cell[:5], h[:])
+			copy(d.cell[5:], d.window[5:53])
+			d.cs.Descramble(d.cell[5:])
+			d.window = d.window[53:]
+			d.stats.Cells++
+			d.sink(d.cell[:], corrected)
+		}
+	}
+}
+
+// compact bounds the pending window's backing array. Without this the
+// append/reslice pattern would pin every frame ever pushed.
+func (d *Delineator) compact() {
+	if cap(d.window) > 4*53 && len(d.window) < 53 {
+		w := make([]byte, len(d.window), 2*53)
+		copy(w, d.window)
+		d.window = w
+	}
+}

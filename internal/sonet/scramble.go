@@ -1,0 +1,95 @@
+// Package sonet implements the physical-layer framing substrate under the
+// ATM host interface: STS-3c / STS-12c frame generation and parsing, the two
+// scramblers the standards require, and HEC-based cell delineation
+// (ITU-T I.432 / G.707).
+//
+// The interface board this reproduces used SONET framer hardware; the cell
+// stream the protocol engines see is what comes out of this package.  One
+// deliberate simplification is documented in DESIGN.md: the synchronous
+// payload envelope is modelled frame-aligned (a fixed pointer value) rather
+// than floating, which preserves payload rate and delineation behaviour
+// while avoiding pointer-justification machinery the paper's analysis never
+// touches.
+package sonet
+
+// FrameScrambler is the frame-synchronous SONET scrambler, generator
+// 1 + x⁶ + x⁷, reset to all ones at the first byte after the row-1 section
+// overhead of every frame. It whitens the line so clock recovery works; it
+// is its own inverse.
+type FrameScrambler struct {
+	state uint8 // 7-bit LFSR state
+}
+
+// Reset returns the LFSR to the all-ones frame-start state.
+func (s *FrameScrambler) Reset() { s.state = 0x7f }
+
+// Apply scrambles (or equivalently descrambles) p in place, advancing the
+// LFSR one bit per data bit, MSB first.
+func (s *FrameScrambler) Apply(p []byte) {
+	st := s.state
+	for i, b := range p {
+		var mask uint8
+		for bit := 0; bit < 8; bit++ {
+			out := (st >> 6) & 1 // x⁷ tap
+			mask = mask<<1 | out
+			fb := ((st >> 6) ^ (st >> 5)) & 1 // x⁷ ⊕ x⁶
+			st = st<<1&0x7f | fb
+		}
+		p[i] = b ^ mask
+	}
+	s.state = st
+}
+
+// CellScrambler is the self-synchronous x⁴³ + 1 scrambler applied to the
+// 48-byte information field of every cell (headers stay in clear, which is
+// what lets a hunting receiver check HECs before it has descrambler state).
+// Being self-synchronous, a receiver's descrambler converges to the
+// transmitter's state after 43 received bits regardless of how it was
+// initialized.
+type CellScrambler struct {
+	state uint64 // low 43 bits hold the last 43 output (line) bits
+}
+
+// Scramble transforms plaintext p in place into line bits.
+func (s *CellScrambler) Scramble(p []byte) {
+	st := s.state
+	for i, b := range p {
+		var out uint8
+		for bit := 7; bit >= 0; bit-- {
+			in := (b >> bit) & 1
+			o := in ^ uint8(st>>42&1)
+			out = out<<1 | o
+			st = st<<1&0x7ff_ffff_ffff | uint64(o)
+		}
+		p[i] = out
+	}
+	s.state = st
+}
+
+// Descramble transforms line bits p in place back into plaintext. The LFSR
+// shifts in the *received* bits, which is what makes the pair
+// self-synchronizing.
+func (s *CellScrambler) Descramble(p []byte) {
+	st := s.state
+	for i, b := range p {
+		var out uint8
+		for bit := 7; bit >= 0; bit-- {
+			in := (b >> bit) & 1
+			o := in ^ uint8(st>>42&1)
+			out = out<<1 | o
+			st = st<<1&0x7ff_ffff_ffff | uint64(in)
+		}
+		p[i] = out
+	}
+	s.state = st
+}
+
+// bip8 computes even-parity BIP-8 over p: each bit of the result makes the
+// corresponding bit position of p even-parity. SONET B1/B3 bytes carry this.
+func bip8(p []byte) byte {
+	var b byte
+	for _, x := range p {
+		b ^= x
+	}
+	return b
+}

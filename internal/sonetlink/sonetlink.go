@@ -1,0 +1,212 @@
+// Package sonetlink runs the interface over the real physical layer: instead
+// of the cell-granular phy.CellLink shortcut, cells are packed into SONET
+// frames (with scrambling, BIP parity and HEC-based cell delineation),
+// carried as serialized 125 µs frames, and recovered by the receive framer —
+// the complete path the board's framer chip implemented.
+//
+// It exists for two reasons: examples and tests that exercise the whole
+// stack, and fault studies where the corruption unit is a line bit rather
+// than a cell (a single flipped bit can cost a header, a payload, or — if it
+// lands in the overhead — nothing but a parity alarm).
+package sonetlink
+
+import (
+	"repro/internal/atm"
+	"repro/internal/fifo"
+	"repro/internal/nic"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/sonet"
+	"repro/internal/units"
+)
+
+// Config parameterizes the SONET path.
+type Config struct {
+	// Rate selects STS-3c or STS-12c framing. It must match the
+	// interfaces' payload rate or the transmit queue will run dry or
+	// overflow; Connect checks.
+	Rate sonet.Rate
+	// Delay is the fiber propagation delay.
+	Delay sim.Duration
+	// BitErrProb is the probability each frame suffers one random bit
+	// error in flight.
+	BitErrProb float64
+	// Seed drives fault injection.
+	Seed uint64
+}
+
+// Stats counts one direction's events.
+type Stats struct {
+	Frames      uint64
+	DataCells   uint64 // non-idle cells carried
+	IdleCells   uint64 // fill inserted when the TX queue ran dry
+	QueueDrops  uint64 // TX-side overflow (interface outran the framer)
+	Delineation sonet.DelineatorStats
+	Deframer    sonet.DeframerStats
+}
+
+// Link is a duplex SONET-framed connection between two interfaces.
+type Link struct {
+	AtoB *Half
+	BtoA *Half
+}
+
+// Half is one direction.
+type Half struct {
+	k    *sim.Kernel
+	cfg  Config
+	dst  *nic.Interface
+	fr   *sonet.Framer
+	df   *sonet.Deframer
+	del  *sonet.Delineator
+	line *phy.FrameLink
+
+	queue    *fifo.Ring[*atm.Cell]
+	srcPool  *atm.Pool
+	frameBuf []byte
+	cellTime sim.Duration
+	cellIdx  int // cells recovered from the frame being parsed
+	running  bool
+
+	stats Stats
+}
+
+// Connect wires a and b through SONET framing in both directions. The
+// framers tick every 125 µs for as long as the simulation runs them (they
+// stop when both directions are idle, so kernels still drain).
+func Connect(k *sim.Kernel, cfg Config, a, b *nic.Interface) (*Link, error) {
+	for _, ifc := range []*nic.Interface{a, b} {
+		if ifc.Config().PayloadRate != cfg.Rate.PayloadRate() {
+			return nil, errRateMismatch
+		}
+	}
+	ab := newHalf(k, cfg, a, b)
+	ba := newHalf(k, cfg, b, a)
+	a.SetOutput(ab.enqueue)
+	b.SetOutput(ba.enqueue)
+	return &Link{AtoB: ab, BtoA: ba}, nil
+}
+
+var errRateMismatch = errorString("sonetlink: interface payload rate does not match SONET rate")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func newHalf(k *sim.Kernel, cfg Config, src, dst *nic.Interface) *Half {
+	h := &Half{
+		k: k, cfg: cfg, dst: dst,
+		// Two frames' worth of cells absorbs the burst mismatch between
+		// the interface's smooth cell clock and the framer's 125 µs
+		// granularity.
+		queue:    fifo.NewRing[*atm.Cell](2 * cellsPerFrame(cfg.Rate)),
+		srcPool:  src.Pool(),
+		cellTime: units.CellTime(cfg.Rate.PayloadRate()),
+	}
+	h.fr = sonet.NewFramer(cfg.Rate, (*txSource)(h))
+	h.frameBuf = make([]byte, h.fr.Geometry().FrameBytes)
+	h.del = sonet.NewDelineator(h.cellRecovered)
+	h.df = sonet.NewDeframer(cfg.Rate, h.del)
+	h.line = phy.NewFrameLink(k, cfg.Delay, cfg.Seed, h.frameArrived)
+	h.line.BitErrProb = cfg.BitErrProb
+	// Prime the far end's cell delineation with one idle-only frame at
+	// link bring-up (44+ idle cells comfortably cover HUNT + the 6-cell
+	// PRESYNC confirmation). A real link is never dark before traffic;
+	// this models that without running the framer eternally.
+	k.At(k.Now(), func() {
+		h.fr.NextFrame(h.frameBuf)
+		h.line.Send(h.frameBuf)
+	})
+	return h
+}
+
+func cellsPerFrame(r sonet.Rate) int {
+	return sonet.Geom(r).PayloadPer/atm.CellSize + 1
+}
+
+// Stats returns this direction's counters.
+func (h *Half) Stats() Stats {
+	s := h.stats
+	s.Frames = h.fr.Frames()
+	s.Delineation = h.del.Stats()
+	s.Deframer = h.df.Stats()
+	return s
+}
+
+// enqueue accepts a cell from the transmitting interface's cell clock.
+func (h *Half) enqueue(c *atm.Cell) {
+	if !h.queue.Push(c) {
+		h.stats.QueueDrops++
+		h.srcPool.Put(c)
+	}
+	if !h.running {
+		h.running = true
+		h.k.After(sonet.FramePeriodNs, h.frameTick)
+	}
+}
+
+// frameTick emits one SONET frame every 125 µs while there is anything to
+// carry, then lets the line go dark so simulations terminate. (A real
+// framer never stops; an eternal event would keep the kernel alive forever.)
+func (h *Half) frameTick() {
+	h.fr.NextFrame(h.frameBuf)
+	h.line.Send(h.frameBuf)
+	if h.queue.Empty() {
+		// Emit one more frame's worth of idle and stop until traffic
+		// resumes; the receiver's delineation state survives the gap
+		// in this model because it is re-fed from a byte-aligned frame.
+		h.running = false
+		return
+	}
+	h.k.After(sonet.FramePeriodNs, h.frameTick)
+}
+
+// txSource adapts the queue to the framer's pull interface.
+type txSource Half
+
+// NextCell implements sonet.CellSource.
+func (t *txSource) NextCell(dst []byte) {
+	h := (*Half)(t)
+	cell, ok := h.queue.Pop()
+	if !ok {
+		h.stats.IdleCells++
+		if err := atm.IdleCell().Encode(dst); err != nil {
+			panic(err)
+		}
+		return
+	}
+	h.stats.DataCells++
+	if err := cell.Encode(dst); err != nil {
+		panic(err)
+	}
+	h.srcPool.Put(cell)
+}
+
+// frameArrived parses one received frame.
+func (h *Half) frameArrived(frame []byte) {
+	h.cellIdx = 0
+	if err := h.df.PushFrame(frame); err != nil {
+		panic("sonetlink: " + err.Error())
+	}
+}
+
+// cellRecovered is the delineation sink: deliver each data cell to the
+// destination interface, spread across the frame's 125 µs so the RX FIFO
+// sees wire-spaced arrivals rather than a burst (the real framer emits
+// cells as the bits arrive).
+func (h *Half) cellRecovered(cell []byte, corrected bool) {
+	c := h.dst.Pool().Get()
+	if _, err := c.Decode(cell, atm.UNI); err != nil {
+		// The delineator verified the HEC; a decode failure here means
+		// an uncorrectable-but-plausible header slipped through. Drop.
+		h.dst.Pool().Put(c)
+		return
+	}
+	if c.Header.IsIdle() {
+		h.dst.Pool().Put(c)
+		return
+	}
+	offset := sim.Duration(h.cellIdx) * h.cellTime
+	h.cellIdx++
+	h.k.After(offset, func() { h.dst.DeliverCell(c) })
+}

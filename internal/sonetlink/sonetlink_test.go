@@ -1,0 +1,225 @@
+package sonetlink
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/atm"
+	"repro/internal/bus"
+	"repro/internal/host"
+	"repro/internal/nic"
+	"repro/internal/sim"
+	"repro/internal/sonet"
+	"repro/internal/units"
+)
+
+func pkt(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*19 + 1)
+	}
+	return b
+}
+
+type rig struct {
+	k    *sim.Kernel
+	a, b *nic.Interface
+	link *Link
+	got  [][]byte
+}
+
+func newRig(t *testing.T, rate sonet.Rate) *rig {
+	t.Helper()
+	k := sim.NewKernel()
+	r := &rig{k: k}
+	mk := func(name string) *nic.Interface {
+		cfg := nic.DefaultConfig(name)
+		cfg.PayloadRate = rate.PayloadRate()
+		// Deep enough to ride out the framer's 125 µs burst granularity.
+		cfg.RxFifoDepth = 128
+		iface, err := nic.New(k, cfg, host.New(k, host.DefaultConfig()), bus.New(k, bus.DefaultConfig()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return iface
+	}
+	r.a, r.b = mk("a"), mk("b")
+	link, err := Connect(k, Config{Rate: rate, Delay: 10_000, Seed: 3}, r.a, r.b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.link = link
+	r.b.OnReceive(func(d nic.Delivered) { r.got = append(r.got, d.SDU) })
+	return r
+}
+
+func vc() atm.VC { return atm.VC{VCI: 33} }
+
+func TestSonetPathEndToEnd(t *testing.T) {
+	r := newRig(t, sonet.STS3c)
+	r.a.OpenVC(vc())
+	r.b.OpenVC(vc())
+	payload := pkt(9180)
+	if err := r.a.Send(vc(), payload, nil); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Run()
+	if len(r.got) != 1 || !bytes.Equal(r.got[0], payload) {
+		t.Fatalf("SONET path delivered %d packets", len(r.got))
+	}
+	st := r.link.AtoB.Stats()
+	if st.Frames == 0 || st.DataCells != 192 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Delineation.SyncAcquired != 1 || st.Delineation.SyncLosses != 0 {
+		t.Fatalf("delineation %+v", st.Delineation)
+	}
+	if st.Deframer.B1Errors != 0 || st.Deframer.LOSFrames != 0 {
+		t.Fatalf("clean fiber reported section errors: %+v", st.Deframer)
+	}
+}
+
+func TestSonetPathManyPackets(t *testing.T) {
+	r := newRig(t, sonet.STS3c)
+	r.a.OpenVC(vc())
+	r.b.OpenVC(vc())
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := r.a.Send(vc(), pkt(1000+17*i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.k.Run()
+	if len(r.got) != n {
+		t.Fatalf("delivered %d of %d", len(r.got), n)
+	}
+	for i, sdu := range r.got {
+		if !bytes.Equal(sdu, pkt(1000+17*i)) {
+			t.Fatalf("packet %d corrupted or reordered", i)
+		}
+	}
+}
+
+func TestSonetPathSTS12c(t *testing.T) {
+	r := newRig(t, sonet.STS12c)
+	r.a.OpenVC(vc())
+	r.b.OpenVC(vc())
+	payload := pkt(4096)
+	r.a.Send(vc(), payload, nil)
+	r.k.Run()
+	if len(r.got) != 1 || !bytes.Equal(r.got[0], payload) {
+		t.Fatal("STS-12c SONET path failed")
+	}
+}
+
+func TestSonetIdleFillCounted(t *testing.T) {
+	r := newRig(t, sonet.STS3c)
+	r.a.OpenVC(vc())
+	r.b.OpenVC(vc())
+	r.a.Send(vc(), pkt(96), nil) // 3 cells in a ~44-cell frame
+	r.k.Run()
+	st := r.link.AtoB.Stats()
+	if st.IdleCells == 0 {
+		t.Fatal("no idle fill despite a nearly empty frame")
+	}
+	if st.DataCells != 3 {
+		t.Fatalf("data cells = %d, want 3", st.DataCells)
+	}
+}
+
+func TestSonetBitErrorsDetectedNotDelivered(t *testing.T) {
+	k := sim.NewKernel()
+	mk := func(name string) *nic.Interface {
+		cfg := nic.DefaultConfig(name)
+		cfg.RxFifoDepth = 128
+		iface, _ := nic.New(k, cfg, host.New(k, host.DefaultConfig()), bus.New(k, bus.DefaultConfig()))
+		return iface
+	}
+	a, b := mk("a"), mk("b")
+	link, err := Connect(k, Config{Rate: sonet.STS3c, Delay: 10_000, BitErrProb: 1, Seed: 7}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	b.OnReceive(func(d nic.Delivered) { got = append(got, d.SDU) })
+	a.OpenVC(vc())
+	b.OpenVC(vc())
+	payload := pkt(9180)
+	const n = 10
+	for i := 0; i < n; i++ {
+		a.Send(vc(), payload, nil)
+	}
+	k.Run()
+	// Every delivered packet is intact...
+	for _, sdu := range got {
+		if !bytes.Equal(sdu, payload) {
+			t.Fatal("corrupted SDU delivered through SONET path")
+		}
+	}
+	// ...and the damage showed up somewhere observable.
+	st := link.AtoB.Stats()
+	rx := b.Stats().Rx
+	damage := st.Deframer.B1Errors + st.Delineation.HeaderDropped +
+		uint64(st.Delineation.HeaderCorrected) + rx.AALErrors
+	if damage == 0 {
+		t.Fatalf("1 bit error/frame left no trace: link %+v rx %+v", st, rx)
+	}
+}
+
+func TestSonetHeaderCorrectionOnTheRealPath(t *testing.T) {
+	// With one bit error per frame, some errors land in cell headers; the
+	// delineator must fix single-bit header damage rather than drop.
+	k := sim.NewKernel()
+	mk := func(name string) *nic.Interface {
+		cfg := nic.DefaultConfig(name)
+		cfg.RxFifoDepth = 128
+		iface, _ := nic.New(k, cfg, host.New(k, host.DefaultConfig()), bus.New(k, bus.DefaultConfig()))
+		return iface
+	}
+	a, b := mk("a"), mk("b")
+	link, _ := Connect(k, Config{Rate: sonet.STS3c, Delay: 0, BitErrProb: 1, Seed: 11}, a, b)
+	a.OpenVC(vc())
+	b.OpenVC(vc())
+	for i := 0; i < 40; i++ {
+		a.Send(vc(), pkt(9180), nil)
+	}
+	k.Run()
+	if link.AtoB.Stats().Delineation.HeaderCorrected == 0 {
+		t.Skip("no bit error landed in a header in this seeded run")
+	}
+}
+
+func TestRateMismatchRejected(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := nic.DefaultConfig("a") // STS-3c payload rate
+	iface, _ := nic.New(k, cfg, host.New(k, host.DefaultConfig()), bus.New(k, bus.DefaultConfig()))
+	if _, err := Connect(k, Config{Rate: sonet.STS12c}, iface, iface); err == nil {
+		t.Fatal("rate mismatch accepted")
+	}
+}
+
+func TestSonetThroughputNearLineRate(t *testing.T) {
+	r := newRig(t, sonet.STS3c)
+	r.a.OpenVC(vc())
+	r.b.OpenVC(vc())
+	deadline := sim.Time(30 * sim.Millisecond)
+	payload := pkt(9180)
+	var send func()
+	send = func() {
+		if r.k.Now() > deadline {
+			return
+		}
+		r.a.Send(vc(), payload, send)
+	}
+	for i := 0; i < 4; i++ {
+		send()
+	}
+	r.k.RunUntil(deadline)
+	bytesRx := r.b.Stats().Rx.Bytes
+	r.k.Run()
+	got := units.ThroughputBps(int64(bytesRx), deadline)
+	ceiling := float64(units.STS3cPayload) * 9180 / float64(192*53)
+	if got < 0.8*ceiling {
+		t.Fatalf("SONET-path goodput %.1f Mb/s < 80%% of %.1f Mb/s", got/1e6, ceiling/1e6)
+	}
+}

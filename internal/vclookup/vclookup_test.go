@@ -1,0 +1,297 @@
+package vclookup
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/atm"
+)
+
+func strategies(cap int) []Strategy {
+	return []Strategy{NewCAM(cap), NewLinear(cap), NewHash(cap)}
+}
+
+func vcN(i int) atm.VC { return atm.VC{VPI: uint16(i >> 8), VCI: uint16(i*7 + 1)} }
+
+func TestInsertLookupAllStrategies(t *testing.T) {
+	for _, s := range strategies(64) {
+		idx := make(map[atm.VC]int)
+		for i := 0; i < 64; i++ {
+			vc := vcN(i)
+			id, err := s.Insert(vc)
+			if err != nil {
+				t.Fatalf("%s: insert %v: %v", s.Name(), vc, err)
+			}
+			idx[vc] = id
+		}
+		if s.Len() != 64 {
+			t.Fatalf("%s: Len = %d", s.Name(), s.Len())
+		}
+		for vc, want := range idx {
+			got, cycles, ok := s.Lookup(vc)
+			if !ok || got != want {
+				t.Fatalf("%s: lookup %v = %d,%v, want %d", s.Name(), vc, got, ok, want)
+			}
+			if cycles <= 0 {
+				t.Fatalf("%s: free lookup", s.Name())
+			}
+		}
+	}
+}
+
+func TestIndicesDistinct(t *testing.T) {
+	for _, s := range strategies(32) {
+		seen := map[int]bool{}
+		for i := 0; i < 32; i++ {
+			id, err := s.Insert(vcN(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seen[id] {
+				t.Fatalf("%s: duplicate index %d", s.Name(), id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestMissReported(t *testing.T) {
+	for _, s := range strategies(8) {
+		s.Insert(vcN(0))
+		_, cycles, ok := s.Lookup(atm.VC{VPI: 99, VCI: 9999})
+		if ok {
+			t.Fatalf("%s: phantom hit", s.Name())
+		}
+		if cycles <= 0 {
+			t.Fatalf("%s: miss cost zero cycles", s.Name())
+		}
+	}
+}
+
+func TestDuplicateInsertRejected(t *testing.T) {
+	for _, s := range strategies(8) {
+		s.Insert(vcN(1))
+		if _, err := s.Insert(vcN(1)); !errors.Is(err, ErrDuplicate) {
+			t.Fatalf("%s: err = %v, want ErrDuplicate", s.Name(), err)
+		}
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	for _, s := range strategies(4) {
+		for i := 0; i < 4; i++ {
+			if _, err := s.Insert(vcN(i)); err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+		}
+		if _, err := s.Insert(vcN(99)); !errors.Is(err, ErrFull) {
+			t.Fatalf("%s: err = %v, want ErrFull", s.Name(), err)
+		}
+		if s.Cap() != 4 {
+			t.Fatalf("%s: Cap = %d", s.Name(), s.Cap())
+		}
+	}
+}
+
+func TestRemoveThenReuse(t *testing.T) {
+	for _, s := range strategies(4) {
+		for i := 0; i < 4; i++ {
+			s.Insert(vcN(i))
+		}
+		s.Remove(vcN(2))
+		if s.Len() != 3 {
+			t.Fatalf("%s: Len after remove = %d", s.Name(), s.Len())
+		}
+		if _, _, ok := s.Lookup(vcN(2)); ok {
+			t.Fatalf("%s: removed VC still found", s.Name())
+		}
+		// Others undisturbed.
+		for _, i := range []int{0, 1, 3} {
+			if _, _, ok := s.Lookup(vcN(i)); !ok {
+				t.Fatalf("%s: VC %d lost after unrelated remove", s.Name(), i)
+			}
+		}
+		// Space freed.
+		if _, err := s.Insert(vcN(50)); err != nil {
+			t.Fatalf("%s: reinsert after remove: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestRemoveAbsentIsNoOp(t *testing.T) {
+	for _, s := range strategies(4) {
+		s.Insert(vcN(0))
+		s.Remove(vcN(42)) // must not panic or disturb
+		if _, _, ok := s.Lookup(vcN(0)); !ok {
+			t.Fatalf("%s: remove of absent VC disturbed table", s.Name())
+		}
+	}
+}
+
+func TestCAMCostFlat(t *testing.T) {
+	c := NewCAM(256)
+	c.Insert(vcN(0))
+	_, c1, _ := c.Lookup(vcN(0))
+	for i := 1; i < 256; i++ {
+		c.Insert(vcN(i))
+	}
+	_, c2, _ := c.Lookup(vcN(255))
+	if c1 != c2 {
+		t.Fatalf("CAM cost varies with occupancy: %d vs %d", c1, c2)
+	}
+}
+
+func TestLinearCostGrows(t *testing.T) {
+	l := NewLinear(256)
+	for i := 0; i < 256; i++ {
+		l.Insert(vcN(i))
+	}
+	_, first, _ := l.Lookup(vcN(0))
+	_, last, _ := l.Lookup(vcN(255))
+	if last <= first {
+		t.Fatalf("linear cost did not grow: first %d, last %d", first, last)
+	}
+	if last < 256*linearProbeCycles {
+		t.Fatalf("deep lookup cost %d implausibly low", last)
+	}
+}
+
+func TestHashCostBounded(t *testing.T) {
+	h := NewHash(256)
+	for i := 0; i < 256; i++ {
+		h.Insert(vcN(i))
+	}
+	worst := 0
+	for i := 0; i < 256; i++ {
+		_, c, ok := h.Lookup(vcN(i))
+		if !ok {
+			t.Fatal("inserted VC missing")
+		}
+		if c > worst {
+			worst = c
+		}
+	}
+	// Half-loaded linear probing: expected probe chains are short. Allow
+	// a generous bound that still separates hash from linear scan.
+	if worst > hashSetupCycles+16*hashProbeCycles {
+		t.Fatalf("worst hash lookup %d cycles; table degenerated", worst)
+	}
+}
+
+func TestOrderingCAMvsHashvsLinear(t *testing.T) {
+	// The E6 shape at high occupancy: cam < hash < linear (average cost).
+	n := 512
+	cam, hash, lin := NewCAM(n), NewHash(n), NewLinear(n)
+	for i := 0; i < n; i++ {
+		cam.Insert(vcN(i))
+		hash.Insert(vcN(i))
+		lin.Insert(vcN(i))
+	}
+	avg := func(s Strategy) float64 {
+		total := 0
+		for i := 0; i < n; i++ {
+			_, c, _ := s.Lookup(vcN(i))
+			total += c
+		}
+		return float64(total) / float64(n)
+	}
+	aCam, aHash, aLin := avg(cam), avg(hash), avg(lin)
+	if !(aCam < aHash && aHash < aLin) {
+		t.Fatalf("cost ordering broken: cam %.1f, hash %.1f, linear %.1f", aCam, aHash, aLin)
+	}
+}
+
+func TestHashTombstoneChains(t *testing.T) {
+	// Insert colliding entries, remove one mid-chain, and verify the rest
+	// remain reachable (tombstones must not break probing).
+	h := NewHash(16)
+	var vcs []atm.VC
+	for i := 0; i < 16; i++ {
+		vc := vcN(i)
+		vcs = append(vcs, vc)
+		h.Insert(vc)
+	}
+	h.Remove(vcs[5])
+	h.Remove(vcs[11])
+	for i, vc := range vcs {
+		_, _, ok := h.Lookup(vc)
+		want := i != 5 && i != 11
+		if ok != want {
+			t.Fatalf("vc %d: found=%v, want %v", i, ok, want)
+		}
+	}
+	// Tombstoned slots are reused.
+	if _, err := h.Insert(vcN(100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Insert(vcN(101)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidCapacityPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"cam":    func() { NewCAM(0) },
+		"linear": func() { NewLinear(0) },
+		"hash":   func() { NewHash(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: zero capacity did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: all three strategies agree with a map model under a random
+// insert/remove/lookup workload.
+func TestPropertyStrategiesMatchMapModel(t *testing.T) {
+	type op struct {
+		Insert bool
+		Key    uint8
+	}
+	f := func(ops []op) bool {
+		ss := strategies(64)
+		models := []map[atm.VC]int{{}, {}, {}}
+		for _, o := range ops {
+			vc := vcN(int(o.Key) % 80)
+			for i, s := range ss {
+				m := models[i]
+				if o.Insert {
+					id, err := s.Insert(vc)
+					_, dup := m[vc]
+					switch {
+					case dup && !errors.Is(err, ErrDuplicate):
+						return false
+					case !dup && len(m) >= 64 && !errors.Is(err, ErrFull):
+						return false
+					case !dup && len(m) < 64:
+						if err != nil {
+							return false
+						}
+						m[vc] = id
+					}
+				} else {
+					s.Remove(vc)
+					delete(m, vc)
+				}
+				got, _, ok := s.Lookup(vc)
+				want, present := m[vc]
+				if ok != present || (ok && got != want) {
+					return false
+				}
+				if s.Len() != len(m) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

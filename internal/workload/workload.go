@@ -1,0 +1,147 @@
+// Package workload generates the traffic the experiments offer to the
+// interfaces: packet sizes and inter-departure gaps.
+//
+// Generators are deterministic given their seed, so every experiment run is
+// reproducible bit for bit.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Generator produces a stream of (packet size, gap before next departure)
+// draws.
+type Generator interface {
+	// Next returns the next packet's SDU size in bytes and the idle gap
+	// to wait after initiating it before offering the next.
+	Next() (size int, gap sim.Duration)
+	// Name identifies the workload in reports.
+	Name() string
+}
+
+// Fixed emits constant-size packets at a constant gap (gap 0 = as fast as
+// the closed loop allows).
+type Fixed struct {
+	Size int
+	Gap  sim.Duration
+}
+
+// Next implements Generator.
+func (f *Fixed) Next() (int, sim.Duration) { return f.Size, f.Gap }
+
+// Name implements Generator.
+func (f *Fixed) Name() string { return fmt.Sprintf("fixed-%dB", f.Size) }
+
+// CBR is a constant-bit-rate source (video-like): fixed frames at a fixed
+// period.
+type CBR struct {
+	FrameSize int
+	Period    sim.Duration
+}
+
+// Next implements Generator.
+func (c *CBR) Next() (int, sim.Duration) { return c.FrameSize, c.Period }
+
+// Name implements Generator.
+func (c *CBR) Name() string {
+	return fmt.Sprintf("cbr-%dB@%s", c.FrameSize, sim.Time(c.Period))
+}
+
+// BimodalIP mimics early-90s IP traffic: a majority of tiny packets
+// (acknowledgements, interactive traffic) and a tail of MTU-size bulk
+// packets carrying most of the bytes.
+type BimodalIP struct {
+	// SmallSize/LargeSize default to 64 and 9180 when zero.
+	SmallSize int
+	LargeSize int
+	// SmallProb is the probability of a small packet (default 0.7).
+	SmallProb float64
+	// MeanGap is the mean exponential inter-departure gap.
+	MeanGap sim.Duration
+
+	rng *sim.Rand
+}
+
+// NewBimodalIP returns a seeded bimodal generator.
+func NewBimodalIP(seed uint64, meanGap sim.Duration) *BimodalIP {
+	return &BimodalIP{
+		SmallSize: 64, LargeSize: 9180, SmallProb: 0.7,
+		MeanGap: meanGap, rng: sim.NewRand(seed),
+	}
+}
+
+// Next implements Generator.
+func (b *BimodalIP) Next() (int, sim.Duration) {
+	size := b.LargeSize
+	if b.rng.Bernoulli(b.SmallProb) {
+		size = b.SmallSize
+	}
+	gap := sim.Duration(0)
+	if b.MeanGap > 0 {
+		gap = b.rng.ExpDuration(b.MeanGap)
+	}
+	return size, gap
+}
+
+// Name implements Generator.
+func (b *BimodalIP) Name() string { return "bimodal-ip" }
+
+// OnOff is a bursty source: during an ON period it emits fixed-size packets
+// back to back; OFF periods are silent. Period lengths are exponential.
+type OnOff struct {
+	Size    int
+	MeanOn  sim.Duration // mean burst duration
+	MeanOff sim.Duration // mean silence duration
+	PktGap  sim.Duration // spacing within a burst
+
+	rng     *sim.Rand
+	onUntil sim.Duration // remaining ON time budget
+}
+
+// NewOnOff returns a seeded bursty generator.
+func NewOnOff(seed uint64, size int, meanOn, meanOff, pktGap sim.Duration) *OnOff {
+	return &OnOff{Size: size, MeanOn: meanOn, MeanOff: meanOff, PktGap: pktGap,
+		rng: sim.NewRand(seed)}
+}
+
+// Next implements Generator.
+func (o *OnOff) Next() (int, sim.Duration) {
+	if o.onUntil <= 0 {
+		// Start a new burst; the gap before it is the OFF period.
+		o.onUntil = o.rng.ExpDuration(o.MeanOn)
+		return o.Size, o.rng.ExpDuration(o.MeanOff)
+	}
+	o.onUntil -= o.PktGap
+	return o.Size, o.PktGap
+}
+
+// Name implements Generator.
+func (o *OnOff) Name() string { return "bursty-onoff" }
+
+// SizeSweep iterates a fixed list of sizes, repeating each `repeat` times —
+// the generator behind throughput-vs-size curves.
+type SizeSweep struct {
+	Sizes  []int
+	Repeat int
+
+	i, r int
+}
+
+// Next implements Generator.
+func (s *SizeSweep) Next() (int, sim.Duration) {
+	if len(s.Sizes) == 0 {
+		return 0, 0
+	}
+	size := s.Sizes[s.i]
+	s.r++
+	if s.r >= s.Repeat {
+		s.r = 0
+		s.i = (s.i + 1) % len(s.Sizes)
+	}
+	return size, 0
+}
+
+// Name implements Generator.
+func (s *SizeSweep) Name() string { return "size-sweep" }

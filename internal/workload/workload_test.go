@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestFixed(t *testing.T) {
+	g := &Fixed{Size: 100, Gap: 50}
+	for i := 0; i < 5; i++ {
+		size, gap := g.Next()
+		if size != 100 || gap != 50 {
+			t.Fatalf("Next() = %d,%d", size, gap)
+		}
+	}
+	if g.Name() != "fixed-100B" {
+		t.Fatalf("Name() = %q", g.Name())
+	}
+}
+
+func TestCBR(t *testing.T) {
+	g := &CBR{FrameSize: 8000, Period: 33 * sim.Millisecond}
+	size, gap := g.Next()
+	if size != 8000 || gap != 33*sim.Millisecond {
+		t.Fatalf("Next() = %d,%v", size, gap)
+	}
+}
+
+func TestBimodalMix(t *testing.T) {
+	g := NewBimodalIP(42, 0)
+	small, large := 0, 0
+	for i := 0; i < 10000; i++ {
+		size, _ := g.Next()
+		switch size {
+		case 64:
+			small++
+		case 9180:
+			large++
+		default:
+			t.Fatalf("unexpected size %d", size)
+		}
+	}
+	frac := float64(small) / 10000
+	if frac < 0.67 || frac > 0.73 {
+		t.Fatalf("small fraction %v, want ~0.7", frac)
+	}
+}
+
+func TestBimodalGapExponential(t *testing.T) {
+	g := NewBimodalIP(7, 1000)
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		_, gap := g.Next()
+		sum += float64(gap)
+	}
+	mean := sum / float64(n)
+	if mean < 950 || mean > 1050 {
+		t.Fatalf("mean gap %v, want ~1000", mean)
+	}
+}
+
+func TestBimodalDeterministic(t *testing.T) {
+	a, b := NewBimodalIP(9, 500), NewBimodalIP(9, 500)
+	for i := 0; i < 1000; i++ {
+		s1, g1 := a.Next()
+		s2, g2 := b.Next()
+		if s1 != s2 || g1 != g2 {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+}
+
+func TestOnOffAlternates(t *testing.T) {
+	g := NewOnOff(3, 1000, 100*sim.Microsecond, 500*sim.Microsecond, 10*sim.Microsecond)
+	longGaps, shortGaps := 0, 0
+	for i := 0; i < 10000; i++ {
+		size, gap := g.Next()
+		if size != 1000 {
+			t.Fatalf("size %d", size)
+		}
+		if gap == 10*sim.Microsecond {
+			shortGaps++
+		} else {
+			longGaps++
+		}
+	}
+	if longGaps == 0 || shortGaps == 0 {
+		t.Fatalf("no alternation: %d long, %d short", longGaps, shortGaps)
+	}
+	if shortGaps < longGaps {
+		t.Fatalf("bursts shorter than silences in draw count: %d vs %d", shortGaps, longGaps)
+	}
+}
+
+func TestSizeSweep(t *testing.T) {
+	g := &SizeSweep{Sizes: []int{10, 20}, Repeat: 2}
+	want := []int{10, 10, 20, 20, 10, 10}
+	for i, w := range want {
+		size, gap := g.Next()
+		if size != w || gap != 0 {
+			t.Fatalf("draw %d: %d, want %d", i, size, w)
+		}
+	}
+}
+
+func TestSizeSweepEmpty(t *testing.T) {
+	g := &SizeSweep{}
+	if size, _ := g.Next(); size != 0 {
+		t.Fatal("empty sweep returned a size")
+	}
+}
+
+func TestNames(t *testing.T) {
+	gens := []Generator{
+		&Fixed{Size: 1}, &CBR{FrameSize: 1, Period: 1},
+		NewBimodalIP(1, 1), NewOnOff(1, 1, 1, 1, 1), &SizeSweep{},
+	}
+	seen := map[string]bool{}
+	for _, g := range gens {
+		n := g.Name()
+		if n == "" || seen[n] {
+			t.Fatalf("bad or duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}
