@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test bench verify fmt
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fmt:
+	gofmt -w .
+
+# verify is the pre-PR gate: formatting, vet, a full build, and the test
+# suite under the race detector.
+verify:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiments (e1..e10) or 'all'")
 	quick := flag.Bool("quick", false, "shorter simulated runs (for smoke tests)")
 	csv := flag.Bool("csv", false, "emit tables as CSV where applicable")
+	metricsPath := flag.String("metrics", "", "run the instrumented telemetry pass and write its JSON snapshot here (\"-\" for stdout)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -135,6 +137,28 @@ func main() {
 	if want["e13"] {
 		_, sr := experiments.E13(nil, 9180, 8, runTime(60*sim.Millisecond))
 		emitSeries(sr)
+		ran++
+	}
+	if *metricsPath != "" {
+		ec := experiments.DefaultTelemetry()
+		ec.RunTime = runTime(ec.RunTime)
+		snap, tb := experiments.Telemetry(ec)
+		emitTable(tb)
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "atmbench:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *metricsPath == "-" {
+			_, err = os.Stdout.Write(data)
+		} else {
+			err = os.WriteFile(*metricsPath, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "atmbench:", err)
+			os.Exit(1)
+		}
 		ran++
 	}
 	if ran == 0 {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,9 +18,9 @@ import (
 	"repro/internal/aal"
 	"repro/internal/atm"
 	"repro/internal/baseline"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/nic"
-	"repro/internal/phy"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -39,16 +40,19 @@ func main() {
 	rxEngines := flag.Int("rxengines", 1, "parallel receive engines")
 	interleave := flag.Bool("interleave", false, "interleave VCs on transmit")
 	traceN := flag.Int("trace", 0, "dump the first N cells on the a->b fiber")
+	metricsPath := flag.String("metrics", "", "write a JSON telemetry snapshot to this file (\"-\" for stdout)")
+	stats := flag.Bool("stats", false, "print the full telemetry table after the run")
 	flag.Parse()
 
-	if err := run(*rate, *aalFlag, *arch, *size, *wl, *duration, *loss, *window, *seed, *rxEngines, *interleave, *traceN); err != nil {
+	if err := run(*rate, *aalFlag, *arch, *size, *wl, *duration, *loss, *window, *seed, *rxEngines, *interleave, *traceN, *metricsPath, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "atmsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(rate int, aalFlag, arch string, size int, wl string, duration time.Duration,
-	loss float64, window int, seed uint64, rxEngines int, interleave bool, traceN int) error {
+	loss float64, window int, seed uint64, rxEngines int, interleave bool, traceN int,
+	metricsPath string, stats bool) error {
 	k := sim.NewKernel()
 	deadline := sim.Time(duration.Nanoseconds())
 
@@ -66,14 +70,22 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 	}
 
 	if arch == "percell" {
+		if metricsPath != "" || stats {
+			return fmt.Errorf("-metrics/-stats are not supported with -arch percell")
+		}
 		return runBaseline(k, payloadRate, aalType, size, deadline, loss, seed)
 	}
 
+	// Both stations record into one registry; instrument names carry the
+	// station name ("a.nic.tx.cells"), per-VC rows are shared so one row
+	// shows a connection end to end.
+	reg := metrics.NewRegistry()
 	cfg := nic.DefaultConfig("a")
 	cfg.PayloadRate = payloadRate
 	cfg.AAL = aalType
 	cfg.RxEngines = rxEngines
 	cfg.InterleaveVCs = interleave
+	cfg.Metrics = reg
 	mk := netsim.NewStation
 	if arch == "hardwired" {
 		mk = netsim.NewHardwiredStation
@@ -89,15 +101,18 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 	if err != nil {
 		return err
 	}
-	netsim.Connect(k, a, b, netsim.LinkConfig{Delay: 10_000, LossProb: loss, Seed: seed})
-	var capture *trace.Capture
-	if traceN > 0 {
-		capture = trace.New(k)
-		capture.Limit = traceN
-		link := phy.NewCellLink(k, 10_000, seed*2+1, b.Iface.DeliverCell)
-		link.LossProb = loss
-		a.Iface.SetOutput(capture.Tap(link.Send))
+	ab, _ := netsim.Connect(k, a, b, netsim.LinkConfig{Delay: 10_000, LossProb: loss, Seed: seed})
+	// Wrap the a->b fiber with a timed tap around both ends: per-cell
+	// latency lands in the "link.ab.latency" histogram, and -trace N
+	// additionally stores the first N cells for dumping.
+	capture := trace.New(k)
+	capture.Limit = traceN
+	if traceN == 0 {
+		capture.Filter = func(*atm.Cell) bool { return false }
 	}
+	timed := capture.TapTimed(reg.Histogram("link.ab.latency"))
+	ab.SetSink(timed.Egress(b.Iface.DeliverCell))
+	a.Iface.SetOutput(timed.Ingress(ab.Send))
 	theVC := stdVC()
 	a.Iface.OpenVC(theVC)
 	b.Iface.OpenVC(theVC)
@@ -163,14 +178,41 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 	fmt.Printf("engines           tx %.1f%%   rx %.1f%%\n", 100*txU, 100*rxU)
 	fmt.Printf("adapter sram peak %d bytes\n", st.SRAMPeak)
 	fmt.Printf("link a->b         sent %d cells\n", st.Rx.Cells)
-	if capture != nil {
+	if traceN > 0 {
 		fmt.Println("\nfirst cells on the a->b fiber:")
 		if err := capture.Dump(os.Stdout); err != nil {
 			return err
 		}
-		for _, vs := range capture.Summary() {
+		sum := capture.Summary()
+		for _, vs := range sum.PerVC {
 			fmt.Printf("vc %v: %d cells, %d frames, mean gap %v\n",
 				vs.VC, vs.Cells, vs.Frames, vs.MeanGap)
+		}
+		if sum.Overflowed > 0 {
+			fmt.Printf("capture truncated: %d stored, %d further matches dropped\n",
+				sum.Stored, sum.Overflowed)
+		}
+	}
+	snap := reg.Snapshot()
+	if stats {
+		fmt.Println()
+		if err := snap.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if metricsPath == "-" {
+			_, err = os.Stdout.Write(data)
+		} else {
+			err = os.WriteFile(metricsPath, data, 0o644)
+		}
+		if err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"testing"
 	"time"
 )
@@ -32,7 +33,7 @@ func TestRunCombinations(t *testing.T) {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
 			if err := run(c.rate, c.aal, c.arch, c.size, c.wl,
-				3*time.Millisecond, c.loss, 2, 1, c.rxEngines, c.interleave, 0); err != nil {
+				3*time.Millisecond, c.loss, 2, 1, c.rxEngines, c.interleave, 0, "", false); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -40,22 +41,38 @@ func TestRunCombinations(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run(100, "5", "engine", 100, "fixed", time.Millisecond, 0, 1, 1, 1, false, 0); err == nil {
+	if err := run(100, "5", "engine", 100, "fixed", time.Millisecond, 0, 1, 1, 1, false, 0, "", false); err == nil {
 		t.Fatal("bad rate accepted")
 	}
-	if err := run(155, "7", "engine", 100, "fixed", time.Millisecond, 0, 1, 1, 1, false, 0); err == nil {
+	if err := run(155, "7", "engine", 100, "fixed", time.Millisecond, 0, 1, 1, 1, false, 0, "", false); err == nil {
 		t.Fatal("bad AAL accepted")
 	}
-	if err := run(155, "5", "warp", 100, "fixed", time.Millisecond, 0, 1, 1, 1, false, 0); err == nil {
+	if err := run(155, "5", "warp", 100, "fixed", time.Millisecond, 0, 1, 1, 1, false, 0, "", false); err == nil {
 		t.Fatal("bad arch accepted")
 	}
-	if err := run(155, "5", "engine", 100, "telepathy", time.Millisecond, 0, 1, 1, 1, false, 0); err == nil {
+	if err := run(155, "5", "engine", 100, "telepathy", time.Millisecond, 0, 1, 1, 1, false, 0, "", false); err == nil {
 		t.Fatal("bad workload accepted")
+	}
+	if err := run(155, "5", "percell", 100, "fixed", time.Millisecond, 0, 1, 1, 1, false, 0, "x.json", false); err == nil {
+		t.Fatal("percell + -metrics accepted")
 	}
 }
 
 func TestRunWithTrace(t *testing.T) {
-	if err := run(155, "5", "engine", 500, "fixed", 2*time.Millisecond, 0, 1, 1, 1, false, 3); err != nil {
+	if err := run(155, "5", "engine", 500, "fixed", 2*time.Millisecond, 0, 1, 1, 1, false, 3, "", false); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunWithMetrics(t *testing.T) {
+	path := t.TempDir() + "/metrics.json"
+	if err := run(155, "5", "engine", 9180, "fixed", 3*time.Millisecond, 0, 2, 1, 1, false, 0, path, true); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot must exist and be non-trivial; its shape is covered by
+	// the metrics package tests.
+	fi, err := os.Stat(path)
+	if err != nil || fi.Size() < 1000 {
+		t.Fatalf("snapshot file: %+v, err %v", fi, err)
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/atm"
 	"repro/internal/crc"
+	"repro/internal/metrics"
 )
 
 // AAL3/4 wire format (I.363.3).
@@ -153,7 +154,13 @@ type Reassembler34 struct {
 	expectSN uint8
 	inFrame  bool
 	cells    int
+	vst      *metrics.VCStats
 }
+
+// SetVCStats attaches the connection's telemetry row; per-cell CRC-10
+// failures, sequence-detected cell losses and CPCS envelope mismatches are
+// then counted inline as the reassembler detects them.
+func (r *Reassembler34) SetVCStats(s *metrics.VCStats) { r.vst = s }
 
 // NewReassembler34 returns an AAL3/4 reassembler with the given frame-buffer
 // bound in bytes (0 selects the maximum legal frame).
@@ -183,6 +190,7 @@ func (r *Reassembler34) Push(payload *[atm.PayloadSize]byte, pt atm.PT) (*Result
 		// Corrupt SAR-PDU: if mid-frame, the frame is gone.
 		wasInFrame := r.inFrame
 		r.Abort()
+		r.vst.IncCRCError()
 		if wasInFrame {
 			return nil, ErrBadCellCRC
 		}
@@ -193,6 +201,7 @@ func (r *Reassembler34) Push(payload *[atm.PayloadSize]byte, pt atm.PT) (*Result
 	li := int(payload[46] >> 2)
 	if li > sarPayload {
 		r.Abort()
+		r.vst.IncLengthError()
 		return nil, fmt.Errorf("%w: LI %d", ErrBadLength, li)
 	}
 
@@ -201,6 +210,7 @@ func (r *Reassembler34) Push(payload *[atm.PayloadSize]byte, pt atm.PT) (*Result
 		if r.inFrame {
 			// New beginning mid-frame means we lost the previous EOM.
 			r.Abort()
+			r.vst.IncLostCells()
 			r.startFrame(sn, payload, li)
 			if st == stSSM {
 				res, err := r.finish()
@@ -222,6 +232,7 @@ func (r *Reassembler34) Push(payload *[atm.PayloadSize]byte, pt atm.PT) (*Result
 		}
 		if sn != r.expectSN {
 			r.Abort()
+			r.vst.IncLostCells()
 			return nil, ErrLostCell
 		}
 		if len(r.buf)+li > r.maxFrame {
@@ -252,6 +263,7 @@ func (r *Reassembler34) finish() (*Result, error) {
 	defer r.Abort()
 	b := r.buf
 	if len(b) < cpcsEnvelope {
+		r.vst.IncLengthError()
 		return nil, ErrBadLength
 	}
 	btag := b[1]
@@ -259,13 +271,16 @@ func (r *Reassembler34) finish() (*Result, error) {
 	etag := b[len(b)-3]
 	length := int(binary.BigEndian.Uint16(b[len(b)-2:]))
 	if btag != etag {
+		r.vst.IncLengthError()
 		return nil, fmt.Errorf("%w: BTag %d ETag %d", ErrBadTag, btag, etag)
 	}
 	padded := len(b) - cpcsEnvelope
 	if baSize != length {
+		r.vst.IncLengthError()
 		return nil, fmt.Errorf("%w: BASize %d, Length %d", ErrBadLength, baSize, length)
 	}
 	if length > padded || padded-length > 3 {
+		r.vst.IncLengthError()
 		return nil, fmt.Errorf("%w: Length %d, padded payload %d", ErrBadLength, length, padded)
 	}
 	sdu := make([]byte, length)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/atm"
 	"repro/internal/crc"
+	"repro/internal/metrics"
 	"repro/internal/units"
 )
 
@@ -101,7 +102,12 @@ type Reassembler5 struct {
 	crcReg   uint32
 	cells    int
 	active   bool
+	vst      *metrics.VCStats
 }
+
+// SetVCStats attaches the connection's telemetry row; CRC and length
+// failures are then counted inline as the reassembler detects them.
+func (r *Reassembler5) SetVCStats(s *metrics.VCStats) { r.vst = s }
 
 // NewReassembler5 returns an AAL5 reassembler whose frame buffer holds up to
 // maxFrame bytes (0 selects the maximum legal frame).
@@ -136,6 +142,7 @@ func (r *Reassembler5) Push(payload *[atm.PayloadSize]byte, pt atm.PT) (*Result,
 		// merged two frames. Drop everything accumulated; the current
 		// cell begins no recoverable frame either.
 		r.Abort()
+		r.vst.IncLostCells()
 		return nil, ErrFrameTooLong
 	}
 	if !r.active {
@@ -158,10 +165,12 @@ func (r *Reassembler5) Push(payload *[atm.PayloadSize]byte, pt atm.PT) (*Result,
 	cells := r.cells
 	defer r.Abort()
 	if gotCRC != wantCRC {
+		r.vst.IncCRCError()
 		return nil, ErrBadCRC
 	}
 	if length == 0 || length > n-trailerSize || n-(length+trailerSize) >= atm.PayloadSize {
 		// Length must fit in the frame and the pad must be < one cell.
+		r.vst.IncLengthError()
 		return nil, ErrBadLength
 	}
 	sdu := make([]byte, length)

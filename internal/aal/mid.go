@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/atm"
+	"repro/internal/metrics"
 )
 
 // MIDReassembler34 demultiplexes AAL3/4's 10-bit multiplexing identifier:
@@ -19,6 +20,17 @@ type MIDReassembler34 struct {
 	maxFrame int
 	maxMIDs  int
 	streams  map[uint16]*Reassembler34
+	vst      *metrics.VCStats
+}
+
+// SetVCStats attaches the shared VC's telemetry row; every MID stream's
+// reassembly errors accumulate into it (the VC is the accounting unit, the
+// MID only the interleaving key).
+func (m *MIDReassembler34) SetVCStats(s *metrics.VCStats) {
+	m.vst = s
+	for _, ras := range m.streams {
+		ras.SetVCStats(s)
+	}
 }
 
 // ErrTooManyMIDs is returned when a new MID would exceed the configured
@@ -55,6 +67,7 @@ func (m *MIDReassembler34) Push(payload *[atm.PayloadSize]byte, pt atm.PT) (uint
 			return mid, nil, fmt.Errorf("%w: %d active", ErrTooManyMIDs, len(m.streams))
 		}
 		ras = NewReassembler34(m.maxFrame)
+		ras.SetVCStats(m.vst)
 		m.streams[mid] = ras
 	}
 	res, err := ras.Push(payload, pt)

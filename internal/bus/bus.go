@@ -10,6 +10,7 @@ package bus
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -48,6 +49,7 @@ type Bus struct {
 	cfg  Config
 	res  *sim.Resource
 	devs []*Device
+	reg  *metrics.Registry
 }
 
 // New creates a bus on kernel k.
@@ -63,6 +65,18 @@ func New(k *sim.Kernel, cfg Config) *Bus {
 
 // Config returns the bus timing in force.
 func (b *Bus) Config() Config { return b.cfg }
+
+// SetMetrics attaches a telemetry registry: every device (already attached
+// or attached later) gets "bus.<device>.dma_bytes", ".dma_bursts" and
+// ".pio_words" counters plus a "bus.<device>.grant_wait" histogram of the
+// arbitration delay each DMA suffered beyond its own transfer time — the
+// bus-contention term in the paper's delay budget.
+func (b *Bus) SetMetrics(reg *metrics.Registry) {
+	b.reg = reg
+	for _, d := range b.devs {
+		d.instrument(reg)
+	}
+}
 
 // Utilization returns the fraction of simulated time the bus was occupied.
 func (b *Bus) Utilization() float64 { return b.res.Utilization() }
@@ -80,13 +94,27 @@ type Device struct {
 	dmaBursts uint64
 	pioWords  uint64
 	busTime   sim.Duration
+
+	// Registry instruments (nil without SetMetrics; nil-safe).
+	mDMABytes  *metrics.Counter
+	mDMABursts *metrics.Counter
+	mPIOWords  *metrics.Counter
+	hGrantWait *metrics.Histogram
 }
 
 // Attach registers a named requester.
 func (b *Bus) Attach(name string) *Device {
 	d := &Device{bus: b, name: name}
+	d.instrument(b.reg)
 	b.devs = append(b.devs, d)
 	return d
+}
+
+func (d *Device) instrument(reg *metrics.Registry) {
+	d.mDMABytes = reg.Counter("bus." + d.name + ".dma_bytes")
+	d.mDMABursts = reg.Counter("bus." + d.name + ".dma_bursts")
+	d.mPIOWords = reg.Counter("bus." + d.name + ".pio_words")
+	d.hGrantWait = reg.Histogram("bus." + d.name + ".grant_wait")
 }
 
 // Name returns the device's diagnostic name.
@@ -139,6 +167,9 @@ func (d *Device) DMA(n int, done func()) sim.Time {
 	}
 	cfg := d.bus.cfg
 	d.dmaBytes += uint64(n)
+	d.mDMABytes.Add(uint64(n))
+	start := d.bus.k.Now()
+	transfer := d.DMATime(n)
 	var last sim.Time
 	for n > 0 {
 		chunk := n
@@ -154,8 +185,13 @@ func (d *Device) DMA(n int, done func()) sim.Time {
 		}
 		d.busTime += burst
 		d.dmaBursts++
+		d.mDMABursts.Inc()
 		last = d.bus.res.Use(burst, cb)
 	}
+	// Grant wait: how long the transfer sat behind other requesters —
+	// total completion latency minus the bus time the transfer itself
+	// needed.
+	d.hGrantWait.Observe(last - start - transfer)
 	return last
 }
 
@@ -172,6 +208,7 @@ func (d *Device) PIO(nwords int, done func()) sim.Time {
 	}
 	t := sim.Duration(nwords) * d.bus.cfg.PIOTime
 	d.pioWords += uint64(nwords)
+	d.mPIOWords.Add(uint64(nwords))
 	d.busTime += t
 	return d.bus.res.Use(t, done)
 }

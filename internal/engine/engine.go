@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -55,6 +56,12 @@ type Engine struct {
 	res  *sim.Resource
 
 	routines map[string]*RoutineStat
+
+	// Registry instruments (nil until Instrument is called; nil-safe).
+	mRoutines *metrics.Counter
+	mInstr    *metrics.Counter
+	mBusy     *metrics.Counter
+	mQueue    *metrics.Gauge
 }
 
 // RoutineStat accumulates per-routine accounting.
@@ -79,6 +86,17 @@ func New(k *sim.Kernel, name string, cfg Config) *Engine {
 
 // Name returns the engine's diagnostic name.
 func (e *Engine) Name() string { return e.name }
+
+// Instrument registers the engine's telemetry under the given name prefix:
+// "<prefix>.routines" and "<prefix>.instr" counters, a "<prefix>.busy_ns"
+// counter of accumulated firmware occupancy, and a "<prefix>.qlen" gauge
+// whose high watermark is the deepest the routine queue ever got.
+func (e *Engine) Instrument(reg *metrics.Registry, prefix string) {
+	e.mRoutines = reg.Counter(prefix + ".routines")
+	e.mInstr = reg.Counter(prefix + ".instr")
+	e.mBusy = reg.Counter(prefix + ".busy_ns")
+	e.mQueue = reg.Gauge(prefix + ".qlen")
+}
 
 // Config returns the engine's timing parameters.
 func (e *Engine) Config() Config { return e.cfg }
@@ -118,6 +136,10 @@ func (e *Engine) Run(label string, instr int, done func()) sim.Time {
 	st.Calls++
 	st.Instr += uint64(instr + e.cfg.DispatchInstr)
 	st.Time += d
+	e.mRoutines.Inc()
+	e.mInstr.Add(uint64(instr + e.cfg.DispatchInstr))
+	e.mBusy.Add(uint64(d))
+	e.mQueue.Set(int64(e.res.QueueLen()))
 	return e.res.Use(d, done)
 }
 

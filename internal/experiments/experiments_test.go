@@ -394,3 +394,43 @@ func TestE13Shape(t *testing.T) {
 		t.Fatal("series missing")
 	}
 }
+
+func TestTelemetryShape(t *testing.T) {
+	ec := DefaultTelemetry()
+	ec.RunTime = 5 * sim.Millisecond
+	snap, tb := Telemetry(ec)
+	if tb.Rows() == 0 {
+		t.Fatal("latency table empty")
+	}
+	// The acceptance shape: per-VC accounting plus at least three latency
+	// histograms (tx path, rx path, reassembly) with derivable quantiles.
+	if len(snap.VCs) != 1 || snap.VCs[0].CellsOut == 0 || snap.VCs[0].SDUsIn == 0 {
+		t.Fatalf("per-VC row %+v", snap.VCs)
+	}
+	nonEmpty := map[string]bool{}
+	for _, h := range snap.Histograms {
+		if h.Count > 0 {
+			nonEmpty[h.Name] = true
+			if h.P50Ns > h.P99Ns || h.P99Ns > h.MaxNs {
+				t.Fatalf("%s quantiles out of order: %+v", h.Name, h)
+			}
+			var cells uint64
+			for _, b := range h.Buckets {
+				cells += b.Count
+			}
+			if cells != h.Count {
+				t.Fatalf("%s buckets sum %d != count %d", h.Name, cells, h.Count)
+			}
+		}
+	}
+	for _, want := range []string{"a.nic.tx.cell_delay", "b.nic.rx.cell_delay",
+		"b.nic.rx.reassembly_time", "b.nic.rx.intr_service", "link.ab.latency"} {
+		if !nonEmpty[want] {
+			t.Fatalf("histogram %s empty or missing (have %v)", want, nonEmpty)
+		}
+	}
+	// End-to-end conservation on a lossless fiber: every cell a sent, b saw.
+	if snap.VCs[0].CellsOut != snap.VCs[0].CellsIn {
+		t.Fatalf("cells out %d != in %d", snap.VCs[0].CellsOut, snap.VCs[0].CellsIn)
+	}
+}

@@ -8,7 +8,11 @@
 // engine for exactly this reason.
 package fifo
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
 
 // Ring is a bounded FIFO of fixed-size items (one ATM cell each).  It is a
 // power-of-two ring buffer with drop-on-overflow semantics, which is what
@@ -26,6 +30,12 @@ type Ring[T any] struct {
 	drops    uint64
 	maxDepth int
 	depthSum uint64 // for mean-depth over pushes
+
+	// Registry instruments (nil until Instrument is called; nil-safe).
+	mPushes    *metrics.Counter
+	mPops      *metrics.Counter
+	mDrops     *metrics.Counter
+	mOccupancy *metrics.Gauge
 }
 
 // NewRing returns a FIFO holding at most depth items. depth must be > 0.
@@ -34,6 +44,18 @@ func NewRing[T any](depth int) *Ring[T] {
 		panic(fmt.Sprintf("fifo: invalid depth %d", depth))
 	}
 	return &Ring[T]{buf: make([]T, depth)}
+}
+
+// Instrument registers this FIFO's telemetry under the given name prefix:
+// "<prefix>.pushes", "<prefix>.pops", "<prefix>.drops" counters and a
+// "<prefix>.occupancy" gauge whose high watermark is the depth the FIFO
+// actually needed. A nil registry leaves the FIFO un-instrumented (the
+// nil instruments are no-ops on the hot path).
+func (r *Ring[T]) Instrument(reg *metrics.Registry, prefix string) {
+	r.mPushes = reg.Counter(prefix + ".pushes")
+	r.mPops = reg.Counter(prefix + ".pops")
+	r.mDrops = reg.Counter(prefix + ".drops")
+	r.mOccupancy = reg.Gauge(prefix + ".occupancy")
 }
 
 // Cap returns the FIFO's capacity.
@@ -54,6 +76,7 @@ func (r *Ring[T]) Push(v T) bool {
 	r.depthSum += uint64(r.count)
 	if r.count == len(r.buf) {
 		r.drops++
+		r.mDrops.Inc()
 		return false
 	}
 	r.buf[r.tail] = v
@@ -63,6 +86,8 @@ func (r *Ring[T]) Push(v T) bool {
 	}
 	r.count++
 	r.pushes++
+	r.mPushes.Inc()
+	r.mOccupancy.Set(int64(r.count))
 	if r.count > r.maxDepth {
 		r.maxDepth = r.count
 	}
@@ -84,6 +109,8 @@ func (r *Ring[T]) Pop() (v T, ok bool) {
 	}
 	r.count--
 	r.pops++
+	r.mPops.Inc()
+	r.mOccupancy.Set(int64(r.count))
 	return v, true
 }
 

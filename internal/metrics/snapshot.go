@@ -1,0 +1,264 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Snapshot is a point-in-time copy of a registry, ordered deterministically
+// (instruments by name, VCs by VPI then VCI). It is the unit both sinks
+// consume: WriteText renders the human-readable table, and the struct
+// marshals directly to the machine-readable JSON dump (-metrics out.json).
+type Snapshot struct {
+	Counters   []CounterSnap   `json:"counters"`
+	Gauges     []GaugeSnap     `json:"gauges"`
+	Histograms []HistogramSnap `json:"histograms"`
+	VCs        []VCSnap        `json:"vcs"`
+}
+
+// CounterSnap is one counter's value.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeSnap is one gauge's level and high watermark.
+type GaugeSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+	Max   int64  `json:"max"`
+}
+
+// BucketSnap is one non-empty histogram bucket: Upper is the largest value
+// (ns) the bucket holds, Count its population. Empty buckets are omitted,
+// so quantiles reconstruct exactly from the dump.
+type BucketSnap struct {
+	UpperNs int64  `json:"upper_ns"`
+	Count   uint64 `json:"count"`
+}
+
+// HistogramSnap is one histogram's distribution with derived quantiles.
+type HistogramSnap struct {
+	Name    string       `json:"name"`
+	Count   uint64       `json:"count"`
+	SumNs   int64        `json:"sum_ns"`
+	MinNs   int64        `json:"min_ns"`
+	MaxNs   int64        `json:"max_ns"`
+	P50Ns   int64        `json:"p50_ns"`
+	P90Ns   int64        `json:"p90_ns"`
+	P99Ns   int64        `json:"p99_ns"`
+	Buckets []BucketSnap `json:"buckets"`
+}
+
+// VCSnap is one connection's accounting row. Drops is keyed by DropCause
+// name and carries only non-zero causes.
+type VCSnap struct {
+	VPI                uint16            `json:"vpi"`
+	VCI                uint16            `json:"vci"`
+	CellsOut           uint64            `json:"cells_out"`
+	CellsIn            uint64            `json:"cells_in"`
+	SDUsOut            uint64            `json:"sdus_out"`
+	SDUsIn             uint64            `json:"sdus_in"`
+	BytesOut           uint64            `json:"bytes_out"`
+	BytesIn            uint64            `json:"bytes_in"`
+	Drops              map[string]uint64 `json:"drops"`
+	CRCErrors          uint64            `json:"crc_errors"`
+	LengthErrors       uint64            `json:"length_errors"`
+	LostCells          uint64            `json:"lost_cells"`
+	ReassemblyTimeouts uint64            `json:"reassembly_timeouts"`
+}
+
+// Snapshot copies the registry's current state. A nil registry yields an
+// empty (but non-nil-sliced) snapshot so sinks need no special case.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   []CounterSnap{},
+		Gauges:     []GaugeSnap{},
+		Histograms: []HistogramSnap{},
+		VCs:        []VCSnap{},
+	}
+	if r == nil {
+		return s
+	}
+	for _, name := range r.counterNames() {
+		c := r.counters[name]
+		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: c.v})
+	}
+	for _, name := range r.gaugeNames() {
+		g := r.gauges[name]
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: g.v, Max: g.max})
+	}
+	for _, name := range r.histoNames() {
+		s.Histograms = append(s.Histograms, snapHistogram(r.histos[name]))
+	}
+	for _, id := range r.vcIDs() {
+		s.VCs = append(s.VCs, snapVC(r.vcs[id]))
+	}
+	return s
+}
+
+func snapHistogram(h *Histogram) HistogramSnap {
+	hs := HistogramSnap{
+		Name:    h.name,
+		Count:   h.count,
+		SumNs:   h.sum,
+		MinNs:   h.min,
+		MaxNs:   h.max,
+		P50Ns:   int64(h.Quantile(0.50)),
+		P90Ns:   int64(h.Quantile(0.90)),
+		P99Ns:   int64(h.Quantile(0.99)),
+		Buckets: []BucketSnap{},
+	}
+	for i := 0; i < NumBuckets; i++ {
+		if h.buckets[i] != 0 {
+			hs.Buckets = append(hs.Buckets, BucketSnap{UpperNs: BucketUpper(i), Count: h.buckets[i]})
+		}
+	}
+	return hs
+}
+
+func snapVC(v *VCStats) VCSnap {
+	vs := VCSnap{
+		VPI:                v.VPI,
+		VCI:                v.VCI,
+		CellsOut:           v.CellsOut,
+		CellsIn:            v.CellsIn,
+		SDUsOut:            v.SDUsOut,
+		SDUsIn:             v.SDUsIn,
+		BytesOut:           v.BytesOut,
+		BytesIn:            v.BytesIn,
+		Drops:              map[string]uint64{},
+		CRCErrors:          v.CRCErrors,
+		LengthErrors:       v.LengthErrors,
+		LostCells:          v.LostCells,
+		ReassemblyTimeouts: v.ReassemblyTimeouts,
+	}
+	for c, n := range v.Drops {
+		if n != 0 {
+			vs.Drops[DropCause(c).String()] = n
+		}
+	}
+	return vs
+}
+
+// WriteText renders the snapshot as aligned human-readable tables: one
+// section per instrument kind, then the per-VC table.
+func (s Snapshot) WriteText(w io.Writer) error {
+	if len(s.Counters) > 0 {
+		if err := writeSection(w, "counters", []string{"name", "value"}, func(emit func(...string)) {
+			for _, c := range s.Counters {
+				emit(c.Name, fmt.Sprintf("%d", c.Value))
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	if len(s.Gauges) > 0 {
+		if err := writeSection(w, "gauges", []string{"name", "value", "high-water"}, func(emit func(...string)) {
+			for _, g := range s.Gauges {
+				emit(g.Name, fmt.Sprintf("%d", g.Value), fmt.Sprintf("%d", g.Max))
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	if len(s.Histograms) > 0 {
+		if err := writeSection(w, "histograms",
+			[]string{"name", "count", "mean", "p50", "p90", "p99", "max"},
+			func(emit func(...string)) {
+				for _, h := range s.Histograms {
+					mean := int64(0)
+					if h.Count > 0 {
+						mean = h.SumNs / int64(h.Count)
+					}
+					emit(h.Name, fmt.Sprintf("%d", h.Count),
+						sim.Time(mean).String(), sim.Time(h.P50Ns).String(),
+						sim.Time(h.P90Ns).String(), sim.Time(h.P99Ns).String(),
+						sim.Time(h.MaxNs).String())
+				}
+			}); err != nil {
+			return err
+		}
+	}
+	if len(s.VCs) > 0 {
+		if err := writeSection(w, "per-VC",
+			[]string{"vc", "cells-out", "cells-in", "sdus-out", "sdus-in", "drops", "crc-err", "len-err", "lost", "timeouts"},
+			func(emit func(...string)) {
+				for _, v := range s.VCs {
+					var drops uint64
+					for _, n := range v.Drops {
+						drops += n
+					}
+					emit(fmt.Sprintf("%d/%d", v.VPI, v.VCI),
+						fmt.Sprintf("%d", v.CellsOut), fmt.Sprintf("%d", v.CellsIn),
+						fmt.Sprintf("%d", v.SDUsOut), fmt.Sprintf("%d", v.SDUsIn),
+						fmt.Sprintf("%d", drops), fmt.Sprintf("%d", v.CRCErrors),
+						fmt.Sprintf("%d", v.LengthErrors), fmt.Sprintf("%d", v.LostCells),
+						fmt.Sprintf("%d", v.ReassemblyTimeouts))
+				}
+			}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSection renders one titled aligned table.
+func writeSection(w io.Writer, title string, cols []string, fill func(emit func(...string))) error {
+	var rows [][]string
+	fill(func(cells ...string) {
+		row := make([]string, len(cells))
+		copy(row, cells)
+		rows = append(rows, row)
+	})
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	line := func(cells []string) error {
+		for i, c := range cells {
+			pad := widths[i] - len(c)
+			if i == len(cells)-1 {
+				pad = 0
+			}
+			if _, err := fmt.Fprintf(w, "  %s%*s", c, pad, ""); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+	if err := line(cols); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// sortedDropNames is used by tests to iterate Drops deterministically.
+func sortedDropNames(m map[string]uint64) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -28,10 +28,15 @@ func NewStation(k *sim.Kernel, cfg nic.Config) (*Station, error) {
 	return NewStationFull(k, cfg, host.DefaultConfig(), bus.DefaultConfig())
 }
 
-// NewStationFull builds a station with explicit host and bus models.
+// NewStationFull builds a station with explicit host and bus models. When
+// the interface config carries a telemetry registry, the station's bus
+// devices record into it too.
 func NewStationFull(k *sim.Kernel, cfg nic.Config, hostCfg host.Config, busCfg bus.Config) (*Station, error) {
 	h := host.New(k, hostCfg)
 	b := bus.New(k, busCfg)
+	if cfg.Metrics != nil {
+		b.SetMetrics(cfg.Metrics)
+	}
 	iface, err := nic.New(k, cfg, h, b)
 	if err != nil {
 		return nil, err
@@ -44,6 +49,9 @@ func NewStationFull(k *sim.Kernel, cfg nic.Config, hostCfg host.Config, busCfg b
 func NewHardwiredStation(k *sim.Kernel, cfg nic.Config) (*Station, error) {
 	h := host.New(k, host.DefaultConfig())
 	b := bus.New(k, bus.DefaultConfig())
+	if cfg.Metrics != nil {
+		b.SetMetrics(cfg.Metrics)
+	}
 	iface, err := baseline.NewHardwired(k, cfg, h, b)
 	if err != nil {
 		return nil, err

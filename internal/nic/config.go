@@ -6,6 +6,7 @@ import (
 	"repro/internal/aal"
 	"repro/internal/bufmgr"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/units"
 	"repro/internal/vclookup"
 )
@@ -92,6 +93,12 @@ type Config struct {
 	// behaviour per-VC pacing needs. Cells of a single VC's frame are
 	// never interleaved with each other (AAL requirement).
 	InterleaveVCs bool
+	// Metrics is the telemetry registry the interface records into. All
+	// instrument names are prefixed with Name ("a.nic.tx.cells"), so
+	// several interfaces can share one registry and a simulation gets a
+	// single unified snapshot. Nil means the interface creates a private
+	// registry, reachable via Interface.Metrics.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the as-built board: STS-3c, AAL5 firmware, 25 MHz
@@ -139,6 +146,15 @@ func (c *Config) validate() error {
 		return fmt.Errorf("nic: MaxSDU %d exceeds AAL limit %d", c.MaxSDU, aal.MaxSDU)
 	}
 	return nil
+}
+
+// scoped prefixes an instrument name with the interface name, keeping
+// multi-station registries collision-free ("a.nic.tx.cells").
+func scoped(prefix, name string) string {
+	if prefix == "" {
+		return name
+	}
+	return prefix + "." + name
 }
 
 // perCellPayload returns SAR payload bytes per cell for the configured AAL.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fifo"
 	"repro/internal/host"
+	"repro/internal/metrics"
 	"repro/internal/oam"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -33,6 +34,7 @@ type Interface struct {
 	tx *transmitter
 	rx *receiver
 
+	reg        *metrics.Registry
 	txVCs      map[atm.VC]bool
 	onLoopback func(vc atm.VC, correlation uint32)
 }
@@ -53,6 +55,10 @@ func New(k *sim.Kernel, cfg Config, hst *host.Host, b *bus.Bus) (*Interface, err
 	if hst == nil || b == nil {
 		return nil, fmt.Errorf("nic: nil host or bus")
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	i := &Interface{
 		k:        k,
 		cfg:      cfg,
@@ -62,17 +68,21 @@ func New(k *sim.Kernel, cfg Config, hst *host.Host, b *bus.Bus) (*Interface, err
 		txDev:    b.Attach(cfg.Name + ".txdma"),
 		rxDev:    b.Attach(cfg.Name + ".rxdma"),
 		hostDev:  b.Attach(cfg.Name + ".pio"),
+		reg:      reg,
 		txVCs:    make(map[atm.VC]bool),
 	}
+	i.txEngine.Instrument(reg, scoped(cfg.Name, "engine.txeng"))
 	for e := 0; e < cfg.RxEngines; e++ {
-		i.rxEngines = append(i.rxEngines, engine.New(k, fmt.Sprintf("%s.rxeng%d", cfg.Name, e), cfg.Engine))
+		eng := engine.New(k, fmt.Sprintf("%s.rxeng%d", cfg.Name, e), cfg.Engine)
+		eng.Instrument(reg, scoped(cfg.Name, fmt.Sprintf("engine.rxeng%d", e)))
+		i.rxEngines = append(i.rxEngines, eng)
 	}
 	cellTime := units.CellTime(cfg.PayloadRate)
-	i.tx = newTransmitter(k, &i.cfg, i.txEngine, i.txDev, i.pool, cellTime, func(c *atm.Cell) {
+	i.tx = newTransmitter(k, &i.cfg, i.txEngine, i.txDev, i.pool, cellTime, reg, cfg.Name, func(c *atm.Cell) {
 		// Default output discards (no link attached yet).
 		i.pool.Put(c)
 	})
-	i.rx = newReceiver(k, &i.cfg, i.rxEngines, i.rxDev, hst, i.pool)
+	i.rx = newReceiver(k, &i.cfg, i.rxEngines, i.rxDev, hst, i.pool, reg, cfg.Name)
 	// Management slow path: the receive firmware answers F5 loopback
 	// requests by reflecting the cell through the transmit FIFO; loopback
 	// responses go to the host's registered handler (or are dropped).
@@ -253,7 +263,7 @@ type Stats struct {
 // aggregates drops/pushes across the per-engine FIFOs and RxEngUtil is the
 // mean engine utilization.
 func (i *Interface) Stats() Stats {
-	rx := i.rx.stats
+	rx := i.rx.snapshot()
 	var agg fifo.Stats
 	for _, f := range i.rx.fifos {
 		st := f.Stats()
@@ -273,7 +283,7 @@ func (i *Interface) Stats() Stats {
 	}
 	rxUtil /= float64(len(i.rxEngines))
 	return Stats{
-		Tx:        i.tx.stats,
+		Tx:        i.tx.snapshot(),
 		Rx:        rx,
 		TxFifo:    i.tx.fifo.Stats(),
 		RxFifo:    agg,
@@ -284,6 +294,11 @@ func (i *Interface) Stats() Stats {
 		SRAMPeak:  i.rx.alloc.Peak(),
 	}
 }
+
+// Metrics returns the telemetry registry the interface records into —
+// the one from Config.Metrics, or the private registry created when the
+// config left it nil.
+func (i *Interface) Metrics() *metrics.Registry { return i.reg }
 
 // TxEngine exposes the transmit engine (for headroom analysis).
 func (i *Interface) TxEngine() *engine.Engine { return i.txEngine }

@@ -2,6 +2,7 @@ package nic
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/aal"
 	"repro/internal/atm"
@@ -10,11 +11,13 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fifo"
 	"repro/internal/host"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/vclookup"
 )
 
-// RxStats counts receive-side events.
+// RxStats is the receive-side snapshot assembled from the telemetry
+// registry (see Interface.Stats).
 type RxStats struct {
 	Cells     uint64 // cells popped from the RX FIFO
 	FifoDrops uint64 // cells lost to RX FIFO overflow
@@ -41,10 +44,12 @@ type Delivered struct {
 
 // rxVC is per-open-VC receive state.
 type rxVC struct {
-	vc     atm.VC
-	ras    aal.Reassembler       // nil when midras is used
-	midras *aal.MIDReassembler34 // MID-demultiplexed AAL3/4 (Config.MIDMux)
-	frame  bufmgr.Frame          // nil when no frame in progress
+	vc         atm.VC
+	ras        aal.Reassembler       // nil when midras is used
+	midras     *aal.MIDReassembler34 // MID-demultiplexed AAL3/4 (Config.MIDMux)
+	frame      bufmgr.Frame          // nil when no frame in progress
+	vst        *metrics.VCStats      // per-connection telemetry row
+	frameStart sim.Time              // first-cell arrival of the frame in progress
 }
 
 // receiver is the receive half: per-engine RX FIFOs behind a hardware VC
@@ -66,6 +71,7 @@ type receiver struct {
 	pool *atm.Pool
 
 	fifos      []*fifo.Ring[*atm.Cell]
+	arrivals   []*fifo.Ring[sim.Time] // per-cell arrival stamps, lockstep with fifos
 	processing []bool
 	lookup     vclookup.Strategy
 	alloc      *bufmgr.Allocator
@@ -76,15 +82,29 @@ type receiver struct {
 	onDeliver func(Delivered)
 	onOAM     func(*atm.Cell) // owns the cell; nil = drop
 
-	stats RxStats
+	// Registry instruments (always non-nil; the registry hands out nil-safe
+	// no-op instruments only when it is itself nil, which New prevents).
+	reg          *metrics.Registry
+	mCells       *metrics.Counter
+	mFifoDrops   *metrics.Counter
+	mUnknownVC   *metrics.Counter
+	mOAMCells    *metrics.Counter
+	mAALErrors   *metrics.Counter
+	mSRAMDrops   *metrics.Counter
+	mPackets     *metrics.Counter
+	mBytes       *metrics.Counter
+	hCellDelay   *metrics.Histogram // FIFO arrival → per-cell firmware done
+	hReassembly  *metrics.Histogram // first cell buffered → frame complete
+	hIntrService *metrics.Histogram // interrupt posted → host handler done
 }
 
 func newReceiver(k *sim.Kernel, cfg *Config, engs []*engine.Engine, dev *bus.Device,
-	hst *host.Host, pool *atm.Pool) *receiver {
+	hst *host.Host, pool *atm.Pool, reg *metrics.Registry, prefix string) *receiver {
 	n := len(engs)
 	r := &receiver{
 		k: k, cfg: cfg, engs: engs, dev: dev, hst: hst, pool: pool,
 		fifos:      make([]*fifo.Ring[*atm.Cell], n),
+		arrivals:   make([]*fifo.Ring[sim.Time], n),
 		processing: make([]bool, n),
 		lookup:     cfg.Lookup.build(cfg.MaxVCs),
 		alloc:      bufmgr.NewAllocator(cfg.BufOrg, cfg.AdapterSRAM),
@@ -93,8 +113,37 @@ func newReceiver(k *sim.Kernel, cfg *Config, engs []*engine.Engine, dev *bus.Dev
 	}
 	for i := range r.fifos {
 		r.fifos[i] = fifo.NewRing[*atm.Cell](cfg.RxFifoDepth)
+		r.fifos[i].Instrument(reg, scoped(prefix, fmt.Sprintf("fifo.rx%d", i)))
+		r.arrivals[i] = fifo.NewRing[sim.Time](cfg.RxFifoDepth)
 	}
+	r.reg = reg
+	r.mCells = reg.Counter(scoped(prefix, "nic.rx.cells"))
+	r.mFifoDrops = reg.Counter(scoped(prefix, "nic.rx.fifo_drops"))
+	r.mUnknownVC = reg.Counter(scoped(prefix, "nic.rx.unknown_vc"))
+	r.mOAMCells = reg.Counter(scoped(prefix, "nic.rx.oam_cells"))
+	r.mAALErrors = reg.Counter(scoped(prefix, "nic.rx.aal_errors"))
+	r.mSRAMDrops = reg.Counter(scoped(prefix, "nic.rx.sram_drops"))
+	r.mPackets = reg.Counter(scoped(prefix, "nic.rx.packets"))
+	r.mBytes = reg.Counter(scoped(prefix, "nic.rx.bytes"))
+	r.hCellDelay = reg.Histogram(scoped(prefix, "nic.rx.cell_delay"))
+	r.hReassembly = reg.Histogram(scoped(prefix, "nic.rx.reassembly_time"))
+	r.hIntrService = reg.Histogram(scoped(prefix, "nic.rx.intr_service"))
 	return r
+}
+
+// snapshot assembles the legacy RxStats view from the registry instruments.
+// MaxFifo is filled in by Interface.Stats from the FIFO high-water marks.
+func (r *receiver) snapshot() RxStats {
+	return RxStats{
+		Cells:     r.mCells.Value(),
+		FifoDrops: r.mFifoDrops.Value(),
+		UnknownVC: r.mUnknownVC.Value(),
+		OAMCells:  r.mOAMCells.Value(),
+		AALErrors: r.mAALErrors.Value(),
+		SRAMDrops: r.mSRAMDrops.Value(),
+		Packets:   r.mPackets.Value(),
+		Bytes:     r.mBytes.Value(),
+	}
 }
 
 // engineFor steers a VC to its engine. Steering rides in the VC table the
@@ -118,11 +167,15 @@ func (r *receiver) open(vc atm.VC) error {
 	if err != nil {
 		return err
 	}
-	st := &rxVC{vc: vc}
+	st := &rxVC{vc: vc, vst: r.reg.VC(vc.VPI, vc.VCI)}
 	if r.cfg.MIDMux {
 		st.midras = aal.NewMIDReassembler34(r.cfg.MaxSDU+64, 0)
+		st.midras.SetVCStats(st.vst)
 	} else {
 		_, st.ras = aal.New(r.cfg.AAL, r.cfg.MaxSDU+64)
+		if ir, ok := st.ras.(interface{ SetVCStats(*metrics.VCStats) }); ok {
+			ir.SetVCStats(st.vst)
+		}
 	}
 	r.vcs[idx] = st
 	r.steer[vc] = r.nextSteer % len(r.engs)
@@ -160,10 +213,12 @@ func (r *receiver) deliverCell(c *atm.Cell) {
 	if !r.fifos[e].Push(c) {
 		// Hardware overflow: the cell is gone. The AAL discovers the
 		// damage later; that is the whole E9 story.
-		r.stats.FifoDrops++
+		r.mFifoDrops.Inc()
+		r.reg.VC(c.Header.VPI, c.Header.VCI).Drop(metrics.DropFIFO)
 		r.pool.Put(c)
 		return
 	}
+	r.arrivals[e].Push(r.k.Now())
 	r.process(e)
 }
 
@@ -176,8 +231,9 @@ func (r *receiver) process(e int) {
 	if !ok {
 		return
 	}
+	arrived, haveArrival := r.arrivals[e].Pop()
 	r.processing[e] = true
-	r.stats.Cells++
+	r.mCells.Inc()
 
 	// Idle cells are discarded outright; OAM cells leave the fast path
 	// for the firmware's management handler.
@@ -187,7 +243,7 @@ func (r *receiver) process(e int) {
 		return
 	}
 	if !cell.Header.PT.User() {
-		r.stats.OAMCells++
+		r.mOAMCells.Inc()
 		r.engs[e].Run("rx_oam", rxCellInstr+rxOAMInstr, func() {
 			if r.onOAM != nil {
 				r.onOAM(cell)
@@ -201,12 +257,14 @@ func (r *receiver) process(e int) {
 
 	idx, lookCycles, found := r.lookup.Lookup(cell.Header.VC())
 	if !found {
-		r.stats.UnknownVC++
+		r.mUnknownVC.Inc()
+		r.reg.VC(cell.Header.VPI, cell.Header.VCI).Drop(metrics.DropUnknownVC)
 		r.pool.Put(cell)
 		r.engs[e].Run("rx_unknown", rxCellInstr+lookCycles+rxUnknownVCInstr, func() { r.next(e) })
 		return
 	}
 	st := r.vcs[idx]
+	st.vst.AddCellIn()
 
 	instr := rxCellInstr + lookCycles
 	if r.cfg.AAL == aal.AAL34 {
@@ -224,6 +282,7 @@ func (r *receiver) process(e int) {
 			return
 		}
 		st.frame = f
+		st.frameStart = r.k.Now()
 	}
 	appendCycles, err := st.frame.Append(cell.Payload[:])
 	if err != nil {
@@ -243,16 +302,21 @@ func (r *receiver) process(e int) {
 	r.pool.Put(cell)
 
 	r.engs[e].Run("rx_cell", instr, func() {
+		if haveArrival {
+			r.hCellDelay.Observe(r.k.Now() - arrived)
+		}
 		switch {
 		case res != nil:
 			// A frame completed (possibly also reporting a prior
 			// frame's loss, which the AAL already discarded).
 			if aalErr != nil {
-				r.stats.AALErrors++
+				r.mAALErrors.Inc()
+				st.vst.Drop(metrics.DropAAL)
 			}
 			r.completeFrame(e, st, res, mid)
 		case aalErr != nil:
-			r.stats.AALErrors++
+			r.mAALErrors.Inc()
+			st.vst.Drop(metrics.DropAAL)
 			r.engs[e].Run("rx_err", rxErrInstr, func() {
 				r.releaseFrame(st)
 				r.next(e)
@@ -265,7 +329,8 @@ func (r *receiver) process(e int) {
 
 // dropForMemory abandons the current frame when adapter SRAM is exhausted.
 func (r *receiver) dropForMemory(e int, st *rxVC, cell *atm.Cell) {
-	r.stats.SRAMDrops++
+	r.mSRAMDrops.Inc()
+	st.vst.Drop(metrics.DropSRAM)
 	if st.midras != nil {
 		st.midras.Abort()
 	} else {
@@ -289,6 +354,8 @@ func (r *receiver) releaseFrame(st *rxVC) {
 // host memory, and posts the per-packet interrupt.
 func (r *receiver) completeFrame(e int, st *rxVC, res *aal.Result, mid uint16) {
 	vc := st.vc
+	vst := st.vst
+	r.hReassembly.Observe(r.k.Now() - st.frameStart)
 	r.engs[e].Run("rx_eop", rxEOPInstr, func() {
 		sdu := res.SDU
 		frame := st.frame
@@ -298,9 +365,12 @@ func (r *receiver) completeFrame(e int, st *rxVC, res *aal.Result, mid uint16) {
 			if frame != nil {
 				frame.Release()
 			}
+			posted := r.k.Now()
 			r.hst.RxPacketInterrupt(len(sdu), func() {
-				r.stats.Packets++
-				r.stats.Bytes += uint64(len(sdu))
+				r.hIntrService.Observe(r.k.Now() - posted)
+				r.mPackets.Inc()
+				r.mBytes.Add(uint64(len(sdu)))
+				vst.AddSDUIn(len(sdu))
 				if r.onDeliver != nil {
 					r.onDeliver(Delivered{VC: vc, SDU: sdu, Cells: res.Cells, MID: mid, At: r.k.Now()})
 				}

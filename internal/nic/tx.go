@@ -6,10 +6,12 @@ import (
 	"repro/internal/bus"
 	"repro/internal/engine"
 	"repro/internal/fifo"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
-// TxStats counts transmit-side events.
+// TxStats is the transmit-side snapshot assembled from the telemetry
+// registry (see Interface.Stats).
 type TxStats struct {
 	Packets    uint64 // packets fully segmented
 	Cells      uint64 // data cells emitted to the FIFO
@@ -35,6 +37,7 @@ type txVC struct {
 	vc      atm.VC
 	pending []txDescriptor
 	seg     aal.Segmenter
+	vst     *metrics.VCStats
 
 	active    bool
 	sdu       []byte
@@ -75,16 +78,59 @@ type transmitter struct {
 	cellTime     sim.Duration
 	clockRunning bool
 
-	stats TxStats
+	// Telemetry: instruments live in the interface's registry; pushTimes
+	// shadows the cell FIFO so each cell's residency (push → cell clock)
+	// feeds the tx cell-delay histogram without touching the cell itself.
+	reg        *metrics.Registry
+	pushTimes  *fifo.Ring[sim.Time]
+	mPackets   *metrics.Counter
+	mCells     *metrics.Counter
+	mBytes     *metrics.Counter
+	mIdleSlots *metrics.Counter
+	mStalls    *metrics.Counter
+	mDMAWaits  *metrics.Counter
+	mPaceWaits *metrics.Counter
+	gQueued    *metrics.Gauge
+	hCellDelay *metrics.Histogram
+	hDMAWait   *metrics.Histogram
 }
 
 func newTransmitter(k *sim.Kernel, cfg *Config, eng *engine.Engine, dev *bus.Device,
-	pool *atm.Pool, cellTime sim.Duration, out func(*atm.Cell)) *transmitter {
-	return &transmitter{
+	pool *atm.Pool, cellTime sim.Duration, reg *metrics.Registry, prefix string,
+	out func(*atm.Cell)) *transmitter {
+	t := &transmitter{
 		k: k, cfg: cfg, eng: eng, dev: dev, pool: pool, out: out,
-		fifo:     fifo.NewRing[*atm.Cell](cfg.TxFifoDepth),
-		vcs:      make(map[atm.VC]*txVC),
-		cellTime: cellTime,
+		fifo:      fifo.NewRing[*atm.Cell](cfg.TxFifoDepth),
+		vcs:       make(map[atm.VC]*txVC),
+		cellTime:  cellTime,
+		reg:       reg,
+		pushTimes: fifo.NewRing[sim.Time](cfg.TxFifoDepth),
+	}
+	t.fifo.Instrument(reg, scoped(prefix, "fifo.tx"))
+	t.mPackets = reg.Counter(scoped(prefix, "nic.tx.packets"))
+	t.mCells = reg.Counter(scoped(prefix, "nic.tx.cells"))
+	t.mBytes = reg.Counter(scoped(prefix, "nic.tx.bytes"))
+	t.mIdleSlots = reg.Counter(scoped(prefix, "nic.tx.idle_slots"))
+	t.mStalls = reg.Counter(scoped(prefix, "nic.tx.fifo_stalls"))
+	t.mDMAWaits = reg.Counter(scoped(prefix, "nic.tx.dma_waits"))
+	t.mPaceWaits = reg.Counter(scoped(prefix, "nic.tx.pace_waits"))
+	t.gQueued = reg.Gauge(scoped(prefix, "nic.tx.queued"))
+	t.hCellDelay = reg.Histogram(scoped(prefix, "nic.tx.cell_delay"))
+	t.hDMAWait = reg.Histogram(scoped(prefix, "nic.tx.dma_wait"))
+	return t
+}
+
+// snapshot assembles the legacy TxStats view from the registry instruments.
+func (t *transmitter) snapshot() TxStats {
+	return TxStats{
+		Packets:    t.mPackets.Value(),
+		Cells:      t.mCells.Value(),
+		Bytes:      t.mBytes.Value(),
+		IdleSlots:  t.mIdleSlots.Value(),
+		FifoStalls: t.mStalls.Value(),
+		DMAWaits:   t.mDMAWaits.Value(),
+		PaceWaits:  t.mPaceWaits.Value(),
+		QueuedMax:  int(t.gQueued.Max()),
 	}
 }
 
@@ -94,7 +140,7 @@ func (t *transmitter) open(vc atm.VC) {
 		return
 	}
 	seg, _ := aal.New(t.cfg.AAL, 0)
-	st := &txVC{vc: vc, seg: seg}
+	st := &txVC{vc: vc, seg: seg, vst: t.reg.VC(vc.VPI, vc.VCI)}
 	t.vcs[vc] = st
 	t.order = append(t.order, st)
 }
@@ -155,9 +201,7 @@ func (t *transmitter) enqueue(vc atm.VC, d txDescriptor) bool {
 		return false
 	}
 	st.pending = append(st.pending, d)
-	if len(st.pending) > t.stats.QueuedMax {
-		t.stats.QueuedMax = len(st.pending)
-	}
+	t.gQueued.Set(int64(len(st.pending)))
 	t.schedule()
 	return true
 }
@@ -230,12 +274,12 @@ func (t *transmitter) scheduleCell() {
 		}
 		if t.fifo.Full() {
 			t.stalled = true
-			t.stats.FifoStalls++
+			t.mStalls.Inc()
 			return // the cell clock will resume us
 		}
 		if !t.stagedEnough(st) {
 			st.awaitDMA = true
-			t.stats.DMAWaits++
+			t.mDMAWaits.Inc()
 			continue
 		}
 		t.rr = (idx + 1) % n
@@ -246,7 +290,7 @@ func (t *transmitter) scheduleCell() {
 		// Everything runnable is pacing-blocked: wake at the earliest
 		// eligibility.
 		t.wakePending = true
-		t.stats.PaceWaits++
+		t.mPaceWaits.Inc()
 		t.k.At(earliest, func() {
 			t.wakePending = false
 			t.schedule()
@@ -285,7 +329,7 @@ func (t *transmitter) runStart(st *txVC) {
 		st.cellIdx = 0
 		st.staged = 0
 		st.stagedOff = 0
-		t.stats.Bytes += uint64(len(d.sdu))
+		t.mBytes.Add(uint64(len(d.sdu)))
 		t.stageNextChunk(st)
 		t.schedule()
 	})
@@ -304,7 +348,9 @@ func (t *transmitter) stageNextChunk(st *txVC) {
 		chunk = mb
 	}
 	st.stagedOff += chunk
+	t0 := t.k.Now()
 	t.dev.DMA(chunk, func() {
+		t.hDMAWait.Observe(t.k.Now() - t0)
 		st.staged += chunk
 		t.stageNextChunk(st)
 		if st.awaitDMA {
@@ -341,7 +387,9 @@ func (t *transmitter) runCell(st *txVC) {
 		if !t.fifo.Push(cell) {
 			panic("nic: TX FIFO overflowed despite stall check")
 		}
-		t.stats.Cells++
+		t.pushTimes.Push(t.k.Now())
+		t.mCells.Inc()
+		st.vst.AddCellOut()
 		st.cellIdx++
 		st.cellsLeft--
 		if st.minGap > 0 {
@@ -361,7 +409,8 @@ func (t *transmitter) finishFrame(st *txVC) {
 	t.busy = true
 	t.eng.Run("tx_done", txDoneInstr, func() {
 		t.busy = false
-		t.stats.Packets++
+		t.mPackets.Inc()
+		st.vst.AddSDUOut(len(st.sdu))
 		onSent := st.onSent
 		st.active = false
 		st.sdu = nil
@@ -389,10 +438,14 @@ func (t *transmitter) finishFrame(st *txVC) {
 // the TX FIFO, ahead of no one: it takes the next free slot like any other
 // cell. Best-effort: a full FIFO drops it (OAM has no delivery guarantee).
 func (t *transmitter) injectCell(c *atm.Cell) bool {
+	h := &c.Header
 	if !t.fifo.Push(c) {
+		t.reg.VC(h.VPI, h.VCI).Drop(metrics.DropTxQueue)
 		return false
 	}
-	t.stats.Cells++
+	t.pushTimes.Push(t.k.Now())
+	t.mCells.Inc()
+	t.reg.VC(h.VPI, h.VCI).AddCellOut()
 	t.startClock()
 	return true
 }
@@ -421,13 +474,16 @@ func (t *transmitter) startClock() {
 func (t *transmitter) tick() {
 	cell, ok := t.fifo.Pop()
 	if ok {
+		if t0, tok := t.pushTimes.Pop(); tok {
+			t.hCellDelay.Observe(t.k.Now() - t0)
+		}
 		t.out(cell)
 		if t.stalled {
 			t.stalled = false
 			t.schedule()
 		}
 	} else {
-		t.stats.IdleSlots++
+		t.mIdleSlots.Inc()
 		if !t.pendingWork() {
 			t.clockRunning = false
 			return

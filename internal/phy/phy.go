@@ -50,6 +50,15 @@ func NewCellLink(k *sim.Kernel, delay sim.Duration, seed uint64, sink func(*atm.
 // Stats returns cumulative counters.
 func (l *CellLink) Stats() Stats { return l.stats }
 
+// SetSink replaces the delivery callback — the hook tap points (trace.Timed)
+// use to wrap the receiving end after the link is built.
+func (l *CellLink) SetSink(sink func(*atm.Cell)) {
+	if sink == nil {
+		panic("phy: nil sink")
+	}
+	l.sink = sink
+}
+
 // Send transmits one cell. The cell is owned by the link until delivery;
 // callers must not reuse it (use a pool and recycle in the sink).
 func (l *CellLink) Send(c *atm.Cell) {

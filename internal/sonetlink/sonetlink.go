@@ -13,6 +13,7 @@ package sonetlink
 import (
 	"repro/internal/atm"
 	"repro/internal/fifo"
+	"repro/internal/metrics"
 	"repro/internal/nic"
 	"repro/internal/phy"
 	"repro/internal/sim"
@@ -33,6 +34,11 @@ type Config struct {
 	BitErrProb float64
 	// Seed drives fault injection.
 	Seed uint64
+	// Metrics, when non-nil, receives per-direction link telemetry:
+	// "link.<src>.data_cells", ".idle_cells", ".frames", ".queue_drops"
+	// counters and "link.<src>.queue.*" FIFO instruments, where <src> is
+	// the transmitting interface's configured name.
+	Metrics *metrics.Registry
 }
 
 // Stats counts one direction's events.
@@ -69,6 +75,12 @@ type Half struct {
 	running  bool
 
 	stats Stats
+
+	// Registry instruments (no-ops when Config.Metrics is nil).
+	mFrames     *metrics.Counter
+	mDataCells  *metrics.Counter
+	mIdleCells  *metrics.Counter
+	mQueueDrops *metrics.Counter
 }
 
 // Connect wires a and b through SONET framing in both directions. The
@@ -103,6 +115,12 @@ func newHalf(k *sim.Kernel, cfg Config, src, dst *nic.Interface) *Half {
 		srcPool:  src.Pool(),
 		cellTime: units.CellTime(cfg.Rate.PayloadRate()),
 	}
+	lp := "link." + src.Config().Name
+	h.queue.Instrument(cfg.Metrics, lp+".queue")
+	h.mFrames = cfg.Metrics.Counter(lp + ".frames")
+	h.mDataCells = cfg.Metrics.Counter(lp + ".data_cells")
+	h.mIdleCells = cfg.Metrics.Counter(lp + ".idle_cells")
+	h.mQueueDrops = cfg.Metrics.Counter(lp + ".queue_drops")
 	h.fr = sonet.NewFramer(cfg.Rate, (*txSource)(h))
 	h.frameBuf = make([]byte, h.fr.Geometry().FrameBytes)
 	h.del = sonet.NewDelineator(h.cellRecovered)
@@ -116,6 +134,7 @@ func newHalf(k *sim.Kernel, cfg Config, src, dst *nic.Interface) *Half {
 	k.At(k.Now(), func() {
 		h.fr.NextFrame(h.frameBuf)
 		h.line.Send(h.frameBuf)
+		h.mFrames.Inc()
 	})
 	return h
 }
@@ -137,6 +156,7 @@ func (h *Half) Stats() Stats {
 func (h *Half) enqueue(c *atm.Cell) {
 	if !h.queue.Push(c) {
 		h.stats.QueueDrops++
+		h.mQueueDrops.Inc()
 		h.srcPool.Put(c)
 	}
 	if !h.running {
@@ -151,6 +171,7 @@ func (h *Half) enqueue(c *atm.Cell) {
 func (h *Half) frameTick() {
 	h.fr.NextFrame(h.frameBuf)
 	h.line.Send(h.frameBuf)
+	h.mFrames.Inc()
 	if h.queue.Empty() {
 		// Emit one more frame's worth of idle and stop until traffic
 		// resumes; the receiver's delineation state survives the gap
@@ -170,12 +191,14 @@ func (t *txSource) NextCell(dst []byte) {
 	cell, ok := h.queue.Pop()
 	if !ok {
 		h.stats.IdleCells++
+		h.mIdleCells.Inc()
 		if err := atm.IdleCell().Encode(dst); err != nil {
 			panic(err)
 		}
 		return
 	}
 	h.stats.DataCells++
+	h.mDataCells.Inc()
 	if err := cell.Encode(dst); err != nil {
 		panic(err)
 	}

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/atm"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -60,7 +61,11 @@ func (c *Capture) observe(cell *atm.Cell) {
 // Records returns the captured cells in arrival order.
 func (c *Capture) Records() []Record { return c.records }
 
-// Overflow reports matches discarded after Limit was reached.
+// Overflowed reports matches discarded after Limit was reached. A non-zero
+// value means the capture is a truncated prefix, not the full cell stream.
+func (c *Capture) Overflowed() uint64 { return c.overflow }
+
+// Overflow is an older name for Overflowed.
 func (c *Capture) Overflow() uint64 { return c.overflow }
 
 // Reset clears the capture.
@@ -80,8 +85,23 @@ type VCStats struct {
 	OAMCells int
 }
 
-// Summary aggregates the capture per VC, sorted by (VPI, VCI).
-func (c *Capture) Summary() []VCStats {
+// Summary is the aggregate view of a capture: per-VC statistics plus the
+// totals a reader needs to judge whether the capture is complete. A capture
+// that hit its Limit reports the discarded matches in Overflowed — the per-VC
+// numbers then describe only the stored prefix.
+type Summary struct {
+	PerVC      []VCStats
+	Stored     int    // records kept
+	Overflowed uint64 // matches discarded after Limit
+}
+
+// Summary aggregates the capture per VC, sorted by (VPI, VCI), together
+// with the stored/overflowed accounting.
+func (c *Capture) Summary() Summary {
+	return Summary{PerVC: c.perVC(), Stored: len(c.records), Overflowed: c.overflow}
+}
+
+func (c *Capture) perVC() []VCStats {
 	byVC := map[atm.VC]*VCStats{}
 	prev := map[atm.VC]sim.Time{}
 	var gapSum map[atm.VC]sim.Duration = map[atm.VC]sim.Duration{}
@@ -119,6 +139,73 @@ func (c *Capture) Summary() []VCStats {
 	})
 	return out
 }
+
+// Timed measures per-cell ingress→egress latency across a stretch of the
+// datapath — typically the two ends of a link — and feeds each sample into a
+// latency histogram. Cells are matched in FIFO order, which is exact for a
+// lossless, order-preserving path; on a lossy path the match skews and
+// Unmatched counts egress cells that had no recorded ingress.
+type Timed struct {
+	k    *sim.Kernel
+	cap  *Capture
+	hist *metrics.Histogram
+
+	times     []sim.Time
+	head      int
+	matched   uint64
+	unmatched uint64
+}
+
+// TapTimed creates a latency tap bound to this capture. Wrap the sending
+// side with Ingress and the receiving side with Egress:
+//
+//	tt := cap.TapTimed(reg.Histogram("link.ab.latency"))
+//	a.Iface.SetOutput(tt.Ingress(link.Send))
+//	link.SetSink(tt.Egress(b.Iface.DeliverCell))
+//
+// Ingress also records the cell into the capture, like Tap.
+func (c *Capture) TapTimed(h *metrics.Histogram) *Timed {
+	return &Timed{k: c.k, cap: c, hist: h}
+}
+
+// Ingress wraps the upstream end: the cell is recorded and timestamped, then
+// passed through unchanged.
+func (t *Timed) Ingress(next func(*atm.Cell)) func(*atm.Cell) {
+	return func(cell *atm.Cell) {
+		t.cap.observe(cell)
+		if t.head > 0 && t.head == len(t.times) {
+			t.times = t.times[:0]
+			t.head = 0
+		}
+		t.times = append(t.times, t.k.Now())
+		next(cell)
+	}
+}
+
+// Egress wraps the downstream end: the oldest outstanding ingress stamp is
+// consumed and the elapsed time observed into the histogram.
+func (t *Timed) Egress(next func(*atm.Cell)) func(*atm.Cell) {
+	return func(cell *atm.Cell) {
+		if t.head < len(t.times) {
+			t.hist.Observe(t.k.Now() - t.times[t.head])
+			t.head++
+			t.matched++
+		} else {
+			t.unmatched++
+		}
+		next(cell)
+	}
+}
+
+// Matched reports cells whose latency was observed.
+func (t *Timed) Matched() uint64 { return t.matched }
+
+// Unmatched reports egress cells that arrived with no outstanding ingress
+// stamp (possible only when the path loses, reorders or injects cells).
+func (t *Timed) Unmatched() uint64 { return t.unmatched }
+
+// Outstanding reports cells currently in flight between the taps.
+func (t *Timed) Outstanding() int { return len(t.times) - t.head }
 
 // Dump writes the capture as text: one line per cell with timestamp,
 // header fields and the leading payload bytes, cellview-compatible hex
