@@ -1,5 +1,5 @@
 // Package repro's root benchmarks regenerate every reconstructed table and
-// figure (E1..E12; see DESIGN.md) under `go test -bench`. Each benchmark
+// figure (E1..E15; see DESIGN.md) under `go test -bench`. Each benchmark
 // runs the corresponding experiment core and reports its headline numbers
 // as custom metrics, so `go test -bench=. -benchmem | tee bench_output.txt`
 // is the whole evaluation.
@@ -288,4 +288,25 @@ func BenchmarkE13FEC(b *testing.B) {
 	}
 	b.ReportMetric(pts[0].DeliveredFrac, "plain-frac")
 	b.ReportMetric(pts[1].DeliveredFrac, "fec-frac")
+}
+
+// BenchmarkE14Policing regenerates the shaped-vs-unshaped policing table.
+func BenchmarkE14Policing(b *testing.B) {
+	var res [2]experiments.E14Result
+	for i := 0; i < b.N; i++ {
+		res, _ = experiments.E14(20 * sim.Millisecond)
+	}
+	b.ReportMetric(float64(res[0].Discarded), "unshaped-discards")
+	b.ReportMetric(float64(res[1].Tagged+res[1].Discarded), "shaped-nonconform")
+	b.ReportMetric(res[1].GoodputBps/1e6, "shaped-Mbps")
+}
+
+// BenchmarkE15EPD regenerates the tail-drop vs EPD/PPD goodput figure.
+func BenchmarkE15EPD(b *testing.B) {
+	var pts []experiments.E15Point
+	for i := 0; i < b.N; i++ {
+		pts, _ = experiments.E15([]float64{1.3}, 15*sim.Millisecond)
+	}
+	b.ReportMetric(pts[0].Efficiency, "tail-eff")
+	b.ReportMetric(pts[1].Efficiency, "epd-eff")
 }

@@ -1,5 +1,5 @@
 // Command atmbench regenerates the reconstructed evaluation of the Davie
-// SIGCOMM '91 host–network interface: experiments E1 through E13 (see
+// SIGCOMM '91 host–network interface: experiments E1 through E15 (see
 // DESIGN.md for the index). Run with no flags to print everything, or
 // select experiments:
 //
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiments (e1..e10) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiments (e1..e15) or 'all'")
 	quick := flag.Bool("quick", false, "shorter simulated runs (for smoke tests)")
 	csv := flag.Bool("csv", false, "emit tables as CSV where applicable")
 	metricsPath := flag.String("metrics", "", "run the instrumented telemetry pass and write its JSON snapshot here (\"-\" for stdout)")
@@ -30,7 +30,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for i := 1; i <= 13; i++ {
+		for i := 1; i <= 15; i++ {
 			want[fmt.Sprintf("e%d", i)] = true
 		}
 	} else {
@@ -139,6 +139,16 @@ func main() {
 		emitSeries(sr)
 		ran++
 	}
+	if want["e14"] {
+		_, tb := experiments.E14(runTime(40 * sim.Millisecond))
+		emitTable(tb)
+		ran++
+	}
+	if want["e15"] {
+		_, sr := experiments.E15(nil, runTime(40*sim.Millisecond))
+		emitSeries(sr)
+		ran++
+	}
 	if *metricsPath != "" {
 		ec := experiments.DefaultTelemetry()
 		ec.RunTime = runTime(ec.RunTime)
@@ -162,7 +172,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "atmbench: no experiment matched %q (use e1..e13 or all)\n", *expFlag)
+		fmt.Fprintf(os.Stderr, "atmbench: no experiment matched %q (use e1..e15 or all)\n", *expFlag)
 		os.Exit(2)
 	}
 }

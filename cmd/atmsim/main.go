@@ -6,6 +6,8 @@
 //	atmsim -rate 622 -aal 3/4 -size 9180 -duration 50ms -loss 1e-4
 //	atmsim -workload bimodal -duration 100ms
 //	atmsim -arch percell -size 1000     # the per-cell-interrupt baseline
+//	atmsim -contract 150000,50000,32 -police    # shaped VC through a policing switch
+//	atmsim -size 1000 -epd 48                   # early packet discard at the switch
 package main
 
 import (
@@ -13,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/aal"
@@ -21,7 +25,9 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/nic"
+	"repro/internal/phy"
 	"repro/internal/sim"
+	"repro/internal/tm"
 	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -42,9 +48,12 @@ func main() {
 	traceN := flag.Int("trace", 0, "dump the first N cells on the a->b fiber")
 	metricsPath := flag.String("metrics", "", "write a JSON telemetry snapshot to this file (\"-\" for stdout)")
 	stats := flag.Bool("stats", false, "print the full telemetry table after the run")
+	contract := flag.String("contract", "", "shape a's VC to a traffic contract: \"pcr\" (CBR, cells/s) or \"pcr,scr,mbs\" (rt-VBR)")
+	police := flag.Bool("police", false, "route through a 155 Mb/s switch whose ingress polices -contract (tagging SCR violators)")
+	epd := flag.Int("epd", 0, "route through a 155 Mb/s switch with early packet discard above this queue depth (0 = off; congests with -rate 622)")
 	flag.Parse()
 
-	if err := run(*rate, *aalFlag, *arch, *size, *wl, *duration, *loss, *window, *seed, *rxEngines, *interleave, *traceN, *metricsPath, *stats); err != nil {
+	if err := run(*rate, *aalFlag, *arch, *size, *wl, *duration, *loss, *window, *seed, *rxEngines, *interleave, *traceN, *metricsPath, *stats, *contract, *police, *epd); err != nil {
 		fmt.Fprintln(os.Stderr, "atmsim:", err)
 		os.Exit(1)
 	}
@@ -52,7 +61,7 @@ func main() {
 
 func run(rate int, aalFlag, arch string, size int, wl string, duration time.Duration,
 	loss float64, window int, seed uint64, rxEngines int, interleave bool, traceN int,
-	metricsPath string, stats bool) error {
+	metricsPath string, stats bool, contractSpec string, police bool, epd int) error {
 	k := sim.NewKernel()
 	deadline := sim.Time(duration.Nanoseconds())
 
@@ -68,10 +77,24 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 	} else if aalFlag != "5" {
 		return fmt.Errorf("unknown AAL %q (use 5 or 3/4)", aalFlag)
 	}
+	var contract tm.TrafficContract
+	haveContract := contractSpec != ""
+	if haveContract {
+		var err error
+		if contract, err = parseContract(contractSpec, units.CellTime(payloadRate)); err != nil {
+			return err
+		}
+	}
+	if police && !haveContract {
+		return fmt.Errorf("-police needs -contract to know what to enforce")
+	}
 
 	if arch == "percell" {
 		if metricsPath != "" || stats {
 			return fmt.Errorf("-metrics/-stats are not supported with -arch percell")
+		}
+		if haveContract || police || epd > 0 {
+			return fmt.Errorf("-contract/-police/-epd are not supported with -arch percell")
 		}
 		return runBaseline(k, payloadRate, aalType, size, deadline, loss, seed)
 	}
@@ -101,7 +124,6 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 	if err != nil {
 		return err
 	}
-	ab, _ := netsim.Connect(k, a, b, netsim.LinkConfig{Delay: 10_000, LossProb: loss, Seed: seed})
 	// Wrap the a->b fiber with a timed tap around both ends: per-cell
 	// latency lands in the "link.ab.latency" histogram, and -trace N
 	// additionally stores the first N cells for dumping.
@@ -111,11 +133,46 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 		capture.Filter = func(*atm.Cell) bool { return false }
 	}
 	timed := capture.TapTimed(reg.Histogram("link.ab.latency"))
-	ab.SetSink(timed.Egress(b.Iface.DeliverCell))
-	a.Iface.SetOutput(timed.Ingress(ab.Send))
 	theVC := stdVC()
+	var sw *netsim.Switch
+	var pol *tm.Policer
+	if police || epd > 0 {
+		// a -> fiber -> switch -> b: the switch polices a's cells at its
+		// ingress and/or runs early packet discard on its output queue.
+		// Traffic is one-way, so b gets no return fiber. The port always
+		// drains at STS-3c: with matched rates the queue never builds, so
+		// a 622 Mb/s sender into the 155 Mb/s port is how to congest it.
+		sw = netsim.NewSwitch(k, "sw", 2, units.STS3cPayload, 64)
+		sw.Instrument(reg, "sw")
+		if haveContract {
+			sw.RouteClass(0, theVC, 1, theVC, contract.Class)
+		} else {
+			sw.Route(0, theVC, 1, theVC)
+		}
+		if police {
+			pol = tm.NewPolicer(contract)
+			pol.TagSCR = true
+			sw.SetPolicer(0, theVC, pol)
+		}
+		if epd > 0 {
+			sw.SetThresholds(1, 0, epd)
+		}
+		ab := phy.NewCellLink(k, 10_000, seed*2+1, sw.Input(0))
+		ab.LossProb = loss
+		sw.AttachOutput(1, timed.Egress(b.Iface.DeliverCell))
+		a.Iface.SetOutput(timed.Ingress(ab.Send))
+	} else {
+		ab, _ := netsim.Connect(k, a, b, netsim.LinkConfig{Delay: 10_000, LossProb: loss, Seed: seed})
+		ab.SetSink(timed.Egress(b.Iface.DeliverCell))
+		a.Iface.SetOutput(timed.Ingress(ab.Send))
+	}
 	a.Iface.OpenVC(theVC)
 	b.Iface.OpenVC(theVC)
+	if haveContract {
+		if err := a.Iface.SetContract(theVC, contract); err != nil {
+			return err
+		}
+	}
 
 	var gen workload.Generator
 	switch wl {
@@ -178,6 +235,19 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 	fmt.Printf("engines           tx %.1f%%   rx %.1f%%\n", 100*txU, 100*rxU)
 	fmt.Printf("adapter sram peak %d bytes\n", st.SRAMPeak)
 	fmt.Printf("link a->b         sent %d cells\n", st.Rx.Cells)
+	if haveContract {
+		fmt.Printf("contract          %v (shaping at a)\n", contract)
+	}
+	if pol != nil {
+		ps := pol.Stats()
+		fmt.Printf("policer           %d cells: %d conform, %d tagged, %d discarded\n",
+			ps.Cells, ps.Conformed, ps.Tagged, ps.Discarded)
+	}
+	if sw != nil {
+		sws := sw.Stats()
+		fmt.Printf("switch            routed %d  dropped %d  epd %d frames/%d cells  ppd %d cells\n",
+			sws.Routed, sws.Dropped, sws.EPDFrames, sws.EPDCells, sws.PPDCells)
+	}
 	if traceN > 0 {
 		fmt.Println("\nfirst cells on the a->b fiber:")
 		if err := capture.Dump(os.Stdout); err != nil {
@@ -248,6 +318,32 @@ func runBaseline(k *sim.Kernel, rate units.BitRate, aalType aal.Type, size int,
 	fmt.Printf("aal errors        %d   rx drops %d\n", st.AALErrors, st.RxDrops)
 	fmt.Printf("rx host cpu       %.1f%%   interrupts %d\n", 100*utilB, b.Host.Interrupts())
 	return nil
+}
+
+// parseContract turns "pcr" (CBR) or "pcr,scr,mbs" (rt-VBR) into a traffic
+// contract. CDVT is fixed at a few cell times — enough slack for the cell
+// clock quantization the TX FIFO adds downstream of the shaper.
+func parseContract(spec string, cellTime sim.Duration) (tm.TrafficContract, error) {
+	parts := strings.Split(spec, ",")
+	nums := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return tm.TrafficContract{}, fmt.Errorf("bad -contract %q: %v", spec, err)
+		}
+		nums[i] = v
+	}
+	cdvt := 8 * cellTime
+	var c tm.TrafficContract
+	switch len(nums) {
+	case 1:
+		c = tm.CBRContract(nums[0], cdvt)
+	case 3:
+		c = tm.VBRContract(nums[0], nums[1], int(nums[2]), cdvt)
+	default:
+		return c, fmt.Errorf("bad -contract %q: want \"pcr\" or \"pcr,scr,mbs\"", spec)
+	}
+	return c, c.Validate()
 }
 
 func stdVC() atm.VC { return atm.VC{VCI: 100} }

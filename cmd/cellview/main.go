@@ -107,8 +107,12 @@ func decodeOne(w io.Writer, input string, f atm.Format, hecOnly bool) error {
 }
 
 func printHeader(w io.Writer, h *atm.Header, corrected bool) {
-	fmt.Fprintf(w, "%v header  VPI %d  VCI %d  PT %03b  CLP %v",
-		h.Format, h.VPI, h.VCI, h.PT, h.CLP)
+	clp := "0"
+	if h.CLP {
+		clp = "1 (discard eligible)"
+	}
+	fmt.Fprintf(w, "%v header  VPI %d  VCI %d  PT %03b  CLP %s",
+		h.Format, h.VPI, h.VCI, h.PT, clp)
 	if h.Format == atm.UNI {
 		fmt.Fprintf(w, "  GFC %d", h.GFC)
 	}
@@ -118,8 +122,13 @@ func printHeader(w io.Writer, h *atm.Header, corrected bool) {
 	case h.IsIdle():
 		fmt.Fprint(w, "  [idle/unassigned]")
 	}
-	if h.PT.User() && h.PT.EndOfFrame() {
-		fmt.Fprint(w, "  [AAL5 end of frame]")
+	if h.PT.User() {
+		if h.PT.Congestion() {
+			fmt.Fprint(w, "  [EFCI: congestion experienced]")
+		}
+		if h.PT.EndOfFrame() {
+			fmt.Fprint(w, "  [AAL5 end of frame]")
+		}
 	}
 	fmt.Fprintln(w)
 }

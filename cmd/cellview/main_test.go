@@ -115,3 +115,39 @@ func TestDecodeErrors(t *testing.T) {
 		t.Fatal("short HEC input accepted")
 	}
 }
+
+func TestDecodeCLPAndEFCI(t *testing.T) {
+	h := atm.Header{Format: atm.UNI, VPI: 0, VCI: 42, PT: atm.PTUserCongested, CLP: true}
+	var out strings.Builder
+	if err := decodeOne(&out, encodeCellHex(t, h, 0x11), atm.UNI, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"CLP 1 (discard eligible)", "EFCI: congestion experienced"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	// EFCI + end of frame decode together.
+	h.PT = atm.PTUserCongestedEnd
+	h.CLP = false
+	out.Reset()
+	if err := decodeOne(&out, encodeCellHex(t, h, 0x11), atm.UNI, false); err != nil {
+		t.Fatal(err)
+	}
+	got = out.String()
+	for _, want := range []string{"CLP 0", "EFCI", "AAL5 end of frame"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	// A clean cell shows neither flag.
+	h.PT = atm.PTUser0
+	out.Reset()
+	if err := decodeOne(&out, encodeCellHex(t, h, 0x11), atm.UNI, false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "EFCI") || strings.Contains(out.String(), "discard eligible") {
+		t.Fatalf("spurious flags:\n%s", out.String())
+	}
+}

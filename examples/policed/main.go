@@ -1,0 +1,127 @@
+// Policed: the traffic-management chain end to end — admission, shaping,
+// policing. Two VCs ask a CAC for the same rt-VBR contract (a third is
+// refused: the link's bandwidth budget is spent), then offer identical mean
+// loads through a switch whose ingress runs a GCRA policer per VC. VC 1
+// shapes its transmit stream to the contract with the NIC's dual leaky
+// bucket and every cell conforms. VC 2 sends the same frames unshaped —
+// each leaves as an 84-cell burst at line rate — and the policer tags its
+// SCR violations and discards its PCR violations, shredding every frame.
+//
+//	go run ./examples/policed
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/atm"
+	"repro/internal/netsim"
+	"repro/internal/nic"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/tm"
+	"repro/internal/units"
+)
+
+const (
+	sduSize    = 4000 // 84 cells under AAL5
+	frameCells = 84
+	runTime    = 40 * sim.Millisecond
+)
+
+func main() {
+	ct := units.CellTime(units.STS3cPayload)
+	contract := tm.VBRContract(150_000, 50_000, 32, 8*ct)
+
+	// Admission first: nothing flows until the CAC has reserved the
+	// contract's SCR of bandwidth and MBS of buffer. The link can hold two
+	// of these contracts plus slack, but not a 300 kc/s CBR trunk on top.
+	cac := tm.NewCAC(units.STS3cPayload, 64)
+	vcs := []atm.VC{{VCI: 101}, {VCI: 102}}
+	for _, vc := range vcs {
+		if err := cac.Admit(contract); err != nil {
+			fmt.Println("admission failed:", err)
+			return
+		}
+		fmt.Printf("admitted  vc %v  %v\n", vc, contract)
+	}
+	greedy := tm.CBRContract(300_000, 0)
+	if err := cac.Admit(greedy); err != nil {
+		fmt.Printf("rejected  %v\n          (%v)\n", greedy, err)
+	}
+	fmt.Printf("reserved  %.0f of %.0f cells/s, %d of 64 buffer cells\n\n",
+		cac.ReservedBandwidth(), units.CellRate(units.STS3cPayload), cac.ReservedBuffer())
+
+	// The data path: one sender (VCs interleaved so the shaped VC's pacing
+	// gaps don't stall the unshaped one), a fiber, a switch that polices
+	// each VC at its ingress, a receiver.
+	k := sim.NewKernel()
+	cfg := nic.DefaultConfig("a")
+	cfg.InterleaveVCs = true
+	a, err := netsim.NewStation(k, cfg)
+	if err != nil {
+		panic(err)
+	}
+	b, err := netsim.NewStation(k, nic.DefaultConfig("b"))
+	if err != nil {
+		panic(err)
+	}
+	sw := netsim.NewSwitch(k, "sw", 2, units.STS3cPayload, 64)
+	link := phy.NewCellLink(k, 5000, 7, sw.Input(0))
+	a.Iface.SetOutput(link.Send)
+	sw.AttachOutput(1, b.Iface.DeliverCell)
+
+	pols := make(map[atm.VC]*tm.Policer)
+	for _, vc := range vcs {
+		a.Iface.OpenVC(vc)
+		b.Iface.OpenVC(vc)
+		sw.RouteClass(0, vc, 1, vc, contract.Class)
+		pol := tm.NewPolicer(contract)
+		pol.TagSCR = true
+		sw.SetPolicer(0, vc, pol)
+		pols[vc] = pol
+	}
+	// Only VC 101 honors its contract on transmit.
+	if err := a.Iface.SetContract(vcs[0], contract); err != nil {
+		panic(err)
+	}
+
+	// Identical offered load on both VCs: one frame per 84/SCR seconds — a
+	// mean cell rate of exactly the contract's SCR.
+	delivered := map[atm.VC]int{}
+	bytes := map[atm.VC]int{}
+	b.Iface.OnReceive(func(d nic.Delivered) {
+		delivered[d.VC]++
+		bytes[d.VC] += len(d.SDU)
+	})
+	interval := sim.Duration(float64(frameCells) / contract.SCR * 1e9)
+	payload := make([]byte, sduSize)
+	deadline := sim.Time(runTime)
+	var tick func()
+	tick = func() {
+		if k.Now() > deadline {
+			return
+		}
+		for _, vc := range vcs {
+			a.Iface.Send(vc, payload, nil)
+		}
+		k.After(interval, tick)
+	}
+	tick()
+	k.RunUntil(deadline)
+	k.Run()
+
+	fmt.Printf("%-14s %8s %8s %8s %10s %10s %12s\n",
+		"vc", "cells", "conform", "tagged", "discarded", "frames-ok", "goodput-Mb/s")
+	for _, vc := range vcs {
+		ps := pols[vc].Stats()
+		name := fmt.Sprintf("%v shaped", vc)
+		if vc == vcs[1] {
+			name = fmt.Sprintf("%v raw", vc)
+		}
+		fmt.Printf("%-14s %8d %8d %8d %10d %10d %12.1f\n", name,
+			ps.Cells, ps.Conformed, ps.Tagged, ps.Discarded, delivered[vc],
+			units.ThroughputBps(int64(bytes[vc]), deadline)/1e6)
+	}
+	fmt.Println("\nsame mean rate, opposite fates: shaping to the contract is what")
+	fmt.Println("makes the network's usage parameter control let the traffic live.")
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/nic"
+	"repro/internal/phy"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/tm"
+	"repro/internal/units"
+)
+
+// E14Result is one policing-conformance run: a source offering the same
+// mean load either shaped to its traffic contract or left unshaped, driven
+// through a GCRA policer at the switch ingress.
+type E14Result struct {
+	Shaped     bool
+	Contract   tm.TrafficContract
+	Cells      uint64 // cells offered to the policer
+	Conformed  uint64
+	Tagged     uint64 // forwarded CLP=1 (SCR violation, tagging on)
+	Discarded  uint64 // dropped at the ingress (PCR violation)
+	Delivered  uint64 // frames reassembled at the receiver
+	AALErrors  uint64 // frames broken by policer discards
+	GoodputBps float64
+}
+
+// E14 is the policing-conformance experiment: the same periodic frame
+// source — mean cell rate equal to the contract's SCR — runs twice through
+// a switch whose input port polices a PCR+SCR/MBS contract. Shaped, the
+// NIC's GCRA shaper (Interface.SetContract) spaces departures to the
+// contract and every cell conforms: zero tagged, zero discarded. Unshaped,
+// each frame's cells leave back-to-back at line rate; the same mean load
+// blows through both buckets and the policer tags and discards, breaking
+// frames. This is the board-level argument of the paper's per-VC pacing:
+// shaping is not optional once the network polices.
+func E14(runTime sim.Duration) ([2]E14Result, *report.Table) {
+	if runTime <= 0 {
+		runTime = 40 * sim.Millisecond
+	}
+	var out [2]E14Result
+	out[0] = runE14(false, runTime)
+	out[1] = runE14(true, runTime)
+	tb := report.NewTable("E14: GCRA policing — shaped vs unshaped source at the same mean rate",
+		"source", "cells", "conform", "tagged", "discarded", "frames ok", "aal errors", "goodput Mb/s")
+	for _, r := range out {
+		name := "unshaped"
+		if r.Shaped {
+			name = "shaped"
+		}
+		tb.Row(name, r.Cells, r.Conformed, r.Tagged, r.Discarded,
+			r.Delivered, r.AALErrors, r.GoodputBps/1e6)
+	}
+	return out, tb
+}
+
+func runE14(shaped bool, runTime sim.Duration) E14Result {
+	kern := sim.NewKernel()
+	a, err := netsim.NewStation(kern, nic.DefaultConfig("a"))
+	if err != nil {
+		panic(err)
+	}
+	b, err := netsim.NewStation(kern, nic.DefaultConfig("b"))
+	if err != nil {
+		panic(err)
+	}
+	sw := netsim.NewSwitch(kern, "sw", 2, units.STS3cPayload, 64)
+	link := phy.NewCellLink(kern, 5000, 41, sw.Input(0))
+	a.Iface.SetOutput(link.Send)
+	sw.AttachOutput(1, b.Iface.DeliverCell)
+	sw.RouteClass(0, stdVC, 1, stdVC, tm.RtVBR)
+	a.Iface.OpenVC(stdVC)
+	b.Iface.OpenVC(stdVC)
+
+	// The contract under test: PCR well below line rate, SCR at a third of
+	// that, a one-frame burst allowance, and a CDVT of a few cell times to
+	// absorb the TX FIFO's cell-clock quantization.
+	ct := units.CellTime(units.STS3cPayload)
+	contract := tm.VBRContract(150_000, 50_000, 32, 8*ct)
+	pol := tm.NewPolicer(contract)
+	pol.TagSCR = true
+	sw.SetPolicer(0, stdVC, pol)
+	if shaped {
+		if err := a.Iface.SetContract(stdVC, contract); err != nil {
+			panic(err)
+		}
+	}
+
+	// Same offered load in both runs: one 4000-byte frame (84 cells under
+	// AAL5) per 84/SCR seconds — a mean cell rate of exactly SCR.
+	const sduSize = 4000
+	const frameCells = 84
+	interval := sim.Duration(float64(frameCells) / contract.SCR * 1e9)
+	payload := make([]byte, sduSize)
+	deadline := sim.Time(runTime)
+	var tick func()
+	tick = func() {
+		if kern.Now() > deadline {
+			return
+		}
+		a.Iface.Send(stdVC, payload, nil)
+		kern.After(interval, tick)
+	}
+	tick()
+	kern.RunUntil(deadline)
+	st := b.Iface.Stats()
+	goodput := units.ThroughputBps(int64(st.Rx.Bytes), deadline)
+	kern.Run()
+
+	ps := pol.Stats()
+	return E14Result{
+		Shaped:     shaped,
+		Contract:   contract,
+		Cells:      ps.Cells,
+		Conformed:  ps.Conformed,
+		Tagged:     ps.Tagged,
+		Discarded:  ps.Discarded,
+		Delivered:  st.Rx.Packets,
+		AALErrors:  st.Rx.AALErrors,
+		GoodputBps: goodput,
+	}
+}

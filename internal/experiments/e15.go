@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/atm"
+	"repro/internal/netsim"
+	"repro/internal/nic"
+	"repro/internal/phy"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// E15Point is one (overload, discard policy) goodput measurement at the
+// congested switch port.
+type E15Point struct {
+	Overload    float64 // offered load / output port capacity
+	EPD         bool
+	GoodputBps  float64
+	Efficiency  float64 // goodput / frame-goodput ceiling of the port
+	TailDropped uint64
+	EPDCells    uint64
+	PPDCells    uint64
+	AALErrors   uint64
+}
+
+// E15 reproduces the classic AAL5 goodput-collapse-and-recovery result:
+// eight paced VCs from two stations converge on one switch output port at
+// overloads from below saturation to 2x. With blind tail drop, each lost
+// cell poisons a whole frame whose surviving cells still burn the
+// congested port — goodput collapses as overload grows. With Early Packet
+// Discard (refuse whole frames above a queue threshold) and Partial Packet
+// Discard (kill the rest of a frame once one cell is lost), the port
+// spends its cell slots almost exclusively on frames that will reassemble,
+// and goodput stays pinned near the port ceiling. The gap is widest at
+// moderate overload: tail drop is already shredding frames faster than it
+// frees capacity, while EPD still finds whole-frame room in the queue.
+func E15(overloads []float64, runTime sim.Duration) ([]E15Point, *report.Series) {
+	if len(overloads) == 0 {
+		overloads = []float64{0.7, 1.0, 1.3, 1.6, 2.0}
+	}
+	if runTime <= 0 {
+		runTime = 40 * sim.Millisecond
+	}
+	var pts []E15Point
+	for _, epd := range []bool{false, true} {
+		for _, ov := range overloads {
+			pts = append(pts, runE15(ov, epd, runTime))
+		}
+	}
+	x := make([]float64, len(overloads))
+	copy(x, overloads)
+	sr := report.NewSeries("E15: goodput efficiency vs overload — tail drop vs EPD/PPD (AAL5)",
+		"overload", x)
+	for _, epd := range []bool{false, true} {
+		name := "tail-drop"
+		if epd {
+			name = "epd-ppd"
+		}
+		var y []float64
+		for _, pt := range pts {
+			if pt.EPD == epd {
+				y = append(y, pt.Efficiency)
+			}
+		}
+		sr.Add(name, y)
+	}
+	return pts, sr
+}
+
+func runE15(overload float64, epd bool, runTime sim.Duration) E15Point {
+	const (
+		nPerSender = 4
+		sduSize    = 1000 // 21 cells under AAL5
+		frameCells = 21
+		queueDepth = 96
+		epdThresh  = 64 // leaves 32 cells of whole-frame headroom
+	)
+	kern := sim.NewKernel()
+	// Senders interleave their VCs: with serial segmentation a pacing gap
+	// on the active VC would idle the whole transmit engine and the
+	// offered load could never reach the port.
+	cfgA, cfgB := nic.DefaultConfig("a"), nic.DefaultConfig("b")
+	cfgA.InterleaveVCs = true
+	cfgB.InterleaveVCs = true
+	a, err := netsim.NewStation(kern, cfgA)
+	if err != nil {
+		panic(err)
+	}
+	b, err := netsim.NewStation(kern, cfgB)
+	if err != nil {
+		panic(err)
+	}
+	c, err := netsim.NewStation(kern, nic.DefaultConfig("c"))
+	if err != nil {
+		panic(err)
+	}
+	sw := netsim.NewSwitch(kern, "sw", 3, units.STS3cPayload, queueDepth)
+	if epd {
+		sw.SetThresholds(2, 0, epdThresh)
+	}
+	// Unequal fiber runs break the senders' cell-clock phase lock so the
+	// congestion pattern resembles jittered real arrivals.
+	linkA := phy.NewCellLink(kern, 1000, 51, sw.Input(0))
+	linkB := phy.NewCellLink(kern, 2400, 52, sw.Input(1))
+	a.Iface.SetOutput(linkA.Send)
+	b.Iface.SetOutput(linkB.Send)
+	sw.AttachOutput(2, c.Iface.DeliverCell)
+
+	// Aggregate offered load = overload x the output port's cell rate,
+	// split evenly across the eight VCs by per-VC pacing.
+	portRate := units.CellRate(units.STS3cPayload)
+	perVC := overload * portRate / (2 * nPerSender)
+	deadline := sim.Time(runTime)
+	for i := 0; i < nPerSender; i++ {
+		for j, snd := range []*netsim.Station{a, b} {
+			vc := atm.VC{VCI: uint16(1 + i + 10*j)}
+			snd.Iface.OpenVC(vc)
+			c.Iface.OpenVC(vc)
+			sw.Route(j, vc, 2, vc)
+			if err := snd.Iface.SetPeakCellRate(vc, perVC); err != nil {
+				panic(err)
+			}
+			netsim.NewSource(kern, snd, vc, sduSize, deadline).Start(2)
+		}
+	}
+
+	kern.RunUntil(deadline)
+	st := c.Iface.Stats()
+	goodput := units.ThroughputBps(int64(st.Rx.Bytes), deadline)
+	kern.Run()
+
+	sws := sw.Stats()
+	return E15Point{
+		Overload:    overload,
+		EPD:         epd,
+		GoodputBps:  goodput,
+		Efficiency:  goodput / sduCeilingBps(units.STS3cPayload, sduSize, frameCells),
+		TailDropped: sws.Dropped,
+		EPDCells:    sws.EPDCells,
+		PPDCells:    sws.PPDCells,
+		AALErrors:   st.Rx.AALErrors,
+	}
+}
+
+// e15Label is used by atmbench's verbose output.
+func (p E15Point) String() string {
+	pol := "tail"
+	if p.EPD {
+		pol = "epd"
+	}
+	return fmt.Sprintf("ov=%.1f %s eff=%.3f tail=%d epd=%d ppd=%d aalerr=%d",
+		p.Overload, pol, p.Efficiency, p.TailDropped, p.EPDCells, p.PPDCells, p.AALErrors)
+}

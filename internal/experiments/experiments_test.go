@@ -434,3 +434,75 @@ func TestTelemetryShape(t *testing.T) {
 		t.Fatalf("cells out %d != in %d", snap.VCs[0].CellsOut, snap.VCs[0].CellsIn)
 	}
 }
+
+func TestE14Shape(t *testing.T) {
+	res, tb := E14(20 * sim.Millisecond)
+	unshaped, shaped := res[0], res[1]
+	if shaped.Cells == 0 || unshaped.Cells == 0 {
+		t.Fatal("policer saw no cells")
+	}
+	// The acceptance shape: a GCRA-shaped source passes its own contract's
+	// policer with ZERO non-conforming cells...
+	if n := shaped.Tagged + shaped.Discarded; n != 0 {
+		t.Fatalf("shaped source: %d non-conforming cells (tagged %d, discarded %d)",
+			n, shaped.Tagged, shaped.Discarded)
+	}
+	if shaped.Delivered == 0 || shaped.AALErrors != 0 {
+		t.Fatalf("shaped source delivered %d frames, %d AAL errors",
+			shaped.Delivered, shaped.AALErrors)
+	}
+	// ...while the unshaped source at the same mean rate gets tagged and
+	// discarded hard enough to break frames.
+	if unshaped.Tagged == 0 || unshaped.Discarded == 0 {
+		t.Fatalf("unshaped source: tagged %d, discarded %d — policer asleep",
+			unshaped.Tagged, unshaped.Discarded)
+	}
+	if unshaped.Delivered >= shaped.Delivered {
+		t.Fatalf("unshaped delivered %d >= shaped %d", unshaped.Delivered, shaped.Delivered)
+	}
+	if !strings.Contains(tb.String(), "shaped") {
+		t.Error("table missing rows")
+	}
+}
+
+func TestE15Shape(t *testing.T) {
+	overloads := []float64{0.7, 1.3, 2.0}
+	pts, sr := E15(overloads, 15*sim.Millisecond)
+	get := func(epd bool, ov float64) E15Point {
+		for _, p := range pts {
+			if p.EPD == epd && p.Overload == ov {
+				return p
+			}
+		}
+		panic("missing point")
+	}
+	// EPD/PPD goodput >= tail drop at EVERY overload point.
+	for _, ov := range overloads {
+		tail, epd := get(false, ov), get(true, ov)
+		if epd.Efficiency < tail.Efficiency {
+			t.Errorf("ov=%.1f: epd %.3f < tail %.3f", ov, epd.Efficiency, tail.Efficiency)
+		}
+	}
+	// The gap is widest at moderate overload: tail drop shreds frames there,
+	// while at 2x it claws goodput back only through FIFO lockout (one
+	// sender captures the queue and the other starves).
+	gap := func(ov float64) float64 { return get(true, ov).Efficiency - get(false, ov).Efficiency }
+	if gap(1.3) <= gap(0.7) || gap(1.3) <= gap(2.0) {
+		t.Errorf("gap not widest at moderate overload: 0.7=%.3f 1.3=%.3f 2.0=%.3f",
+			gap(0.7), gap(1.3), gap(2.0))
+	}
+	// Tail drop breaks frames mid-stream at moderate overload; EPD's whole
+	// frame discard keeps reassembly clean.
+	if get(false, 1.3).AALErrors == 0 {
+		t.Error("tail drop at 1.3x produced no AAL errors")
+	}
+	if get(true, 1.3).AALErrors != 0 {
+		t.Errorf("EPD at 1.3x produced %d AAL errors", get(true, 1.3).AALErrors)
+	}
+	if get(true, 1.3).EPDCells == 0 {
+		t.Error("EPD never triggered at 1.3x")
+	}
+	if sr.Y("tail-drop") == nil || sr.Y("epd-ppd") == nil {
+		t.Fatal("series missing")
+	}
+}

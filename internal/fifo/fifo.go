@@ -70,6 +70,10 @@ func (r *Ring[T]) Empty() bool { return r.count == 0 }
 // Full reports whether a push would drop.
 func (r *Ring[T]) Full() bool { return r.count == len(r.buf) }
 
+// Free returns the remaining headroom in items — what an admission or
+// discard policy (EPD thresholds, CAC buffer budgets) compares against.
+func (r *Ring[T]) Free() int { return len(r.buf) - r.count }
+
 // Push appends v. If the FIFO is full the item is dropped and Push reports
 // false — hardware overflow semantics.
 func (r *Ring[T]) Push(v T) bool {

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/tm"
 )
 
 func TestCounterGaugeBasics(t *testing.T) {
@@ -175,7 +176,8 @@ func TestVCStats(t *testing.T) {
 		t.Fatalf("drops %v", v.Drops)
 	}
 	// Cause names are stable: they appear in JSON dumps.
-	want := []string{"fifo_overflow", "unknown_vc", "sram_exhausted", "aal_error", "tx_queue_overflow"}
+	want := []string{"fifo_overflow", "unknown_vc", "sram_exhausted", "aal_error", "tx_queue_overflow",
+		"policed_clp_tag", "policed_discard", "epd", "ppd", "switch_queue_overflow", "clp_threshold"}
 	for i, c := range DropCauses() {
 		if c.String() != want[i] {
 			t.Fatalf("cause %d = %q, want %q", i, c.String(), want[i])
@@ -258,15 +260,18 @@ func TestSnapshotWriteText(t *testing.T) {
 }
 
 // TestHotPathAllocs is the zero-allocation guarantee: per-cell instrument
-// updates must not touch the heap. (BenchmarkHotPath reports the same via
-// allocs/op.)
+// updates — and the GCRA conformance check that feeds them — must not
+// touch the heap. (BenchmarkHotPath reports the same via allocs/op.)
 func TestHotPathAllocs(t *testing.T) {
 	r := NewRegistry()
 	c := r.Counter("c")
 	g := r.Gauge("g")
 	h := r.Histogram("h")
 	v := r.VC(0, 100)
+	pol := tm.NewPolicer(tm.VBRContract(1e6, 1e5, 8, 100))
+	pol.TagSCR = true
 	var d sim.Duration = 2726
+	var now sim.Time
 	n := testing.AllocsPerRun(1000, func() {
 		c.Inc()
 		c.Add(48)
@@ -275,6 +280,10 @@ func TestHotPathAllocs(t *testing.T) {
 		v.AddCellOut()
 		v.AddCellIn()
 		v.Drop(DropFIFO)
+		if pol.Police(now, false) != tm.Conform {
+			v.Drop(DropPolicedDiscard)
+		}
+		now += 700
 		d++
 	})
 	if n != 0 {
@@ -288,11 +297,16 @@ func BenchmarkHotPath(b *testing.B) {
 	g := r.Gauge("g")
 	h := r.Histogram("h")
 	v := r.VC(0, 100)
+	pol := tm.NewPolicer(tm.VBRContract(1e6, 1e5, 8, 100))
+	pol.TagSCR = true
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c.Inc()
 		g.Set(int64(i & 31))
 		h.Observe(sim.Duration(i&4095) + 640)
 		v.AddCellIn()
+		if pol.Police(sim.Time(i)*700, false) != tm.Conform {
+			v.Drop(DropPolicedDiscard)
+		}
 	}
 }

@@ -24,6 +24,25 @@ const (
 	// DropTxQueue is a transmit-side link queue overflow (the interface
 	// outran the framer).
 	DropTxQueue
+	// DropPolicedTag is a cell the ingress policer demoted to CLP=1 (the
+	// GCRA tagging action). The cell was forwarded, not lost — but it is
+	// now discard-eligible, so per-VC accounting tracks it with the causes.
+	DropPolicedTag
+	// DropPolicedDiscard is a cell the ingress policer dropped for
+	// violating its traffic contract.
+	DropPolicedDiscard
+	// DropEPD is a cell dropped by Early Packet Discard: the whole AAL5
+	// frame was refused at the switch queue before any of it was enqueued.
+	DropEPD
+	// DropPPD is a cell dropped by Partial Packet Discard: the tail of a
+	// frame whose earlier cell was already lost (the rest of the frame is
+	// useless to the reassembler).
+	DropPPD
+	// DropSwitchQueue is a switch output-queue overflow (tail drop).
+	DropSwitchQueue
+	// DropCLPThreshold is a CLP=1 cell dropped at a congested switch queue
+	// above its discard-eligible threshold.
+	DropCLPThreshold
 
 	numDropCauses
 )
@@ -41,6 +60,18 @@ func (c DropCause) String() string {
 		return "aal_error"
 	case DropTxQueue:
 		return "tx_queue_overflow"
+	case DropPolicedTag:
+		return "policed_clp_tag"
+	case DropPolicedDiscard:
+		return "policed_discard"
+	case DropEPD:
+		return "epd"
+	case DropPPD:
+		return "ppd"
+	case DropSwitchQueue:
+		return "switch_queue_overflow"
+	case DropCLPThreshold:
+		return "clp_threshold"
 	default:
 		return "unknown"
 	}

@@ -6,9 +6,11 @@ import (
 
 	"repro/internal/atm"
 	"repro/internal/baseline"
+	"repro/internal/metrics"
 	"repro/internal/nic"
 	"repro/internal/phy"
 	"repro/internal/sim"
+	"repro/internal/tm"
 	"repro/internal/units"
 )
 
@@ -335,5 +337,216 @@ func TestPropertyEndToEndIntegrity(t *testing.T) {
 		if !run(seed, sizes, uint8(seed*7)) {
 			t.Fatalf("integrity violated for seed %d", seed)
 		}
+	}
+}
+
+// mkCell builds a bare user cell for direct switch-input injection.
+func mkCell(vci uint16, pt atm.PT, clp bool) *atm.Cell {
+	return &atm.Cell{Header: atm.Header{Format: atm.UNI, VCI: vci, PT: pt, CLP: clp}}
+}
+
+func TestSwitchBroadcastRoute(t *testing.T) {
+	k := sim.NewKernel()
+	sw := NewSwitch(k, "sw", 3, units.STS3cPayload, 16)
+	reg := metrics.NewRegistry()
+	sw.Instrument(reg, "sw")
+	var got1, got2 []*atm.Cell
+	sw.AttachOutput(1, func(c *atm.Cell) { got1 = append(got1, c) })
+	sw.AttachOutput(2, func(c *atm.Cell) { got2 = append(got2, c) })
+	// Point-to-multipoint: one input VC replicated to two leaves with
+	// different translations.
+	sw.AddRoute(0, vc(5), 1, vc(50), tm.UBR)
+	sw.AddRoute(0, vc(5), 2, vc(70), tm.UBR)
+	in := sw.Input(0)
+	in(mkCell(5, atm.PTUserEnd, false))
+	k.Run()
+	if len(got1) != 1 || len(got2) != 1 {
+		t.Fatalf("broadcast delivered %d/%d, want 1/1", len(got1), len(got2))
+	}
+	if got1[0].Header.VCI != 50 || got2[0].Header.VCI != 70 {
+		t.Fatalf("leaf VCs %d/%d, want 50/70", got1[0].Header.VCI, got2[0].Header.VCI)
+	}
+	// Replication must clone: the two leaves hold distinct cells.
+	if got1[0] == got2[0] {
+		t.Fatal("broadcast leaves share one cell")
+	}
+	st := sw.Stats()
+	if st.Broadcasts != 1 || st.Routed != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if reg.Counter("sw.broadcasts").Value() != 1 ||
+		reg.Counter("sw.port1.routed").Value() != 1 ||
+		reg.Counter("sw.port2.routed").Value() != 1 {
+		t.Fatal("broadcast not visible in registry")
+	}
+}
+
+func TestSwitchPriorityDrain(t *testing.T) {
+	// UBR cells queued first, CBR cells second; the strict-priority drain
+	// must still emit every CBR cell before any UBR cell.
+	k := sim.NewKernel()
+	sw := NewSwitch(k, "sw", 2, units.STS3cPayload, 16)
+	var order []uint16
+	sw.AttachOutput(1, func(c *atm.Cell) { order = append(order, c.Header.VCI) })
+	sw.RouteClass(0, vc(1), 1, vc(1), tm.UBR)
+	sw.RouteClass(0, vc(2), 1, vc(2), tm.CBR)
+	in := sw.Input(0)
+	for i := 0; i < 3; i++ {
+		in(mkCell(1, atm.PTUser0, false))
+	}
+	for i := 0; i < 2; i++ {
+		in(mkCell(2, atm.PTUser0, false))
+	}
+	k.Run()
+	want := []uint16{2, 2, 1, 1, 1}
+	if len(order) != len(want) {
+		t.Fatalf("drained %d cells, want %d", len(order), len(want))
+	}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("drain order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSwitchPolicerDiscards(t *testing.T) {
+	// A back-to-back burst through a CBR policer: only the first cell of
+	// the instantaneous burst conforms (CDVT 0), the rest are discarded
+	// at the ingress, before routing.
+	k := sim.NewKernel()
+	sw := NewSwitch(k, "sw", 2, units.STS3cPayload, 64)
+	reg := metrics.NewRegistry()
+	sw.Instrument(reg, "sw")
+	delivered := 0
+	sw.AttachOutput(1, func(*atm.Cell) { delivered++ })
+	sw.Route(0, vc(3), 1, vc(3))
+	sw.SetPolicer(0, vc(3), tm.NewPolicer(tm.CBRContract(100_000, 0)))
+	in := sw.Input(0)
+	for i := 0; i < 10; i++ {
+		in(mkCell(3, atm.PTUser0, false))
+	}
+	k.Run()
+	st := sw.Stats()
+	if st.PolicedDiscarded != 9 || st.Routed != 1 || delivered != 1 {
+		t.Fatalf("policer: %+v delivered=%d", st, delivered)
+	}
+	if reg.Counter("sw.policed_discard").Value() != 9 {
+		t.Fatal("policed_discard counter not recorded")
+	}
+	if reg.VC(0, 3).Drops[metrics.DropPolicedDiscard] != 9 {
+		t.Fatal("per-VC policed_discard not recorded")
+	}
+}
+
+func TestSwitchPolicerTagsAndCLPThreshold(t *testing.T) {
+	// Dual-bucket policer with tagging: cells beyond the MBS burst are
+	// forwarded CLP=1; under congestion the CLP threshold then kills the
+	// tagged cells first.
+	k := sim.NewKernel()
+	sw := NewSwitch(k, "sw", 2, units.STS3cPayload, 32)
+	var clpOut int
+	delivered := 0
+	sw.AttachOutput(1, func(c *atm.Cell) {
+		delivered++
+		if c.Header.CLP {
+			clpOut++
+		}
+	})
+	sw.Route(0, vc(4), 1, vc(4))
+	// PCR 1M c/s (T=1µs), SCR 100k (Ts=10µs), MBS 3 → a 3-cell burst at
+	// PCR conforms, the 4th and 5th get tagged.
+	pol := tm.NewPolicer(tm.VBRContract(1e6, 1e5, 3, 0))
+	pol.TagSCR = true
+	sw.SetPolicer(0, vc(4), pol)
+	in := sw.Input(0)
+	for i := 0; i < 5; i++ {
+		c := mkCell(4, atm.PTUser0, false)
+		k.At(sim.Time(i)*1000, func() { in(c) })
+	}
+	k.Run()
+	if clpOut != 2 || sw.Stats().PolicedTagged != 2 || delivered != 5 {
+		t.Fatalf("tagged=%d stats=%+v delivered=%d", clpOut, sw.Stats(), delivered)
+	}
+
+	// CLP threshold: with the port occupancy above the threshold, an
+	// arriving CLP=1 cell dies while CLP=0 cells still queue.
+	k2 := sim.NewKernel()
+	sw2 := NewSwitch(k2, "sw", 2, units.STS3cPayload, 8)
+	sw2.SetThresholds(1, 2, 0)
+	sw2.Route(0, vc(6), 1, vc(6))
+	in2 := sw2.Input(0)
+	in2(mkCell(6, atm.PTUser0, true)) // occ 0 < 2: accepted
+	for i := 0; i < 4; i++ {
+		in2(mkCell(6, atm.PTUser0, false))
+	}
+	in2(mkCell(6, atm.PTUser0, true)) // occ 5 >= 2: dropped
+	k2.Run()
+	st := sw2.Stats()
+	if st.CLPDropped != 1 || st.Routed != 5 {
+		t.Fatalf("clp threshold: %+v", st)
+	}
+}
+
+func TestSwitchEPD(t *testing.T) {
+	// Frame A fills the queue past the EPD threshold; frame B, arriving
+	// above it, is refused whole — every cell including its EOF.
+	k := sim.NewKernel()
+	sw := NewSwitch(k, "sw", 2, units.STS3cPayload, 10)
+	sw.SetThresholds(1, 0, 4)
+	var got []*atm.Cell
+	sw.AttachOutput(1, func(c *atm.Cell) { got = append(got, c) })
+	sw.Route(0, vc(7), 1, vc(7))
+	in := sw.Input(0)
+	frame := func(n int) {
+		for i := 0; i < n-1; i++ {
+			in(mkCell(7, atm.PTUser0, false))
+		}
+		in(mkCell(7, atm.PTUserEnd, false))
+	}
+	frame(6) // admitted: occupancy 0 at frame start
+	frame(4) // refused: occupancy 6 >= 4 at frame start
+	k.Run()
+	st := sw.Stats()
+	if st.EPDFrames != 1 || st.EPDCells != 4 {
+		t.Fatalf("epd stats %+v", st)
+	}
+	if len(got) != 6 {
+		t.Fatalf("delivered %d cells, want 6 (frame A only)", len(got))
+	}
+	if !got[len(got)-1].Header.PT.EndOfFrame() {
+		t.Fatal("frame A's EOF lost")
+	}
+}
+
+func TestSwitchPPDForwardsEOF(t *testing.T) {
+	// A frame longer than the buffer loses a cell mid-frame to tail drop;
+	// PPD must drop the remainder but forward the final EOF cell so the
+	// next frame still delineates.
+	k := sim.NewKernel()
+	sw := NewSwitch(k, "sw", 2, units.STS3cPayload, 6)
+	sw.SetThresholds(1, 0, 6) // frame discard armed, EPD gate = full buffer
+	var got []*atm.Cell
+	sw.AttachOutput(1, func(c *atm.Cell) { got = append(got, c) })
+	sw.Route(0, vc(8), 1, vc(8))
+	in := sw.Input(0)
+	// Cells 1..9 back-to-back: 6 fill the queue, the 7th tail-drops and
+	// trips PPD, 8 and 9 die as PPD. The EOF arrives after the port has
+	// drained a few slots, so it finds room and must be forwarded.
+	for i := 0; i < 9; i++ {
+		in(mkCell(8, atm.PTUser0, false))
+	}
+	ct := units.CellTime(units.STS3cPayload)
+	eof := mkCell(8, atm.PTUserEnd, false)
+	k.At(sim.Time(5*ct), func() { in(eof) })
+	k.Run()
+	st := sw.Stats()
+	if st.Dropped != 1 || st.PPDFrames != 1 || st.PPDCells != 2 {
+		t.Fatalf("ppd stats %+v", st)
+	}
+	if len(got) != 7 {
+		t.Fatalf("delivered %d cells, want 7 (6 head + EOF)", len(got))
+	}
+	if !got[len(got)-1].Header.PT.EndOfFrame() {
+		t.Fatal("PPD did not forward the EOF cell")
 	}
 }

@@ -5,33 +5,69 @@ import (
 
 	"repro/internal/atm"
 	"repro/internal/fifo"
+	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/tm"
 	"repro/internal/units"
 )
 
 // Switch is a small output-queued ATM switch: cells arriving on any input
-// port are routed by (input port, VC) to an output port, optionally with
-// VC translation, and drain onto the output fiber at the port's cell rate.
-// A full output queue drops the arriving cell — the congestive loss the
-// adaptation layers must survive (experiment E8's loss has this origin).
+// port are routed by (input port, VC) to one or more output ports,
+// optionally with VC translation, and drain onto the output fiber at the
+// port's cell rate.
+//
+// Output buffering is a shared per-port budget of queueDepth cells split
+// across one queue per service class (tm.ServiceClass); the drain is strict
+// priority — CBR first, then rt-VBR, then UBR. Congestion controls, all off
+// by default so the zero configuration behaves like the original blind
+// tail-drop switch:
+//
+//   - SetPolicer installs a GCRA policer (UPC) on an input-port VC; cells
+//     are policed before routing and either pass, get their CLP demoted,
+//     or are discarded at the ingress;
+//   - SetThresholds arms a CLP threshold (arriving discard-eligible cells
+//     are dropped once the port occupancy reaches it) and an EPD threshold
+//     (a new AAL5 frame arriving above it is refused whole — Early Packet
+//     Discard — and a frame that loses a cell mid-flight has its remainder
+//     dropped, Partial Packet Discard, with the final EOF cell forwarded
+//     to preserve frame delineation for the reassembler).
 type Switch struct {
-	k     *sim.Kernel
-	name  string
-	ports []*swPort
-	table map[swKey]swRoute
+	k        *sim.Kernel
+	name     string
+	ports    []*swPort
+	table    map[swKey]*swRoute
+	policers map[swKey]*swPolicer
 
 	// SwitchingDelay models the fabric's fixed per-cell latency.
 	SwitchingDelay sim.Duration
 
 	stats SwitchStats
+
+	// Registry instruments (nil until Instrument is called; nil-safe).
+	reg     *metrics.Registry
+	mTag    *metrics.Counter
+	mPolDrp *metrics.Counter
+	mEPD    *metrics.Counter
+	mPPD    *metrics.Counter
+	mCLP    *metrics.Counter
+	mNoRt   *metrics.Counter
+	mBcast  *metrics.Counter
 }
 
 // SwitchStats counts switch events.
 type SwitchStats struct {
 	Routed     uint64
-	Dropped    uint64 // output-queue overflows
+	Dropped    uint64 // output-queue overflows (tail drop)
 	NoRoute    uint64
 	Broadcasts uint64
+
+	PolicedTagged    uint64 // cells forwarded with CLP demoted by UPC
+	PolicedDiscarded uint64 // cells discarded by UPC
+	CLPDropped       uint64 // CLP=1 cells dropped at the CLP threshold
+	EPDFrames        uint64 // frames refused whole at the EPD threshold
+	EPDCells         uint64 // cells belonging to EPD-refused frames
+	PPDFrames        uint64 // frames truncated after a mid-frame loss
+	PPDCells         uint64 // tail cells dropped by PPD
 }
 
 type swKey struct {
@@ -39,16 +75,45 @@ type swKey struct {
 	vc     atm.VC
 }
 
-type swRoute struct {
+type swDest struct {
 	outPort int
 	outVC   atm.VC
+	class   tm.ServiceClass
+}
+
+type swRoute struct {
+	dests []swDest
+}
+
+type swPolicer struct {
+	pol *tm.Policer
+	vcs *metrics.VCStats // resolved at SetPolicer time; nil-safe
+}
+
+// frameState tracks AAL5 frame-discard progress for one (output port, VC).
+type frameState struct {
+	inFrame bool
+	drop    bool // discarding the rest of this frame
+	ppd     bool // drop began mid-frame: forward the final EOF cell
 }
 
 type swPort struct {
-	queue    *fifo.Ring[*atm.Cell]
+	queues   [tm.NumClasses]*fifo.Ring[*atm.Cell]
+	depth    int // shared buffer budget across classes, in cells
+	occ      int // current total occupancy
 	out      func(*atm.Cell)
 	cellTime sim.Duration
 	draining bool
+
+	clpThreshold int // 0 = disabled
+	epdThreshold int // 0 = frame discard (EPD/PPD) disabled
+
+	frames map[atm.VC]*frameState
+
+	// Registry instruments (nil-safe).
+	mRouted  *metrics.Counter
+	mDropped *metrics.Counter
+	mOcc     *metrics.Gauge
 }
 
 // NewSwitch builds a switch with nPorts ports whose output links run at the
@@ -57,13 +122,23 @@ func NewSwitch(k *sim.Kernel, name string, nPorts int, rate units.BitRate, queue
 	if nPorts <= 0 || queueDepth <= 0 {
 		panic("netsim: invalid switch geometry")
 	}
-	s := &Switch{k: k, name: name, table: make(map[swKey]swRoute)}
+	s := &Switch{
+		k:        k,
+		name:     name,
+		table:    make(map[swKey]*swRoute),
+		policers: make(map[swKey]*swPolicer),
+	}
 	ct := units.CellTime(rate)
 	for i := 0; i < nPorts; i++ {
-		s.ports = append(s.ports, &swPort{
-			queue:    fifo.NewRing[*atm.Cell](queueDepth),
+		p := &swPort{
+			depth:    queueDepth,
 			cellTime: ct,
-		})
+			frames:   make(map[atm.VC]*frameState),
+		}
+		for c := range p.queues {
+			p.queues[c] = fifo.NewRing[*atm.Cell](queueDepth)
+		}
+		s.ports = append(s.ports, p)
 	}
 	return s
 }
@@ -72,78 +147,271 @@ func NewSwitch(k *sim.Kernel, name string, nPorts int, rate units.BitRate, queue
 // 622 Mb/s backbone to 155 Mb/s edges is the canonical rate-mismatch
 // congestion point of the era's topologies.
 func (s *Switch) SetPortRate(port int, rate units.BitRate) {
-	if port < 0 || port >= len(s.ports) {
-		panic("netsim: port out of range")
+	s.port(port).cellTime = units.CellTime(rate)
+}
+
+// SetThresholds arms congestion controls on an output port, both in cells
+// of total port occupancy: arriving CLP=1 cells are dropped at or above
+// clp, and new AAL5 frames arriving at or above epd are refused whole
+// (EPD) with mid-frame losses truncating the remainder (PPD). Zero
+// disables a threshold; both default to zero (blind tail drop).
+func (s *Switch) SetThresholds(port, clp, epd int) {
+	p := s.port(port)
+	p.clpThreshold = clp
+	p.epdThreshold = epd
+}
+
+// SetPolicer installs a UPC policer on an input port's VC: every arriving
+// cell on that (port, VC) runs the GCRA conformance test before routing.
+func (s *Switch) SetPolicer(inPort int, vc atm.VC, pol *tm.Policer) {
+	s.port(inPort) // range-check
+	s.policers[swKey{inPort: inPort, vc: vc}] = &swPolicer{
+		pol: pol,
+		vcs: s.reg.VC(vc.VPI, vc.VCI),
 	}
-	s.ports[port].cellTime = units.CellTime(rate)
 }
 
 // Stats returns the switch counters.
 func (s *Switch) Stats() SwitchStats { return s.stats }
 
+func (s *Switch) port(i int) *swPort {
+	if i < 0 || i >= len(s.ports) {
+		panic(fmt.Sprintf("netsim: port %d out of range", i))
+	}
+	return s.ports[i]
+}
+
 // AttachOutput connects a port's output to a sink (typically a
 // phy.CellLink.Send or a station's DeliverCell).
 func (s *Switch) AttachOutput(port int, out func(*atm.Cell)) {
-	s.ports[port].out = out
+	s.port(port).out = out
 }
 
 // Route installs a unidirectional route: cells arriving on inPort with
-// header VC inVC leave on outPort carrying outVC.
+// header VC inVC leave on outPort carrying outVC, queued best-effort (UBR).
 func (s *Switch) Route(inPort int, inVC atm.VC, outPort int, outVC atm.VC) {
-	if inPort < 0 || inPort >= len(s.ports) || outPort < 0 || outPort >= len(s.ports) {
-		panic(fmt.Sprintf("netsim: route port out of range %d->%d", inPort, outPort))
+	s.RouteClass(inPort, inVC, outPort, outVC, tm.UBR)
+}
+
+// RouteClass is Route with an explicit service class selecting the output
+// priority queue.
+func (s *Switch) RouteClass(inPort int, inVC atm.VC, outPort int, outVC atm.VC, class tm.ServiceClass) {
+	s.port(inPort)
+	s.port(outPort)
+	s.table[swKey{inPort: inPort, vc: inVC}] = &swRoute{
+		dests: []swDest{{outPort: outPort, outVC: outVC, class: class}},
 	}
-	s.table[swKey{inPort: inPort, vc: inVC}] = swRoute{outPort: outPort, outVC: outVC}
+}
+
+// AddRoute appends an additional destination to an existing route (or
+// starts one), turning it into a point-to-multipoint — broadcast — route:
+// each arriving cell is replicated to every destination.
+func (s *Switch) AddRoute(inPort int, inVC atm.VC, outPort int, outVC atm.VC, class tm.ServiceClass) {
+	s.port(inPort)
+	s.port(outPort)
+	key := swKey{inPort: inPort, vc: inVC}
+	rt := s.table[key]
+	if rt == nil {
+		rt = &swRoute{}
+		s.table[key] = rt
+	}
+	rt.dests = append(rt.dests, swDest{outPort: outPort, outVC: outVC, class: class})
+}
+
+// Instrument registers the switch's telemetry under the given name prefix:
+// per-port "<prefix>.portN.routed"/".dropped" counters and an ".occupancy"
+// gauge (whose watermark is the buffer the port actually needed), plus
+// switch-level counters for each discard mechanism. Per-VC policing
+// actions are recorded into the registry's VCStats rows under the
+// policed_clp_tag / policed_discard / epd / ppd / switch_queue_overflow /
+// clp_threshold causes.
+func (s *Switch) Instrument(reg *metrics.Registry, prefix string) {
+	s.reg = reg
+	s.mTag = reg.Counter(prefix + ".policed_clp_tag")
+	s.mPolDrp = reg.Counter(prefix + ".policed_discard")
+	s.mEPD = reg.Counter(prefix + ".epd_cells")
+	s.mPPD = reg.Counter(prefix + ".ppd_cells")
+	s.mCLP = reg.Counter(prefix + ".clp_dropped")
+	s.mNoRt = reg.Counter(prefix + ".no_route")
+	s.mBcast = reg.Counter(prefix + ".broadcasts")
+	for i, p := range s.ports {
+		pn := fmt.Sprintf("%s.port%d", prefix, i)
+		p.mRouted = reg.Counter(pn + ".routed")
+		p.mDropped = reg.Counter(pn + ".dropped")
+		p.mOcc = reg.Gauge(pn + ".occupancy")
+	}
+	// Re-resolve VCStats rows for policers installed before Instrument.
+	for key, sp := range s.policers {
+		sp.vcs = reg.VC(key.vc.VPI, key.vc.VCI)
+	}
 }
 
 // Input returns the cell sink for an input port, suitable for wiring a
 // link's delivery callback to.
 func (s *Switch) Input(port int) func(*atm.Cell) {
-	if port < 0 || port >= len(s.ports) {
-		panic("netsim: input port out of range")
-	}
+	s.port(port)
 	return func(c *atm.Cell) { s.receive(port, c) }
 }
 
 func (s *Switch) receive(port int, c *atm.Cell) {
-	rt, ok := s.table[swKey{inPort: port, vc: c.Header.VC()}]
+	key := swKey{inPort: port, vc: c.Header.VC()}
+	if sp := s.policers[key]; sp != nil {
+		switch sp.pol.Police(s.k.Now(), c.Header.CLP) {
+		case tm.Discard:
+			s.stats.PolicedDiscarded++
+			s.mPolDrp.Inc()
+			sp.vcs.Drop(metrics.DropPolicedDiscard)
+			return
+		case tm.TagCLP:
+			c.Header.CLP = true
+			s.stats.PolicedTagged++
+			s.mTag.Inc()
+			sp.vcs.Drop(metrics.DropPolicedTag)
+		}
+	}
+	rt, ok := s.table[key]
 	if !ok {
 		s.stats.NoRoute++
+		s.mNoRt.Inc()
 		return
 	}
-	c.Header.VPI, c.Header.VCI = rt.outVC.VPI, rt.outVC.VCI
-	s.k.After(s.SwitchingDelay, func() { s.enqueue(rt.outPort, c) })
+	if len(rt.dests) > 1 {
+		s.stats.Broadcasts++
+		s.mBcast.Inc()
+	}
+	for i, d := range rt.dests {
+		out := c
+		if i > 0 {
+			clone := *c // replication: the fabric copies the cell per leaf
+			out = &clone
+		}
+		out.Header.VPI, out.Header.VCI = d.outVC.VPI, d.outVC.VCI
+		dest := d
+		s.k.After(s.SwitchingDelay, func() { s.enqueue(dest, out) })
+	}
 }
 
-func (s *Switch) enqueue(port int, c *atm.Cell) {
-	p := s.ports[port]
-	if !p.queue.Push(c) {
+// frame returns the frame-discard state for an output VC on a port.
+func (p *swPort) frame(vc atm.VC) *frameState {
+	fs := p.frames[vc]
+	if fs == nil {
+		fs = &frameState{}
+		p.frames[vc] = fs
+	}
+	return fs
+}
+
+func (s *Switch) enqueue(d swDest, c *atm.Cell) {
+	p := s.ports[d.outPort]
+	frameDiscard := p.epdThreshold > 0 && c.Header.PT.User()
+	var fs *frameState
+	eof := c.Header.PT.EndOfFrame()
+	if frameDiscard {
+		fs = p.frame(c.Header.VC())
+		if !fs.inFrame {
+			// Frame boundary: the EPD decision is made here, before any
+			// cell of the frame is committed to the queue.
+			fs.inFrame = true
+			fs.ppd = false
+			fs.drop = p.occ >= p.epdThreshold
+			if fs.drop {
+				s.stats.EPDFrames++
+			}
+		}
+		if fs.drop && !(fs.ppd && eof) {
+			// Discarding this frame. EPD drops everything including the
+			// EOF (no cell of the frame was forwarded, so the previous
+			// frame's EOF still delineates). PPD falls through on the
+			// EOF cell to keep the reassembler's framing intact.
+			if fs.ppd {
+				s.stats.PPDCells++
+				s.mPPD.Inc()
+				s.dropVC(c, metrics.DropPPD)
+			} else {
+				s.stats.EPDCells++
+				s.mEPD.Inc()
+				s.dropVC(c, metrics.DropEPD)
+			}
+			if eof {
+				fs.inFrame = false
+			}
+			return
+		}
+	}
+
+	dropped := false
+	if c.Header.CLP && p.clpThreshold > 0 && p.occ >= p.clpThreshold {
+		s.stats.CLPDropped++
+		s.mCLP.Inc()
+		s.dropVC(c, metrics.DropCLPThreshold)
+		dropped = true
+	} else if p.occ >= p.depth {
 		s.stats.Dropped++
+		p.mDropped.Inc()
+		s.dropVC(c, metrics.DropSwitchQueue)
+		dropped = true
+	}
+	if dropped {
+		if fs != nil {
+			if eof {
+				fs.inFrame = false
+			} else {
+				// Mid-frame loss: the rest of the frame is useless to
+				// AAL5 — switch to PPD for its remaining cells.
+				fs.drop = true
+				fs.ppd = true
+				s.stats.PPDFrames++
+			}
+		}
 		return
 	}
+
+	p.queues[d.class].Push(c)
+	p.occ++
+	p.mOcc.Set(int64(p.occ))
 	s.stats.Routed++
+	p.mRouted.Inc()
+	if fs != nil && eof {
+		fs.inFrame = false
+	}
 	if !p.draining {
 		p.draining = true
-		s.k.After(p.cellTime, func() { s.drain(port) })
+		s.k.After(p.cellTime, func() { s.drain(d.outPort) })
 	}
+}
+
+// dropVC records a drop against the cell's (output) VC in the registry.
+func (s *Switch) dropVC(c *atm.Cell, cause metrics.DropCause) {
+	if s.reg == nil {
+		return
+	}
+	s.reg.VC(c.Header.VPI, c.Header.VCI).Drop(cause)
 }
 
 func (s *Switch) drain(port int) {
 	p := s.ports[port]
-	cell, ok := p.queue.Pop()
-	if !ok {
+	var cell *atm.Cell
+	for class := range p.queues { // strict priority: CBR, rt-VBR, UBR
+		if c, ok := p.queues[class].Pop(); ok {
+			cell = c
+			break
+		}
+	}
+	if cell == nil {
 		p.draining = false
 		return
 	}
+	p.occ--
+	p.mOcc.Set(int64(p.occ))
 	if p.out != nil {
 		p.out(cell)
 	}
-	if p.queue.Empty() {
+	if p.occ == 0 {
 		p.draining = false
 		return
 	}
 	s.k.After(p.cellTime, func() { s.drain(port) })
 }
 
-// QueueDepth returns a port's current output occupancy.
-func (s *Switch) QueueDepth(port int) int { return s.ports[port].queue.Len() }
+// QueueDepth returns a port's current output occupancy across all classes.
+func (s *Switch) QueueDepth(port int) int { return s.port(port).occ }

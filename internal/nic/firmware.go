@@ -72,6 +72,24 @@ const txCellLastExtra = 12
 //	crc10 cmd (hw)          ; 1
 const txCellAAL34Extra = 10
 
+// txCellShapeExtra — per cell when the VC carries a traffic contract
+// (Interface.SetContract): the segmentation firmware updates the GCRA
+// shaping state (both bucket TATs) and computes the next eligible slot,
+// instead of the single add of plain pacing:
+//
+//	ld   vc.tat1, r4        ; 1
+//	cmp/sel max(now,tat1)   ; 2
+//	add  inc1, r4           ; 1
+//	st   r4, vc.tat1        ; 1
+//	ld   vc.tat2, r5        ; 1
+//	cmp/sel max(now,tat2)   ; 2
+//	add  inc2, r5           ; 1
+//	st   r5, vc.tat2        ; 1
+//	sub  bt, r5             ; 1
+//	cmp/sel max(r4,r5)      ; 2
+//	st   eligible           ; 1
+const txCellShapeExtra = 14
+
 // txDoneInstr — per packet: write back the descriptor status and post the
 // transmit-complete interrupt through the doorbell register.
 const txDoneInstr = 12

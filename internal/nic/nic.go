@@ -12,6 +12,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/oam"
 	"repro/internal/sim"
+	"repro/internal/tm"
 	"repro/internal/units"
 	"repro/internal/vclookup"
 )
@@ -213,6 +214,28 @@ func (i *Interface) SetPeakCellRate(vc atm.VC, cellsPerSec float64) error {
 		gap = sim.Duration(1e9 / cellsPerSec)
 	}
 	if !i.tx.setPeakCellRate(vc, gap) {
+		return ErrUnknownVC
+	}
+	return nil
+}
+
+// SetContract installs a full traffic contract on vc: the transmit side
+// shapes departures with the contract's GCRA state (MBS-bounded bursts at
+// PCR, then SCR), so the stream passes an ingress policer enforcing the
+// same contract — SetPeakCellRate's fixed gap generalized to the dual
+// leaky bucket. A zero-PCR contract removes shaping.
+func (i *Interface) SetContract(vc atm.VC, c tm.TrafficContract) error {
+	if !i.txVCs[vc] {
+		return ErrUnknownVC
+	}
+	if c.PCR <= 0 {
+		i.tx.setContract(vc, nil)
+		return nil
+	}
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if !i.tx.setContract(vc, tm.NewShaper(c)) {
 		return ErrUnknownVC
 	}
 	return nil

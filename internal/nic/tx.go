@@ -8,6 +8,7 @@ import (
 	"repro/internal/fifo"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/tm"
 )
 
 // TxStats is the transmit-side snapshot assembled from the telemetry
@@ -50,8 +51,12 @@ type txVC struct {
 
 	// minGap is the pacing interval between consecutive cells of this VC
 	// (0 = line rate); nextEligible is when the next cell may be emitted.
+	// When the VC carries a full traffic contract, shaper supersedes
+	// minGap: departure times follow the contract's GCRA state instead of
+	// a fixed gap (PCR bursts, then SCR).
 	minGap       sim.Duration
 	nextEligible sim.Time
+	shaper       *tm.Shaper
 }
 
 // transmitter is the send half: per-VC descriptor queues, a single
@@ -191,6 +196,20 @@ func (t *transmitter) setPeakCellRate(vc atm.VC, gap sim.Duration) bool {
 		return false
 	}
 	st.minGap = gap
+	return true
+}
+
+// setContract installs GCRA shaping to a traffic contract (replacing any
+// plain pacing gap); a nil shaper removes it.
+func (t *transmitter) setContract(vc atm.VC, sh *tm.Shaper) bool {
+	st, ok := t.vcs[vc]
+	if !ok {
+		return false
+	}
+	st.shaper = sh
+	if sh != nil {
+		st.minGap = 0
+	}
 	return true
 }
 
@@ -371,6 +390,9 @@ func (t *transmitter) runCell(st *txVC) {
 	if t.cfg.AAL == aal.AAL34 {
 		instr += txCellAAL34Extra
 	}
+	if st.shaper != nil {
+		instr += txCellShapeExtra
+	}
 	t.eng.Run("tx_cell", instr, func() {
 		t.busy = false
 		cell := t.pool.Get()
@@ -392,7 +414,9 @@ func (t *transmitter) runCell(st *txVC) {
 		st.vst.AddCellOut()
 		st.cellIdx++
 		st.cellsLeft--
-		if st.minGap > 0 {
+		if st.shaper != nil {
+			st.nextEligible = st.shaper.NextEligible(t.k.Now())
+		} else if st.minGap > 0 {
 			st.nextEligible = t.k.Now() + st.minGap
 		}
 		t.startClock()

@@ -1,0 +1,237 @@
+package tm
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// gcra is one virtual-scheduling leaky bucket (ITU-T I.371 Annex A): TAT is
+// the theoretical arrival time of the next conforming cell, inc the
+// per-cell increment (1/rate), limit the tolerance. A cell arriving at t is
+// conforming iff t >= TAT - limit; on conformance TAT advances by inc from
+// max(t, TAT). The zero value is an empty bucket (first cell conforms).
+type gcra struct {
+	tat   sim.Time
+	inc   sim.Duration
+	limit sim.Duration
+}
+
+// conforms runs the conformance test WITHOUT committing the state update.
+func (g *gcra) conforms(t sim.Time) bool {
+	return t >= g.tat-g.limit
+}
+
+// commit advances TAT for a cell accepted at t.
+func (g *gcra) commit(t sim.Time) {
+	if t > g.tat {
+		g.tat = t
+	}
+	g.tat += g.inc
+}
+
+// Verdict is the policer's decision for one cell.
+type Verdict uint8
+
+const (
+	// Conform: the cell honours the contract; forward unchanged.
+	Conform Verdict = iota
+	// TagCLP: the cell violates the sustained bucket; forward with CLP=1
+	// so it is first to die at a congested queue (the TM 4.0 tagging
+	// option for SCR0+1 conformance).
+	TagCLP
+	// Discard: the cell violates the peak bucket (or tagging is off);
+	// drop it at the policing point.
+	Discard
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Conform:
+		return "conform"
+	case TagCLP:
+		return "tag-clp"
+	case Discard:
+		return "discard"
+	default:
+		return fmt.Sprintf("Verdict(%d)", uint8(v))
+	}
+}
+
+// PolicerStats counts one policer's decisions.
+type PolicerStats struct {
+	Cells     uint64 // cells offered
+	Conformed uint64
+	Tagged    uint64 // forwarded with CLP demoted to 1
+	Discarded uint64
+}
+
+// NonConforming returns tagged + discarded.
+func (s PolicerStats) NonConforming() uint64 { return s.Tagged + s.Discarded }
+
+// Policer enforces one connection's TrafficContract at a network ingress
+// (UPC). It runs the single- or dual-bucket GCRA per cell:
+//
+//   - bucket 1 polices PCR with tolerance CDVT; violation => Discard
+//     (peak violations are never tagged — TM 4.0 gives PCR policing no
+//     tagging option for CLP=0+1 flows);
+//   - bucket 2 (contracts with SCR) polices SCR with tolerance BT+CDVT;
+//     violation => TagCLP when TagSCR is set, else Discard. Cells already
+//     carrying CLP=1 are not re-tagged: an SCR violation discards them
+//     (they spent the tagged budget upstream).
+//
+// The conformance check is pure integer compare/add on two buckets —
+// the hardware UPC table walk of the era — and allocates nothing
+// (pinned by metrics.TestHotPathAllocs).
+type Policer struct {
+	contract TrafficContract
+	peak     gcra
+	sust     gcra
+	dual     bool
+	// TagSCR selects the tagging option for sustained-bucket violations:
+	// demote CLP and forward instead of discarding.
+	TagSCR bool
+
+	stats PolicerStats
+}
+
+// NewPolicer builds a policer for the contract. The contract must be valid.
+func NewPolicer(c TrafficContract) *Policer {
+	if err := c.Validate(); err != nil {
+		panic("tm: " + err.Error())
+	}
+	p := &Policer{
+		contract: c,
+		peak:     gcra{inc: c.PeakIncrement(), limit: c.CDVT},
+		dual:     c.Dual(),
+	}
+	if p.dual {
+		p.sust = gcra{inc: c.SustainedIncrement(), limit: c.BurstTolerance() + c.CDVT}
+	}
+	return p
+}
+
+// Contract returns the contract being enforced.
+func (p *Policer) Contract() TrafficContract { return p.contract }
+
+// Stats returns the decision counters.
+func (p *Policer) Stats() PolicerStats { return p.stats }
+
+// Police runs the conformance test for one cell arriving at time t with
+// the given CLP bit, and returns the action. Buckets advance only for
+// cells that are forwarded (conforming or tagged): a discarded cell must
+// not consume contract capacity, or a violator could starve its own
+// conforming traffic.
+func (p *Policer) Police(t sim.Time, clp bool) Verdict {
+	p.stats.Cells++
+	if !p.peak.conforms(t) {
+		p.stats.Discarded++
+		return Discard
+	}
+	if p.dual && !p.sust.conforms(t) {
+		if p.TagSCR && !clp {
+			p.peak.commit(t)
+			p.stats.Tagged++
+			return TagCLP
+		}
+		p.stats.Discarded++
+		return Discard
+	}
+	p.peak.commit(t)
+	if p.dual {
+		p.sust.commit(t)
+	}
+	p.stats.Conformed++
+	return Conform
+}
+
+// Firmware instruction budgets for the conformance check, counted the same
+// way as internal/nic/firmware.go (i960-class pseudo-code, register ops and
+// loads/stores cost 1; see that file for conventions). A switch line card
+// or NIC running UPC in firmware executes, per cell:
+//
+//	ld   vc.tat1, r4        ; 1   peak bucket TAT
+//	sub  r4, now, r5        ; 1   slack = now - (TAT - L): L folded at setup
+//	blt  violate            ; 1
+//	cmp/sel max(now,TAT)    ; 2
+//	add  inc1, r4           ; 1
+//	st   r4, vc.tat1        ; 1
+//	bump conform counter    ; 1
+const policeInstr = 8
+
+// policeDualExtra — the second (SCR/MBS) bucket repeats the walk with its
+// own TAT/limit/increment and the CLP-tag decision:
+//
+//	ld   vc.tat2, r6        ; 1
+//	sub/cmp/branch          ; 3
+//	sel  max / add / st     ; 3
+//	tst  clp, set tag       ; 2
+const policeDualExtra = 9
+
+// PoliceInstr returns the per-cell instruction budget of the conformance
+// check (8 for single-bucket contracts, 17 for dual) — the number a cycle
+// budget (experiment E1/E2 style) charges a firmware UPC implementation.
+func PoliceInstr(dual bool) int {
+	if dual {
+		return policeInstr + policeDualExtra
+	}
+	return policeInstr
+}
+
+// ShapeInstr is the transmit-side twin: updating the shaping TATs and
+// computing the next eligible slot costs the same bucket walk as policing
+// (both buckets are always maintained; single-bucket contracts skip the
+// second walk exactly as the policer does).
+func ShapeInstr(dual bool) int { return PoliceInstr(dual) }
+
+// Shaper computes conforming departure times for a connection's own
+// contract: the transmit-side dual of the Policer, run by the NIC's
+// segmentation engine (Interface.SetContract). After each cell is emitted,
+// NextEligible returns the earliest time the next cell may leave such that
+// a policer enforcing the same contract sees zero non-conforming cells —
+// cells leave at PCR until the sustained bucket's burst tolerance is
+// spent, then at SCR. The shaper deliberately leaves the policer's CDVT
+// margin unspent: that budget absorbs the downstream FIFO and
+// multiplexing jitter the shaper cannot see.
+type Shaper struct {
+	contract TrafficContract
+	peak     gcra
+	sust     gcra
+	dual     bool
+}
+
+// NewShaper builds a shaper for the contract. The contract must be valid.
+func NewShaper(c TrafficContract) *Shaper {
+	if err := c.Validate(); err != nil {
+		panic("tm: " + err.Error())
+	}
+	s := &Shaper{
+		contract: c,
+		peak:     gcra{inc: c.PeakIncrement()},
+		dual:     c.Dual(),
+	}
+	if s.dual {
+		// The shaper grants itself the full burst tolerance (that is what
+		// MBS promises the source) but none of the CDVT.
+		s.sust = gcra{inc: c.SustainedIncrement(), limit: c.BurstTolerance()}
+	}
+	return s
+}
+
+// Contract returns the contract being shaped to.
+func (s *Shaper) Contract() TrafficContract { return s.contract }
+
+// NextEligible records a cell emitted at time t and returns the earliest
+// departure time of the next cell. Allocation-free.
+func (s *Shaper) NextEligible(t sim.Time) sim.Time {
+	s.peak.commit(t)
+	s.sust.commit(t) // harmless when !dual: inc 0
+	next := s.peak.tat
+	if s.dual {
+		if e := s.sust.tat - s.sust.limit; e > next {
+			next = e
+		}
+	}
+	return next
+}
