@@ -10,8 +10,11 @@ build:
 test:
 	$(GO) test ./...
 
+# bench runs every benchmark and distills the results into BENCH.json
+# (name, iterations, ns/op, B/op, allocs/op, and custom metrics per entry);
+# the raw `go test` lines still stream to the terminal via stderr.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run='^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH.json
 
 fmt:
 	gofmt -w .

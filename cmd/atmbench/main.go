@@ -6,6 +6,7 @@
 //	atmbench -exp e3,e4
 //	atmbench -exp e1 -csv
 //	atmbench -quick        # shorter simulated runs
+//	atmbench -parallel 0   # fan sweep points across all CPUs
 package main
 
 import (
@@ -26,7 +27,10 @@ func main() {
 	quick := flag.Bool("quick", false, "shorter simulated runs (for smoke tests)")
 	csv := flag.Bool("csv", false, "emit tables as CSV where applicable")
 	metricsPath := flag.String("metrics", "", "run the instrumented telemetry pass and write its JSON snapshot here (\"-\" for stdout)")
+	parallel := flag.Int("parallel", 1, "worker goroutines for sweep points (0 = GOMAXPROCS); results are bit-identical to -parallel 1")
 	flag.Parse()
+
+	experiments.SetParallelism(*parallel)
 
 	want := map[string]bool{}
 	if *expFlag == "all" {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/atm"
+	"repro/internal/bufpool"
 	"repro/internal/crc"
 	"repro/internal/metrics"
 )
@@ -155,12 +156,18 @@ type Reassembler34 struct {
 	inFrame  bool
 	cells    int
 	vst      *metrics.VCStats
+	pool     *bufpool.Pool
 }
 
 // SetVCStats attaches the connection's telemetry row; per-cell CRC-10
 // failures, sequence-detected cell losses and CPCS envelope mismatches are
 // then counted inline as the reassembler detects them.
 func (r *Reassembler34) SetVCStats(s *metrics.VCStats) { r.vst = s }
+
+// SetPool draws reassembled SDUs from p instead of the heap. Ownership of
+// each Result.SDU transfers to the consumer, which should Put it back once
+// the frame has been delivered; a nil pool restores plain allocation.
+func (r *Reassembler34) SetPool(p *bufpool.Pool) { r.pool = p }
 
 // NewReassembler34 returns an AAL3/4 reassembler with the given frame-buffer
 // bound in bytes (0 selects the maximum legal frame).
@@ -283,7 +290,7 @@ func (r *Reassembler34) finish() (*Result, error) {
 		r.vst.IncLengthError()
 		return nil, fmt.Errorf("%w: Length %d, padded payload %d", ErrBadLength, length, padded)
 	}
-	sdu := make([]byte, length)
+	sdu := r.pool.Get(length)
 	copy(sdu, b[4:4+length])
 	return &Result{SDU: sdu, Cells: r.cells}, nil
 }

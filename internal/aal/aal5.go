@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"repro/internal/atm"
+	"repro/internal/bufpool"
 	"repro/internal/crc"
 	"repro/internal/metrics"
 	"repro/internal/units"
@@ -103,11 +104,17 @@ type Reassembler5 struct {
 	cells    int
 	active   bool
 	vst      *metrics.VCStats
+	pool     *bufpool.Pool
 }
 
 // SetVCStats attaches the connection's telemetry row; CRC and length
 // failures are then counted inline as the reassembler detects them.
 func (r *Reassembler5) SetVCStats(s *metrics.VCStats) { r.vst = s }
+
+// SetPool draws reassembled SDUs from p instead of the heap. Ownership of
+// each Result.SDU transfers to the consumer, which should Put it back once
+// the frame has been delivered; a nil pool restores plain allocation.
+func (r *Reassembler5) SetPool(p *bufpool.Pool) { r.pool = p }
 
 // NewReassembler5 returns an AAL5 reassembler whose frame buffer holds up to
 // maxFrame bytes (0 selects the maximum legal frame).
@@ -173,7 +180,7 @@ func (r *Reassembler5) Push(payload *[atm.PayloadSize]byte, pt atm.PT) (*Result,
 		r.vst.IncLengthError()
 		return nil, ErrBadLength
 	}
-	sdu := make([]byte, length)
+	sdu := r.pool.Get(length)
 	copy(sdu, r.buf[:length])
 	return &Result{SDU: sdu, Cells: cells}, nil
 }

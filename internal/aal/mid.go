@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/atm"
+	"repro/internal/bufpool"
 	"repro/internal/metrics"
 )
 
@@ -21,6 +22,7 @@ type MIDReassembler34 struct {
 	maxMIDs  int
 	streams  map[uint16]*Reassembler34
 	vst      *metrics.VCStats
+	pool     *bufpool.Pool
 }
 
 // SetVCStats attaches the shared VC's telemetry row; every MID stream's
@@ -30,6 +32,15 @@ func (m *MIDReassembler34) SetVCStats(s *metrics.VCStats) {
 	m.vst = s
 	for _, ras := range m.streams {
 		ras.SetVCStats(s)
+	}
+}
+
+// SetPool draws every MID stream's reassembled SDUs from p; see
+// Reassembler34.SetPool for the ownership contract.
+func (m *MIDReassembler34) SetPool(p *bufpool.Pool) {
+	m.pool = p
+	for _, ras := range m.streams {
+		ras.SetPool(p)
 	}
 }
 
@@ -68,6 +79,7 @@ func (m *MIDReassembler34) Push(payload *[atm.PayloadSize]byte, pt atm.PT) (uint
 		}
 		ras = NewReassembler34(m.maxFrame)
 		ras.SetVCStats(m.vst)
+		ras.SetPool(m.pool)
 		m.streams[mid] = ras
 	}
 	res, err := ras.Push(payload, pt)

@@ -161,7 +161,7 @@ func (d *Device) DMA(n int, done func()) sim.Time {
 	}
 	if n == 0 {
 		if done != nil {
-			d.bus.k.After(0, done)
+			d.bus.k.PostAfter(0, done)
 		}
 		return d.bus.k.Now()
 	}
@@ -202,7 +202,7 @@ func (d *Device) PIO(nwords int, done func()) sim.Time {
 	}
 	if nwords == 0 {
 		if done != nil {
-			d.bus.k.After(0, done)
+			d.bus.k.PostAfter(0, done)
 		}
 		return d.bus.k.Now()
 	}

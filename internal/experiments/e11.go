@@ -3,6 +3,7 @@ package experiments
 import (
 	"repro/internal/atm"
 	"repro/internal/bus"
+	"repro/internal/experiments/runner"
 	"repro/internal/host"
 	"repro/internal/netsim"
 	"repro/internal/nic"
@@ -35,59 +36,9 @@ func E11(engineCounts []int, runTime sim.Duration) ([]E11Point, *report.Series) 
 	for i := 0; i < 8; i++ {
 		vcs = append(vcs, atm.VC{VCI: uint16(200 + 13*i)})
 	}
-	var pts []E11Point
-	for _, n := range engineCounts {
-		k := sim.NewKernel()
-		cfgTx := nic.DefaultConfig("tx")
-		cfgTx.PayloadRate = units.STS12cPayload
-		cfgTx.InterleaveVCs = true
-		cfgRx := cfgTx
-		cfgRx.Name = "rx"
-		cfgRx.RxEngines = n
-		// E9's result applied: per-engine FIFOs must absorb a full
-		// single-VC burst backlog (~96 cells at this engine speed),
-		// because the round-robin is only as smooth as the senders.
-		cfgRx.RxFifoDepth = 128
-		tx, err := netsim.NewStation(k, cfgTx)
-		if err != nil {
-			panic(err)
-		}
-		rx, err := netsim.NewStationFull(k, cfgRx, fastHost(), bus.DefaultConfig())
-		if err != nil {
-			panic(err)
-		}
-		netsim.Connect(k, tx, rx, netsim.LinkConfig{Delay: 10_000, Seed: 23})
-		deadline := sim.Time(runTime)
-		for _, vc := range vcs {
-			tx.Iface.OpenVC(vc)
-			rx.Iface.OpenVC(vc)
-			vc := vc
-			var send func()
-			send = func() {
-				if k.Now() > deadline {
-					return
-				}
-				tx.Iface.Send(vc, make([]byte, 9180), send)
-			}
-			send()
-		}
-		k.RunUntil(deadline)
-		bytes := rx.Iface.Stats().Rx.Bytes
-		var util float64
-		for _, e := range rx.Iface.RxEngines() {
-			util += e.Utilization()
-		}
-		util /= float64(n)
-		k.Run()
-		st := rx.Iface.Stats()
-		pts = append(pts, E11Point{
-			Engines:    n,
-			GoodputBps: units.ThroughputBps(int64(bytes), deadline),
-			FifoDrops:  st.Rx.FifoDrops,
-			Packets:    st.Rx.Packets,
-			MeanUtil:   util,
-		})
-	}
+	pts := runner.Map(Parallelism(), len(engineCounts), func(i int) E11Point {
+		return runE11Point(engineCounts[i], vcs, runTime)
+	})
 	x := make([]float64, len(engineCounts))
 	for i, n := range engineCounts {
 		x[i] = float64(n)
@@ -102,6 +53,63 @@ func E11(engineCounts []int, runTime sim.Duration) ([]E11Point, *report.Series) 
 	sr.Add("goodput-Mb/s", gps)
 	sr.Add("mean-engine-util", utils)
 	return pts, sr
+}
+
+// runE11Point measures one engine count in its own world. vcs is shared
+// read-only across concurrent points.
+func runE11Point(n int, vcs []atm.VC, runTime sim.Duration) E11Point {
+	k := newKernel()
+	cfgTx := nic.DefaultConfig("tx")
+	cfgTx.PayloadRate = units.STS12cPayload
+	cfgTx.InterleaveVCs = true
+	cfgRx := cfgTx
+	cfgRx.Name = "rx"
+	cfgRx.RxEngines = n
+	// E9's result applied: per-engine FIFOs must absorb a full single-VC
+	// burst backlog (~96 cells at this engine speed), because the
+	// round-robin is only as smooth as the senders.
+	cfgRx.RxFifoDepth = 128
+	tx, err := netsim.NewStation(k, cfgTx)
+	if err != nil {
+		panic(err)
+	}
+	rx, err := netsim.NewStationFull(k, cfgRx, fastHost(), bus.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	netsim.Connect(k, tx, rx, netsim.LinkConfig{Delay: 10_000, Seed: 23})
+	deadline := sim.Time(runTime)
+	for _, vc := range vcs {
+		tx.Iface.OpenVC(vc)
+		rx.Iface.OpenVC(vc)
+		vc := vc
+		var send func()
+		send = func() {
+			if k.Now() > deadline {
+				return
+			}
+			// Each send's buffer is fresh and never touched again, so
+			// ownership can transfer to the interface copy-free.
+			tx.Iface.SendOwned(vc, make([]byte, 9180), send)
+		}
+		send()
+	}
+	k.RunUntil(deadline)
+	bytes := rx.Iface.Stats().Rx.Bytes
+	var util float64
+	for _, e := range rx.Iface.RxEngines() {
+		util += e.Utilization()
+	}
+	util /= float64(n)
+	k.Run()
+	st := rx.Iface.Stats()
+	return E11Point{
+		Engines:    n,
+		GoodputBps: units.ThroughputBps(int64(bytes), deadline),
+		FifoDrops:  st.Rx.FifoDrops,
+		Packets:    st.Rx.Packets,
+		MeanUtil:   util,
+	}
 }
 
 // fastHost is a host model fast enough not to become the bottleneck at

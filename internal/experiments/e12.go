@@ -67,7 +67,7 @@ func E12(lossProbs []float64, msgSize int) ([]E12Point, *report.Series) {
 }
 
 func runE12(loss float64, msgSize int, selective bool) E12Point {
-	k := sim.NewKernel()
+	k := newKernel()
 	a, err := netsim.NewStation(k, nic.DefaultConfig("a"))
 	if err != nil {
 		panic(err)

@@ -62,7 +62,7 @@ func E13(lossProbs []float64, sduSize, k int, runTime sim.Duration) ([]E13Point,
 }
 
 func runE13(loss float64, sduSize, k int, useFEC bool, runTime sim.Duration) E13Point {
-	kern := sim.NewKernel()
+	kern := newKernel()
 	a, err := netsim.NewStation(kern, nic.DefaultConfig("a"))
 	if err != nil {
 		panic(err)

@@ -55,7 +55,7 @@ func E14(runTime sim.Duration) ([2]E14Result, *report.Table) {
 }
 
 func runE14(shaped bool, runTime sim.Duration) E14Result {
-	kern := sim.NewKernel()
+	kern := newKernel()
 	a, err := netsim.NewStation(kern, nic.DefaultConfig("a"))
 	if err != nil {
 		panic(err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/atm"
+	"repro/internal/experiments/runner"
 	"repro/internal/netsim"
 	"repro/internal/nic"
 	"repro/internal/phy"
@@ -43,12 +44,19 @@ func E15(overloads []float64, runTime sim.Duration) ([]E15Point, *report.Series)
 	if runTime <= 0 {
 		runTime = 40 * sim.Millisecond
 	}
-	var pts []E15Point
+	type e15Case struct {
+		epd bool
+		ov  float64
+	}
+	var cases []e15Case
 	for _, epd := range []bool{false, true} {
 		for _, ov := range overloads {
-			pts = append(pts, runE15(ov, epd, runTime))
+			cases = append(cases, e15Case{epd, ov})
 		}
 	}
+	pts := runner.Map(Parallelism(), len(cases), func(i int) E15Point {
+		return runE15(cases[i].ov, cases[i].epd, runTime)
+	})
 	x := make([]float64, len(overloads))
 	copy(x, overloads)
 	sr := report.NewSeries("E15: goodput efficiency vs overload — tail drop vs EPD/PPD (AAL5)",
@@ -77,7 +85,7 @@ func runE15(overload float64, epd bool, runTime sim.Duration) E15Point {
 		queueDepth = 96
 		epdThresh  = 64 // leaves 32 cells of whole-frame headroom
 	)
-	kern := sim.NewKernel()
+	kern := newKernel()
 	// Senders interleave their VCs: with serial segmentation a pacing gap
 	// on the active VC would idle the whole transmit engine and the
 	// offered load could never reach the port.

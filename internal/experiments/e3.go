@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/aal"
+	"repro/internal/experiments/runner"
 	"repro/internal/netsim"
 	"repro/internal/nic"
 	"repro/internal/report"
@@ -44,42 +45,23 @@ func DefaultE3() E3Config {
 // bytes per cell); at 622 Mb/s the engines cap throughput well below the
 // wire.
 func E3(ec E3Config) ([]E3Point, *report.Series, *report.Series) {
-	var pts []E3Point
+	type e3Case struct {
+		rate units.BitRate
+		t    aal.Type
+		size int
+	}
+	var cases []e3Case
 	for _, rate := range []units.BitRate{units.STS3cPayload, units.STS12cPayload} {
 		for _, t := range []aal.Type{aal.AAL5, aal.AAL34} {
 			for _, size := range ec.Sizes {
-				cfg := nic.DefaultConfig("x")
-				cfg.PayloadRate = rate
-				cfg.AAL = t
-				deadline := sim.Time(ec.RunTime)
-				var src *netsim.Source
-				var lastAt sim.Time
-				_, b, _ := runPair(cfg, netsim.LinkConfig{Delay: 10_000, Seed: 7},
-					deadline+sim.Time(ec.RunTime/2),
-					func(k *sim.Kernel, a, b *netsim.Station) {
-						b.Iface.OnReceive(func(d nic.Delivered) { lastAt = d.At })
-						src = netsim.NewSource(k, a, stdVC, size, deadline)
-						src.Start(ec.Window)
-					})
-				cells := aal.CellsForSDU5(size)
-				if t == aal.AAL34 {
-					cells = aal.CellsForSDU34(size)
-				}
-				// Goodput over the span in which deliveries actually
-				// happened, not the (longer) drain window.
-				if lastAt == 0 {
-					lastAt = deadline
-				}
-				gp := goodputBps(b, lastAt)
-				pts = append(pts, E3Point{
-					Size: size, AAL: t, Rate: rate,
-					GoodputBps: gp,
-					CeilingBps: sduCeilingBps(rate, size, cells),
-					Efficiency: gp / float64(rate),
-				})
+				cases = append(cases, e3Case{rate, t, size})
 			}
 		}
 	}
+	pts := runner.Map(Parallelism(), len(cases), func(i int) E3Point {
+		c := cases[i]
+		return runE3Point(c.rate, c.t, c.size, ec)
+	})
 
 	x := make([]float64, len(ec.Sizes))
 	for i, s := range ec.Sizes {
@@ -103,4 +85,37 @@ func E3(ec E3Config) ([]E3Point, *report.Series, *report.Series) {
 	s155 := mk(units.STS3cPayload, "E3a: goodput vs SDU size at STS-3c")
 	s622 := mk(units.STS12cPayload, "E3b: goodput vs SDU size at STS-12c")
 	return pts, s155, s622
+}
+
+// runE3Point measures one (rate, AAL, size) configuration in its own world.
+func runE3Point(rate units.BitRate, t aal.Type, size int, ec E3Config) E3Point {
+	cfg := nic.DefaultConfig("x")
+	cfg.PayloadRate = rate
+	cfg.AAL = t
+	deadline := sim.Time(ec.RunTime)
+	var src *netsim.Source
+	var lastAt sim.Time
+	_, b, _ := runPair(cfg, netsim.LinkConfig{Delay: 10_000, Seed: 7},
+		deadline+sim.Time(ec.RunTime/2),
+		func(k *sim.Kernel, a, b *netsim.Station) {
+			b.Iface.OnReceive(func(d nic.Delivered) { lastAt = d.At })
+			src = netsim.NewSource(k, a, stdVC, size, deadline)
+			src.Start(ec.Window)
+		})
+	cells := aal.CellsForSDU5(size)
+	if t == aal.AAL34 {
+		cells = aal.CellsForSDU34(size)
+	}
+	// Goodput over the span in which deliveries actually happened, not the
+	// (longer) drain window.
+	if lastAt == 0 {
+		lastAt = deadline
+	}
+	gp := goodputBps(b, lastAt)
+	return E3Point{
+		Size: size, AAL: t, Rate: rate,
+		GoodputBps: gp,
+		CeilingBps: sduCeilingBps(rate, size, cells),
+		Efficiency: gp / float64(rate),
+	}
 }

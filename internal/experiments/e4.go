@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"repro/internal/baseline"
+	"repro/internal/experiments/runner"
 	"repro/internal/netsim"
 	"repro/internal/nic"
 	"repro/internal/phy"
@@ -55,12 +56,19 @@ func DefaultE4() E4Config {
 // rate; hardwired matches per-packet (the host work is identical — the
 // difference is engine flexibility, not host load).
 func E4(ec E4Config) ([]E4Point, *report.Series, *report.Series) {
-	var pts []E4Point
+	type e4Case struct {
+		arch E4Arch
+		load float64
+	}
+	var cases []e4Case
 	for _, arch := range []E4Arch{ArchPerPacket, ArchPerCell, ArchHardwired} {
 		for _, load := range ec.Loads {
-			pts = append(pts, runE4(arch, load, ec))
+			cases = append(cases, e4Case{arch, load})
 		}
 	}
+	pts := runner.Map(Parallelism(), len(cases), func(i int) E4Point {
+		return runE4(cases[i].arch, cases[i].load, ec)
+	})
 	x := ec.Loads
 	util := report.NewSeries("E4a: receive-host CPU utilization vs offered load",
 		"offered-frac", x)
@@ -82,7 +90,7 @@ func E4(ec E4Config) ([]E4Point, *report.Series, *report.Series) {
 
 // runE4 offers load at a paced open-loop rate into one receiver.
 func runE4(arch E4Arch, load float64, ec E4Config) E4Point {
-	k := sim.NewKernel()
+	k := newKernel()
 	rate := units.STS3cPayload
 	// Packet departure interval to hit the target offered load, counting
 	// full cell (wire) bytes.

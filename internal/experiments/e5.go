@@ -42,7 +42,7 @@ func E5() ([]E5Row, *report.Table) {
 		_, _, _ = runPairMeasure(cfg, delay, size, &measured)
 
 		cells := aal.CellsForSDU5(size)
-		k := sim.NewKernel()
+		k := newKernel()
 		eng := engine.New(k, "m", cfg.Engine)
 		hostCfg := hostDefault()
 		// Component model. Wire serialization of all cells dominates the

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/aal"
 	"repro/internal/engine"
+	"repro/internal/experiments/runner"
 	"repro/internal/netsim"
 	"repro/internal/nic"
 	"repro/internal/report"
@@ -42,34 +43,19 @@ func DefaultE8() E8Config {
 // collapses where p·cells ≈ 1 — earlier for bigger frames. This is the
 // loss-sensitivity cliff that motivated the era's FEC/retransmission work.
 func E8(ec E8Config) ([]E8Point, *report.Series) {
-	var pts []E8Point
+	type e8Case struct {
+		size int
+		p    float64
+	}
+	var cases []e8Case
 	for _, size := range ec.Sizes {
 		for _, p := range ec.LossProbs {
-			cfg := nic.DefaultConfig("x")
-			deadline := sim.Time(ec.RunTime)
-			var src *netsim.Source
-			_, b, k := runPair(cfg,
-				netsim.LinkConfig{Delay: 10_000, LossProb: p, Seed: uint64(size) + uint64(p*1e7)},
-				deadline+sim.Time(ec.RunTime/2),
-				func(k *sim.Kernel, a, b *netsim.Station) {
-					src = netsim.NewSource(k, a, stdVC, size, deadline)
-					src.Start(4)
-				})
-			st := b.Iface.Stats()
-			sent := src.Sent
-			frac := 0.0
-			if sent > 0 {
-				frac = float64(st.Rx.Packets) / float64(sent)
-			}
-			cells := aal.CellsForSDU5(size)
-			pts = append(pts, E8Point{
-				LossProb: p, Size: size,
-				DeliveredFrac: frac,
-				GoodputBps:    goodputBps(b, k.Now()),
-				PredictedFrac: math.Pow(1-p, float64(cells)),
-			})
+			cases = append(cases, e8Case{size, p})
 		}
 	}
+	pts := runner.Map(Parallelism(), len(cases), func(i int) E8Point {
+		return runE8Point(cases[i].size, cases[i].p, ec)
+	})
 	x := make([]float64, len(ec.LossProbs))
 	for i, p := range ec.LossProbs {
 		x[i] = p
@@ -87,6 +73,33 @@ func E8(ec E8Config) ([]E8Point, *report.Series) {
 		sr.Add(sizeLabel(size)+"-model", pred)
 	}
 	return pts, sr
+}
+
+// runE8Point measures one (size, loss probability) point in its own world.
+func runE8Point(size int, p float64, ec E8Config) E8Point {
+	cfg := nic.DefaultConfig("x")
+	deadline := sim.Time(ec.RunTime)
+	var src *netsim.Source
+	_, b, k := runPair(cfg,
+		netsim.LinkConfig{Delay: 10_000, LossProb: p, Seed: uint64(size) + uint64(p*1e7)},
+		deadline+sim.Time(ec.RunTime/2),
+		func(k *sim.Kernel, a, b *netsim.Station) {
+			src = netsim.NewSource(k, a, stdVC, size, deadline)
+			src.Start(4)
+		})
+	st := b.Iface.Stats()
+	sent := src.Sent
+	frac := 0.0
+	if sent > 0 {
+		frac = float64(st.Rx.Packets) / float64(sent)
+	}
+	cells := aal.CellsForSDU5(size)
+	return E8Point{
+		LossProb: p, Size: size,
+		DeliveredFrac: frac,
+		GoodputBps:    goodputBps(b, k.Now()),
+		PredictedFrac: math.Pow(1-p, float64(cells)),
+	}
 }
 
 func sizeLabel(n int) string {
@@ -131,32 +144,9 @@ func E9(depths []int, runTime sim.Duration) ([]E9Point, *report.Series) {
 	if len(depths) == 0 {
 		depths = []int{8, 16, 32, 64, 96, 128, 192}
 	}
-	var pts []E9Point
-	for _, d := range depths {
-		cfg := nic.DefaultConfig("x")
-		cfg.PayloadRate = units.STS12cPayload
-		cfg.RxFifoDepth = d
-		deadline := sim.Time(runTime)
-		_, b, _ := runPair(cfg, netsim.LinkConfig{Delay: 10_000, Seed: 17},
-			deadline+sim.Time(runTime/2),
-			func(k *sim.Kernel, a, b *netsim.Station) {
-				// One 192-cell frame every 500 µs: the wire burst lasts
-				// ~136 µs (or ~185 µs engine-paced), leaving a drain gap.
-				payload := make([]byte, 9180)
-				var tick func()
-				tick = func() {
-					if k.Now() > deadline {
-						return
-					}
-					a.Iface.Send(stdVC, payload, nil)
-					k.After(500*sim.Microsecond, tick)
-				}
-				tick()
-			})
-		st := b.Iface.Stats()
-		pts = append(pts, E9Point{Depth: d, FifoDrops: st.Rx.FifoDrops,
-			Packets: st.Rx.Packets, MaxFifo: st.Rx.MaxFifo})
-	}
+	pts := runner.Map(Parallelism(), len(depths), func(i int) E9Point {
+		return runE9Point(depths[i], runTime)
+	})
 	x := make([]float64, len(depths))
 	for i, d := range depths {
 		x[i] = float64(d)
@@ -170,6 +160,33 @@ func E9(depths []int, runTime sim.Duration) ([]E9Point, *report.Series) {
 	sr.Add("cell-drops", drops)
 	sr.Add("packets-delivered", pkts)
 	return pts, sr
+}
+
+// runE9Point measures one FIFO depth in its own world.
+func runE9Point(d int, runTime sim.Duration) E9Point {
+	cfg := nic.DefaultConfig("x")
+	cfg.PayloadRate = units.STS12cPayload
+	cfg.RxFifoDepth = d
+	deadline := sim.Time(runTime)
+	_, b, _ := runPair(cfg, netsim.LinkConfig{Delay: 10_000, Seed: 17},
+		deadline+sim.Time(runTime/2),
+		func(k *sim.Kernel, a, b *netsim.Station) {
+			// One 192-cell frame every 500 µs: the wire burst lasts
+			// ~136 µs (or ~185 µs engine-paced), leaving a drain gap.
+			payload := make([]byte, 9180)
+			var tick func()
+			tick = func() {
+				if k.Now() > deadline {
+					return
+				}
+				a.Iface.Send(stdVC, payload, nil)
+				k.After(500*sim.Microsecond, tick)
+			}
+			tick()
+		})
+	st := b.Iface.Stats()
+	return E9Point{Depth: d, FifoDrops: st.Rx.FifoDrops,
+		Packets: st.Rx.Packets, MaxFifo: st.Rx.MaxFifo}
 }
 
 // E10Point is one engine-clock measurement.
@@ -193,7 +210,7 @@ func E10(clocksMHz []int) ([]E10Point, *report.Series) {
 	}
 	var pts []E10Point
 	for _, mhz := range clocksMHz {
-		k := sim.NewKernel()
+		k := newKernel()
 		cfg := engine.DefaultConfig()
 		cfg.ClockHz = int64(mhz) * 1_000_000
 		eng := engine.New(k, "e10", cfg)

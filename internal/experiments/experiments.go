@@ -21,7 +21,7 @@ var stdVC = atm.VC{VPI: 0, VCI: 100}
 // the kernel until deadline+drain and returns both stations.
 func runPair(cfg nic.Config, link netsim.LinkConfig, deadline sim.Time,
 	drive func(k *sim.Kernel, a, b *netsim.Station)) (a, b *netsim.Station, k *sim.Kernel) {
-	k = sim.NewKernel()
+	k = newKernel()
 	cfgA, cfgB := cfg, cfg
 	cfgA.Name, cfgB.Name = "a", "b"
 	var err error

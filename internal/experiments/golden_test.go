@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The two equivalence guarantees the perf work must not break:
+//
+//  1. serial vs parallel — fanning sweep points across goroutines reorders
+//     only the computation, never the results;
+//  2. heap vs wheel — the timing-wheel scheduler dispatches in exactly the
+//     order of the pre-wheel binary heap, so every simulated world evolves
+//     identically.
+//
+// Both are checked on full result structs (every float bit compared) for a
+// closed-loop sweep (E3) and a paced open-loop sweep (E9).
+
+func goldenE3Config() E3Config {
+	return E3Config{
+		Sizes:   []int{64, 9180},
+		RunTime: 5 * sim.Millisecond,
+		Window:  4,
+	}
+}
+
+var goldenE9Depths = []int{16, 96}
+
+func withParallelism(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := Parallelism()
+	SetParallelism(n)
+	defer SetParallelism(prev)
+	fn()
+}
+
+func withHeapKernel(t *testing.T, fn func()) {
+	t.Helper()
+	prev := newKernel
+	newKernel = sim.NewHeapKernel
+	defer func() { newKernel = prev }()
+	fn()
+}
+
+func TestE3SerialParallelIdentical(t *testing.T) {
+	ec := goldenE3Config()
+	var serial, par []E3Point
+	withParallelism(t, 1, func() { serial, _, _ = E3(ec) })
+	withParallelism(t, 8, func() { par, _, _ = E3(ec) })
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("E3 parallel results differ from serial:\nserial: %+v\nparallel: %+v", serial, par)
+	}
+}
+
+func TestE9SerialParallelIdentical(t *testing.T) {
+	var serial, par []E9Point
+	withParallelism(t, 1, func() { serial, _ = E9(goldenE9Depths, 5*sim.Millisecond) })
+	withParallelism(t, 8, func() { par, _ = E9(goldenE9Depths, 5*sim.Millisecond) })
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("E9 parallel results differ from serial:\nserial: %+v\nparallel: %+v", serial, par)
+	}
+}
+
+func TestE3HeapWheelIdentical(t *testing.T) {
+	ec := goldenE3Config()
+	wheel, _, _ := E3(ec)
+	var heap []E3Point
+	withHeapKernel(t, func() { heap, _, _ = E3(ec) })
+	if !reflect.DeepEqual(wheel, heap) {
+		t.Errorf("E3 wheel results differ from heap kernel:\nwheel: %+v\nheap: %+v", wheel, heap)
+	}
+}
+
+func TestE9HeapWheelIdentical(t *testing.T) {
+	wheel, _ := E9(goldenE9Depths, 5*sim.Millisecond)
+	var heap []E9Point
+	withHeapKernel(t, func() { heap, _ = E9(goldenE9Depths, 5*sim.Millisecond) })
+	if !reflect.DeepEqual(wheel, heap) {
+		t.Errorf("E9 wheel results differ from heap kernel:\nwheel: %+v\nheap: %+v", wheel, heap)
+	}
+}

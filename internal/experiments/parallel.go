@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// Sweep parallelism: the big sweeps (E3, E4, E8, E9, E11, E15) enumerate
+// their points into a case slice and compute them through runner.Map, each
+// point building its own kernel and stations. Results land at their case
+// index, so every table and CSV is bit-identical to a serial run.
+var parWorkers atomic.Int32
+
+func init() { parWorkers.Store(1) }
+
+// SetParallelism sets the number of worker goroutines the sweep experiments
+// fan points across. n <= 0 selects GOMAXPROCS; the default is 1 (serial).
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parWorkers.Store(int32(n))
+}
+
+// Parallelism reports the configured worker count (0 = GOMAXPROCS).
+func Parallelism() int { return int(parWorkers.Load()) }
+
+// newKernel is the kernel constructor every experiment uses. Tests swap in
+// sim.NewHeapKernel to prove the timing-wheel scheduler dispatches in the
+// exact order of the pre-wheel binary heap.
+var newKernel = sim.NewKernel

@@ -1,0 +1,57 @@
+// Package runner fans independent experiment sweep points across worker
+// goroutines. Every sweep point in this repository builds its own
+// sim.Kernel, stations, pools, and registries — kernels are single-goroutine
+// and share nothing — so a sweep is embarrassingly parallel: the only
+// coordination is handing out indices and collecting results.
+//
+// Results are written into a slice at each point's own index, so the output
+// order (and therefore every derived table, series, and CSV) is bit-for-bit
+// identical to a serial run regardless of worker count or scheduling.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map evaluates fn(0), fn(1), …, fn(n-1) across up to workers goroutines
+// and returns the results in index order. workers <= 0 selects
+// runtime.GOMAXPROCS(0); workers == 1 runs inline with no goroutines (the
+// serial path is exactly the obvious loop). fn must be safe to call
+// concurrently from multiple goroutines for distinct indices.
+func Map[T any](workers, n int, fn func(int) T) []T {
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,42 @@
+package runner
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func square(i int) int { return i * i }
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 7, 64} {
+		got := Map(workers, 50, square)
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: len = %d, want 50", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got := Map(4, 0, square)
+	if len(got) != 0 {
+		t.Fatalf("len = %d, want 0", len(got))
+	}
+}
+
+func TestMapCallsEachIndexOnce(t *testing.T) {
+	var calls [100]atomic.Int32
+	Map(8, len(calls), func(i int) struct{} {
+		calls[i].Add(1)
+		return struct{}{}
+	})
+	for i := range calls {
+		if n := calls[i].Load(); n != 1 {
+			t.Fatalf("fn(%d) called %d times, want 1", i, n)
+		}
+	}
+}

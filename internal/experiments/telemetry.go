@@ -50,7 +50,7 @@ func Telemetry(ec TelemetryConfig) (metrics.Snapshot, *report.Table) {
 	cfg := nic.DefaultConfig("a")
 	cfg.Metrics = reg
 
-	k := sim.NewKernel()
+	k := newKernel()
 	cfgA, cfgB := cfg, cfg
 	cfgA.Name, cfgB.Name = "a", "b"
 	a, err := netsim.NewStation(k, cfgA)

@@ -41,6 +41,10 @@ type Switch struct {
 	// SwitchingDelay models the fabric's fixed per-cell latency.
 	SwitchingDelay sim.Duration
 
+	// Free list of pooled fabric-transit records, so per-cell switching
+	// costs no closure or event allocation (see swDefer).
+	freeDefer *swDefer
+
 	stats SwitchStats
 
 	// Registry instruments (nil until Instrument is called; nil-safe).
@@ -104,6 +108,7 @@ type swPort struct {
 	out      func(*atm.Cell)
 	cellTime sim.Duration
 	draining bool
+	drainFn  func() // bound drain callback, created once
 
 	clpThreshold int // 0 = disabled
 	epdThreshold int // 0 = frame discard (EPD/PPD) disabled
@@ -130,11 +135,13 @@ func NewSwitch(k *sim.Kernel, name string, nPorts int, rate units.BitRate, queue
 	}
 	ct := units.CellTime(rate)
 	for i := 0; i < nPorts; i++ {
+		i := i
 		p := &swPort{
 			depth:    queueDepth,
 			cellTime: ct,
 			frames:   make(map[atm.VC]*frameState),
 		}
+		p.drainFn = func() { s.drain(i) }
 		for c := range p.queues {
 			p.queues[c] = fifo.NewRing[*atm.Cell](queueDepth)
 		}
@@ -286,9 +293,40 @@ func (s *Switch) receive(port int, c *atm.Cell) {
 			out = &clone
 		}
 		out.Header.VPI, out.Header.VCI = d.outVC.VPI, d.outVC.VCI
-		dest := d
-		s.k.After(s.SwitchingDelay, func() { s.enqueue(dest, out) })
+		s.deferEnqueue(d, out)
 	}
+}
+
+// swDefer is one cell in fabric transit: a pooled record whose bound fire
+// method replaces the per-cell closure the switching delay used to cost.
+type swDefer struct {
+	s    *Switch
+	dest swDest
+	cell *atm.Cell
+	fn   func()
+	next *swDefer
+}
+
+// deferEnqueue schedules enqueue(dest, c) after the fabric transit delay.
+func (s *Switch) deferEnqueue(dest swDest, c *atm.Cell) {
+	r := s.freeDefer
+	if r == nil {
+		r = &swDefer{s: s}
+		r.fn = r.fire
+	} else {
+		s.freeDefer = r.next
+		r.next = nil
+	}
+	r.dest, r.cell = dest, c
+	s.k.PostAfter(s.SwitchingDelay, r.fn)
+}
+
+func (r *swDefer) fire() {
+	dest, cell := r.dest, r.cell
+	r.cell = nil
+	r.next = r.s.freeDefer
+	r.s.freeDefer = r
+	r.s.enqueue(dest, cell)
 }
 
 // frame returns the frame-discard state for an output VC on a port.
@@ -376,7 +414,7 @@ func (s *Switch) enqueue(d swDest, c *atm.Cell) {
 	}
 	if !p.draining {
 		p.draining = true
-		s.k.After(p.cellTime, func() { s.drain(d.outPort) })
+		s.k.PostAfter(p.cellTime, p.drainFn)
 	}
 }
 
@@ -410,7 +448,7 @@ func (s *Switch) drain(port int) {
 		p.draining = false
 		return
 	}
-	s.k.After(p.cellTime, func() { s.drain(port) })
+	s.k.PostAfter(p.cellTime, p.drainFn)
 }
 
 // QueueDepth returns a port's current output occupancy across all classes.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/atm"
+	"repro/internal/bufpool"
 	"repro/internal/bus"
 	"repro/internal/engine"
 	"repro/internal/fifo"
@@ -25,6 +26,7 @@ type Interface struct {
 	cfg  Config
 	hst  *host.Host
 	pool *atm.Pool
+	buf  *bufpool.Pool // SDU/payload buffers (TX copies, pooled RX delivery)
 
 	txEngine  *engine.Engine
 	rxEngines []*engine.Engine
@@ -65,6 +67,7 @@ func New(k *sim.Kernel, cfg Config, hst *host.Host, b *bus.Bus) (*Interface, err
 		cfg:      cfg,
 		hst:      hst,
 		pool:     atm.NewPool(cfg.TxFifoDepth + cfg.RxEngines*cfg.RxFifoDepth + 64),
+		buf:      bufpool.New(),
 		txEngine: engine.New(k, cfg.Name+".txeng", cfg.Engine),
 		txDev:    b.Attach(cfg.Name + ".txdma"),
 		rxDev:    b.Attach(cfg.Name + ".rxdma"),
@@ -73,13 +76,14 @@ func New(k *sim.Kernel, cfg Config, hst *host.Host, b *bus.Bus) (*Interface, err
 		txVCs:    make(map[atm.VC]bool),
 	}
 	i.txEngine.Instrument(reg, scoped(cfg.Name, "engine.txeng"))
+	i.buf.Instrument(reg, scoped(cfg.Name, "nic.bufpool"))
 	for e := 0; e < cfg.RxEngines; e++ {
 		eng := engine.New(k, fmt.Sprintf("%s.rxeng%d", cfg.Name, e), cfg.Engine)
 		eng.Instrument(reg, scoped(cfg.Name, fmt.Sprintf("engine.rxeng%d", e)))
 		i.rxEngines = append(i.rxEngines, eng)
 	}
 	cellTime := units.CellTime(cfg.PayloadRate)
-	i.tx = newTransmitter(k, &i.cfg, i.txEngine, i.txDev, i.pool, cellTime, reg, cfg.Name, func(c *atm.Cell) {
+	i.tx = newTransmitter(k, &i.cfg, i.txEngine, i.txDev, i.pool, i.buf, cellTime, reg, cfg.Name, func(c *atm.Cell) {
 		// Default output discards (no link attached yet).
 		i.pool.Put(c)
 	})
@@ -140,6 +144,18 @@ func (i *Interface) Host() *host.Host { return i.hst }
 // Pool returns the interface's cell pool; links that deliver cells into
 // this interface should draw from it so cells recycle.
 func (i *Interface) Pool() *atm.Pool { return i.pool }
+
+// BufferPool returns the interface's SDU buffer pool. Send draws its copy
+// buffers from it, and hosts using SendOwned may draw here too so transmit
+// buffers recycle through the same free lists ("nic.bufpool.*" counters).
+func (i *Interface) BufferPool() *bufpool.Pool { return i.buf }
+
+// EnableRxPooling routes reassembled receive SDUs through the interface's
+// buffer pool instead of the heap. When enabled, Delivered.SDU is valid
+// only for the duration of the OnReceive callback: the interface recycles
+// the buffer as soon as the callback returns. Hosts that retain packets
+// (transports, queues) must copy — or leave pooling off, the default.
+func (i *Interface) EnableRxPooling() { i.rx.setPool(i.buf) }
 
 // CellTime returns the wire's cell slot duration.
 func (i *Interface) CellTime() sim.Duration { return units.CellTime(i.cfg.PayloadRate) }
@@ -252,12 +268,37 @@ func (i *Interface) Send(vc atm.VC, sdu []byte, onSent func()) error {
 	if !i.txVCs[vc] {
 		return ErrUnknownVC
 	}
-	buf := make([]byte, len(sdu))
+	// The defensive copy goes through the buffer pool and is recycled when
+	// segmentation finishes, so a steady flow reuses the same buffers.
+	buf := i.buf.Get(len(sdu))
 	copy(buf, sdu)
 	i.hst.TxPacket(len(buf), func() {
 		// Driver writes a 4-word descriptor across the bus.
 		i.hostDev.PIO(4, func() {
-			i.tx.enqueue(vc, txDescriptor{sdu: buf, onSent: func() {
+			i.tx.enqueue(vc, txDescriptor{sdu: buf, pooled: true, onSent: func() {
+				i.hst.TxCompleteInterrupt(onSent)
+			}})
+		})
+	})
+	return nil
+}
+
+// SendOwned queues one SDU for transmission without copying it: ownership
+// of sdu's backing array transfers to the interface until onSent fires (the
+// transmit-complete interrupt), after which the caller may reuse it. This
+// is the zero-copy path for hosts that manage their own buffers — the
+// driver handing the adapter a DMA address instead of a fresh copy. Timing
+// is identical to Send; only the untimed copy disappears.
+func (i *Interface) SendOwned(vc atm.VC, sdu []byte, onSent func()) error {
+	if len(sdu) == 0 || len(sdu) > i.cfg.MaxSDU {
+		return ErrBadSDU
+	}
+	if !i.txVCs[vc] {
+		return ErrUnknownVC
+	}
+	i.hst.TxPacket(len(sdu), func() {
+		i.hostDev.PIO(4, func() {
+			i.tx.enqueue(vc, txDescriptor{sdu: sdu, onSent: func() {
 				i.hst.TxCompleteInterrupt(onSent)
 			}})
 		})

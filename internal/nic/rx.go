@@ -7,6 +7,7 @@ import (
 	"repro/internal/aal"
 	"repro/internal/atm"
 	"repro/internal/bufmgr"
+	"repro/internal/bufpool"
 	"repro/internal/bus"
 	"repro/internal/engine"
 	"repro/internal/fifo"
@@ -81,6 +82,13 @@ type receiver struct {
 
 	onDeliver func(Delivered)
 	onOAM     func(*atm.Cell) // owns the cell; nil = drop
+	bufp      *bufpool.Pool   // nil unless EnableRxPooling
+
+	// Per-engine pre-bound callbacks and completion contexts: engine e
+	// processes one cell at a time (processing[e] serializes), so a single
+	// reusable context per engine replaces the per-cell closures.
+	nextFns  []func()
+	cellCtxs []*rxCellCtx
 
 	// Registry instruments (always non-nil; the registry hands out nil-safe
 	// no-op instruments only when it is itself nil, which New prevents).
@@ -115,6 +123,15 @@ func newReceiver(k *sim.Kernel, cfg *Config, engs []*engine.Engine, dev *bus.Dev
 		r.fifos[i] = fifo.NewRing[*atm.Cell](cfg.RxFifoDepth)
 		r.fifos[i].Instrument(reg, scoped(prefix, fmt.Sprintf("fifo.rx%d", i)))
 		r.arrivals[i] = fifo.NewRing[sim.Time](cfg.RxFifoDepth)
+	}
+	r.nextFns = make([]func(), n)
+	r.cellCtxs = make([]*rxCellCtx, n)
+	for e := 0; e < n; e++ {
+		e := e
+		r.nextFns[e] = func() { r.next(e) }
+		ctx := &rxCellCtx{r: r, e: e}
+		ctx.fn = ctx.done
+		r.cellCtxs[e] = ctx
 	}
 	r.reg = reg
 	r.mCells = reg.Counter(scoped(prefix, "nic.rx.cells"))
@@ -161,6 +178,25 @@ func (r *receiver) engineFor(vc atm.VC) int {
 	return 0
 }
 
+// setPool enables pooled SDU delivery: reassemblers draw their output
+// buffers from p and the receiver recycles each one after the OnReceive
+// callback returns (see Interface.EnableRxPooling for the contract).
+func (r *receiver) setPool(p *bufpool.Pool) {
+	r.bufp = p
+	for _, st := range r.vcs {
+		st.setPool(p)
+	}
+}
+
+// setPool attaches the buffer pool to whichever reassembler the VC runs.
+func (st *rxVC) setPool(p *bufpool.Pool) {
+	if st.midras != nil {
+		st.midras.SetPool(p)
+	} else if ip, ok := st.ras.(interface{ SetPool(*bufpool.Pool) }); ok {
+		ip.SetPool(p)
+	}
+}
+
 // open registers a VC for receive.
 func (r *receiver) open(vc atm.VC) error {
 	idx, err := r.lookup.Insert(vc)
@@ -176,6 +212,9 @@ func (r *receiver) open(vc atm.VC) error {
 		if ir, ok := st.ras.(interface{ SetVCStats(*metrics.VCStats) }); ok {
 			ir.SetVCStats(st.vst)
 		}
+	}
+	if r.bufp != nil {
+		st.setPool(r.bufp)
 	}
 	r.vcs[idx] = st
 	r.steer[vc] = r.nextSteer % len(r.engs)
@@ -239,7 +278,7 @@ func (r *receiver) process(e int) {
 	// for the firmware's management handler.
 	if cell.Header.IsIdle() {
 		r.pool.Put(cell)
-		r.engs[e].Run("rx_idle", rxCellInstr, func() { r.next(e) })
+		r.engs[e].Run("rx_idle", rxCellInstr, r.nextFns[e])
 		return
 	}
 	if !cell.Header.PT.User() {
@@ -260,7 +299,7 @@ func (r *receiver) process(e int) {
 		r.mUnknownVC.Inc()
 		r.reg.VC(cell.Header.VPI, cell.Header.VCI).Drop(metrics.DropUnknownVC)
 		r.pool.Put(cell)
-		r.engs[e].Run("rx_unknown", rxCellInstr+lookCycles+rxUnknownVCInstr, func() { r.next(e) })
+		r.engs[e].Run("rx_unknown", rxCellInstr+lookCycles+rxUnknownVCInstr, r.nextFns[e])
 		return
 	}
 	st := r.vcs[idx]
@@ -291,40 +330,61 @@ func (r *receiver) process(e int) {
 	}
 	instr += appendCycles
 
-	var res *aal.Result
-	var aalErr error
-	var mid uint16
+	ctx := r.cellCtxs[e]
+	ctx.st = st
+	ctx.arrived, ctx.haveArrival = arrived, haveArrival
 	if st.midras != nil {
-		mid, res, aalErr = st.midras.Push(&cell.Payload, cell.Header.PT)
+		ctx.mid, ctx.res, ctx.aalErr = st.midras.Push(&cell.Payload, cell.Header.PT)
 	} else {
-		res, aalErr = st.ras.Push(&cell.Payload, cell.Header.PT)
+		ctx.mid = 0
+		ctx.res, ctx.aalErr = st.ras.Push(&cell.Payload, cell.Header.PT)
 	}
 	r.pool.Put(cell)
 
-	r.engs[e].Run("rx_cell", instr, func() {
-		if haveArrival {
-			r.hCellDelay.Observe(r.k.Now() - arrived)
-		}
-		switch {
-		case res != nil:
-			// A frame completed (possibly also reporting a prior
-			// frame's loss, which the AAL already discarded).
-			if aalErr != nil {
-				r.mAALErrors.Inc()
-				st.vst.Drop(metrics.DropAAL)
-			}
-			r.completeFrame(e, st, res, mid)
-		case aalErr != nil:
+	r.engs[e].Run("rx_cell", instr, ctx.fn)
+}
+
+// rxCellCtx carries one in-flight rx_cell routine's results to its
+// completion. One per engine, reused for every cell.
+type rxCellCtx struct {
+	r           *receiver
+	e           int
+	fn          func() // bound done method, created once
+	st          *rxVC
+	res         *aal.Result
+	aalErr      error
+	mid         uint16
+	arrived     sim.Time
+	haveArrival bool
+}
+
+// done is the rx_cell routine completion.
+func (c *rxCellCtx) done() {
+	r, e, st, res, aalErr, mid := c.r, c.e, c.st, c.res, c.aalErr, c.mid
+	arrived, haveArrival := c.arrived, c.haveArrival
+	c.st, c.res, c.aalErr = nil, nil, nil
+	if haveArrival {
+		r.hCellDelay.Observe(r.k.Now() - arrived)
+	}
+	switch {
+	case res != nil:
+		// A frame completed (possibly also reporting a prior
+		// frame's loss, which the AAL already discarded).
+		if aalErr != nil {
 			r.mAALErrors.Inc()
 			st.vst.Drop(metrics.DropAAL)
-			r.engs[e].Run("rx_err", rxErrInstr, func() {
-				r.releaseFrame(st)
-				r.next(e)
-			})
-		default:
-			r.next(e)
 		}
-	})
+		r.completeFrame(e, st, res, mid)
+	case aalErr != nil:
+		r.mAALErrors.Inc()
+		st.vst.Drop(metrics.DropAAL)
+		r.engs[e].Run("rx_err", rxErrInstr, func() {
+			r.releaseFrame(st)
+			r.next(e)
+		})
+	default:
+		r.next(e)
+	}
 }
 
 // dropForMemory abandons the current frame when adapter SRAM is exhausted.
@@ -374,6 +434,9 @@ func (r *receiver) completeFrame(e int, st *rxVC, res *aal.Result, mid uint16) {
 				if r.onDeliver != nil {
 					r.onDeliver(Delivered{VC: vc, SDU: sdu, Cells: res.Cells, MID: mid, At: r.k.Now()})
 				}
+				// Pooled delivery: the host callback has returned, so
+				// the SDU buffer recycles (no-op when pooling is off).
+				r.bufp.Put(sdu)
 			})
 		})
 		// The engine moves on while the DMA and interrupt complete in

@@ -3,6 +3,7 @@ package nic
 import (
 	"repro/internal/aal"
 	"repro/internal/atm"
+	"repro/internal/bufpool"
 	"repro/internal/bus"
 	"repro/internal/engine"
 	"repro/internal/fifo"
@@ -24,10 +25,14 @@ type TxStats struct {
 	QueuedMax  int    // per-VC descriptor queue high-water mark
 }
 
-// txDescriptor is what the host's driver writes across the bus.
+// txDescriptor is what the host's driver writes across the bus. pooled
+// marks an SDU copy drawn from the interface buffer pool (Interface.Send);
+// the transmitter recycles it once segmentation has consumed the frame.
+// SendOwned descriptors leave pooled false: the caller keeps ownership.
 type txDescriptor struct {
 	sdu    []byte
 	onSent func()
+	pooled bool
 }
 
 // txVC is the per-connection transmit state: queued descriptors, the
@@ -36,6 +41,7 @@ type txDescriptor struct {
 // transmit tables.
 type txVC struct {
 	vc      atm.VC
+	t       *transmitter
 	pending []txDescriptor
 	seg     aal.Segmenter
 	vst     *metrics.VCStats
@@ -43,6 +49,7 @@ type txVC struct {
 	active    bool
 	sdu       []byte
 	onSent    func()
+	pooled    bool
 	cellsLeft int
 	cellIdx   int
 	staged    int
@@ -57,6 +64,25 @@ type txVC struct {
 	minGap       sim.Duration
 	nextEligible sim.Time
 	shaper       *tm.Shaper
+
+	// Staging-DMA completion state: one burst is in flight per frame, so a
+	// single pre-bound callback per VC replaces a closure per burst.
+	stageDoneFn func()
+	stageT0     sim.Time
+	stageChunk  int
+}
+
+// stageDone is the staging-DMA completion: account the burst, chain the
+// next one, and resume the engine if it was waiting on these bytes.
+func (st *txVC) stageDone() {
+	t := st.t
+	t.hDMAWait.Observe(t.k.Now() - st.stageT0)
+	st.staged += st.stageChunk
+	t.stageNextChunk(st)
+	if st.awaitDMA {
+		st.awaitDMA = false
+		t.schedule()
+	}
 }
 
 // transmitter is the send half: per-VC descriptor queues, a single
@@ -69,6 +95,7 @@ type transmitter struct {
 	eng  *engine.Engine
 	dev  *bus.Device
 	pool *atm.Pool
+	bufp *bufpool.Pool // recycle target for pooled descriptor SDUs
 	out  func(*atm.Cell)
 
 	fifo  *fifo.Ring[*atm.Cell]
@@ -79,6 +106,19 @@ type transmitter struct {
 	busy        bool // an engine routine is in flight
 	stalled     bool // production blocked on FIFO space
 	wakePending bool // a pacing wakeup is scheduled
+
+	// Engine-routine completion state. The engine runs one transmit
+	// routine at a time (busy serializes), so the in-flight routine's VC
+	// parks here and pre-bound completion methods replace the per-cell
+	// closures the hot path used to allocate.
+	curSt       *txVC
+	curDesc     txDescriptor
+	curLast     bool
+	startDoneFn func()
+	cellDoneFn  func()
+	doneDoneFn  func()
+	tickFn      func()
+	wakeFn      func()
 
 	cellTime     sim.Duration
 	clockRunning bool
@@ -101,16 +141,21 @@ type transmitter struct {
 }
 
 func newTransmitter(k *sim.Kernel, cfg *Config, eng *engine.Engine, dev *bus.Device,
-	pool *atm.Pool, cellTime sim.Duration, reg *metrics.Registry, prefix string,
-	out func(*atm.Cell)) *transmitter {
+	pool *atm.Pool, bufp *bufpool.Pool, cellTime sim.Duration, reg *metrics.Registry,
+	prefix string, out func(*atm.Cell)) *transmitter {
 	t := &transmitter{
-		k: k, cfg: cfg, eng: eng, dev: dev, pool: pool, out: out,
+		k: k, cfg: cfg, eng: eng, dev: dev, pool: pool, bufp: bufp, out: out,
 		fifo:      fifo.NewRing[*atm.Cell](cfg.TxFifoDepth),
 		vcs:       make(map[atm.VC]*txVC),
 		cellTime:  cellTime,
 		reg:       reg,
 		pushTimes: fifo.NewRing[sim.Time](cfg.TxFifoDepth),
 	}
+	t.startDoneFn = t.startDone
+	t.cellDoneFn = t.cellDone
+	t.doneDoneFn = t.doneDone
+	t.tickFn = t.tick
+	t.wakeFn = t.wake
 	t.fifo.Instrument(reg, scoped(prefix, "fifo.tx"))
 	t.mPackets = reg.Counter(scoped(prefix, "nic.tx.packets"))
 	t.mCells = reg.Counter(scoped(prefix, "nic.tx.cells"))
@@ -145,7 +190,8 @@ func (t *transmitter) open(vc atm.VC) {
 		return
 	}
 	seg, _ := aal.New(t.cfg.AAL, 0)
-	st := &txVC{vc: vc, seg: seg, vst: t.reg.VC(vc.VPI, vc.VCI)}
+	st := &txVC{vc: vc, t: t, seg: seg, vst: t.reg.VC(vc.VPI, vc.VCI)}
+	st.stageDoneFn = st.stageDone
 	t.vcs[vc] = st
 	t.order = append(t.order, st)
 }
@@ -310,11 +356,14 @@ func (t *transmitter) scheduleCell() {
 		// eligibility.
 		t.wakePending = true
 		t.mPaceWaits.Inc()
-		t.k.At(earliest, func() {
-			t.wakePending = false
-			t.schedule()
-		})
+		t.k.Post(earliest, t.wakeFn)
 	}
+}
+
+// wake resumes the dispatcher after a pacing wait.
+func (t *transmitter) wake() {
+	t.wakePending = false
+	t.schedule()
 }
 
 // stagedEnough reports whether the bytes the next cell needs are on board.
@@ -329,29 +378,36 @@ func (t *transmitter) stagedEnough(st *txVC) bool {
 // runStart executes the per-packet setup firmware.
 func (t *transmitter) runStart(st *txVC) {
 	t.busy = true
-	d := st.pending[0]
+	t.curSt = st
+	t.curDesc = st.pending[0]
 	st.pending = st.pending[:copy(st.pending, st.pending[1:])]
 	instr := txStartInstr
 	if t.cfg.AAL == aal.AAL34 {
 		instr += txStartAAL34Extra
 	}
-	t.eng.Run("tx_start", instr, func() {
-		t.busy = false
-		cells, err := st.seg.Begin(d.sdu)
-		if err != nil {
-			panic("nic: segmenter rejected validated SDU: " + err.Error())
-		}
-		st.active = true
-		st.sdu = d.sdu
-		st.onSent = d.onSent
-		st.cellsLeft = cells
-		st.cellIdx = 0
-		st.staged = 0
-		st.stagedOff = 0
-		t.mBytes.Add(uint64(len(d.sdu)))
-		t.stageNextChunk(st)
-		t.schedule()
-	})
+	t.eng.Run("tx_start", instr, t.startDoneFn)
+}
+
+// startDone is the tx_start routine completion.
+func (t *transmitter) startDone() {
+	st, d := t.curSt, t.curDesc
+	t.curSt, t.curDesc = nil, txDescriptor{}
+	t.busy = false
+	cells, err := st.seg.Begin(d.sdu)
+	if err != nil {
+		panic("nic: segmenter rejected validated SDU: " + err.Error())
+	}
+	st.active = true
+	st.sdu = d.sdu
+	st.onSent = d.onSent
+	st.pooled = d.pooled
+	st.cellsLeft = cells
+	st.cellIdx = 0
+	st.staged = 0
+	st.stagedOff = 0
+	t.mBytes.Add(uint64(len(d.sdu)))
+	t.stageNextChunk(st)
+	t.schedule()
 }
 
 // stageNextChunk issues the next staging DMA burst (host memory → adapter
@@ -367,24 +423,17 @@ func (t *transmitter) stageNextChunk(st *txVC) {
 		chunk = mb
 	}
 	st.stagedOff += chunk
-	t0 := t.k.Now()
-	t.dev.DMA(chunk, func() {
-		t.hDMAWait.Observe(t.k.Now() - t0)
-		st.staged += chunk
-		t.stageNextChunk(st)
-		if st.awaitDMA {
-			st.awaitDMA = false
-			t.schedule()
-		}
-	})
+	st.stageT0 = t.k.Now()
+	st.stageChunk = chunk
+	t.dev.DMA(chunk, st.stageDoneFn)
 }
 
 // runCell executes the per-cell segmentation firmware for one cell of st.
 func (t *transmitter) runCell(st *txVC) {
 	t.busy = true
-	last := st.cellsLeft == 1
+	t.curSt = st
 	instr := txCellInstr
-	if last {
+	if st.cellsLeft == 1 {
 		instr += txCellLastExtra
 	}
 	if t.cfg.AAL == aal.AAL34 {
@@ -393,69 +442,87 @@ func (t *transmitter) runCell(st *txVC) {
 	if st.shaper != nil {
 		instr += txCellShapeExtra
 	}
-	t.eng.Run("tx_cell", instr, func() {
-		t.busy = false
-		cell := t.pool.Get()
-		pt, done, err := st.seg.Next(&cell.Payload)
-		if err != nil {
-			panic("nic: segmenter failed mid-frame: " + err.Error())
-		}
-		cell.Header = atm.Header{
-			Format: atm.UNI,
-			VPI:    st.vc.VPI,
-			VCI:    st.vc.VCI,
-			PT:     pt,
-		}
-		if !t.fifo.Push(cell) {
-			panic("nic: TX FIFO overflowed despite stall check")
-		}
-		t.pushTimes.Push(t.k.Now())
-		t.mCells.Inc()
-		st.vst.AddCellOut()
-		st.cellIdx++
-		st.cellsLeft--
-		if st.shaper != nil {
-			st.nextEligible = st.shaper.NextEligible(t.k.Now())
-		} else if st.minGap > 0 {
-			st.nextEligible = t.k.Now() + st.minGap
-		}
-		t.startClock()
-		if done {
-			t.finishFrame(st)
-			return
-		}
-		t.schedule()
-	})
+	t.eng.Run("tx_cell", instr, t.cellDoneFn)
+}
+
+// cellDone is the tx_cell routine completion: emit the produced cell into
+// the FIFO and keep the pipeline moving.
+func (t *transmitter) cellDone() {
+	st := t.curSt
+	t.curSt = nil
+	t.busy = false
+	cell := t.pool.Get()
+	pt, done, err := st.seg.Next(&cell.Payload)
+	if err != nil {
+		panic("nic: segmenter failed mid-frame: " + err.Error())
+	}
+	cell.Header = atm.Header{
+		Format: atm.UNI,
+		VPI:    st.vc.VPI,
+		VCI:    st.vc.VCI,
+		PT:     pt,
+	}
+	if !t.fifo.Push(cell) {
+		panic("nic: TX FIFO overflowed despite stall check")
+	}
+	t.pushTimes.Push(t.k.Now())
+	t.mCells.Inc()
+	st.vst.AddCellOut()
+	st.cellIdx++
+	st.cellsLeft--
+	if st.shaper != nil {
+		st.nextEligible = st.shaper.NextEligible(t.k.Now())
+	} else if st.minGap > 0 {
+		st.nextEligible = t.k.Now() + st.minGap
+	}
+	t.startClock()
+	if done {
+		t.finishFrame(st)
+		return
+	}
+	t.schedule()
 }
 
 // finishFrame runs the per-packet completion firmware.
 func (t *transmitter) finishFrame(st *txVC) {
 	t.busy = true
-	t.eng.Run("tx_done", txDoneInstr, func() {
-		t.busy = false
-		t.mPackets.Inc()
-		st.vst.AddSDUOut(len(st.sdu))
-		onSent := st.onSent
-		st.active = false
-		st.sdu = nil
-		st.onSent = nil
-		if _, open := t.vcs[st.vc]; !open {
-			// The VC was closed mid-frame; retire it from round-robin.
-			for i, o := range t.order {
-				if o == st {
-					t.order = append(t.order[:i], t.order[i+1:]...)
-					if t.rr > i {
-						t.rr--
-					}
-					break
+	t.curSt = st
+	t.eng.Run("tx_done", txDoneInstr, t.doneDoneFn)
+}
+
+// doneDone is the tx_done routine completion.
+func (t *transmitter) doneDone() {
+	st := t.curSt
+	t.curSt = nil
+	t.busy = false
+	t.mPackets.Inc()
+	st.vst.AddSDUOut(len(st.sdu))
+	onSent := st.onSent
+	if st.pooled {
+		// The segmenter consumed the frame (it drops its reference on the
+		// final cell), so the Send-path copy can recycle now.
+		t.bufp.Put(st.sdu)
+	}
+	st.active = false
+	st.sdu = nil
+	st.onSent = nil
+	st.pooled = false
+	if _, open := t.vcs[st.vc]; !open {
+		// The VC was closed mid-frame; retire it from round-robin.
+		for i, o := range t.order {
+			if o == st {
+				t.order = append(t.order[:i], t.order[i+1:]...)
+				if t.rr > i {
+					t.rr--
 				}
+				break
 			}
 		}
-		if onSent != nil {
-			onSent()
-		}
-		t.schedule()
-	})
+	}
+	if onSent != nil {
+		onSent()
+	}
+	t.schedule()
 }
 
 // injectCell pushes a fully formed cell (management traffic) straight into
@@ -491,7 +558,7 @@ func (t *transmitter) startClock() {
 		return
 	}
 	t.clockRunning = true
-	t.k.After(t.cellTime, t.tick)
+	t.k.PostAfter(t.cellTime, t.tickFn)
 }
 
 // tick is one cell slot on the wire.
@@ -513,5 +580,5 @@ func (t *transmitter) tick() {
 			return
 		}
 	}
-	t.k.After(t.cellTime, t.tick)
+	t.k.PostAfter(t.cellTime, t.tickFn)
 }

@@ -37,6 +37,9 @@ type CellLink struct {
 	rng   *sim.Rand
 	sink  func(*atm.Cell)
 	stats Stats
+
+	def       *CellDeferrer
+	deliverFn func(*atm.Cell) // bound deliver method, created once
 }
 
 // NewCellLink builds a link delivering cells to sink after delay.
@@ -44,8 +47,16 @@ func NewCellLink(k *sim.Kernel, delay sim.Duration, seed uint64, sink func(*atm.
 	if sink == nil {
 		panic("phy: nil sink")
 	}
-	return &CellLink{k: k, Delay: delay, rng: sim.NewRand(seed), sink: sink}
+	l := &CellLink{k: k, Delay: delay, rng: sim.NewRand(seed), sink: sink}
+	l.def = NewCellDeferrer(k)
+	l.deliverFn = l.deliver
+	return l
 }
+
+// deliver hands a cell to the current sink. Indirecting through this method
+// (rather than binding the sink at Send time) keeps SetSink effective for
+// cells already in flight, matching the old closure's late read of l.sink.
+func (l *CellLink) deliver(c *atm.Cell) { l.sink(c) }
 
 // Stats returns cumulative counters.
 func (l *CellLink) Stats() Stats { return l.stats }
@@ -73,7 +84,7 @@ func (l *CellLink) Send(c *atm.Cell) {
 		c.Payload[i] ^= 1 << uint(l.rng.Intn(8))
 	}
 	l.stats.Delivered++
-	l.k.After(l.Delay, func() { l.sink(c) })
+	l.def.Post(l.Delay, l.deliverFn, c)
 }
 
 // FrameLink is a unidirectional SONET-frame pipe.

@@ -138,3 +138,25 @@ func TestNilSinkPanics(t *testing.T) {
 		}()
 	}
 }
+
+// The cell delivery path — CellLink.Send through the deferrer and the
+// kernel's Post free list to the sink — must not allocate at steady state.
+func TestCellLinkSendZeroAlloc(t *testing.T) {
+	k := sim.NewKernel()
+	delivered := 0
+	l := NewCellLink(k, 5000, 1, func(c *atm.Cell) { delivered++ })
+	c := &atm.Cell{}
+	// Warm the deferrer and kernel free lists.
+	l.Send(c)
+	k.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.Send(c)
+		k.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("cell delivery allocates %v per op, want 0", allocs)
+	}
+	if delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}

@@ -14,6 +14,15 @@ type Resource struct {
 	busyUntil Time
 	queue     []pendingUse
 
+	// Completion plumbing for the zero-alloc hot path: each in-service
+	// request parks its done callback here and schedules the pre-bound
+	// completeFn through Post, so steady-state service costs no closure
+	// and no Event allocation. Completions fire in schedule order, so the
+	// FIFO stays aligned even when a zero-duration service lets a second
+	// request begin in the same tick.
+	inflight   []func()
+	completeFn func()
+
 	// Accounting.
 	busyTime  Duration // total time spent serving
 	served    uint64   // completed requests
@@ -29,7 +38,9 @@ type pendingUse struct {
 
 // NewResource creates a FIFO-served unit resource attached to kernel k.
 func NewResource(k *Kernel, name string) *Resource {
-	return &Resource{k: k, name: name}
+	r := &Resource{k: k, name: name}
+	r.completeFn = r.complete
+	return r
 }
 
 // Name returns the diagnostic name given at construction.
@@ -70,13 +81,20 @@ func (r *Resource) begin(now Time, dur Duration, done func()) Time {
 	r.busyUntil = now + dur
 	r.busyTime += dur
 	r.served++
-	r.k.At(r.busyUntil, func() {
-		if done != nil {
-			done()
-		}
-		r.next()
-	})
+	r.inflight = append(r.inflight, done)
+	r.k.Post(r.busyUntil, r.completeFn)
 	return r.busyUntil
+}
+
+func (r *Resource) complete() {
+	done := r.inflight[0]
+	copy(r.inflight, r.inflight[1:])
+	r.inflight[len(r.inflight)-1] = nil
+	r.inflight = r.inflight[:len(r.inflight)-1]
+	if done != nil {
+		done()
+	}
+	r.next()
 }
 
 func (r *Resource) next() {

@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// wheelHorizon is the absolute-time span the wheel covers from time zero;
+// events beyond it land in the overflow heap (at time 0, the boundary is
+// exactly wheelSlots<<wheelShift).
+const wheelHorizon = Time(wheelSlots << wheelShift)
+
+func TestNearEventUsesWheel(t *testing.T) {
+	k := NewKernel()
+	e := k.At(100, func() {})
+	if e.slot1 == 0 || e.hidx1 != 0 {
+		t.Fatalf("near event placed slot1=%d hidx1=%d, want wheel", e.slot1, e.hidx1)
+	}
+}
+
+func TestFarEventUsesOverflow(t *testing.T) {
+	k := NewKernel()
+	e := k.At(wheelHorizon, func() {})
+	if e.hidx1 == 0 || e.slot1 != 0 {
+		t.Fatalf("far event placed slot1=%d hidx1=%d, want overflow", e.slot1, e.hidx1)
+	}
+}
+
+func TestHeapKernelBypassesWheel(t *testing.T) {
+	k := NewHeapKernel()
+	e := k.At(100, func() {})
+	if e.hidx1 == 0 {
+		t.Fatal("heap-only kernel placed event in the wheel")
+	}
+	var at Time
+	k.At(5, func() { at = k.Now() })
+	k.Run()
+	if at != 5 || k.Now() != 100 {
+		t.Fatalf("heap-only kernel misdispatched: at=%v now=%v", at, k.Now())
+	}
+}
+
+// Cancel of queued wheel events must unlink cleanly at the head, middle, and
+// tail of a slot's list.
+func TestCancelQueuedWheelEvent(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	es := make([]*Event, 5)
+	for i := range es {
+		i := i
+		// All five share wheel slot 1 (times 256..260 >> 8 == 1).
+		es[i] = k.At(Time(256+i), func() { got = append(got, i) })
+	}
+	k.Cancel(es[0]) // head
+	k.Cancel(es[2]) // middle
+	k.Cancel(es[4]) // tail
+	k.Run()
+	if !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Fatalf("after head/middle/tail cancels got %v, want [1 3]", got)
+	}
+	for i, e := range es {
+		if e.Scheduled() {
+			t.Fatalf("event %d still reports scheduled", i)
+		}
+	}
+}
+
+func TestRescheduleAcrossWheelOverflowBoundary(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	e := k.At(100, func() { at = k.Now() })
+	if e.slot1 == 0 {
+		t.Fatal("event did not start in the wheel")
+	}
+	k.Reschedule(e, 10*Second) // wheel -> overflow
+	if e.hidx1 == 0 || e.slot1 != 0 {
+		t.Fatalf("after far reschedule slot1=%d hidx1=%d, want overflow", e.slot1, e.hidx1)
+	}
+	k.Reschedule(e, 200) // overflow -> wheel
+	if e.slot1 == 0 || e.hidx1 != 0 {
+		t.Fatalf("after near reschedule slot1=%d hidx1=%d, want wheel", e.slot1, e.hidx1)
+	}
+	k.Run()
+	if at != 200 {
+		t.Fatalf("event fired at %v, want 200", at)
+	}
+}
+
+// Two events at the same timestamp must run in schedule order even when one
+// sits in the overflow heap (scheduled while far) and the others in the
+// wheel (scheduled after the clock moved within horizon).
+func TestSameTickOrderingAcrossTiers(t *testing.T) {
+	k := NewKernel()
+	const T = Time(500_000)
+	var order []int
+	k.At(T, func() { order = append(order, 0) }) // beyond horizon: overflow
+	k.RunUntil(400_000)                          // T now within horizon
+	k.At(T, func() { order = append(order, 1) }) // wheel
+	k.At(T, func() { order = append(order, 2) }) // wheel, same slot
+	k.Run()
+	if !reflect.DeepEqual(order, []int{0, 1, 2}) {
+		t.Fatalf("cross-tier same-tick order %v, want [0 1 2]", order)
+	}
+}
+
+// Events at the wheel/overflow boundary still dispatch in global time order.
+func TestDispatchMergesTiersInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var order []Time
+	note := func() { order = append(order, k.Now()) }
+	k.At(wheelHorizon+256, note) // overflow
+	k.At(wheelHorizon-1, note)   // last wheel slot
+	k.At(wheelHorizon, note)     // first overflow tick
+	k.At(3, note)                // first wheel slot
+	k.Run()
+	want := []Time{3, wheelHorizon - 1, wheelHorizon, wheelHorizon + 256}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("dispatch order %v, want %v", order, want)
+	}
+}
+
+func TestRunUntilWithEventsExactlyAtDeadline(t *testing.T) {
+	k := NewKernel()
+	var fired []int
+	k.At(100, func() { fired = append(fired, 0) })
+	k.At(100, func() { fired = append(fired, 1) })
+	k.At(101, func() { fired = append(fired, 2) })
+	k.RunUntil(100)
+	if !reflect.DeepEqual(fired, []int{0, 1}) {
+		t.Fatalf("events at deadline: fired %v, want [0 1]", fired)
+	}
+	if k.Now() != 100 {
+		t.Fatalf("clock at %v, want 100", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("%d pending after deadline run, want 1", k.Pending())
+	}
+}
+
+func TestRescheduleNilPanicsWithMessage(t *testing.T) {
+	k := NewKernel()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Reschedule(nil) did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.HasPrefix(msg, "sim:") {
+			t.Fatalf("Reschedule(nil) panicked with %v, want descriptive sim: message", r)
+		}
+	}()
+	k.Reschedule(nil, 10)
+}
+
+func TestPostRunsLikeAt(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.At(50, func() { order = append(order, 0) })
+	k.Post(50, func() { order = append(order, 1) })
+	k.At(50, func() { order = append(order, 2) })
+	k.PostAfter(50, func() { order = append(order, 3) })
+	k.Run()
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3}) {
+		t.Fatalf("Post/At interleave order %v, want [0 1 2 3]", order)
+	}
+}
+
+// A Post callback that itself Posts may receive the very event being
+// dispatched from the free list; the kernel must have detached fn first.
+func TestPostChainReusesEvent(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 1000 {
+			k.PostAfter(1, step)
+		}
+	}
+	k.Post(0, step)
+	k.Run()
+	if count != 1000 {
+		t.Fatalf("chained Post ran %d times, want 1000", count)
+	}
+}
+
+// Steady-state Post scheduling plus dispatch must be allocation-free: the
+// kernel recycles fired events through its free list. This pins the tentpole
+// guarantee the datapath hot paths rely on.
+func TestPostDispatchZeroAlloc(t *testing.T) {
+	k := NewKernel()
+	fn := func() {}
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.PostAfter(100, fn)
+		if !k.Step() {
+			t.Fatal("no event to step")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Post+dispatch allocates %.3f allocs/op, want 0", allocs)
+	}
+}
+
+// Property: the wheel kernel and the heap-only kernel produce bit-identical
+// dispatch traces for arbitrary workloads spanning both tiers, including
+// events scheduled from inside callbacks and through the Post fast path.
+func TestPropertyWheelHeapEquivalence(t *testing.T) {
+	type rec struct {
+		At Time
+		ID int
+	}
+	trace := func(k *Kernel, offsets []uint32) []rec {
+		var out []rec
+		for i, o := range offsets {
+			i, o := i, o
+			k.At(Time(o), func() {
+				out = append(out, rec{k.Now(), i})
+				if o%3 == 0 {
+					k.PostAfter(Time(o%7)*100, func() {
+						out = append(out, rec{k.Now(), -i - 1})
+					})
+				}
+			})
+		}
+		k.Run()
+		return out
+	}
+	f := func(offsets []uint32) bool {
+		wheel := trace(NewKernel(), offsets)
+		heap := trace(NewHeapKernel(), offsets)
+		return reflect.DeepEqual(wheel, heap)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancel/reschedule stress across both tiers (offsets up to 2^20 ns
+// straddle the ~262 µs wheel horizon) behaves identically to the heap kernel.
+func TestPropertyWheelHeapCancelEquivalence(t *testing.T) {
+	type op struct {
+		At     uint32
+		Cancel bool
+	}
+	trace := func(k *Kernel, ops []op) []Time {
+		var out []Time
+		var events []*Event
+		for _, o := range ops {
+			at := Time(o.At % (1 << 20))
+			if o.Cancel && len(events) > 0 {
+				k.Cancel(events[len(events)-1])
+				events = events[:len(events)-1]
+				continue
+			}
+			events = append(events, k.At(at, func() { out = append(out, k.Now()) }))
+		}
+		k.Run()
+		return out
+	}
+	f := func(ops []op) bool {
+		return reflect.DeepEqual(trace(NewKernel(), ops), trace(NewHeapKernel(), ops))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

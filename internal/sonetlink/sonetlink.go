@@ -74,6 +74,12 @@ type Half struct {
 	cellIdx  int // cells recovered from the frame being parsed
 	running  bool
 
+	// Pre-bound callbacks and the cell deferrer keep the per-frame tick
+	// and per-cell delivery free of closure/method-value allocations.
+	frameTickFn func()
+	deliverFn   func(*atm.Cell)
+	def         *phy.CellDeferrer
+
 	stats Stats
 
 	// Registry instruments (no-ops when Config.Metrics is nil).
@@ -115,6 +121,9 @@ func newHalf(k *sim.Kernel, cfg Config, src, dst *nic.Interface) *Half {
 		srcPool:  src.Pool(),
 		cellTime: units.CellTime(cfg.Rate.PayloadRate()),
 	}
+	h.frameTickFn = h.frameTick
+	h.deliverFn = dst.DeliverCell
+	h.def = phy.NewCellDeferrer(k)
 	lp := "link." + src.Config().Name
 	h.queue.Instrument(cfg.Metrics, lp+".queue")
 	h.mFrames = cfg.Metrics.Counter(lp + ".frames")
@@ -161,7 +170,7 @@ func (h *Half) enqueue(c *atm.Cell) {
 	}
 	if !h.running {
 		h.running = true
-		h.k.After(sonet.FramePeriodNs, h.frameTick)
+		h.k.PostAfter(sonet.FramePeriodNs, h.frameTickFn)
 	}
 }
 
@@ -179,7 +188,7 @@ func (h *Half) frameTick() {
 		h.running = false
 		return
 	}
-	h.k.After(sonet.FramePeriodNs, h.frameTick)
+	h.k.PostAfter(sonet.FramePeriodNs, h.frameTickFn)
 }
 
 // txSource adapts the queue to the framer's pull interface.
@@ -231,5 +240,5 @@ func (h *Half) cellRecovered(cell []byte, corrected bool) {
 	}
 	offset := sim.Duration(h.cellIdx) * h.cellTime
 	h.cellIdx++
-	h.k.After(offset, func() { h.dst.DeliverCell(c) })
+	h.def.Post(offset, h.deliverFn, c)
 }
