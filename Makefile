@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench verify fmt
+.PHONY: all build test bench verify fmt fmt-check vet
 
 all: build
 
@@ -19,13 +19,17 @@ bench:
 fmt:
 	gofmt -w .
 
-# verify is the pre-PR gate: formatting, vet, a full build, and the test
-# suite under the race detector.
-verify:
+fmt-check:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
+
+vet:
 	$(GO) vet ./...
+
+# verify is the pre-PR gate: formatting, vet, a full build, and the test
+# suite under the race detector.
+verify: fmt-check vet
 	$(GO) build ./...
 	$(GO) test -race ./...

@@ -1,5 +1,5 @@
 // Package repro's root benchmarks regenerate every reconstructed table and
-// figure (E1..E15; see DESIGN.md) under `go test -bench`. Each benchmark
+// figure (E1..E16; see DESIGN.md) under `go test -bench`. Each benchmark
 // runs the corresponding experiment core and reports its headline numbers
 // as custom metrics, so `go test -bench=. -benchmem | tee bench_output.txt`
 // is the whole evaluation.
@@ -193,6 +193,22 @@ func BenchmarkE11EngineScaleOut(b *testing.B) {
 	}
 	b.ReportMetric(pts[0].GoodputBps/1e6, "1eng-Mbps")
 	b.ReportMetric(pts[1].GoodputBps/1e6, "3eng-Mbps")
+}
+
+// BenchmarkE16MultiHop regenerates the tandem-switch CDV-accumulation
+// figure: the 4-hop, 155 Mb/s point of the E16 sweep, built entirely
+// through core.NewNetwork.
+func BenchmarkE16MultiHop(b *testing.B) {
+	var pts []experiments.E16Point
+	for i := 0; i < b.N; i++ {
+		pts, _ = experiments.E16(5 * sim.Millisecond)
+	}
+	for _, pt := range pts {
+		if pt.Switches == 4 && pt.Rate == units.STS3cPayload {
+			b.ReportMetric(float64(pt.E2ECDV)/1000, "4hop-cdv-us")
+			b.ReportMetric(float64(pt.E2EMean)/1000, "4hop-mean-us")
+		}
+	}
 }
 
 // BenchmarkAblationInterleave measures the short-frame latency win of

@@ -22,13 +22,11 @@ import (
 	"repro/internal/aal"
 	"repro/internal/atm"
 	"repro/internal/baseline"
+	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
-	"repro/internal/nic"
-	"repro/internal/phy"
 	"repro/internal/sim"
 	"repro/internal/tm"
-	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -62,7 +60,6 @@ func main() {
 func run(rate int, aalFlag, arch string, size int, wl string, duration time.Duration,
 	loss float64, window int, seed uint64, rxEngines int, interleave bool, traceN int,
 	metricsPath string, stats bool, contractSpec string, police bool, epd int) error {
-	k := sim.NewKernel()
 	deadline := sim.Time(duration.Nanoseconds())
 
 	payloadRate := units.STS3cPayload
@@ -96,81 +93,81 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 		if haveContract || police || epd > 0 {
 			return fmt.Errorf("-contract/-police/-epd are not supported with -arch percell")
 		}
-		return runBaseline(k, payloadRate, aalType, size, deadline, loss, seed)
+		return runBaseline(sim.NewKernel(), payloadRate, aalType, size, deadline, loss, seed)
 	}
-
-	// Both stations record into one registry; instrument names carry the
-	// station name ("a.nic.tx.cells"), per-VC rows are shared so one row
-	// shows a connection end to end.
-	reg := metrics.NewRegistry()
-	cfg := nic.DefaultConfig("a")
-	cfg.PayloadRate = payloadRate
-	cfg.AAL = aalType
-	cfg.RxEngines = rxEngines
-	cfg.InterleaveVCs = interleave
-	cfg.Metrics = reg
-	mk := netsim.NewStation
-	if arch == "hardwired" {
-		mk = netsim.NewHardwiredStation
-	} else if arch != "engine" {
+	if arch != "engine" && arch != "hardwired" {
 		return fmt.Errorf("unknown arch %q", arch)
 	}
-	a, err := mk(k, cfg)
-	if err != nil {
-		return err
+
+	// The whole topology is one declarative spec: two stations, optionally a
+	// policing/discarding switch between them, and a single latency-tapped
+	// VCC end to end. Both stations record into one registry; instrument
+	// names carry the station name ("a.nic.tx.cells"), per-VC rows are
+	// shared so one row shows a connection end to end.
+	opts := core.Options{
+		Rate:          payloadRate,
+		AAL34:         aalType == aal.AAL34,
+		RxEngines:     rxEngines,
+		InterleaveVCs: interleave,
+		Hardwired:     arch == "hardwired",
 	}
-	cfg.Name = "b"
-	b, err := mk(k, cfg)
-	if err != nil {
-		return err
+	reg := metrics.NewRegistry()
+	spec := core.NetworkSpec{
+		Metrics: reg,
+		Endpoints: []core.EndpointSpec{
+			{Name: "a", Options: opts},
+			{Name: "b", Options: opts},
+		},
+		VCCs: []core.VCCSpec{{
+			Name: "ab", From: "a", To: "b", VC: stdVC(),
+			Contract: contract, Shape: haveContract, Latency: true,
+		}},
 	}
-	// Wrap the a->b fiber with a timed tap around both ends: per-cell
-	// latency lands in the "link.ab.latency" histogram, and -trace N
-	// additionally stores the first N cells for dumping.
-	capture := trace.New(k)
-	capture.Limit = traceN
-	if traceN == 0 {
-		capture.Filter = func(*atm.Cell) bool { return false }
-	}
-	timed := capture.TapTimed(reg.Histogram("link.ab.latency"))
-	theVC := stdVC()
-	var sw *netsim.Switch
-	var pol *tm.Policer
 	if police || epd > 0 {
 		// a -> fiber -> switch -> b: the switch polices a's cells at its
 		// ingress and/or runs early packet discard on its output queue.
-		// Traffic is one-way, so b gets no return fiber. The port always
-		// drains at STS-3c: with matched rates the queue never builds, so
-		// a 622 Mb/s sender into the 155 Mb/s port is how to congest it.
-		sw = netsim.NewSwitch(k, "sw", 2, units.STS3cPayload, 64)
-		sw.Instrument(reg, "sw")
-		if haveContract {
-			sw.RouteClass(0, theVC, 1, theVC, contract.Class)
-		} else {
-			sw.Route(0, theVC, 1, theVC)
+		// The port always drains at STS-3c: with matched rates the queue
+		// never builds, so a 622 Mb/s sender into the 155 Mb/s port is how
+		// to congest it.
+		spec.Switches = []core.SwitchSpec{
+			{Name: "sw", Ports: 2, Rate: units.STS3cPayload, QueueDepth: 64},
 		}
+		spec.Links = []core.LinkSpec{
+			{Name: "a-sw", A: core.NodeRef{Node: "a"}, B: core.NodeRef{Node: "sw", Port: 0},
+				Delay: 10_000, LossProb: loss, Seed: seed},
+			{Name: "sw-b", A: core.NodeRef{Node: "sw", Port: 1}, B: core.NodeRef{Node: "b"},
+				Seed: seed + 1000},
+		}
+	} else {
+		spec.Links = []core.LinkSpec{
+			{Name: "ab", A: core.NodeRef{Node: "a"}, B: core.NodeRef{Node: "b"},
+				Delay: 10_000, LossProb: loss, Seed: seed},
+		}
+	}
+	net, err := core.NewNetwork(spec)
+	if err != nil {
+		return err
+	}
+	k := net.Kernel()
+	a, b := net.Endpoint("a"), net.Endpoint("b")
+	vcc := net.VCC("ab")
+	capture := vcc.Capture
+	if traceN > 0 {
+		capture.Limit = traceN
+		capture.Filter = nil
+	}
+	var sw *netsim.Switch
+	var pol *tm.Policer
+	if police || epd > 0 {
+		sw = net.Switch("sw")
 		if police {
 			pol = tm.NewPolicer(contract)
 			pol.TagSCR = true
-			sw.SetPolicer(0, theVC, pol)
+			hop := vcc.Hops[0]
+			sw.SetPolicer(hop.InPort, hop.InVC, pol)
 		}
 		if epd > 0 {
-			sw.SetThresholds(1, 0, epd)
-		}
-		ab := phy.NewCellLink(k, 10_000, seed*2+1, sw.Input(0))
-		ab.LossProb = loss
-		sw.AttachOutput(1, timed.Egress(b.Iface.DeliverCell))
-		a.Iface.SetOutput(timed.Ingress(ab.Send))
-	} else {
-		ab, _ := netsim.Connect(k, a, b, netsim.LinkConfig{Delay: 10_000, LossProb: loss, Seed: seed})
-		ab.SetSink(timed.Egress(b.Iface.DeliverCell))
-		a.Iface.SetOutput(timed.Ingress(ab.Send))
-	}
-	a.Iface.OpenVC(theVC)
-	b.Iface.OpenVC(theVC)
-	if haveContract {
-		if err := a.Iface.SetContract(theVC, contract); err != nil {
-			return err
+			sw.SetThresholds(vcc.Hops[0].OutPort, 0, epd)
 		}
 	}
 
@@ -196,7 +193,7 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 				return
 			}
 			sz, _ := gen.Next()
-			a.Iface.Send(theVC, make([]byte, sz), send)
+			a.Send(vcc.SourceVC, make([]byte, sz), send)
 			sent++
 		}
 		for i := 0; i < window; i++ {
@@ -209,7 +206,7 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 				return
 			}
 			sz, gap := gen.Next()
-			a.Iface.Send(theVC, make([]byte, sz), nil)
+			a.Send(vcc.SourceVC, make([]byte, sz), nil)
 			sent++
 			k.After(gap, tick)
 		}
@@ -219,9 +216,9 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 	k.RunUntil(deadline)
 	// Snapshot at the deadline so the drain phase neither dilutes the
 	// utilizations nor inflates the delivered-within-window goodput.
-	utilA, utilB := a.Host.Utilization(), b.Host.Utilization()
-	txU, rxU := a.Iface.TxEngine().Utilization(), b.Iface.RxEngine().Utilization()
-	st := b.Iface.Stats()
+	utilA, utilB := a.Host().Utilization(), b.Host().Utilization()
+	txU, rxU := a.Interface().TxEngine().Utilization(), b.Interface().RxEngine().Utilization()
+	st := b.Stats()
 	k.Run()
 	fmt.Printf("architecture      %s, %v, %s, workload %s\n", arch, payloadRate, aalType, gen.Name())
 	fmt.Printf("simulated time    %v\n", k.Now())
@@ -231,7 +228,7 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 	fmt.Printf("aal errors        %d   rx fifo drops %d   unknown-vc %d\n",
 		st.Rx.AALErrors, st.Rx.FifoDrops, st.Rx.UnknownVC)
 	fmt.Printf("host cpu          tx-side %.1f%%   rx-side %.1f%%   rx interrupts %d\n",
-		100*utilA, 100*utilB, b.Host.Interrupts())
+		100*utilA, 100*utilB, b.Host().Interrupts())
 	fmt.Printf("engines           tx %.1f%%   rx %.1f%%\n", 100*txU, 100*rxU)
 	fmt.Printf("adapter sram peak %d bytes\n", st.SRAMPeak)
 	fmt.Printf("link a->b         sent %d cells\n", st.Rx.Cells)

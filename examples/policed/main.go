@@ -1,11 +1,15 @@
 // Policed: the traffic-management chain end to end — admission, shaping,
-// policing. Two VCs ask a CAC for the same rt-VBR contract (a third is
-// refused: the link's bandwidth budget is spent), then offer identical mean
-// loads through a switch whose ingress runs a GCRA policer per VC. VC 1
-// shapes its transmit stream to the contract with the NIC's dual leaky
-// bucket and every cell conforms. VC 2 sends the same frames unshaped —
-// each leaves as an 84-cell burst at line rate — and the policer tags its
-// SCR violations and discards its PCR violations, shredding every frame.
+// policing. Two VCCs carry the same rt-VBR contract through a policing
+// switch; a third connection asking for a 300 kc/s CBR trunk is refused at
+// admission (the port's bandwidth budget is spent). VCC "shaped" paces its
+// transmit stream to the contract with the NIC's dual leaky bucket and
+// every cell conforms. VCC "raw" sends the same frames unshaped — each
+// leaves as an 84-cell burst at line rate — and the policer tags its SCR
+// violations and discards its PCR violations, shredding every frame.
+//
+// The topology, routes and admission all come from one declarative
+// core.NewNetwork spec; admission control runs inside the builder, at the
+// source access link and at every switch output port a connection crosses.
 //
 //	go run ./examples/policed
 package main
@@ -14,9 +18,8 @@ import (
 	"fmt"
 
 	"repro/internal/atm"
-	"repro/internal/netsim"
+	"repro/internal/core"
 	"repro/internal/nic"
-	"repro/internal/phy"
 	"repro/internal/sim"
 	"repro/internal/tm"
 	"repro/internal/units"
@@ -32,64 +35,65 @@ func main() {
 	ct := units.CellTime(units.STS3cPayload)
 	contract := tm.VBRContract(150_000, 50_000, 32, 8*ct)
 
-	// Admission first: nothing flows until the CAC has reserved the
-	// contract's SCR of bandwidth and MBS of buffer. The link can hold two
-	// of these contracts plus slack, but not a 300 kc/s CBR trunk on top.
-	cac := tm.NewCAC(units.STS3cPayload, 64)
-	vcs := []atm.VC{{VCI: 101}, {VCI: 102}}
-	for _, vc := range vcs {
-		if err := cac.Admit(contract); err != nil {
-			fmt.Println("admission failed:", err)
-			return
-		}
-		fmt.Printf("admitted  vc %v  %v\n", vc, contract)
+	// The data path: one sender (VCs interleaved so the shaped VCC's pacing
+	// gaps don't stall the unshaped one), a fiber, a switch that polices
+	// each VC at its ingress, a receiver. Admission happens as each VCC is
+	// built: the CAC reserves the contract's SCR of bandwidth and MBS of
+	// buffer at the congested output port.
+	net, err := core.NewNetwork(core.NetworkSpec{
+		Endpoints: []core.EndpointSpec{
+			{Name: "a", Options: core.Options{InterleaveVCs: true}},
+			{Name: "b"},
+		},
+		Switches: []core.SwitchSpec{
+			{Name: "sw", Ports: 2, Rate: units.STS3cPayload, QueueDepth: 64},
+		},
+		Links: []core.LinkSpec{
+			{Name: "a-sw", A: core.NodeRef{Node: "a"}, B: core.NodeRef{Node: "sw", Port: 0}, Delay: 5000, Seed: 7},
+			{Name: "sw-b", A: core.NodeRef{Node: "sw", Port: 1}, B: core.NodeRef{Node: "b"}, Seed: 8},
+		},
+		VCCs: []core.VCCSpec{
+			{Name: "shaped", From: "a", To: "b", VC: atm.VC{VCI: 101}, Contract: contract, Shape: true},
+			{Name: "raw", From: "a", To: "b", VC: atm.VC{VCI: 102}, Contract: contract},
+		},
+	})
+	if err != nil {
+		panic(err)
 	}
+	for _, name := range []string{"shaped", "raw"} {
+		fmt.Printf("admitted  %-6s vc %v  %v\n", name, net.VCC(name).SourceVC, contract)
+	}
+
+	// A third connection wanting a CBR trunk on top is refused: the port
+	// has 100 kc/s reserved and ~353 kc/s of line — no room for 300 more.
 	greedy := tm.CBRContract(300_000, 0)
-	if err := cac.Admit(greedy); err != nil {
+	if _, err := net.AddVCC(core.VCCSpec{
+		Name: "trunk", From: "a", To: "b", VC: atm.VC{VCI: 103}, Contract: greedy,
+	}); err != nil {
 		fmt.Printf("rejected  %v\n          (%v)\n", greedy, err)
 	}
+	cac := net.PortCAC("sw", 1)
 	fmt.Printf("reserved  %.0f of %.0f cells/s, %d of 64 buffer cells\n\n",
 		cac.ReservedBandwidth(), units.CellRate(units.STS3cPayload), cac.ReservedBuffer())
 
-	// The data path: one sender (VCs interleaved so the shaped VC's pacing
-	// gaps don't stall the unshaped one), a fiber, a switch that polices
-	// each VC at its ingress, a receiver.
-	k := sim.NewKernel()
-	cfg := nic.DefaultConfig("a")
-	cfg.InterleaveVCs = true
-	a, err := netsim.NewStation(k, cfg)
-	if err != nil {
-		panic(err)
-	}
-	b, err := netsim.NewStation(k, nic.DefaultConfig("b"))
-	if err != nil {
-		panic(err)
-	}
-	sw := netsim.NewSwitch(k, "sw", 2, units.STS3cPayload, 64)
-	link := phy.NewCellLink(k, 5000, 7, sw.Input(0))
-	a.Iface.SetOutput(link.Send)
-	sw.AttachOutput(1, b.Iface.DeliverCell)
-
+	// Per-VC ingress policers on the admitted connections.
+	k := net.Kernel()
+	sw := net.Switch("sw")
+	vccs := []*core.VCC{net.VCC("shaped"), net.VCC("raw")}
 	pols := make(map[atm.VC]*tm.Policer)
-	for _, vc := range vcs {
-		a.Iface.OpenVC(vc)
-		b.Iface.OpenVC(vc)
-		sw.RouteClass(0, vc, 1, vc, contract.Class)
+	for _, v := range vccs {
 		pol := tm.NewPolicer(contract)
 		pol.TagSCR = true
-		sw.SetPolicer(0, vc, pol)
-		pols[vc] = pol
-	}
-	// Only VC 101 honors its contract on transmit.
-	if err := a.Iface.SetContract(vcs[0], contract); err != nil {
-		panic(err)
+		sw.SetPolicer(v.Hops[0].InPort, v.Hops[0].InVC, pol)
+		pols[v.SourceVC] = pol
 	}
 
-	// Identical offered load on both VCs: one frame per 84/SCR seconds — a
+	// Identical offered load on both VCCs: one frame per 84/SCR seconds — a
 	// mean cell rate of exactly the contract's SCR.
+	a, b := net.Endpoint("a"), net.Endpoint("b")
 	delivered := map[atm.VC]int{}
 	bytes := map[atm.VC]int{}
-	b.Iface.OnReceive(func(d nic.Delivered) {
+	b.Interface().OnReceive(func(d nic.Delivered) {
 		delivered[d.VC]++
 		bytes[d.VC] += len(d.SDU)
 	})
@@ -101,8 +105,8 @@ func main() {
 		if k.Now() > deadline {
 			return
 		}
-		for _, vc := range vcs {
-			a.Iface.Send(vc, payload, nil)
+		for _, v := range vccs {
+			a.Send(v.SourceVC, payload, nil)
 		}
 		k.After(interval, tick)
 	}
@@ -111,16 +115,13 @@ func main() {
 	k.Run()
 
 	fmt.Printf("%-14s %8s %8s %8s %10s %10s %12s\n",
-		"vc", "cells", "conform", "tagged", "discarded", "frames-ok", "goodput-Mb/s")
-	for _, vc := range vcs {
-		ps := pols[vc].Stats()
-		name := fmt.Sprintf("%v shaped", vc)
-		if vc == vcs[1] {
-			name = fmt.Sprintf("%v raw", vc)
-		}
-		fmt.Printf("%-14s %8d %8d %8d %10d %10d %12.1f\n", name,
-			ps.Cells, ps.Conformed, ps.Tagged, ps.Discarded, delivered[vc],
-			units.ThroughputBps(int64(bytes[vc]), deadline)/1e6)
+		"vcc", "cells", "conform", "tagged", "discarded", "frames-ok", "goodput-Mb/s")
+	for _, v := range vccs {
+		ps := pols[v.SourceVC].Stats()
+		fmt.Printf("%-14s %8d %8d %8d %10d %10d %12.1f\n",
+			fmt.Sprintf("%v %s", v.SourceVC, v.Name),
+			ps.Cells, ps.Conformed, ps.Tagged, ps.Discarded, delivered[v.DestVC],
+			units.ThroughputBps(int64(bytes[v.DestVC]), deadline)/1e6)
 	}
 	fmt.Println("\nsame mean rate, opposite fates: shaping to the contract is what")
 	fmt.Println("makes the network's usage parameter control let the traffic live.")

@@ -1,5 +1,5 @@
 // Quickstart: two simulated workstations with the SIGCOMM '91 ATM host
-// interface, one virtual connection, one message each way.
+// interface, declared as a one-line topology, one message each way.
 //
 //	go run ./examples/quickstart
 package main
@@ -12,42 +12,49 @@ import (
 )
 
 func main() {
-	// A testbed is two stations — each a host CPU, a TURBOchannel-class
-	// bus, and the interface (protocol engines + FIFOs) — joined by 2 km
-	// of fiber at STS-3c. The zero Options value is the board as built.
-	tb, err := core.NewTestbed(core.Options{}, core.LinkOptions{})
+	// A network is declared, not wired: name the nodes, the fibers between
+	// them, and the virtual channel connections; the builder constructs the
+	// stations — each a host CPU, a TURBOchannel-class bus, and the
+	// interface (protocol engines + FIFOs) — allocates VCIs hop by hop,
+	// runs connection admission, and opens the endpoints. The zero Options
+	// value is the board as built.
+	net, err := core.NewNetwork(core.NetworkSpec{
+		Endpoints: []core.EndpointSpec{{Name: "a"}, {Name: "b"}},
+		Links: []core.LinkSpec{
+			{Name: "ab", A: core.NodeRef{Node: "a"}, B: core.NodeRef{Node: "b"}, DistanceKm: 2},
+		},
+		VCCs: []core.VCCSpec{
+			{Name: "chat", From: "a", To: "b", VC: core.VC{VCI: 42}, Duplex: true},
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// ATM is connection-oriented: open a virtual connection first.
-	vc := core.VC{VPI: 0, VCI: 42}
-	if err := tb.OpenVC(vc); err != nil {
-		log.Fatal(err)
-	}
+	a, b := net.Endpoint("a"), net.Endpoint("b")
+	vcc := net.VCC("chat")
 
 	// Receive callbacks fire when the host's receive interrupt completes —
 	// one interrupt per packet, never per cell; that is the architecture.
-	tb.B.OnReceive(func(p core.Packet) {
+	b.OnReceive(func(p core.Packet) {
 		fmt.Printf("B got %q on %v after %v (%d cells)\n",
 			p.Data, p.VC, p.At, p.Cells)
-		// Reply.
-		if err := tb.B.Send(p.VC, []byte("pong from 1991"), nil); err != nil {
+		// Reply on the same connection.
+		if err := b.Send(vcc.DestVC, []byte("pong from 1991"), nil); err != nil {
 			log.Fatal(err)
 		}
 	})
-	tb.A.OnReceive(func(p core.Packet) {
+	a.OnReceive(func(p core.Packet) {
 		fmt.Printf("A got %q back at %v\n", p.Data, p.At)
 	})
 
-	if err := tb.A.Send(vc, []byte("ping across the testbed"), nil); err != nil {
+	if err := a.Send(vcc.SourceVC, []byte("ping across the testbed"), nil); err != nil {
 		log.Fatal(err)
 	}
 
-	end := tb.Run() // run the discrete-event simulation to completion
+	end := net.Run() // run the discrete-event simulation to completion
 	fmt.Printf("simulation finished at %v\n", end)
 
-	st := tb.B.Stats()
+	st := b.Stats()
 	fmt.Printf("B's interface saw %d cells, delivered %d packets, %d errors\n",
 		st.Rx.Cells, st.Rx.Packets, st.Rx.AALErrors)
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/nic"
 	"repro/internal/phy"
 	"repro/internal/sim"
+	"repro/internal/tm"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -60,12 +61,12 @@ func main() {
 	sw := netsim.NewSwitch(k, "mux", 4, units.STS3cPayload, 128)
 	cap := trace.New(k)
 	cap.Limit = 12
-	sw.AttachOutput(3, cap.Tap(server.DeliverCell))
+	sw.Port(3).AttachSink(atm.SinkFunc(cap.Tap(server.DeliverCell)))
 	for i, s := range senders {
-		sw.Route(i, shared, 3, shared)
+		sw.SetRoute(i, shared, 3, shared, netsim.RouteOptions{Class: tm.UBR})
 		// Unequal access-line lengths stagger the senders' cell clocks.
-		link := phy.NewCellLink(k, sim.Duration(1000+700*i), uint64(i+1), sw.Input(i))
-		s.SetOutput(link.Send)
+		link := phy.NewCellLink(k, sim.Duration(1000+700*i), uint64(i+1), sw.Port(i))
+		s.AttachSink(link)
 	}
 
 	received := map[uint16][]byte{}

@@ -39,9 +39,9 @@ func run(lossProb float64) {
 	rx := aal.NewAAL1Receiver()
 	vc := atm.VC{VPI: 0, VCI: 16}
 
-	link := phy.NewCellLink(k, 25_000, 99, func(c *atm.Cell) {
+	link := phy.NewCellLink(k, 25_000, 99, atm.SinkFunc(func(c *atm.Cell) {
 		rx.Push(&c.Payload)
-	})
+	}))
 	link.LossProb = lossProb
 
 	// The codec side: produce voice bytes continuously, emit a cell

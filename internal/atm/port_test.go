@@ -1,0 +1,35 @@
+package atm
+
+import "testing"
+
+// collector is a minimal CellConsumer.
+type collector struct{ got []*Cell }
+
+func (c *collector) DeliverCell(cell *Cell) { c.got = append(c.got, cell) }
+
+func TestSinkFuncAdaptsFunc(t *testing.T) {
+	var got *Cell
+	var sink CellConsumer = SinkFunc(func(c *Cell) { got = c })
+	cell := &Cell{}
+	sink.DeliverCell(cell)
+	if got != cell {
+		t.Fatal("SinkFunc did not forward the cell")
+	}
+}
+
+func TestConsumerChain(t *testing.T) {
+	end := &collector{}
+	// A pass-through stage built from SinkFunc, forwarding to end.
+	var stage CellConsumer = SinkFunc(func(c *Cell) { end.DeliverCell(c) })
+	for i := 0; i < 3; i++ {
+		stage.DeliverCell(&Cell{Header: Header{VCI: uint16(i)}})
+	}
+	if len(end.got) != 3 {
+		t.Fatalf("chain delivered %d cells, want 3", len(end.got))
+	}
+	for i, c := range end.got {
+		if c.Header.VCI != uint16(i) {
+			t.Fatalf("cell %d out of order: VCI %d", i, c.Header.VCI)
+		}
+	}
+}

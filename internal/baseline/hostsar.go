@@ -116,7 +116,16 @@ func (h *HostSAR) Pool() *atm.Pool { return h.pool }
 // Stats returns the counters.
 func (h *HostSAR) Stats() HostSARStats { return h.stats }
 
-// SetOutput attaches the transmit side to a link.
+// AttachSink attaches the transmit side to a downstream consumer
+// (atm.CellProducer).
+func (h *HostSAR) AttachSink(out atm.CellConsumer) {
+	if out == nil {
+		panic("baseline: nil output")
+	}
+	h.out = out.DeliverCell
+}
+
+// SetOutput is the func-valued convenience form of AttachSink.
 func (h *HostSAR) SetOutput(out func(*atm.Cell)) {
 	if out == nil {
 		panic("baseline: nil output")

@@ -32,8 +32,14 @@ const CellPayload = 48
 type Organization uint8
 
 const (
+	// DefaultOrg is the zero value: "no preference", resolved to Paged (the
+	// board's organization) wherever an Organization is consumed. Holding
+	// the zero value keeps option structs embedding an Organization honest —
+	// an unset field means the default, and explicitly selecting Linked is
+	// distinguishable from leaving the field alone.
+	DefaultOrg Organization = iota
 	// Linked is a per-cell linked list.
-	Linked Organization = iota
+	Linked
 	// Contig is one contiguous maximal block per frame.
 	Contig
 	// Paged is fixed-size containers addressed through a page row.
@@ -42,9 +48,20 @@ const (
 	HostMem
 )
 
+// Resolve maps DefaultOrg to the concrete default organization (Paged),
+// returning every other value unchanged.
+func (o Organization) Resolve() Organization {
+	if o == DefaultOrg {
+		return Paged
+	}
+	return o
+}
+
 // String implements fmt.Stringer.
 func (o Organization) String() string {
 	switch o {
+	case DefaultOrg:
+		return "default"
 	case Linked:
 		return "linked"
 	case Contig:
@@ -118,7 +135,7 @@ type Allocator struct {
 // NewAllocator returns an allocator for org with the given adapter SRAM
 // budget in bytes (0 = unlimited, for pure cost studies).
 func NewAllocator(org Organization, capacityBytes int) *Allocator {
-	return &Allocator{org: org, capacity: capacityBytes}
+	return &Allocator{org: org.Resolve(), capacity: capacityBytes}
 }
 
 // Organization returns the allocator's strategy.

@@ -21,6 +21,7 @@ import (
 	"repro/internal/nic"
 	"repro/internal/phy"
 	"repro/internal/sim"
+	"repro/internal/tm"
 	"repro/internal/units"
 )
 
@@ -74,14 +75,7 @@ func (o Options) nicConfig(name string) nic.Config {
 		cfg.RxFifoDepth = o.FifoCells
 	}
 	cfg.Lookup = o.Lookup
-	// bufmgr.Linked is organization zero; treat the zero value as
-	// "default" (paged, matching the board) — callers who really want the
-	// linked organization set it alongside a nonzero AdapterSRAM or use
-	// nic.Config directly.
-	cfg.BufOrg = bufmgr.Paged
-	if o.Buffers != 0 {
-		cfg.BufOrg = o.Buffers
-	}
+	cfg.BufOrg = o.Buffers
 	if o.AdapterSRAM > 0 {
 		cfg.AdapterSRAM = o.AdapterSRAM
 	}
@@ -103,14 +97,16 @@ type Packet struct {
 
 // Endpoint is one workstation plus interface.
 type Endpoint struct {
+	name    string
 	station *netsim.Station
-	tb      *Testbed
+	k       *sim.Kernel
 }
 
 // Testbed is a complete two-endpoint simulation: A and B connected by a
 // duplex fiber.
 type Testbed struct {
 	kernel *sim.Kernel
+	net    *Network
 	A, B   *Endpoint
 	AtoB   *phy.CellLink
 	BtoA   *phy.CellLink
@@ -126,37 +122,43 @@ type LinkOptions struct {
 	Seed uint64
 }
 
-// NewTestbed builds two identical endpoints connected back to back.
+// NewTestbed builds two identical endpoints connected back to back. It is a
+// thin wrapper over NewNetwork: a two-endpoint spec with a single duplex
+// fiber named "ab".
 func NewTestbed(opts Options, link LinkOptions) (*Testbed, error) {
-	k := sim.NewKernel()
-	tb := &Testbed{kernel: k}
-	build := func(name string) (*netsim.Station, error) {
-		if opts.Hardwired {
-			return netsim.NewHardwiredStation(k, opts.nicConfig(name))
-		}
-		return netsim.NewStation(k, opts.nicConfig(name))
-	}
-	sa, err := build("A")
-	if err != nil {
-		return nil, err
-	}
-	sb, err := build("B")
-	if err != nil {
-		return nil, err
-	}
 	if link.DistanceKm == 0 {
 		link.DistanceKm = 2
 	}
-	ab, ba := netsim.Connect(k, sa, sb, netsim.LinkConfig{
-		Delay:    phy.PropDelay(link.DistanceKm),
-		LossProb: link.CellLossProb,
-		Seed:     link.Seed + 1,
+	n, err := NewNetwork(NetworkSpec{
+		Endpoints: []EndpointSpec{
+			{Name: "A", Options: opts},
+			{Name: "B", Options: opts},
+		},
+		Links: []LinkSpec{{
+			Name:       "ab",
+			A:          NodeRef{Node: "A"},
+			B:          NodeRef{Node: "B"},
+			DistanceKm: link.DistanceKm,
+			LossProb:   link.CellLossProb,
+			Seed:       link.Seed + 1,
+		}},
 	})
-	tb.A = &Endpoint{station: sa, tb: tb}
-	tb.B = &Endpoint{station: sb, tb: tb}
-	tb.AtoB, tb.BtoA = ab, ba
-	return tb, nil
+	if err != nil {
+		return nil, err
+	}
+	l := n.Link("ab")
+	return &Testbed{
+		kernel: n.Kernel(),
+		net:    n,
+		A:      n.Endpoint("A"),
+		B:      n.Endpoint("B"),
+		AtoB:   l.Fwd,
+		BtoA:   l.Rev,
+	}, nil
 }
+
+// Network exposes the underlying builder network.
+func (t *Testbed) Network() *Network { return t.net }
 
 // Kernel exposes the simulation clock/scheduler.
 func (t *Testbed) Kernel() *sim.Kernel { return t.kernel }
@@ -180,6 +182,13 @@ func (t *Testbed) OpenVC(vc VC) error {
 	}
 	return nil
 }
+
+// Name returns the endpoint's spec name.
+func (e *Endpoint) Name() string { return e.name }
+
+// Station exposes the underlying netsim station (for traffic sources and
+// lower-level wiring).
+func (e *Endpoint) Station() *netsim.Station { return e.station }
 
 // Interface exposes the endpoint's interface model for stats and tuning.
 func (e *Endpoint) Interface() *nic.Interface { return e.station.Iface }
@@ -227,8 +236,14 @@ func (e *Endpoint) OnPingReply(fn func(vc VC, correlation uint32)) {
 	e.station.Iface.OnLoopbackReply(fn)
 }
 
+// SetContract installs a full traffic contract on a VC's transmit path
+// (see nic.Interface.SetContract).
+func (e *Endpoint) SetContract(vc VC, c tm.TrafficContract) error {
+	return e.station.Iface.SetContract(vc, c)
+}
+
 // Goodput returns delivered SDU bits per second at endpoint e over the
 // elapsed simulated time.
 func (e *Endpoint) Goodput() float64 {
-	return units.ThroughputBps(int64(e.Stats().Rx.Bytes), e.tb.Now())
+	return units.ThroughputBps(int64(e.Stats().Rx.Bytes), e.k.Now())
 }

@@ -89,6 +89,27 @@ func TestOptionsPlumbing(t *testing.T) {
 	}
 }
 
+func TestLinkedBuffersOption(t *testing.T) {
+	// bufmgr.Linked must survive the options plumbing even though the
+	// board default is Paged: the zero Organization is a distinct
+	// DefaultOrg sentinel, so an explicit Linked is not mistaken for
+	// "unset" anywhere down the stack.
+	tb, err := NewTestbed(Options{Buffers: bufmgr.Linked}, LinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.A.Interface().Config().BufOrg; got != bufmgr.Linked {
+		t.Fatalf("buforg = %v, want linked", got)
+	}
+	tbDef, err := NewTestbed(Options{}, LinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbDef.A.Interface().Config().BufOrg; got != bufmgr.Paged {
+		t.Fatalf("default buforg = %v, want paged", got)
+	}
+}
+
 func TestLinkLossOption(t *testing.T) {
 	tb, _ := NewTestbed(Options{}, LinkOptions{CellLossProb: 0.05, Seed: 3})
 	vc := VC{VCI: 2}

@@ -1,0 +1,640 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/atm"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/tm"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// NetworkSpec declares a whole topology: endpoints, switches, the fibers
+// between them, and the end-to-end virtual channel connections riding on
+// top. NewNetwork builds it in one pass — stations, switch fabric, duplex
+// links, per-hop routes with VCI translation, contract admission (CAC) at
+// the source and at every switch output port, and registry instrumentation
+// — and returns named handles for everything.
+//
+// Everything is resolved in spec order, so two builds of the same spec are
+// event-for-event identical (the property the golden and parallel-sweep
+// tests pin).
+type NetworkSpec struct {
+	Endpoints []EndpointSpec
+	Switches  []SwitchSpec
+	Links     []LinkSpec
+	VCCs      []VCCSpec
+
+	// Metrics is the shared telemetry registry; nil means the network
+	// creates one (reachable via Network.Metrics).
+	Metrics *metrics.Registry
+	// Kernel lets the caller supply the event kernel (for golden tests that
+	// swap scheduler implementations); nil means sim.NewKernel().
+	Kernel *sim.Kernel
+}
+
+// EndpointSpec is one workstation + interface.
+type EndpointSpec struct {
+	Name    string
+	Options Options
+}
+
+// SwitchSpec is one output-queued switch.
+type SwitchSpec struct {
+	Name string
+	// Ports is the port count.
+	Ports int
+	// Rate is the port drain rate (default Rate155).
+	Rate units.BitRate
+	// QueueDepth is the shared per-port output buffer in cells (default 64).
+	QueueDepth int
+	// SwitchingDelay is the fabric's fixed per-cell transit latency.
+	SwitchingDelay sim.Duration
+}
+
+// NodeRef names one end of a link: an endpoint (Port ignored) or a switch
+// port.
+type NodeRef struct {
+	Node string
+	Port int
+}
+
+// LinkSpec is one duplex fiber. The forward direction is A→B.
+type LinkSpec struct {
+	Name string
+	A, B NodeRef
+	// DistanceKm sets propagation delay at 5 µs/km.
+	DistanceKm float64
+	// Delay overrides DistanceKm with an explicit propagation delay.
+	Delay       sim.Duration
+	LossProb    float64
+	CorruptProb float64
+	// Seed drives fault injection; the two directions derive independent
+	// streams from it (2·Seed+1 forward, 2·Seed+2 reverse — the same
+	// derivation netsim.Connect uses, so testbeds golden-match).
+	Seed uint64
+}
+
+// VCCSpec is one end-to-end virtual channel connection between two
+// endpoints. The builder routes it hop by hop (shortest path by spec order,
+// or the explicit Via switch list), allocates a per-hop VC on every fiber
+// (preferring the requested VC, incrementing the VCI past collisions),
+// installs the translation routes, and admits the contract at the source
+// interface and at every switch output port along the path.
+type VCCSpec struct {
+	Name     string
+	From, To string
+	// VC is the requested first-hop VC (zero: VPI 0, VCI 100).
+	VC atm.VC
+	// Contract is the traffic contract admitted at every hop; the zero
+	// value means best-effort UBR at the source's line rate.
+	Contract tm.TrafficContract
+	// Shape paces the source interface to the contract (GCRA shaping).
+	Shape bool
+	// Duplex installs the reverse path too, with the same per-hop VCs.
+	Duplex bool
+	// Via pins the switch path instead of shortest-path routing.
+	Via []string
+	// Latency arms a timed trace spanning the connection: ingress at the
+	// source's output, egress at the destination's input, each cell's
+	// transit observed into the "vcc.<name>.latency" histogram and
+	// (subject to the capture's Filter/Limit) recorded in VCC.Capture.
+	// FIFO matching is exact only while the tapped fibers carry just this
+	// connection's cells.
+	Latency bool
+}
+
+// Link is the built form of a LinkSpec: the two directed cell pipes.
+type Link struct {
+	Name string
+	// Fwd carries A→B, Rev carries B→A.
+	Fwd, Rev *phy.CellLink
+
+	a, b    NodeRef
+	usedVCs map[atm.VC]bool
+}
+
+// VCCHop describes one switch traversal of a built VCC.
+type VCCHop struct {
+	Switch     *netsim.Switch
+	SwitchName string
+	InPort     int
+	OutPort    int
+	// InVC is the VC the cells carry arriving at InPort; OutVC is what
+	// they are translated to on the way out.
+	InVC, OutVC atm.VC
+}
+
+// VCC is the built form of a VCCSpec.
+type VCC struct {
+	Name         string
+	Source, Dest *Endpoint
+	// SourceVC is the VC the source transmits on; DestVC is the VC the
+	// destination receives on (they differ when hops translate).
+	SourceVC, DestVC atm.VC
+	Contract         tm.TrafficContract
+	Hops             []VCCHop
+	// Capture/Timed are non-nil when the spec armed Latency.
+	Capture *trace.Capture
+	Timed   *trace.Timed
+}
+
+// Network is a built topology.
+type Network struct {
+	k   *sim.Kernel
+	reg *metrics.Registry
+
+	endpoints map[string]*Endpoint
+	switches  map[string]*netsim.Switch
+	swSpecs   map[string]SwitchSpec
+	links     map[string]*Link
+	vccs      map[string]*VCC
+
+	adj     map[string][]netEdge
+	srcCAC  map[string]*tm.CAC       // per-endpoint access-link admission
+	portCAC map[portKey]*tm.CAC      // per switch output port
+	inHalf  map[string]*phy.CellLink // the half delivering into an endpoint
+	outHalf map[string]*phy.CellLink // the half an endpoint transmits into
+}
+
+// netEdge is one directed use of a link.
+type netEdge struct {
+	l        *Link
+	from, to string
+	fromPort int
+	toPort   int
+	fwd      bool // true when from == l.a.Node
+}
+
+type portKey struct {
+	sw   string
+	port int
+}
+
+// NewNetwork builds the declared topology. Errors name the offending spec
+// entry; a VCC admission failure aborts the build (use AddVCC after a
+// successful build to probe admission).
+func NewNetwork(spec NetworkSpec) (*Network, error) {
+	k := spec.Kernel
+	if k == nil {
+		k = sim.NewKernel()
+	}
+	reg := spec.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	n := &Network{
+		k:         k,
+		reg:       reg,
+		endpoints: make(map[string]*Endpoint),
+		switches:  make(map[string]*netsim.Switch),
+		swSpecs:   make(map[string]SwitchSpec),
+		links:     make(map[string]*Link),
+		vccs:      make(map[string]*VCC),
+		adj:       make(map[string][]netEdge),
+		srcCAC:    make(map[string]*tm.CAC),
+		portCAC:   make(map[portKey]*tm.CAC),
+		inHalf:    make(map[string]*phy.CellLink),
+		outHalf:   make(map[string]*phy.CellLink),
+	}
+	for _, es := range spec.Endpoints {
+		if es.Name == "" {
+			return nil, fmt.Errorf("core: endpoint with empty name")
+		}
+		if n.known(es.Name) {
+			return nil, fmt.Errorf("core: duplicate node name %q", es.Name)
+		}
+		cfg := es.Options.nicConfig(es.Name)
+		cfg.Metrics = reg
+		var st *netsim.Station
+		var err error
+		if es.Options.Hardwired {
+			st, err = netsim.NewHardwiredStation(k, cfg)
+		} else {
+			st, err = netsim.NewStation(k, cfg)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: endpoint %q: %w", es.Name, err)
+		}
+		n.endpoints[es.Name] = &Endpoint{name: es.Name, station: st, k: k}
+	}
+	for _, ss := range spec.Switches {
+		if ss.Name == "" {
+			return nil, fmt.Errorf("core: switch with empty name")
+		}
+		if n.known(ss.Name) {
+			return nil, fmt.Errorf("core: duplicate node name %q", ss.Name)
+		}
+		if ss.Rate == 0 {
+			ss.Rate = Rate155
+		}
+		if ss.QueueDepth == 0 {
+			ss.QueueDepth = 64
+		}
+		sw := netsim.NewSwitch(k, ss.Name, ss.Ports, ss.Rate, ss.QueueDepth)
+		sw.SwitchingDelay = ss.SwitchingDelay
+		sw.Instrument(reg, ss.Name)
+		n.switches[ss.Name] = sw
+		n.swSpecs[ss.Name] = ss
+	}
+	usedPorts := make(map[portKey]string)
+	for _, ls := range spec.Links {
+		if ls.Name == "" {
+			return nil, fmt.Errorf("core: link with empty name")
+		}
+		if _, dup := n.links[ls.Name]; dup {
+			return nil, fmt.Errorf("core: duplicate link name %q", ls.Name)
+		}
+		for _, ref := range []NodeRef{ls.A, ls.B} {
+			if !n.known(ref.Node) {
+				return nil, fmt.Errorf("core: link %q references unknown node %q", ls.Name, ref.Node)
+			}
+			if _, isEp := n.endpoints[ref.Node]; isEp {
+				if n.outHalf[ref.Node] != nil {
+					return nil, fmt.Errorf("core: endpoint %q on more than one link", ref.Node)
+				}
+				continue
+			}
+			ss := n.swSpecs[ref.Node]
+			if ref.Port < 0 || ref.Port >= ss.Ports {
+				return nil, fmt.Errorf("core: link %q: port %d out of range on switch %q",
+					ls.Name, ref.Port, ref.Node)
+			}
+			pk := portKey{sw: ref.Node, port: ref.Port}
+			if prev, taken := usedPorts[pk]; taken {
+				return nil, fmt.Errorf("core: switch %q port %d on links %q and %q",
+					ref.Node, ref.Port, prev, ls.Name)
+			}
+			usedPorts[pk] = ls.Name
+		}
+		delay := ls.Delay
+		if delay == 0 {
+			delay = phy.PropDelay(ls.DistanceKm)
+		}
+		// Same construction order and seed derivation as netsim.Connect,
+		// so a builder topology is event-identical to the hand wiring.
+		fwd := phy.NewCellLink(k, delay, ls.Seed*2+1, n.consumer(ls.B))
+		fwd.LossProb = ls.LossProb
+		fwd.CorruptProb = ls.CorruptProb
+		rev := phy.NewCellLink(k, delay, ls.Seed*2+2, n.consumer(ls.A))
+		rev.LossProb = ls.LossProb
+		rev.CorruptProb = ls.CorruptProb
+		n.producer(ls.A).AttachSink(fwd)
+		n.producer(ls.B).AttachSink(rev)
+		l := &Link{Name: ls.Name, Fwd: fwd, Rev: rev, a: ls.A, b: ls.B,
+			usedVCs: make(map[atm.VC]bool)}
+		n.links[ls.Name] = l
+		if ep, isEp := n.endpoints[ls.A.Node]; isEp {
+			n.outHalf[ep.name] = fwd
+			n.inHalf[ep.name] = rev
+		}
+		if ep, isEp := n.endpoints[ls.B.Node]; isEp {
+			n.outHalf[ep.name] = rev
+			n.inHalf[ep.name] = fwd
+		}
+		n.adj[ls.A.Node] = append(n.adj[ls.A.Node], netEdge{
+			l: l, from: ls.A.Node, to: ls.B.Node,
+			fromPort: ls.A.Port, toPort: ls.B.Port, fwd: true,
+		})
+		n.adj[ls.B.Node] = append(n.adj[ls.B.Node], netEdge{
+			l: l, from: ls.B.Node, to: ls.A.Node,
+			fromPort: ls.B.Port, toPort: ls.A.Port, fwd: false,
+		})
+	}
+	for _, vs := range spec.VCCs {
+		if _, err := n.AddVCC(vs); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+func (n *Network) known(name string) bool {
+	if _, ok := n.endpoints[name]; ok {
+		return true
+	}
+	_, ok := n.switches[name]
+	return ok
+}
+
+// consumer returns the cell sink a link half delivers into at ref.
+func (n *Network) consumer(ref NodeRef) atm.CellConsumer {
+	if ep, ok := n.endpoints[ref.Node]; ok {
+		return ep.station.Iface
+	}
+	return n.switches[ref.Node].Port(ref.Port)
+}
+
+// producer returns the producing stage a link half attaches to at ref.
+func (n *Network) producer(ref NodeRef) atm.CellProducer {
+	if ep, ok := n.endpoints[ref.Node]; ok {
+		return ep.station.Iface
+	}
+	return n.switches[ref.Node].Port(ref.Port)
+}
+
+// Kernel exposes the simulation clock/scheduler.
+func (n *Network) Kernel() *sim.Kernel { return n.k }
+
+// Metrics returns the shared telemetry registry.
+func (n *Network) Metrics() *metrics.Registry { return n.reg }
+
+// Run drains all scheduled work and returns the final simulated time.
+func (n *Network) Run() sim.Time { return n.k.Run() }
+
+// RunUntil advances the simulation to t.
+func (n *Network) RunUntil(t sim.Time) sim.Time { return n.k.RunUntil(t) }
+
+// RunFor advances the simulation by d.
+func (n *Network) RunFor(d sim.Duration) sim.Time { return n.k.RunFor(d) }
+
+// Now returns the current simulated time.
+func (n *Network) Now() sim.Time { return n.k.Now() }
+
+// Endpoint returns the named endpoint; it panics on an unknown name (a
+// spec/lookup mismatch is a programming error, not a runtime state).
+func (n *Network) Endpoint(name string) *Endpoint {
+	ep, ok := n.endpoints[name]
+	if !ok {
+		panic("core: unknown endpoint " + name)
+	}
+	return ep
+}
+
+// Switch returns the named switch for threshold/policer configuration.
+func (n *Network) Switch(name string) *netsim.Switch {
+	sw, ok := n.switches[name]
+	if !ok {
+		panic("core: unknown switch " + name)
+	}
+	return sw
+}
+
+// Link returns the named link handle.
+func (n *Network) Link(name string) *Link {
+	l, ok := n.links[name]
+	if !ok {
+		panic("core: unknown link " + name)
+	}
+	return l
+}
+
+// VCC returns the named connection handle.
+func (n *Network) VCC(name string) *VCC {
+	v, ok := n.vccs[name]
+	if !ok {
+		panic("core: unknown vcc " + name)
+	}
+	return v
+}
+
+// SourceCAC returns the admission controller guarding an endpoint's access
+// link (created on first use).
+func (n *Network) SourceCAC(endpoint string) *tm.CAC {
+	ep := n.Endpoint(endpoint)
+	cac := n.srcCAC[endpoint]
+	if cac == nil {
+		// The access CAC polices bandwidth only: a transmitting station's
+		// burst buffering is host memory behind the segmenter, not the
+		// cell FIFO, so the buffer budget is effectively unbounded here.
+		// MBS reservations bite at the switch output queues instead.
+		cac = tm.NewCAC(ep.station.Iface.Config().PayloadRate, 1<<20)
+		n.srcCAC[endpoint] = cac
+	}
+	return cac
+}
+
+// PortCAC returns the admission controller guarding a switch output port
+// (created on first use, budgeted at the switch's rate and queue depth).
+func (n *Network) PortCAC(sw string, port int) *tm.CAC {
+	pk := portKey{sw: sw, port: port}
+	cac := n.portCAC[pk]
+	if cac == nil {
+		ss, ok := n.swSpecs[sw]
+		if !ok {
+			panic("core: unknown switch " + sw)
+		}
+		cac = tm.NewCAC(ss.Rate, ss.QueueDepth)
+		n.portCAC[pk] = cac
+	}
+	return cac
+}
+
+// route finds the spec-order-deterministic path From→To: the explicit Via
+// switch sequence when given, else breadth-first shortest path (endpoints
+// other than the two ends cannot relay).
+func (n *Network) route(vs VCCSpec) ([]netEdge, error) {
+	if len(vs.Via) > 0 {
+		seq := append([]string{vs.From}, vs.Via...)
+		seq = append(seq, vs.To)
+		var path []netEdge
+		for i := 0; i+1 < len(seq); i++ {
+			found := false
+			for _, e := range n.adj[seq[i]] {
+				if e.to == seq[i+1] {
+					path = append(path, e)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("core: vcc %q: no link %s→%s", vs.Name, seq[i], seq[i+1])
+			}
+		}
+		return path, nil
+	}
+	type visit struct {
+		node string
+		via  []netEdge
+	}
+	seen := map[string]bool{vs.From: true}
+	queue := []visit{{node: vs.From}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range n.adj[cur.node] {
+			if seen[e.to] {
+				continue
+			}
+			path := append(append([]netEdge(nil), cur.via...), e)
+			if e.to == vs.To {
+				return path, nil
+			}
+			if _, isEp := n.endpoints[e.to]; isEp {
+				continue // endpoints terminate, they don't relay
+			}
+			seen[e.to] = true
+			queue = append(queue, visit{node: e.to, via: path})
+		}
+	}
+	return nil, fmt.Errorf("core: vcc %q: no path %s→%s", vs.Name, vs.From, vs.To)
+}
+
+// allocVC picks the connection's VC on one fiber: the requested VC if free,
+// else the next free VCI above it.
+func (l *Link) allocVC(want atm.VC) (atm.VC, error) {
+	vc := want
+	for l.usedVCs[vc] {
+		if vc.VCI == ^uint16(0) {
+			return vc, fmt.Errorf("core: link %q: VCI space exhausted above %v", l.Name, want)
+		}
+		vc.VCI++
+	}
+	l.usedVCs[vc] = true
+	return vc, nil
+}
+
+// AddVCC routes, admits and opens one connection on the built network. On
+// an admission failure every reservation already taken for this connection
+// is released and the network is left unchanged.
+func (n *Network) AddVCC(vs VCCSpec) (*VCC, error) {
+	if vs.Name == "" {
+		return nil, fmt.Errorf("core: vcc with empty name")
+	}
+	if _, dup := n.vccs[vs.Name]; dup {
+		return nil, fmt.Errorf("core: duplicate vcc name %q", vs.Name)
+	}
+	src, ok := n.endpoints[vs.From]
+	if !ok {
+		return nil, fmt.Errorf("core: vcc %q: unknown source endpoint %q", vs.Name, vs.From)
+	}
+	dst, ok := n.endpoints[vs.To]
+	if !ok {
+		return nil, fmt.Errorf("core: vcc %q: unknown destination endpoint %q", vs.Name, vs.To)
+	}
+	path, err := n.route(vs)
+	if err != nil {
+		return nil, err
+	}
+	contract := vs.Contract
+	if contract.PCR == 0 {
+		contract = tm.UBRContract(src.station.Iface.Config().PayloadRate)
+	}
+	if err := contract.Validate(); err != nil {
+		return nil, fmt.Errorf("core: vcc %q: %w", vs.Name, err)
+	}
+
+	// Per-hop VC allocation: one VC per fiber, requested number preferred.
+	want := vs.VC
+	if want == (atm.VC{}) {
+		want = atm.VC{VPI: 0, VCI: 100}
+	}
+	vcs := make([]atm.VC, len(path))
+	for i, e := range path {
+		if vcs[i], err = e.l.allocVC(want); err != nil {
+			return nil, fmt.Errorf("core: vcc %q: %w", vs.Name, err)
+		}
+	}
+
+	// Admission: the source access link, then every switch output port the
+	// forward direction drains through; duplex adds the mirror set.
+	var admitted []*tm.CAC
+	admit := func(cac *tm.CAC) error {
+		if err := cac.Admit(contract); err != nil {
+			return err
+		}
+		admitted = append(admitted, cac)
+		return nil
+	}
+	release := func() {
+		for _, cac := range admitted {
+			cac.Release(contract)
+		}
+		for i, e := range path {
+			delete(e.l.usedVCs, vcs[i])
+		}
+	}
+	if err := admit(n.SourceCAC(vs.From)); err != nil {
+		release()
+		return nil, fmt.Errorf("core: vcc %q: source %q: %w", vs.Name, vs.From, err)
+	}
+	for i := 1; i < len(path); i++ {
+		sw := path[i].from // a switch: interior path node
+		if err := admit(n.PortCAC(sw, path[i].fromPort)); err != nil {
+			release()
+			return nil, fmt.Errorf("core: vcc %q: switch %q port %d: %w",
+				vs.Name, sw, path[i].fromPort, err)
+		}
+	}
+	if vs.Duplex {
+		if err := admit(n.SourceCAC(vs.To)); err != nil {
+			release()
+			return nil, fmt.Errorf("core: vcc %q: source %q: %w", vs.Name, vs.To, err)
+		}
+		for i := 0; i+1 < len(path); i++ {
+			sw := path[i].to
+			if err := admit(n.PortCAC(sw, path[i].toPort)); err != nil {
+				release()
+				return nil, fmt.Errorf("core: vcc %q: switch %q port %d: %w",
+					vs.Name, sw, path[i].toPort, err)
+			}
+		}
+	}
+
+	// Routes: each interior node translates (inPort, inVC) → (outPort,
+	// outVC); duplex installs the mirror translation.
+	v := &VCC{
+		Name:     vs.Name,
+		Source:   src,
+		Dest:     dst,
+		SourceVC: vcs[0],
+		DestVC:   vcs[len(vcs)-1],
+		Contract: contract,
+	}
+	for i := 0; i+1 < len(path); i++ {
+		swName := path[i].to
+		sw := n.switches[swName]
+		inPort, outPort := path[i].toPort, path[i+1].fromPort
+		inVC, outVC := vcs[i], vcs[i+1]
+		sw.SetRoute(inPort, inVC, outPort, outVC, netsim.RouteOptions{Class: contract.Class})
+		if vs.Duplex {
+			sw.SetRoute(outPort, outVC, inPort, inVC, netsim.RouteOptions{Class: contract.Class})
+		}
+		v.Hops = append(v.Hops, VCCHop{
+			Switch: sw, SwitchName: swName,
+			InPort: inPort, OutPort: outPort,
+			InVC: inVC, OutVC: outVC,
+		})
+	}
+
+	if err := src.station.Iface.OpenVC(v.SourceVC); err != nil {
+		release()
+		return nil, fmt.Errorf("core: vcc %q: open %v at %q: %w", vs.Name, v.SourceVC, vs.From, err)
+	}
+	if err := dst.station.Iface.OpenVC(v.DestVC); err != nil {
+		release()
+		return nil, fmt.Errorf("core: vcc %q: open %v at %q: %w", vs.Name, v.DestVC, vs.To, err)
+	}
+	if vs.Shape {
+		if err := src.station.Iface.SetContract(v.SourceVC, contract); err != nil {
+			release()
+			return nil, fmt.Errorf("core: vcc %q: shape: %w", vs.Name, err)
+		}
+	}
+
+	if vs.Latency {
+		// Span the whole connection: ingress as cells leave the source's
+		// cell clock, egress as they reach the destination's door. The
+		// capture stores nothing until the caller relaxes its Filter.
+		cap := trace.New(n.k)
+		cap.Filter = func(*atm.Cell) bool { return false }
+		timed := cap.TapTimed(n.reg.Histogram("vcc." + vs.Name + ".latency"))
+		out := n.outHalf[vs.From]
+		in := n.inHalf[vs.To]
+		if out == nil || in == nil {
+			release()
+			return nil, fmt.Errorf("core: vcc %q: latency tap needs both endpoints linked", vs.Name)
+		}
+		src.station.Iface.SetOutput(timed.Ingress(out.Send))
+		in.AttachSink(atm.SinkFunc(timed.Egress(dst.station.Iface.DeliverCell)))
+		v.Capture = cap
+		v.Timed = timed
+	}
+
+	n.vccs[vs.Name] = v
+	return v, nil
+}

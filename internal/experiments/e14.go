@@ -1,9 +1,7 @@
 package experiments
 
 import (
-	"repro/internal/netsim"
-	"repro/internal/nic"
-	"repro/internal/phy"
+	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/tm"
@@ -55,36 +53,40 @@ func E14(runTime sim.Duration) ([2]E14Result, *report.Table) {
 }
 
 func runE14(shaped bool, runTime sim.Duration) E14Result {
-	kern := newKernel()
-	a, err := netsim.NewStation(kern, nic.DefaultConfig("a"))
-	if err != nil {
-		panic(err)
-	}
-	b, err := netsim.NewStation(kern, nic.DefaultConfig("b"))
-	if err != nil {
-		panic(err)
-	}
-	sw := netsim.NewSwitch(kern, "sw", 2, units.STS3cPayload, 64)
-	link := phy.NewCellLink(kern, 5000, 41, sw.Input(0))
-	a.Iface.SetOutput(link.Send)
-	sw.AttachOutput(1, b.Iface.DeliverCell)
-	sw.RouteClass(0, stdVC, 1, stdVC, tm.RtVBR)
-	a.Iface.OpenVC(stdVC)
-	b.Iface.OpenVC(stdVC)
-
 	// The contract under test: PCR well below line rate, SCR at a third of
 	// that, a one-frame burst allowance, and a CDVT of a few cell times to
 	// absorb the TX FIFO's cell-clock quantization.
 	ct := units.CellTime(units.STS3cPayload)
 	contract := tm.VBRContract(150_000, 50_000, 32, 8*ct)
+
+	net, err := core.NewNetwork(core.NetworkSpec{
+		Kernel: newKernel(),
+		Endpoints: []core.EndpointSpec{
+			{Name: "a"},
+			{Name: "b"},
+		},
+		Switches: []core.SwitchSpec{
+			{Name: "sw", Ports: 2, Rate: units.STS3cPayload, QueueDepth: 64},
+		},
+		Links: []core.LinkSpec{
+			{Name: "a-sw", A: core.NodeRef{Node: "a"}, B: core.NodeRef{Node: "sw", Port: 0}, Delay: 5000, Seed: 20},
+			{Name: "sw-b", A: core.NodeRef{Node: "sw", Port: 1}, B: core.NodeRef{Node: "b"}, Seed: 21},
+		},
+		VCCs: []core.VCCSpec{
+			{Name: "ab", From: "a", To: "b", VC: stdVC, Contract: contract, Shape: shaped},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	kern := net.Kernel()
+	vcc := net.VCC("ab")
+
+	// Police the admitted contract where the access link meets the network.
 	pol := tm.NewPolicer(contract)
 	pol.TagSCR = true
-	sw.SetPolicer(0, stdVC, pol)
-	if shaped {
-		if err := a.Iface.SetContract(stdVC, contract); err != nil {
-			panic(err)
-		}
-	}
+	hop := vcc.Hops[0]
+	net.Switch("sw").SetPolicer(hop.InPort, hop.InVC, pol)
 
 	// Same offered load in both runs: one 4000-byte frame (84 cells under
 	// AAL5) per 84/SCR seconds — a mean cell rate of exactly SCR.
@@ -93,17 +95,18 @@ func runE14(shaped bool, runTime sim.Duration) E14Result {
 	interval := sim.Duration(float64(frameCells) / contract.SCR * 1e9)
 	payload := make([]byte, sduSize)
 	deadline := sim.Time(runTime)
+	a := net.Endpoint("a")
 	var tick func()
 	tick = func() {
 		if kern.Now() > deadline {
 			return
 		}
-		a.Iface.Send(stdVC, payload, nil)
+		a.Send(vcc.SourceVC, payload, nil)
 		kern.After(interval, tick)
 	}
 	tick()
 	kern.RunUntil(deadline)
-	st := b.Iface.Stats()
+	st := net.Endpoint("b").Stats()
 	goodput := units.ThroughputBps(int64(st.Rx.Bytes), deadline)
 	kern.Run()
 

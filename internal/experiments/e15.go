@@ -4,10 +4,9 @@ import (
 	"fmt"
 
 	"repro/internal/atm"
+	"repro/internal/core"
 	"repro/internal/experiments/runner"
 	"repro/internal/netsim"
-	"repro/internal/nic"
-	"repro/internal/phy"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -85,61 +84,65 @@ func runE15(overload float64, epd bool, runTime sim.Duration) E15Point {
 		queueDepth = 96
 		epdThresh  = 64 // leaves 32 cells of whole-frame headroom
 	)
-	kern := newKernel()
 	// Senders interleave their VCs: with serial segmentation a pacing gap
 	// on the active VC would idle the whole transmit engine and the
-	// offered load could never reach the port.
-	cfgA, cfgB := nic.DefaultConfig("a"), nic.DefaultConfig("b")
-	cfgA.InterleaveVCs = true
-	cfgB.InterleaveVCs = true
-	a, err := netsim.NewStation(kern, cfgA)
+	// offered load could never reach the port. Unequal fiber runs break
+	// the senders' cell-clock phase lock so the congestion pattern
+	// resembles jittered real arrivals.
+	net, err := core.NewNetwork(core.NetworkSpec{
+		Kernel: newKernel(),
+		Endpoints: []core.EndpointSpec{
+			{Name: "a", Options: core.Options{InterleaveVCs: true}},
+			{Name: "b", Options: core.Options{InterleaveVCs: true}},
+			{Name: "c"},
+		},
+		Switches: []core.SwitchSpec{
+			{Name: "sw", Ports: 3, Rate: units.STS3cPayload, QueueDepth: queueDepth},
+		},
+		Links: []core.LinkSpec{
+			{Name: "a-sw", A: core.NodeRef{Node: "a"}, B: core.NodeRef{Node: "sw", Port: 0}, Delay: 1000, Seed: 25},
+			{Name: "b-sw", A: core.NodeRef{Node: "b"}, B: core.NodeRef{Node: "sw", Port: 1}, Delay: 2400, Seed: 26},
+			{Name: "sw-c", A: core.NodeRef{Node: "sw", Port: 2}, B: core.NodeRef{Node: "c"}, Seed: 27},
+		},
+	})
 	if err != nil {
 		panic(err)
 	}
-	b, err := netsim.NewStation(kern, cfgB)
-	if err != nil {
-		panic(err)
-	}
-	c, err := netsim.NewStation(kern, nic.DefaultConfig("c"))
-	if err != nil {
-		panic(err)
-	}
-	sw := netsim.NewSwitch(kern, "sw", 3, units.STS3cPayload, queueDepth)
+	kern := net.Kernel()
 	if epd {
-		sw.SetThresholds(2, 0, epdThresh)
+		net.Switch("sw").SetThresholds(2, 0, epdThresh)
 	}
-	// Unequal fiber runs break the senders' cell-clock phase lock so the
-	// congestion pattern resembles jittered real arrivals.
-	linkA := phy.NewCellLink(kern, 1000, 51, sw.Input(0))
-	linkB := phy.NewCellLink(kern, 2400, 52, sw.Input(1))
-	a.Iface.SetOutput(linkA.Send)
-	b.Iface.SetOutput(linkB.Send)
-	sw.AttachOutput(2, c.Iface.DeliverCell)
 
 	// Aggregate offered load = overload x the output port's cell rate,
-	// split evenly across the eight VCs by per-VC pacing.
+	// split evenly across the eight VCs by per-VC pacing. The VCCs are
+	// best-effort (zero contract → UBR), so all eight admit.
 	portRate := units.CellRate(units.STS3cPayload)
 	perVC := overload * portRate / (2 * nPerSender)
 	deadline := sim.Time(runTime)
 	for i := 0; i < nPerSender; i++ {
-		for j, snd := range []*netsim.Station{a, b} {
+		for j, name := range []string{"a", "b"} {
 			vc := atm.VC{VCI: uint16(1 + i + 10*j)}
-			snd.Iface.OpenVC(vc)
-			c.Iface.OpenVC(vc)
-			sw.Route(j, vc, 2, vc)
-			if err := snd.Iface.SetPeakCellRate(vc, perVC); err != nil {
+			vcc, err := net.AddVCC(core.VCCSpec{
+				Name: fmt.Sprintf("%s-%d", name, i),
+				From: name, To: "c", VC: vc,
+			})
+			if err != nil {
 				panic(err)
 			}
-			netsim.NewSource(kern, snd, vc, sduSize, deadline).Start(2)
+			snd := net.Endpoint(name)
+			if err := snd.SetPeakCellRate(vcc.SourceVC, perVC); err != nil {
+				panic(err)
+			}
+			netsim.NewSource(kern, snd.Station(), vcc.SourceVC, sduSize, deadline).Start(2)
 		}
 	}
 
 	kern.RunUntil(deadline)
-	st := c.Iface.Stats()
+	st := net.Endpoint("c").Stats()
 	goodput := units.ThroughputBps(int64(st.Rx.Bytes), deadline)
 	kern.Run()
 
-	sws := sw.Stats()
+	sws := net.Switch("sw").Stats()
 	return E15Point{
 		Overload:    overload,
 		EPD:         epd,

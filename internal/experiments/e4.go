@@ -115,8 +115,8 @@ func runE4(arch E4Arch, load float64, ec E4Config) E4Point {
 			panic(err)
 		}
 		rx := netsim.NewBaselineStation(k, "rx", baseline.DefaultConfig())
-		link := phy.NewCellLink(k, 10_000, 9, rx.Adapter.DeliverCell)
-		tx.Iface.SetOutput(link.Send)
+		link := phy.NewCellLink(k, 10_000, 9, rx.Adapter)
+		tx.Iface.AttachSink(link)
 		tx.Iface.OpenVC(stdVC)
 		rx.Adapter.OpenVC(stdVC)
 		pace(k, tx, interval, ec.SDUSize, deadline)

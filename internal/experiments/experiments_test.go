@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -504,5 +505,61 @@ func TestE15Shape(t *testing.T) {
 	}
 	if sr.Y("tail-drop") == nil || sr.Y("epd-ppd") == nil {
 		t.Fatal("series missing")
+	}
+}
+
+func TestE16Shape(t *testing.T) {
+	pts, sr := E16(15 * sim.Millisecond)
+	get := func(n int, rate units.BitRate) E16Point {
+		for _, p := range pts {
+			if p.Switches == n && p.Rate == rate {
+				return p
+			}
+		}
+		panic("missing point")
+	}
+	for _, p := range pts {
+		if p.Delivered == 0 {
+			t.Fatalf("hops=%d %v: no probe cells survived", p.Switches, p.Rate)
+		}
+		// Every point admits the probe plus that hop's cross flow at the
+		// last output port — the per-hop CAC ran at every switch.
+		if p.Admitted != 2 {
+			t.Errorf("hops=%d %v: last-port CAC carries %d contracts, want 2",
+				p.Switches, p.Rate, p.Admitted)
+		}
+		if len(p.PerHop) != p.Switches {
+			t.Fatalf("hops=%d: %d per-hop rows", p.Switches, len(p.PerHop))
+		}
+		for _, h := range p.PerHop {
+			if h.Mean <= 0 {
+				t.Errorf("hops=%d %v: %s residency histogram empty", p.Switches, p.Rate, h.Switch)
+			}
+		}
+	}
+	// The acceptance shape, both halves. At 155 Mb/s every added loaded hop
+	// adds delay variation, so end-to-end CDV grows monotonically with the
+	// switch count...
+	for n := 2; n <= 4; n++ {
+		prev, cur := get(n-1, units.STS3cPayload), get(n, units.STS3cPayload)
+		if cur.E2ECDV <= prev.E2ECDV {
+			t.Errorf("155 Mb/s CDV not accumulating: %d hops %v <= %d hops %v",
+				n, cur.E2ECDV, n-1, prev.E2ECDV)
+		}
+		if cur.E2EMean <= prev.E2EMean {
+			t.Errorf("155 Mb/s mean delay not accumulating: %d hops %v <= %d hops %v",
+				n, cur.E2EMean, n-1, prev.E2EMean)
+		}
+	}
+	// ...while the 622 Mb/s ports drain four times faster and absorb most
+	// of the variation the slower ports would accumulate.
+	for n := 1; n <= 4; n++ {
+		slow, fast := get(n, units.STS3cPayload), get(n, units.STS12cPayload)
+		if fast.E2ECDV >= slow.E2ECDV {
+			t.Errorf("%d hops: 622 CDV %v >= 155 CDV %v", n, fast.E2ECDV, slow.E2ECDV)
+		}
+	}
+	if sr.Y(fmt.Sprintf("%v cdv-us", units.STS3cPayload)) == nil {
+		t.Fatal("series missing 155 Mb/s line")
 	}
 }

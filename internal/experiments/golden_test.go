@@ -81,3 +81,21 @@ func TestE9HeapWheelIdentical(t *testing.T) {
 		t.Errorf("E9 wheel results differ from heap kernel:\nwheel: %+v\nheap: %+v", wheel, heap)
 	}
 }
+
+func TestE16SerialParallelIdentical(t *testing.T) {
+	var serial, par []E16Point
+	withParallelism(t, 1, func() { serial, _ = E16(5 * sim.Millisecond) })
+	withParallelism(t, 8, func() { par, _ = E16(5 * sim.Millisecond) })
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("E16 parallel results differ from serial:\nserial: %+v\nparallel: %+v", serial, par)
+	}
+}
+
+func TestE16HeapWheelIdentical(t *testing.T) {
+	wheel, _ := E16(5 * sim.Millisecond)
+	var heap []E16Point
+	withHeapKernel(t, func() { heap, _ = E16(5 * sim.Millisecond) })
+	if !reflect.DeepEqual(wheel, heap) {
+		t.Errorf("E16 wheel results differ from heap kernel:\nwheel: %+v\nheap: %+v", wheel, heap)
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/atm"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/nic"
@@ -67,7 +68,7 @@ func Telemetry(ec TelemetryConfig) (metrics.Snapshot, *report.Table) {
 	ab, _ := netsim.Connect(k, a, b, netsim.LinkConfig{Delay: 10_000, LossProb: ec.Loss, Seed: ec.Seed})
 	cap := trace.New(k)
 	timed := cap.TapTimed(reg.Histogram("link.ab.latency"))
-	ab.SetSink(timed.Egress(b.Iface.DeliverCell))
+	ab.AttachSink(atm.SinkFunc(timed.Egress(b.Iface.DeliverCell)))
 	a.Iface.SetOutput(timed.Ingress(ab.Send))
 	a.Iface.OpenVC(stdVC)
 	b.Iface.OpenVC(stdVC)

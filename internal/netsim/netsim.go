@@ -69,14 +69,14 @@ type LinkConfig struct {
 
 // Connect wires a→b and b→a with independent cell links and returns them.
 func Connect(k *sim.Kernel, a, b *Station, cfg LinkConfig) (ab, ba *phy.CellLink) {
-	ab = phy.NewCellLink(k, cfg.Delay, cfg.Seed*2+1, b.Iface.DeliverCell)
+	ab = phy.NewCellLink(k, cfg.Delay, cfg.Seed*2+1, b.Iface)
 	ab.LossProb = cfg.LossProb
 	ab.CorruptProb = cfg.CorruptProb
-	ba = phy.NewCellLink(k, cfg.Delay, cfg.Seed*2+2, a.Iface.DeliverCell)
+	ba = phy.NewCellLink(k, cfg.Delay, cfg.Seed*2+2, a.Iface)
 	ba.LossProb = cfg.LossProb
 	ba.CorruptProb = cfg.CorruptProb
-	a.Iface.SetOutput(ab.Send)
-	b.Iface.SetOutput(ba.Send)
+	a.Iface.AttachSink(ab)
+	b.Iface.AttachSink(ba)
 	return ab, ba
 }
 
@@ -98,12 +98,12 @@ func NewBaselineStation(k *sim.Kernel, name string, cfg baseline.Config) *Baseli
 
 // ConnectBaseline wires two baseline stations together.
 func ConnectBaseline(k *sim.Kernel, a, b *BaselineStation, cfg LinkConfig) (ab, ba *phy.CellLink) {
-	ab = phy.NewCellLink(k, cfg.Delay, cfg.Seed*2+1, b.Adapter.DeliverCell)
+	ab = phy.NewCellLink(k, cfg.Delay, cfg.Seed*2+1, b.Adapter)
 	ab.LossProb = cfg.LossProb
-	ba = phy.NewCellLink(k, cfg.Delay, cfg.Seed*2+2, a.Adapter.DeliverCell)
+	ba = phy.NewCellLink(k, cfg.Delay, cfg.Seed*2+2, a.Adapter)
 	ba.LossProb = cfg.LossProb
-	a.Adapter.SetOutput(ab.Send)
-	b.Adapter.SetOutput(ba.Send)
+	a.Adapter.AttachSink(ab)
+	b.Adapter.AttachSink(ba)
 	return ab, ba
 }
 

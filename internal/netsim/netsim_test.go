@@ -86,9 +86,9 @@ func TestSwitchRoutesAndTranslates(t *testing.T) {
 	sw.SwitchingDelay = 2000
 
 	// a → port0 → switch → port1 → b, with VC translation 10→20.
-	sw.AttachOutput(1, b.Iface.DeliverCell)
-	sw.Route(0, vc(10), 1, vc(20))
-	a.Iface.SetOutput(sw.Input(0))
+	sw.Port(1).AttachSink(b.Iface)
+	sw.SetRoute(0, vc(10), 1, vc(20), RouteOptions{Class: tm.UBR})
+	a.Iface.AttachSink(sw.Port(0))
 
 	a.Iface.OpenVC(vc(10))
 	b.Iface.OpenVC(vc(20))
@@ -115,7 +115,7 @@ func TestSwitchDropsUnrouted(t *testing.T) {
 	k := sim.NewKernel()
 	a, _ := NewStation(k, nic.DefaultConfig("a"))
 	sw := NewSwitch(k, "sw", 2, units.STS3cPayload, 16)
-	a.Iface.SetOutput(sw.Input(0))
+	a.Iface.AttachSink(sw.Port(0))
 	a.Iface.OpenVC(vc(99))
 	a.Iface.Send(vc(99), []byte{1}, nil)
 	k.Run()
@@ -136,13 +136,13 @@ func TestSwitchCongestionDrops(t *testing.T) {
 	// Unequal fiber runs into the switch break the senders' cell-clock
 	// phase lock, so overflow drops hit both flows (as jittered real
 	// arrivals would).
-	linkA := phy.NewCellLink(k, 1000, 11, sw.Input(0))
-	linkB := phy.NewCellLink(k, 2400, 12, sw.Input(1))
-	a.Iface.SetOutput(linkA.Send)
-	b.Iface.SetOutput(linkB.Send)
-	sw.AttachOutput(2, c.Iface.DeliverCell)
-	sw.Route(0, vc(1), 2, vc(1))
-	sw.Route(1, vc(2), 2, vc(2))
+	linkA := phy.NewCellLink(k, 1000, 11, sw.Port(0))
+	linkB := phy.NewCellLink(k, 2400, 12, sw.Port(1))
+	a.Iface.AttachSink(linkA)
+	b.Iface.AttachSink(linkB)
+	sw.Port(2).AttachSink(c.Iface)
+	sw.SetRoute(0, vc(1), 2, vc(1), RouteOptions{Class: tm.UBR})
+	sw.SetRoute(1, vc(2), 2, vc(2), RouteOptions{Class: tm.UBR})
 	a.Iface.OpenVC(vc(1))
 	b.Iface.OpenVC(vc(2))
 	c.Iface.OpenVC(vc(1))
@@ -226,9 +226,9 @@ func TestSwitchRateMismatchCongestion(t *testing.T) {
 		c, _ := NewStation(k, nic.DefaultConfig("c")) // 155 edge station
 		sw := NewSwitch(k, "sw", 2, units.STS12cPayload, 32)
 		sw.SetPortRate(1, units.STS3cPayload)
-		a.Iface.SetOutput(sw.Input(0))
-		sw.AttachOutput(1, c.Iface.DeliverCell)
-		sw.Route(0, vc(1), 1, vc(1))
+		a.Iface.AttachSink(sw.Port(0))
+		sw.Port(1).AttachSink(c.Iface)
+		sw.SetRoute(0, vc(1), 1, vc(1), RouteOptions{Class: tm.UBR})
 		a.Iface.OpenVC(vc(1))
 		c.Iface.OpenVC(vc(1))
 		if paceCellsPerSec > 0 {
@@ -351,14 +351,14 @@ func TestSwitchBroadcastRoute(t *testing.T) {
 	reg := metrics.NewRegistry()
 	sw.Instrument(reg, "sw")
 	var got1, got2 []*atm.Cell
-	sw.AttachOutput(1, func(c *atm.Cell) { got1 = append(got1, c) })
-	sw.AttachOutput(2, func(c *atm.Cell) { got2 = append(got2, c) })
+	sw.Port(1).AttachSink(atm.SinkFunc(func(c *atm.Cell) { got1 = append(got1, c) }))
+	sw.Port(2).AttachSink(atm.SinkFunc(func(c *atm.Cell) { got2 = append(got2, c) }))
 	// Point-to-multipoint: one input VC replicated to two leaves with
 	// different translations.
-	sw.AddRoute(0, vc(5), 1, vc(50), tm.UBR)
-	sw.AddRoute(0, vc(5), 2, vc(70), tm.UBR)
-	in := sw.Input(0)
-	in(mkCell(5, atm.PTUserEnd, false))
+	sw.SetRoute(0, vc(5), 1, vc(50), RouteOptions{Class: tm.UBR, Append: true})
+	sw.SetRoute(0, vc(5), 2, vc(70), RouteOptions{Class: tm.UBR, Append: true})
+	in := sw.Port(0)
+	in.DeliverCell(mkCell(5, atm.PTUserEnd, false))
 	k.Run()
 	if len(got1) != 1 || len(got2) != 1 {
 		t.Fatalf("broadcast delivered %d/%d, want 1/1", len(got1), len(got2))
@@ -387,15 +387,15 @@ func TestSwitchPriorityDrain(t *testing.T) {
 	k := sim.NewKernel()
 	sw := NewSwitch(k, "sw", 2, units.STS3cPayload, 16)
 	var order []uint16
-	sw.AttachOutput(1, func(c *atm.Cell) { order = append(order, c.Header.VCI) })
-	sw.RouteClass(0, vc(1), 1, vc(1), tm.UBR)
-	sw.RouteClass(0, vc(2), 1, vc(2), tm.CBR)
-	in := sw.Input(0)
+	sw.Port(1).AttachSink(atm.SinkFunc(func(c *atm.Cell) { order = append(order, c.Header.VCI) }))
+	sw.SetRoute(0, vc(1), 1, vc(1), RouteOptions{Class: tm.UBR})
+	sw.SetRoute(0, vc(2), 1, vc(2), RouteOptions{Class: tm.CBR})
+	in := sw.Port(0)
 	for i := 0; i < 3; i++ {
-		in(mkCell(1, atm.PTUser0, false))
+		in.DeliverCell(mkCell(1, atm.PTUser0, false))
 	}
 	for i := 0; i < 2; i++ {
-		in(mkCell(2, atm.PTUser0, false))
+		in.DeliverCell(mkCell(2, atm.PTUser0, false))
 	}
 	k.Run()
 	want := []uint16{2, 2, 1, 1, 1}
@@ -418,12 +418,12 @@ func TestSwitchPolicerDiscards(t *testing.T) {
 	reg := metrics.NewRegistry()
 	sw.Instrument(reg, "sw")
 	delivered := 0
-	sw.AttachOutput(1, func(*atm.Cell) { delivered++ })
-	sw.Route(0, vc(3), 1, vc(3))
+	sw.Port(1).AttachSink(atm.SinkFunc(func(*atm.Cell) { delivered++ }))
+	sw.SetRoute(0, vc(3), 1, vc(3), RouteOptions{Class: tm.UBR})
 	sw.SetPolicer(0, vc(3), tm.NewPolicer(tm.CBRContract(100_000, 0)))
-	in := sw.Input(0)
+	in := sw.Port(0)
 	for i := 0; i < 10; i++ {
-		in(mkCell(3, atm.PTUser0, false))
+		in.DeliverCell(mkCell(3, atm.PTUser0, false))
 	}
 	k.Run()
 	st := sw.Stats()
@@ -446,22 +446,22 @@ func TestSwitchPolicerTagsAndCLPThreshold(t *testing.T) {
 	sw := NewSwitch(k, "sw", 2, units.STS3cPayload, 32)
 	var clpOut int
 	delivered := 0
-	sw.AttachOutput(1, func(c *atm.Cell) {
+	sw.Port(1).AttachSink(atm.SinkFunc(func(c *atm.Cell) {
 		delivered++
 		if c.Header.CLP {
 			clpOut++
 		}
-	})
-	sw.Route(0, vc(4), 1, vc(4))
+	}))
+	sw.SetRoute(0, vc(4), 1, vc(4), RouteOptions{Class: tm.UBR})
 	// PCR 1M c/s (T=1µs), SCR 100k (Ts=10µs), MBS 3 → a 3-cell burst at
 	// PCR conforms, the 4th and 5th get tagged.
 	pol := tm.NewPolicer(tm.VBRContract(1e6, 1e5, 3, 0))
 	pol.TagSCR = true
 	sw.SetPolicer(0, vc(4), pol)
-	in := sw.Input(0)
+	in := sw.Port(0)
 	for i := 0; i < 5; i++ {
 		c := mkCell(4, atm.PTUser0, false)
-		k.At(sim.Time(i)*1000, func() { in(c) })
+		k.At(sim.Time(i)*1000, func() { in.DeliverCell(c) })
 	}
 	k.Run()
 	if clpOut != 2 || sw.Stats().PolicedTagged != 2 || delivered != 5 {
@@ -473,13 +473,13 @@ func TestSwitchPolicerTagsAndCLPThreshold(t *testing.T) {
 	k2 := sim.NewKernel()
 	sw2 := NewSwitch(k2, "sw", 2, units.STS3cPayload, 8)
 	sw2.SetThresholds(1, 2, 0)
-	sw2.Route(0, vc(6), 1, vc(6))
-	in2 := sw2.Input(0)
-	in2(mkCell(6, atm.PTUser0, true)) // occ 0 < 2: accepted
+	sw2.SetRoute(0, vc(6), 1, vc(6), RouteOptions{Class: tm.UBR})
+	in2 := sw2.Port(0)
+	in2.DeliverCell(mkCell(6, atm.PTUser0, true)) // occ 0 < 2: accepted
 	for i := 0; i < 4; i++ {
-		in2(mkCell(6, atm.PTUser0, false))
+		in2.DeliverCell(mkCell(6, atm.PTUser0, false))
 	}
-	in2(mkCell(6, atm.PTUser0, true)) // occ 5 >= 2: dropped
+	in2.DeliverCell(mkCell(6, atm.PTUser0, true)) // occ 5 >= 2: dropped
 	k2.Run()
 	st := sw2.Stats()
 	if st.CLPDropped != 1 || st.Routed != 5 {
@@ -494,14 +494,14 @@ func TestSwitchEPD(t *testing.T) {
 	sw := NewSwitch(k, "sw", 2, units.STS3cPayload, 10)
 	sw.SetThresholds(1, 0, 4)
 	var got []*atm.Cell
-	sw.AttachOutput(1, func(c *atm.Cell) { got = append(got, c) })
-	sw.Route(0, vc(7), 1, vc(7))
-	in := sw.Input(0)
+	sw.Port(1).AttachSink(atm.SinkFunc(func(c *atm.Cell) { got = append(got, c) }))
+	sw.SetRoute(0, vc(7), 1, vc(7), RouteOptions{Class: tm.UBR})
+	in := sw.Port(0)
 	frame := func(n int) {
 		for i := 0; i < n-1; i++ {
-			in(mkCell(7, atm.PTUser0, false))
+			in.DeliverCell(mkCell(7, atm.PTUser0, false))
 		}
-		in(mkCell(7, atm.PTUserEnd, false))
+		in.DeliverCell(mkCell(7, atm.PTUserEnd, false))
 	}
 	frame(6) // admitted: occupancy 0 at frame start
 	frame(4) // refused: occupancy 6 >= 4 at frame start
@@ -526,18 +526,18 @@ func TestSwitchPPDForwardsEOF(t *testing.T) {
 	sw := NewSwitch(k, "sw", 2, units.STS3cPayload, 6)
 	sw.SetThresholds(1, 0, 6) // frame discard armed, EPD gate = full buffer
 	var got []*atm.Cell
-	sw.AttachOutput(1, func(c *atm.Cell) { got = append(got, c) })
-	sw.Route(0, vc(8), 1, vc(8))
-	in := sw.Input(0)
+	sw.Port(1).AttachSink(atm.SinkFunc(func(c *atm.Cell) { got = append(got, c) }))
+	sw.SetRoute(0, vc(8), 1, vc(8), RouteOptions{Class: tm.UBR})
+	in := sw.Port(0)
 	// Cells 1..9 back-to-back: 6 fill the queue, the 7th tail-drops and
 	// trips PPD, 8 and 9 die as PPD. The EOF arrives after the port has
 	// drained a few slots, so it finds room and must be forwarded.
 	for i := 0; i < 9; i++ {
-		in(mkCell(8, atm.PTUser0, false))
+		in.DeliverCell(mkCell(8, atm.PTUser0, false))
 	}
 	ct := units.CellTime(units.STS3cPayload)
 	eof := mkCell(8, atm.PTUserEnd, false)
-	k.At(sim.Time(5*ct), func() { in(eof) })
+	k.At(sim.Time(5*ct), func() { in.DeliverCell(eof) })
 	k.Run()
 	st := sw.Stats()
 	if st.Dropped != 1 || st.PPDFrames != 1 || st.PPDCells != 2 {

@@ -35,6 +35,7 @@ type Switch struct {
 	k        *sim.Kernel
 	name     string
 	ports    []*swPort
+	conduits []*SwitchPort
 	table    map[swKey]*swRoute
 	policers map[swKey]*swPolicer
 
@@ -105,7 +106,7 @@ type swPort struct {
 	queues   [tm.NumClasses]*fifo.Ring[*atm.Cell]
 	depth    int // shared buffer budget across classes, in cells
 	occ      int // current total occupancy
-	out      func(*atm.Cell)
+	out      atm.CellConsumer
 	cellTime sim.Duration
 	draining bool
 	drainFn  func() // bound drain callback, created once
@@ -119,6 +120,13 @@ type swPort struct {
 	mRouted  *metrics.Counter
 	mDropped *metrics.Counter
 	mOcc     *metrics.Gauge
+
+	// Residency telemetry: per-class shadow rings of enqueue times paired
+	// with the output queues, so each drained cell's queueing delay feeds
+	// the port residency histogram without touching the cell. Allocated by
+	// Instrument; nil (and costless) otherwise.
+	times [tm.NumClasses]*fifo.Ring[sim.Time]
+	hRes  *metrics.Histogram
 }
 
 // NewSwitch builds a switch with nPorts ports whose output links run at the
@@ -146,6 +154,7 @@ func NewSwitch(k *sim.Kernel, name string, nPorts int, rate units.BitRate, queue
 			p.queues[c] = fifo.NewRing[*atm.Cell](queueDepth)
 		}
 		s.ports = append(s.ports, p)
+		s.conduits = append(s.conduits, &SwitchPort{s: s, idx: i})
 	}
 	return s
 }
@@ -188,41 +197,61 @@ func (s *Switch) port(i int) *swPort {
 	return s.ports[i]
 }
 
-// AttachOutput connects a port's output to a sink (typically a
-// phy.CellLink.Send or a station's DeliverCell).
-func (s *Switch) AttachOutput(port int, out func(*atm.Cell)) {
-	s.port(port).out = out
+// SwitchPort is the conduit view of one switch port: cells delivered into
+// it enter the fabric on that input port, and AttachSink connects the
+// port's output side downstream. It implements atm.CellConduit, so ports
+// wire to links, interfaces and stations exactly like any other stage.
+type SwitchPort struct {
+	s   *Switch
+	idx int
 }
 
-// Route installs a unidirectional route: cells arriving on inPort with
-// header VC inVC leave on outPort carrying outVC, queued best-effort (UBR).
-func (s *Switch) Route(inPort int, inVC atm.VC, outPort int, outVC atm.VC) {
-	s.RouteClass(inPort, inVC, outPort, outVC, tm.UBR)
-}
+// DeliverCell implements atm.CellConsumer: the cell arrives on this input
+// port and is policed, routed and queued.
+func (p *SwitchPort) DeliverCell(c *atm.Cell) { p.s.receive(p.idx, c) }
 
-// RouteClass is Route with an explicit service class selecting the output
-// priority queue.
-func (s *Switch) RouteClass(inPort int, inVC atm.VC, outPort int, outVC atm.VC, class tm.ServiceClass) {
-	s.port(inPort)
-	s.port(outPort)
-	s.table[swKey{inPort: inPort, vc: inVC}] = &swRoute{
-		dests: []swDest{{outPort: outPort, outVC: outVC, class: class}},
+// AttachSink implements atm.CellProducer: cells drained from this output
+// port are delivered to out at the port's cell rate.
+func (p *SwitchPort) AttachSink(out atm.CellConsumer) {
+	if out == nil {
+		panic("netsim: nil port sink")
 	}
+	p.s.port(p.idx).out = out
 }
 
-// AddRoute appends an additional destination to an existing route (or
-// starts one), turning it into a point-to-multipoint — broadcast — route:
-// each arriving cell is replicated to every destination.
-func (s *Switch) AddRoute(inPort int, inVC atm.VC, outPort int, outVC atm.VC, class tm.ServiceClass) {
+// Port returns the conduit for port i. The same object is returned on every
+// call, so it is cheap to pass around as a wiring handle.
+func (s *Switch) Port(i int) *SwitchPort {
+	s.port(i) // range-check
+	return s.conduits[i]
+}
+
+// RouteOptions refines SetRoute.
+type RouteOptions struct {
+	// Class selects the output priority queue (zero value: UBR,
+	// best-effort).
+	Class tm.ServiceClass
+	// Append adds the destination to any existing route for (inPort, inVC)
+	// instead of replacing it, building a point-to-multipoint — broadcast —
+	// route: each arriving cell is replicated to every destination.
+	Append bool
+}
+
+// SetRoute installs a unidirectional route: cells arriving on inPort with
+// header VC inVC leave on outPort carrying outVC. The previous route for
+// (inPort, inVC), if any, is replaced unless opts.Append is set. This is
+// the one routing entry point (it subsumes the former Route / RouteClass /
+// AddRoute trio).
+func (s *Switch) SetRoute(inPort int, inVC atm.VC, outPort int, outVC atm.VC, opts RouteOptions) {
 	s.port(inPort)
 	s.port(outPort)
 	key := swKey{inPort: inPort, vc: inVC}
 	rt := s.table[key]
-	if rt == nil {
+	if rt == nil || !opts.Append {
 		rt = &swRoute{}
 		s.table[key] = rt
 	}
-	rt.dests = append(rt.dests, swDest{outPort: outPort, outVC: outVC, class: class})
+	rt.dests = append(rt.dests, swDest{outPort: outPort, outVC: outVC, class: opts.Class})
 }
 
 // Instrument registers the switch's telemetry under the given name prefix:
@@ -246,18 +275,15 @@ func (s *Switch) Instrument(reg *metrics.Registry, prefix string) {
 		p.mRouted = reg.Counter(pn + ".routed")
 		p.mDropped = reg.Counter(pn + ".dropped")
 		p.mOcc = reg.Gauge(pn + ".occupancy")
+		p.hRes = reg.Histogram(pn + ".residency")
+		for c := range p.times {
+			p.times[c] = fifo.NewRing[sim.Time](p.depth)
+		}
 	}
 	// Re-resolve VCStats rows for policers installed before Instrument.
 	for key, sp := range s.policers {
 		sp.vcs = reg.VC(key.vc.VPI, key.vc.VCI)
 	}
-}
-
-// Input returns the cell sink for an input port, suitable for wiring a
-// link's delivery callback to.
-func (s *Switch) Input(port int) func(*atm.Cell) {
-	s.port(port)
-	return func(c *atm.Cell) { s.receive(port, c) }
 }
 
 func (s *Switch) receive(port int, c *atm.Cell) {
@@ -405,6 +431,9 @@ func (s *Switch) enqueue(d swDest, c *atm.Cell) {
 	}
 
 	p.queues[d.class].Push(c)
+	if p.hRes != nil {
+		p.times[d.class].Push(s.k.Now())
+	}
 	p.occ++
 	p.mOcc.Set(int64(p.occ))
 	s.stats.Routed++
@@ -429,9 +458,11 @@ func (s *Switch) dropVC(c *atm.Cell, cause metrics.DropCause) {
 func (s *Switch) drain(port int) {
 	p := s.ports[port]
 	var cell *atm.Cell
+	cls := -1
 	for class := range p.queues { // strict priority: CBR, rt-VBR, UBR
 		if c, ok := p.queues[class].Pop(); ok {
 			cell = c
+			cls = class
 			break
 		}
 	}
@@ -441,8 +472,13 @@ func (s *Switch) drain(port int) {
 	}
 	p.occ--
 	p.mOcc.Set(int64(p.occ))
+	if p.hRes != nil {
+		if t0, ok := p.times[cls].Pop(); ok {
+			p.hRes.Observe(s.k.Now() - t0)
+		}
+	}
 	if p.out != nil {
-		p.out(cell)
+		p.out.DeliverCell(cell)
 	}
 	if p.occ == 0 {
 		p.draining = false

@@ -145,6 +145,7 @@ func (c *Config) validate() error {
 	if c.MaxSDU > aal.MaxSDU {
 		return fmt.Errorf("nic: MaxSDU %d exceeds AAL limit %d", c.MaxSDU, aal.MaxSDU)
 	}
+	c.BufOrg = c.BufOrg.Resolve()
 	return nil
 }
 

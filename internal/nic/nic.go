@@ -83,10 +83,9 @@ func New(k *sim.Kernel, cfg Config, hst *host.Host, b *bus.Bus) (*Interface, err
 		i.rxEngines = append(i.rxEngines, eng)
 	}
 	cellTime := units.CellTime(cfg.PayloadRate)
-	i.tx = newTransmitter(k, &i.cfg, i.txEngine, i.txDev, i.pool, i.buf, cellTime, reg, cfg.Name, func(c *atm.Cell) {
+	i.tx = newTransmitter(k, &i.cfg, i.txEngine, i.txDev, i.pool, i.buf, cellTime, reg, cfg.Name,
 		// Default output discards (no link attached yet).
-		i.pool.Put(c)
-	})
+		atm.SinkFunc(func(c *atm.Cell) { i.pool.Put(c) }))
 	i.rx = newReceiver(k, &i.cfg, i.rxEngines, i.rxDev, hst, i.pool, reg, cfg.Name)
 	// Management slow path: the receive firmware answers F5 loopback
 	// requests by reflecting the cell through the transmit FIFO; loopback
@@ -160,14 +159,23 @@ func (i *Interface) EnableRxPooling() { i.rx.setPool(i.buf) }
 // CellTime returns the wire's cell slot duration.
 func (i *Interface) CellTime() sim.Duration { return units.CellTime(i.cfg.PayloadRate) }
 
-// SetOutput attaches the transmit side to a link: out is called once per
-// occupied cell slot with an encoded cell. Ownership of the cell transfers
-// to the callee.
-func (i *Interface) SetOutput(out func(*atm.Cell)) {
+// AttachSink attaches the transmit side to a downstream consumer (a link,
+// a switch port): it receives one encoded cell per occupied cell slot, with
+// ownership transferring on delivery. Implements atm.CellProducer; together
+// with DeliverCell it makes the interface a full atm.CellConduit.
+func (i *Interface) AttachSink(out atm.CellConsumer) {
 	if out == nil {
 		panic("nic: nil output")
 	}
 	i.tx.out = out
+}
+
+// SetOutput is the func-valued convenience form of AttachSink.
+func (i *Interface) SetOutput(out func(*atm.Cell)) {
+	if out == nil {
+		panic("nic: nil output")
+	}
+	i.tx.out = atm.SinkFunc(out)
 }
 
 // OnReceive registers the host-side delivery callback.

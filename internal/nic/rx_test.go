@@ -204,7 +204,7 @@ func TestOAMLoopbackAnsweredByFirmware(t *testing.T) {
 	r.a.OpenVC(vc)
 	r.b.OpenVC(vc)
 	// newRig wires only a->b; add the reverse path for the reply.
-	back := phy.NewCellLink(r.k, 10_000, 2, r.a.DeliverCell)
+	back := phy.NewCellLink(r.k, 10_000, 2, r.a)
 	r.b.SetOutput(back.Send)
 
 	var gotVC atm.VC
@@ -278,7 +278,7 @@ func TestMIDMuxSharedVC(t *testing.T) {
 
 	// Both transmitters feed the same fiber (a multipoint-to-point merge,
 	// as an SMDS access line would see).
-	link := phy.NewCellLink(k, 5000, 3, rx.DeliverCell)
+	link := phy.NewCellLink(k, 5000, 3, rx)
 	tx1.SetOutput(link.Send)
 	tx2.SetOutput(link.Send)
 

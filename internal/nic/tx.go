@@ -96,7 +96,7 @@ type transmitter struct {
 	dev  *bus.Device
 	pool *atm.Pool
 	bufp *bufpool.Pool // recycle target for pooled descriptor SDUs
-	out  func(*atm.Cell)
+	out  atm.CellConsumer
 
 	fifo  *fifo.Ring[*atm.Cell]
 	vcs   map[atm.VC]*txVC
@@ -142,7 +142,7 @@ type transmitter struct {
 
 func newTransmitter(k *sim.Kernel, cfg *Config, eng *engine.Engine, dev *bus.Device,
 	pool *atm.Pool, bufp *bufpool.Pool, cellTime sim.Duration, reg *metrics.Registry,
-	prefix string, out func(*atm.Cell)) *transmitter {
+	prefix string, out atm.CellConsumer) *transmitter {
 	t := &transmitter{
 		k: k, cfg: cfg, eng: eng, dev: dev, pool: pool, bufp: bufp, out: out,
 		fifo:      fifo.NewRing[*atm.Cell](cfg.TxFifoDepth),
@@ -568,7 +568,7 @@ func (t *transmitter) tick() {
 		if t0, tok := t.pushTimes.Pop(); tok {
 			t.hCellDelay.Observe(t.k.Now() - t0)
 		}
-		t.out(cell)
+		t.out.DeliverCell(cell)
 		if t.stalled {
 			t.stalled = false
 			t.schedule()

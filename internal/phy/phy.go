@@ -35,7 +35,7 @@ type CellLink struct {
 	CorruptProb float64
 
 	rng   *sim.Rand
-	sink  func(*atm.Cell)
+	sink  atm.CellConsumer
 	stats Stats
 
 	def       *CellDeferrer
@@ -43,7 +43,7 @@ type CellLink struct {
 }
 
 // NewCellLink builds a link delivering cells to sink after delay.
-func NewCellLink(k *sim.Kernel, delay sim.Duration, seed uint64, sink func(*atm.Cell)) *CellLink {
+func NewCellLink(k *sim.Kernel, delay sim.Duration, seed uint64, sink atm.CellConsumer) *CellLink {
 	if sink == nil {
 		panic("phy: nil sink")
 	}
@@ -54,21 +54,29 @@ func NewCellLink(k *sim.Kernel, delay sim.Duration, seed uint64, sink func(*atm.
 }
 
 // deliver hands a cell to the current sink. Indirecting through this method
-// (rather than binding the sink at Send time) keeps SetSink effective for
-// cells already in flight, matching the old closure's late read of l.sink.
-func (l *CellLink) deliver(c *atm.Cell) { l.sink(c) }
+// (rather than binding the sink at Send time) keeps AttachSink effective for
+// cells already in flight.
+func (l *CellLink) deliver(c *atm.Cell) { l.sink.DeliverCell(c) }
 
 // Stats returns cumulative counters.
 func (l *CellLink) Stats() Stats { return l.stats }
 
-// SetSink replaces the delivery callback — the hook tap points (trace.Timed)
-// use to wrap the receiving end after the link is built.
-func (l *CellLink) SetSink(sink func(*atm.Cell)) {
+// AttachSink replaces the delivery end — the hook tap points (trace.Timed)
+// use to wrap the receiving end after the link is built. It implements
+// atm.CellProducer, making the link a full CellConduit.
+func (l *CellLink) AttachSink(sink atm.CellConsumer) {
 	if sink == nil {
 		panic("phy: nil sink")
 	}
 	l.sink = sink
 }
+
+// Sink returns the currently attached delivery end, so taps can wrap it.
+func (l *CellLink) Sink() atm.CellConsumer { return l.sink }
+
+// DeliverCell implements atm.CellConsumer: cells delivered into the link
+// enter the fiber (it is the link's ingress). Equivalent to Send.
+func (l *CellLink) DeliverCell(c *atm.Cell) { l.Send(c) }
 
 // Send transmits one cell. The cell is owned by the link until delivery;
 // callers must not reuse it (use a pool and recycle in the sink).

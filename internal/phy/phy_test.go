@@ -10,7 +10,7 @@ import (
 func TestCellLinkDeliversAfterDelay(t *testing.T) {
 	k := sim.NewKernel()
 	var at sim.Time = -1
-	l := NewCellLink(k, 5000, 1, func(c *atm.Cell) { at = k.Now() })
+	l := NewCellLink(k, 5000, 1, atm.SinkFunc(func(c *atm.Cell) { at = k.Now() }))
 	l.Send(&atm.Cell{})
 	k.Run()
 	if at != 5000 {
@@ -25,7 +25,7 @@ func TestCellLinkDeliversAfterDelay(t *testing.T) {
 func TestCellLinkPreservesOrder(t *testing.T) {
 	k := sim.NewKernel()
 	var got []uint16
-	l := NewCellLink(k, 100, 1, func(c *atm.Cell) { got = append(got, c.Header.VCI) })
+	l := NewCellLink(k, 100, 1, atm.SinkFunc(func(c *atm.Cell) { got = append(got, c.Header.VCI) }))
 	for i := 0; i < 10; i++ {
 		c := &atm.Cell{}
 		c.Header.VCI = uint16(i)
@@ -42,7 +42,7 @@ func TestCellLinkPreservesOrder(t *testing.T) {
 func TestCellLinkLossRate(t *testing.T) {
 	k := sim.NewKernel()
 	delivered := 0
-	l := NewCellLink(k, 0, 42, func(c *atm.Cell) { delivered++ })
+	l := NewCellLink(k, 0, 42, atm.SinkFunc(func(c *atm.Cell) { delivered++ }))
 	l.LossProb = 0.1
 	n := 100000
 	for i := 0; i < n; i++ {
@@ -61,7 +61,7 @@ func TestCellLinkLossRate(t *testing.T) {
 func TestCellLinkCorruptionFlipsOneBit(t *testing.T) {
 	k := sim.NewKernel()
 	var got *atm.Cell
-	l := NewCellLink(k, 0, 7, func(c *atm.Cell) { got = c })
+	l := NewCellLink(k, 0, 7, atm.SinkFunc(func(c *atm.Cell) { got = c }))
 	l.CorruptProb = 1.0
 	c := &atm.Cell{}
 	orig := c.Payload
@@ -144,7 +144,7 @@ func TestNilSinkPanics(t *testing.T) {
 func TestCellLinkSendZeroAlloc(t *testing.T) {
 	k := sim.NewKernel()
 	delivered := 0
-	l := NewCellLink(k, 5000, 1, func(c *atm.Cell) { delivered++ })
+	l := NewCellLink(k, 5000, 1, atm.SinkFunc(func(c *atm.Cell) { delivered++ }))
 	c := &atm.Cell{}
 	// Warm the deferrer and kernel free lists.
 	l.Send(c)

@@ -100,8 +100,8 @@ func Connect(k *sim.Kernel, cfg Config, a, b *nic.Interface) (*Link, error) {
 	}
 	ab := newHalf(k, cfg, a, b)
 	ba := newHalf(k, cfg, b, a)
-	a.SetOutput(ab.enqueue)
-	b.SetOutput(ba.enqueue)
+	a.AttachSink(ab)
+	b.AttachSink(ba)
 	return &Link{AtoB: ab, BtoA: ba}, nil
 }
 
@@ -160,6 +160,10 @@ func (h *Half) Stats() Stats {
 	s.Deframer = h.df.Stats()
 	return s
 }
+
+// DeliverCell implements atm.CellConsumer: the half is the transmitting
+// interface's downstream sink.
+func (h *Half) DeliverCell(c *atm.Cell) { h.enqueue(c) }
 
 // enqueue accepts a cell from the transmitting interface's cell clock.
 func (h *Half) enqueue(c *atm.Cell) {
