@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench verify fmt fmt-check vet
+.PHONY: all build test bench verify fmt fmt-check vet staticcheck
 
 all: build
 
@@ -28,8 +28,18 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# verify is the pre-PR gate: formatting, vet, a full build, and the test
-# suite under the race detector.
-verify: fmt-check vet
+# staticcheck runs honnef.co/go/tools when the binary is on PATH and skips
+# gracefully when it is not, so local builds without it still `make verify`.
+# CI installs it explicitly and therefore always gets the real check.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2023.1.7)"; \
+	fi
+
+# verify is the pre-PR gate: formatting, vet, staticcheck (when installed),
+# a full build, and the test suite under the race detector.
+verify: fmt-check vet staticcheck
 	$(GO) build ./...
 	$(GO) test -race ./...

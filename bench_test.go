@@ -211,6 +211,19 @@ func BenchmarkE16MultiHop(b *testing.B) {
 	}
 }
 
+// BenchmarkE17FaultRecovery regenerates the link-failure experiment: a
+// mid-path fiber cut and repair under load, reporting the fault-detection
+// and post-repair recovery latencies.
+func BenchmarkE17FaultRecovery(b *testing.B) {
+	var res experiments.E17Result
+	for i := 0; i < b.N; i++ {
+		res, _ = experiments.E17(10 * sim.Millisecond)
+	}
+	b.ReportMetric(float64(res.DetectLatency)/1000, "detect-us")
+	b.ReportMetric(float64(res.RecoveryLatency)/1000, "recover-us")
+	b.ReportMetric(float64(res.StaleFramesReclaimed), "stale-frames")
+}
+
 // BenchmarkAblationInterleave measures the short-frame latency win of
 // multi-VC interleaved segmentation (DESIGN.md's TX scheduler choice): a
 // 96-byte frame queued behind a 64 KiB bulk frame, serial vs interleaved.

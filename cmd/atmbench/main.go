@@ -1,5 +1,5 @@
 // Command atmbench regenerates the reconstructed evaluation of the Davie
-// SIGCOMM '91 host–network interface: experiments E1 through E16 (see
+// SIGCOMM '91 host–network interface: experiments E1 through E17 (see
 // DESIGN.md for the index). Run with no flags to print everything, or
 // select experiments:
 //
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiments (e1..e16) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiments (e1..e17) or 'all'")
 	quick := flag.Bool("quick", false, "shorter simulated runs (for smoke tests)")
 	csv := flag.Bool("csv", false, "emit tables as CSV where applicable")
 	metricsPath := flag.String("metrics", "", "run the instrumented telemetry pass and write its JSON snapshot here (\"-\" for stdout)")
@@ -34,7 +34,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for i := 1; i <= 16; i++ {
+		for i := 1; i <= 17; i++ {
 			want[fmt.Sprintf("e%d", i)] = true
 		}
 	} else {
@@ -158,6 +158,12 @@ func main() {
 		emitSeries(sr)
 		ran++
 	}
+	if want["e17"] {
+		res, sr := experiments.E17(runTime(20 * sim.Millisecond))
+		fmt.Println("E17:", res.String())
+		emitSeries(sr)
+		ran++
+	}
 	if *metricsPath != "" {
 		ec := experiments.DefaultTelemetry()
 		ec.RunTime = runTime(ec.RunTime)
@@ -181,7 +187,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "atmbench: no experiment matched %q (use e1..e16 or all)\n", *expFlag)
+		fmt.Fprintf(os.Stderr, "atmbench: no experiment matched %q (use e1..e17 or all)\n", *expFlag)
 		os.Exit(2)
 	}
 }

@@ -8,6 +8,7 @@
 //	atmsim -arch percell -size 1000     # the per-cell-interrupt baseline
 //	atmsim -contract 150000,50000,32 -police    # shaped VC through a policing switch
 //	atmsim -size 1000 -epd 48                   # early packet discard at the switch
+//	atmsim -kill 10ms -restore 25ms -rtimeout 1ms   # cut and repair the a->b fiber
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/nic"
 	"repro/internal/sim"
 	"repro/internal/tm"
 	"repro/internal/units"
@@ -49,9 +51,12 @@ func main() {
 	contract := flag.String("contract", "", "shape a's VC to a traffic contract: \"pcr\" (CBR, cells/s) or \"pcr,scr,mbs\" (rt-VBR)")
 	police := flag.Bool("police", false, "route through a 155 Mb/s switch whose ingress polices -contract (tagging SCR violators)")
 	epd := flag.Int("epd", 0, "route through a 155 Mb/s switch with early packet discard above this queue depth (0 = off; congests with -rate 622)")
+	kill := flag.Duration("kill", 0, "cut the a->b fiber at this simulated time (0 = never); alarm events print as they fire")
+	restore := flag.Duration("restore", 0, "restore the cut fiber at this simulated time (0 = stays dark)")
+	rtimeout := flag.Duration("rtimeout", 0, "reassembly staleness timeout: partial frames idle this long are aborted and their adapter buffers reclaimed (0 = off)")
 	flag.Parse()
 
-	if err := run(*rate, *aalFlag, *arch, *size, *wl, *duration, *loss, *window, *seed, *rxEngines, *interleave, *traceN, *metricsPath, *stats, *contract, *police, *epd); err != nil {
+	if err := run(*rate, *aalFlag, *arch, *size, *wl, *duration, *loss, *window, *seed, *rxEngines, *interleave, *traceN, *metricsPath, *stats, *contract, *police, *epd, *kill, *restore, *rtimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "atmsim:", err)
 		os.Exit(1)
 	}
@@ -59,7 +64,8 @@ func main() {
 
 func run(rate int, aalFlag, arch string, size int, wl string, duration time.Duration,
 	loss float64, window int, seed uint64, rxEngines int, interleave bool, traceN int,
-	metricsPath string, stats bool, contractSpec string, police bool, epd int) error {
+	metricsPath string, stats bool, contractSpec string, police bool, epd int,
+	kill, restore, rtimeout time.Duration) error {
 	deadline := sim.Time(duration.Nanoseconds())
 
 	payloadRate := units.STS3cPayload
@@ -93,6 +99,9 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 		if haveContract || police || epd > 0 {
 			return fmt.Errorf("-contract/-police/-epd are not supported with -arch percell")
 		}
+		if kill > 0 || rtimeout > 0 {
+			return fmt.Errorf("-kill/-rtimeout are not supported with -arch percell")
+		}
 		return runBaseline(sim.NewKernel(), payloadRate, aalType, size, deadline, loss, seed)
 	}
 	if arch != "engine" && arch != "hardwired" {
@@ -105,11 +114,12 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 	// names carry the station name ("a.nic.tx.cells"), per-VC rows are
 	// shared so one row shows a connection end to end.
 	opts := core.Options{
-		Rate:          payloadRate,
-		AAL34:         aalType == aal.AAL34,
-		RxEngines:     rxEngines,
-		InterleaveVCs: interleave,
-		Hardwired:     arch == "hardwired",
+		Rate:              payloadRate,
+		AAL34:             aalType == aal.AAL34,
+		RxEngines:         rxEngines,
+		InterleaveVCs:     interleave,
+		Hardwired:         arch == "hardwired",
+		ReassemblyTimeout: sim.Duration(rtimeout.Nanoseconds()),
 	}
 	reg := metrics.NewRegistry()
 	spec := core.NetworkSpec{
@@ -168,6 +178,36 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 		}
 		if epd > 0 {
 			sw.SetThresholds(vcc.Hops[0].OutPort, 0, epd)
+		}
+	}
+
+	// Fault plane: alarm transitions print as they reach each host, and the
+	// a->b fiber (its last hop, when a switch is in the path) can be cut and
+	// repaired on schedule.
+	if kill > 0 || rtimeout > 0 {
+		onAlarm := func(who string) func(nic.AlarmEvent) {
+			return func(ev nic.AlarmEvent) {
+				fmt.Printf("t=%-12v %s: %v\n", ev.At, who, ev)
+			}
+		}
+		a.OnAlarm(onAlarm("a"))
+		b.OnAlarm(onAlarm("b"))
+	}
+	if kill > 0 {
+		linkName := "ab"
+		if police || epd > 0 {
+			linkName = "sw-b"
+		}
+		lk := net.Link(linkName)
+		k.At(sim.Time(kill.Nanoseconds()), func() {
+			fmt.Printf("t=%-12v fiber %s cut\n", k.Now(), linkName)
+			lk.Fwd.Fail()
+		})
+		if restore > 0 {
+			k.At(sim.Time(restore.Nanoseconds()), func() {
+				fmt.Printf("t=%-12v fiber %s restored\n", k.Now(), linkName)
+				lk.Fwd.Restore()
+			})
 		}
 	}
 
@@ -239,6 +279,11 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 		ps := pol.Stats()
 		fmt.Printf("policer           %d cells: %d conform, %d tagged, %d discarded\n",
 			ps.Cells, ps.Conformed, ps.Tagged, ps.Discarded)
+	}
+	if kill > 0 || rtimeout > 0 {
+		fmA, fmB := a.Interface().FMStats(), b.Interface().FMStats()
+		fmt.Printf("fault mgmt        b: %d ais rx, %d rdi tx, %d alarm events; a: %d rdi rx; stale frames reclaimed %d\n",
+			fmB.AISRx, fmB.RDITx, fmB.Events, fmA.RDIRx, st.Rx.Stale)
 	}
 	if sw != nil {
 		sws := sw.Stats()

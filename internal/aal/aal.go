@@ -109,6 +109,25 @@ type Reassembler interface {
 	Type() Type
 }
 
+// StaleReaper is implemented by reassemblers that can age out abandoned
+// partial frames — the state a lost end-of-message cell strands forever
+// otherwise, leaking frame buffers (and AAL3/4 MID slots) toward
+// ErrBufferExhaust. The package stays a leaf: the clock is an opaque
+// monotonic int64 the caller provides (the NIC passes simulated
+// nanoseconds), sampled once per Push.
+type StaleReaper interface {
+	// SetClock installs the timestamp source; nil disables staleness
+	// tracking (the default — Push then takes no clock sample).
+	SetClock(now func() int64)
+	// ExpireStale aborts every partial frame whose last cell arrived at
+	// or before olderThan and returns how many frames were reclaimed
+	// (counted per frame into the attached VCStats as reassembly
+	// timeouts).
+	ExpireStale(olderThan int64) int
+	// Busy reports whether any partial frame is in progress.
+	Busy() bool
+}
+
 // New returns a matched Segmenter/Reassembler pair for the given layer.
 // maxFrame bounds the reassembler's buffer in bytes (0 means MaxSDU plus
 // trailer room).

@@ -157,6 +157,8 @@ type Reassembler34 struct {
 	cells    int
 	vst      *metrics.VCStats
 	pool     *bufpool.Pool
+	clock    func() int64 // nil = no staleness tracking
+	lastPush int64
 }
 
 // SetVCStats attaches the connection's telemetry row; per-cell CRC-10
@@ -168,6 +170,24 @@ func (r *Reassembler34) SetVCStats(s *metrics.VCStats) { r.vst = s }
 // each Result.SDU transfers to the consumer, which should Put it back once
 // the frame has been delivered; a nil pool restores plain allocation.
 func (r *Reassembler34) SetPool(p *bufpool.Pool) { r.pool = p }
+
+// SetClock implements StaleReaper.
+func (r *Reassembler34) SetClock(now func() int64) { r.clock = now }
+
+// Busy implements StaleReaper.
+func (r *Reassembler34) Busy() bool { return r.inFrame }
+
+// ExpireStale implements StaleReaper: a partial frame whose last cell
+// arrived at or before olderThan is aborted and counted as a reassembly
+// timeout.
+func (r *Reassembler34) ExpireStale(olderThan int64) int {
+	if !r.inFrame || r.lastPush > olderThan {
+		return 0
+	}
+	r.Abort()
+	r.vst.IncReassemblyTimeout()
+	return 1
+}
 
 // NewReassembler34 returns an AAL3/4 reassembler with the given frame-buffer
 // bound in bytes (0 selects the maximum legal frame).
@@ -193,14 +213,18 @@ func (r *Reassembler34) Push(payload *[atm.PayloadSize]byte, pt atm.PT) (*Result
 	if !pt.User() {
 		return nil, ErrBadSegType
 	}
+	if r.clock != nil {
+		r.lastPush = r.clock()
+	}
 	if !crc.CRC10Check(payload[:]) {
-		// Corrupt SAR-PDU: if mid-frame, the frame is gone.
-		wasInFrame := r.inFrame
+		// Corrupt SAR-PDU: an isolated bad cell costs only itself, but
+		// one arriving mid-frame kills the whole frame in progress — the
+		// distinction the per-VC stats keep.
+		if r.inFrame {
+			r.vst.IncMidFrameKill()
+		}
 		r.Abort()
 		r.vst.IncCRCError()
-		if wasInFrame {
-			return nil, ErrBadCellCRC
-		}
 		return nil, ErrBadCellCRC
 	}
 	st := payload[0] >> 6

@@ -105,6 +105,8 @@ type Reassembler5 struct {
 	active   bool
 	vst      *metrics.VCStats
 	pool     *bufpool.Pool
+	clock    func() int64 // nil = no staleness tracking
+	lastPush int64
 }
 
 // SetVCStats attaches the connection's telemetry row; CRC and length
@@ -115,6 +117,25 @@ func (r *Reassembler5) SetVCStats(s *metrics.VCStats) { r.vst = s }
 // each Result.SDU transfers to the consumer, which should Put it back once
 // the frame has been delivered; a nil pool restores plain allocation.
 func (r *Reassembler5) SetPool(p *bufpool.Pool) { r.pool = p }
+
+// SetClock implements StaleReaper.
+func (r *Reassembler5) SetClock(now func() int64) { r.clock = now }
+
+// Busy implements StaleReaper.
+func (r *Reassembler5) Busy() bool { return r.active }
+
+// ExpireStale implements StaleReaper: a partial frame whose last cell
+// arrived at or before olderThan is aborted and counted as a reassembly
+// timeout. This is how an AAL5 frame whose end-of-frame cell died on a
+// failed link stops holding its buffer forever.
+func (r *Reassembler5) ExpireStale(olderThan int64) int {
+	if !r.active || r.lastPush > olderThan {
+		return 0
+	}
+	r.Abort()
+	r.vst.IncReassemblyTimeout()
+	return 1
+}
 
 // NewReassembler5 returns an AAL5 reassembler whose frame buffer holds up to
 // maxFrame bytes (0 selects the maximum legal frame).
@@ -143,6 +164,9 @@ func (r *Reassembler5) Abort() {
 func (r *Reassembler5) Push(payload *[atm.PayloadSize]byte, pt atm.PT) (*Result, error) {
 	if !pt.User() {
 		return nil, ErrBadSegType
+	}
+	if r.clock != nil {
+		r.lastPush = r.clock()
 	}
 	if len(r.buf)+atm.PayloadSize > r.maxFrame+atm.PayloadSize {
 		// Frame has outgrown the buffer: a lost end-of-frame cell has

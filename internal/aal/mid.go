@@ -3,6 +3,7 @@ package aal
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/atm"
 	"repro/internal/bufpool"
@@ -23,6 +24,7 @@ type MIDReassembler34 struct {
 	streams  map[uint16]*Reassembler34
 	vst      *metrics.VCStats
 	pool     *bufpool.Pool
+	clock    func() int64
 }
 
 // SetVCStats attaches the shared VC's telemetry row; every MID stream's
@@ -42,6 +44,43 @@ func (m *MIDReassembler34) SetPool(p *bufpool.Pool) {
 	for _, ras := range m.streams {
 		ras.SetPool(p)
 	}
+}
+
+// SetClock implements StaleReaper for every MID stream (current and future).
+func (m *MIDReassembler34) SetClock(now func() int64) {
+	m.clock = now
+	for _, ras := range m.streams {
+		ras.SetClock(now)
+	}
+}
+
+// Busy implements StaleReaper: true while any MID slot holds a partial frame.
+func (m *MIDReassembler34) Busy() bool { return len(m.streams) > 0 }
+
+// ExpireStale implements StaleReaper: every MID slot whose partial frame
+// has gone stale is aborted and reclaimed — the leak path a lost EOM on an
+// interleaved stream opens, since nothing else ever deletes that slot.
+// Slots are visited in MID order so the reclaim sequence is deterministic.
+func (m *MIDReassembler34) ExpireStale(olderThan int64) int {
+	if len(m.streams) == 0 {
+		return 0
+	}
+	mids := make([]int, 0, len(m.streams))
+	for mid := range m.streams {
+		mids = append(mids, int(mid))
+	}
+	sort.Ints(mids)
+	n := 0
+	for _, mid := range mids {
+		ras := m.streams[uint16(mid)]
+		if ras.ExpireStale(olderThan) > 0 {
+			n++
+		}
+		if !ras.inFrame {
+			delete(m.streams, uint16(mid))
+		}
+	}
+	return n
 }
 
 // ErrTooManyMIDs is returned when a new MID would exceed the configured
@@ -80,6 +119,7 @@ func (m *MIDReassembler34) Push(payload *[atm.PayloadSize]byte, pt atm.PT) (uint
 		ras = NewReassembler34(m.maxFrame)
 		ras.SetVCStats(m.vst)
 		ras.SetPool(m.pool)
+		ras.SetClock(m.clock)
 		m.streams[mid] = ras
 	}
 	res, err := ras.Push(payload, pt)

@@ -57,6 +57,13 @@ type Options struct {
 	RxEngines int
 	// InterleaveVCs enables multi-VC interleaved segmentation on transmit.
 	InterleaveVCs bool
+	// ReassemblyTimeout ages out partial frames abandoned by cell loss,
+	// reclaiming their adapter buffers (0 = disabled; see nic.Config).
+	ReassemblyTimeout sim.Duration
+	// AlarmPeriod overrides the fault-management RDI cadence (0 = 1 ms).
+	AlarmPeriod sim.Duration
+	// AlarmClearTimeout overrides the alarm soak interval (0 = 2.5 ms).
+	AlarmClearTimeout sim.Duration
 }
 
 func (o Options) nicConfig(name string) nic.Config {
@@ -81,6 +88,9 @@ func (o Options) nicConfig(name string) nic.Config {
 	}
 	cfg.RxEngines = o.RxEngines
 	cfg.InterleaveVCs = o.InterleaveVCs
+	cfg.ReassemblyTimeout = o.ReassemblyTimeout
+	cfg.AlarmPeriod = o.AlarmPeriod
+	cfg.AlarmClearTimeout = o.AlarmClearTimeout
 	return cfg
 }
 
@@ -234,6 +244,12 @@ func (e *Endpoint) Ping(vc VC, correlation uint32) error {
 // OnPingReply registers the loopback-reply handler.
 func (e *Endpoint) OnPingReply(fn func(vc VC, correlation uint32)) {
 	e.station.Iface.OnLoopbackReply(fn)
+}
+
+// OnAlarm registers the fault-management handler: AIS/RDI declare and clear
+// transitions per VC, LOS per link (see nic.Interface.OnAlarm).
+func (e *Endpoint) OnAlarm(fn func(nic.AlarmEvent)) {
+	e.station.Iface.OnAlarm(fn)
 }
 
 // SetContract installs a full traffic contract on a VC's transmit path

@@ -54,6 +54,10 @@ type SwitchSpec struct {
 	QueueDepth int
 	// SwitchingDelay is the fabric's fixed per-cell transit latency.
 	SwitchingDelay sim.Duration
+	// AISPeriod arms F5 fault management: while an input port's fiber is
+	// down, the switch inserts AIS downstream on every route that port
+	// feeds, once per period. Zero disables generation.
+	AISPeriod sim.Duration
 }
 
 // NodeRef names one end of a link: an endpoint (Port ignored) or a switch
@@ -237,6 +241,7 @@ func NewNetwork(spec NetworkSpec) (*Network, error) {
 		}
 		sw := netsim.NewSwitch(k, ss.Name, ss.Ports, ss.Rate, ss.QueueDepth)
 		sw.SwitchingDelay = ss.SwitchingDelay
+		sw.AISPeriod = ss.AISPeriod
 		sw.Instrument(reg, ss.Name)
 		n.switches[ss.Name] = sw
 		n.swSpecs[ss.Name] = ss
@@ -285,6 +290,15 @@ func NewNetwork(spec NetworkSpec) (*Network, error) {
 		rev.CorruptProb = ls.CorruptProb
 		n.producer(ls.A).AttachSink(fwd)
 		n.producer(ls.B).AttachSink(rev)
+		// Carrier state reaches the receiving node directly, even when a
+		// latency tap later wraps the link's cell sink: losing the light
+		// must become LOS at the interface or AIS insertion at the switch.
+		if sc, ok := n.consumer(ls.B).(phy.SignalConsumer); ok {
+			fwd.SetSignalSink(sc)
+		}
+		if sc, ok := n.consumer(ls.A).(phy.SignalConsumer); ok {
+			rev.SetSignalSink(sc)
+		}
 		l := &Link{Name: ls.Name, Fwd: fwd, Rev: rev, a: ls.A, b: ls.B,
 			usedVCs: make(map[atm.VC]bool)}
 		n.links[ls.Name] = l

@@ -563,3 +563,46 @@ func TestE16Shape(t *testing.T) {
 		t.Fatal("series missing 155 Mb/s line")
 	}
 }
+
+func TestE17Shape(t *testing.T) {
+	res, sr := E17(20 * sim.Millisecond)
+	if res.PreFaultDelivered == 0 {
+		t.Fatal("no frames delivered before the fault")
+	}
+	if res.PostRestoreDelivered == 0 {
+		t.Fatal("flow did not resume after the repair")
+	}
+	if res.CellsDroppedDown == 0 {
+		t.Fatal("fault injection dropped no cells — was the link ever down?")
+	}
+	// The fault plane closed its loop: AIS on the wire and at dst's host,
+	// RDI back at src's host, and both alarms cleared after the repair.
+	if res.DetectLatency < 0 || res.AISCellsSent == 0 {
+		t.Fatalf("no AIS observed downstream: %+v", res)
+	}
+	if res.AISRaised < 0 || res.AISCleared < 0 {
+		t.Fatalf("dst AIS alarm did not declare and clear: %+v", res)
+	}
+	if res.RDIRaised < 0 || res.RDICleared < 0 || res.RDICellsSent == 0 {
+		t.Fatalf("src RDI alarm did not declare and clear: %+v", res)
+	}
+	// Detection is one propagation delay (50 µs) after the cut; AIS at the
+	// host follows within the insertion period plus transit.
+	if res.DetectLatency > sim.Duration(sim.Millisecond) {
+		t.Errorf("detection took %v, want < 1ms", res.DetectLatency)
+	}
+	if res.RecoveryLatency < 0 {
+		t.Errorf("no frame delivered after restore: %+v", res)
+	}
+	// The reassembly GC reclaimed what the cut stranded: the partial frame
+	// in flight at kill time was aborted and its SRAM returned.
+	if res.StaleFramesReclaimed == 0 {
+		t.Error("reassembly GC reclaimed nothing despite a mid-frame cut")
+	}
+	if res.SRAMEnd != 0 {
+		t.Errorf("adapter SRAM still pins %d bytes after the run", res.SRAMEnd)
+	}
+	if sr == nil || len(sr.X) == 0 {
+		t.Fatal("empty report series")
+	}
+}

@@ -43,6 +43,13 @@ const (
 	// DropCLPThreshold is a CLP=1 cell dropped at a congested switch queue
 	// above its discard-eligible threshold.
 	DropCLPThreshold
+	// DropBadOAM is a management cell discarded by the OAM slow path:
+	// damaged (CRC-10 failure) or carrying a type/function the firmware
+	// does not implement.
+	DropBadOAM
+	// DropMgmtTxFull is a firmware-generated management cell (loopback
+	// response, AIS/RDI) dropped because the transmit FIFO was full.
+	DropMgmtTxFull
 
 	numDropCauses
 )
@@ -72,6 +79,10 @@ func (c DropCause) String() string {
 		return "switch_queue_overflow"
 	case DropCLPThreshold:
 		return "clp_threshold"
+	case DropBadOAM:
+		return "oam_bad"
+	case DropMgmtTxFull:
+		return "mgmt_tx_full"
 	default:
 		return "unknown"
 	}
@@ -107,6 +118,7 @@ type VCStats struct {
 	LengthErrors       uint64 // CPCS length/tag field mismatches
 	LostCells          uint64 // sequence-detected cell losses (AAL3/4)
 	ReassemblyTimeouts uint64 // partial frames aged out
+	MidFrameKills      uint64 // frames killed by a corrupt cell mid-reassembly
 }
 
 // AddCellOut counts one transmitted data cell.
@@ -181,6 +193,16 @@ func (s *VCStats) IncReassemblyTimeout() {
 		return
 	}
 	s.ReassemblyTimeouts++
+}
+
+// IncMidFrameKill counts one frame killed by a corrupt cell arriving while
+// its reassembly was in progress (as opposed to an isolated bad cell, which
+// costs only itself).
+func (s *VCStats) IncMidFrameKill() {
+	if s == nil {
+		return
+	}
+	s.MidFrameKills++
 }
 
 // TotalDrops sums losses across causes.

@@ -2,10 +2,12 @@ package netsim
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/atm"
 	"repro/internal/fifo"
 	"repro/internal/metrics"
+	"repro/internal/oam"
 	"repro/internal/sim"
 	"repro/internal/tm"
 	"repro/internal/units"
@@ -42,6 +44,17 @@ type Switch struct {
 	// SwitchingDelay models the fabric's fixed per-cell latency.
 	SwitchingDelay sim.Duration
 
+	// AISPeriod arms F5 fault management: while any input port has lost
+	// its signal, the switch inserts one AIS cell per period downstream on
+	// every route fed by that port, so endpoints learn of the failure in
+	// about one period instead of by higher-layer timeout. Zero (default)
+	// disables generation.
+	AISPeriod sim.Duration
+
+	portDown   []bool
+	aisTicking bool
+	aisTickFn  func()
+
 	// Free list of pooled fabric-transit records, so per-cell switching
 	// costs no closure or event allocation (see swDefer).
 	freeDefer *swDefer
@@ -57,6 +70,7 @@ type Switch struct {
 	mCLP    *metrics.Counter
 	mNoRt   *metrics.Counter
 	mBcast  *metrics.Counter
+	mAIS    *metrics.Counter
 }
 
 // SwitchStats counts switch events.
@@ -73,6 +87,7 @@ type SwitchStats struct {
 	EPDCells         uint64 // cells belonging to EPD-refused frames
 	PPDFrames        uint64 // frames truncated after a mid-frame loss
 	PPDCells         uint64 // tail cells dropped by PPD
+	AISCells         uint64 // AIS cells generated for failed input ports
 }
 
 type swKey struct {
@@ -140,7 +155,9 @@ func NewSwitch(k *sim.Kernel, name string, nPorts int, rate units.BitRate, queue
 		name:     name,
 		table:    make(map[swKey]*swRoute),
 		policers: make(map[swKey]*swPolicer),
+		portDown: make([]bool, nPorts),
 	}
+	s.aisTickFn = s.aisTick
 	ct := units.CellTime(rate)
 	for i := 0; i < nPorts; i++ {
 		i := i
@@ -226,6 +243,73 @@ func (s *Switch) Port(i int) *SwitchPort {
 	return s.conduits[i]
 }
 
+// SignalChange implements phy.SignalConsumer for the input side of this
+// port: the upstream fiber reports loss (or return) of signal. While down,
+// the switch inserts AIS downstream on every route this port feeds.
+func (p *SwitchPort) SignalChange(up bool) { p.s.portSignal(p.idx, up) }
+
+// PortDown reports whether an input port currently has no signal.
+func (s *Switch) PortDown(i int) bool {
+	s.port(i)
+	return s.portDown[i]
+}
+
+func (s *Switch) portSignal(port int, up bool) {
+	s.port(port)
+	if s.portDown[port] == !up {
+		return
+	}
+	s.portDown[port] = !up
+	if up || s.AISPeriod <= 0 || s.aisTicking {
+		return
+	}
+	// First AIS batch goes out immediately — detection latency downstream
+	// is the propagation and queueing delay, not a full period.
+	s.aisTicking = true
+	s.aisTick()
+}
+
+// aisTick inserts one AIS cell per affected route and re-arms itself every
+// AISPeriod until every input port has its signal back. Routes are visited
+// in (input port, VC) order so generation is deterministic.
+func (s *Switch) aisTick() {
+	anyDown := false
+	for _, d := range s.portDown {
+		if d {
+			anyDown = true
+			break
+		}
+	}
+	if !anyDown {
+		s.aisTicking = false
+		return
+	}
+	keys := make([]swKey, 0, len(s.table))
+	for key := range s.table {
+		if s.portDown[key.inPort] {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].inPort != keys[b].inPort {
+			return keys[a].inPort < keys[b].inPort
+		}
+		if keys[a].vc.VPI != keys[b].vc.VPI {
+			return keys[a].vc.VPI < keys[b].vc.VPI
+		}
+		return keys[a].vc.VCI < keys[b].vc.VCI
+	})
+	loc := oam.LocationID(s.name)
+	for _, key := range keys {
+		for _, d := range s.table[key].dests {
+			s.stats.AISCells++
+			s.mAIS.Inc()
+			s.deferEnqueue(d, oam.NewAIS(d.outVC, loc))
+		}
+	}
+	s.k.PostAfter(s.AISPeriod, s.aisTickFn)
+}
+
 // RouteOptions refines SetRoute.
 type RouteOptions struct {
 	// Class selects the output priority queue (zero value: UBR,
@@ -270,6 +354,7 @@ func (s *Switch) Instrument(reg *metrics.Registry, prefix string) {
 	s.mCLP = reg.Counter(prefix + ".clp_dropped")
 	s.mNoRt = reg.Counter(prefix + ".no_route")
 	s.mBcast = reg.Counter(prefix + ".broadcasts")
+	s.mAIS = reg.Counter(prefix + ".ais_cells")
 	for i, p := range s.ports {
 		pn := fmt.Sprintf("%s.port%d", prefix, i)
 		p.mRouted = reg.Counter(pn + ".routed")

@@ -7,6 +7,7 @@ import (
 	"repro/internal/bufmgr"
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/vclookup"
 )
@@ -86,6 +87,23 @@ type Config struct {
 	// (SMDS/CLNAP-style) service AAL3/4 was designed for. Senders pick
 	// their MID with Interface.SetMID.
 	MIDMux bool
+	// ReassemblyTimeout ages out abandoned receive state: a partial frame
+	// (or AAL3/4 MID slot) that has seen no cell for this long is aborted
+	// and its adapter-SRAM buffer reclaimed, instead of leaking toward
+	// buffer exhaustion when a lost end-of-message strands it. Zero
+	// (default) disables the garbage collector.
+	ReassemblyTimeout sim.Duration
+	// AlarmPeriod is the F5 fault-management cadence: while a VC is in an
+	// AIS or loss-of-signal defect state, the receive firmware emits one
+	// RDI cell upstream per period and the defect's clear timer is
+	// refreshed. Zero selects 1 ms — a millisecond-scale stand-in for
+	// I.610's nominal 1 s, so simulations measured in milliseconds
+	// exercise the machinery.
+	AlarmPeriod sim.Duration
+	// AlarmClearTimeout clears a declared alarm after this long without a
+	// defect indication (I.610's 2.5 s soak interval, scaled; zero
+	// selects 2.5 ms).
+	AlarmClearTimeout sim.Duration
 	// InterleaveVCs lets the transmit engine segment frames from several
 	// VCs concurrently, emitting their cells round-robin. Off, the engine
 	// finishes each frame before starting the next (the base design);
@@ -144,6 +162,15 @@ func (c *Config) validate() error {
 	}
 	if c.MaxSDU > aal.MaxSDU {
 		return fmt.Errorf("nic: MaxSDU %d exceeds AAL limit %d", c.MaxSDU, aal.MaxSDU)
+	}
+	if c.ReassemblyTimeout < 0 {
+		return fmt.Errorf("nic: negative ReassemblyTimeout")
+	}
+	if c.AlarmPeriod == 0 {
+		c.AlarmPeriod = sim.Millisecond
+	}
+	if c.AlarmClearTimeout == 0 {
+		c.AlarmClearTimeout = 2500 * sim.Microsecond
 	}
 	c.BufOrg = c.BufOrg.Resolve()
 	return nil

@@ -145,3 +145,39 @@ const rxUnknownVCInstr = 6
 // the indication, refresh the CRC (hardware) and hand the cell to the
 // transmit FIFO. No host involvement — the engines answer loopbacks alone.
 const rxOAMInstr = 30
+
+// rxAlarmInstr — an AIS/RDI cell past the common OAM dispatch: look up the
+// VC's alarm row, test/update the declared state, re-arm the clear timer,
+// and on a declare/clear transition ring the host doorbell:
+//
+//	ld   alarm[vc], r4      ; 2   alarm state row
+//	tst  declared / branch  ; 2
+//	or   #bit, r4           ; 1   declare
+//	st   r4, alarm[vc]      ; 1
+//	ld   now, r5            ; 1
+//	add  #clear_to, r5      ; 1
+//	st   r5, timer[vc]      ; 1   re-arm clear timer
+//	tst  transition         ; 2
+//	st   #irq, doorbell     ; 1   only on a transition
+//	branch out              ; 1
+const rxAlarmInstr = 13
+
+// oamGenInstr — the firmware builds one AIS/RDI cell: load the VC's header
+// template, write type/function and the location ID into the staging slot,
+// command the CRC-10 unit, hand the cell to the transmit FIFO:
+//
+//	ld   vcstate[vc], r4    ; 2   header template
+//	st   r4, stage.hdr      ; 1
+//	st   type|func, stage   ; 1
+//	st   defect, stage+1    ; 1
+//	copy location (4 words) ; 8
+//	fill 0x6a (7 words)     ; 7   unused field fill
+//	crc10 cmd (hw)          ; 1
+//	st   #xmit, fifo.cmd    ; 1
+const oamGenInstr = 22
+
+// alarmIntrInstr — the host-side alarm handler body: read the alarm status
+// register, decode which VC transitioned, update the driver's connection
+// state and notify the management layer. Charged once per declare/clear
+// transition — never per cell.
+const alarmIntrInstr = 150

@@ -36,6 +36,7 @@ type Interface struct {
 
 	tx *transmitter
 	rx *receiver
+	fm *faultMgr
 
 	reg        *metrics.Registry
 	txVCs      map[atm.VC]bool
@@ -87,25 +88,44 @@ func New(k *sim.Kernel, cfg Config, hst *host.Host, b *bus.Bus) (*Interface, err
 		// Default output discards (no link attached yet).
 		atm.SinkFunc(func(c *atm.Cell) { i.pool.Put(c) }))
 	i.rx = newReceiver(k, &i.cfg, i.rxEngines, i.rxDev, hst, i.pool, reg, cfg.Name)
-	// Management slow path: the receive firmware answers F5 loopback
-	// requests by reflecting the cell through the transmit FIFO; loopback
-	// responses go to the host's registered handler (or are dropped).
-	i.rx.onOAM = func(c *atm.Cell) {
-		var lb oam.Loopback
-		if err := lb.Decode(&c.Payload); err != nil {
-			i.pool.Put(c) // AIS/RDI or damaged: count was taken, drop
+	i.fm = newFaultMgr(i)
+	// Management slow path: the receive firmware classifies every OAM cell
+	// (one CRC-checked dispatch peek), answers F5 loopback requests by
+	// reflecting the cell through the transmit FIFO, feeds AIS/RDI alarms
+	// into the fault state machine, and counts everything else — damaged
+	// or unhandled — as a visible drop instead of a silent one.
+	i.rx.onOAM = func(e int, c *atm.Cell) {
+		typ, fn, ok := oam.Classify(&c.Payload)
+		if !ok || typ != oam.TypeFaultMgmt {
+			i.rx.badOAM(c)
 			return
 		}
-		if lb.Indication {
-			if err := oam.Respond(c); err != nil || !i.tx.injectCell(c) {
-				i.pool.Put(c)
+		switch fn {
+		case oam.FuncLoopback:
+			var lb oam.Loopback
+			if err := lb.Decode(&c.Payload); err != nil {
+				i.rx.badOAM(c)
+				return
 			}
-			return
+			if lb.Indication {
+				if err := oam.Respond(c); err != nil || !i.tx.injectCell(c) {
+					i.pool.Put(c)
+				}
+				return
+			}
+			if i.onLoopback != nil {
+				i.onLoopback(c.Header.VC(), lb.Correlation)
+			}
+			i.pool.Put(c)
+		case oam.FuncAIS:
+			i.fm.rxAIS(e, c.Header.VC())
+			i.pool.Put(c)
+		case oam.FuncRDI:
+			i.fm.rxRDI(e, c.Header.VC())
+			i.pool.Put(c)
+		default:
+			i.rx.badOAM(c)
 		}
-		if i.onLoopback != nil {
-			i.onLoopback(c.Header.VC(), lb.Correlation)
-		}
-		i.pool.Put(c)
 	}
 	return i, nil
 }
@@ -131,6 +151,25 @@ func (i *Interface) SendLoopback(vc atm.VC, correlation uint32) error {
 func (i *Interface) OnLoopbackReply(fn func(vc atm.VC, correlation uint32)) {
 	i.onLoopback = fn
 }
+
+// OnAlarm registers the host-side handler for fault-management declare and
+// clear transitions (AIS/RDI per VC, LOS per link). The handler runs after
+// the alarm interrupt's host cost; at most one interrupt fires per
+// transition, never one per alarm cell.
+func (i *Interface) OnAlarm(fn func(AlarmEvent)) { i.fm.onAlarm = fn }
+
+// SignalChange implements phy.SignalConsumer: the attached link (or the
+// framer behind it) reports its receive carrier lost or restored. Loss
+// declares the link-scope LOS defect and starts upstream RDI generation on
+// every open VC.
+func (i *Interface) SignalChange(up bool) { i.fm.signalChange(up) }
+
+// FMStats returns the fault-management counters.
+func (i *Interface) FMStats() FMStats { return i.fm.snapshot() }
+
+// SRAMUsed returns the adapter reassembly bytes currently pinned — the
+// live buffer occupancy the reassembly garbage collector bounds.
+func (i *Interface) SRAMUsed() int { return i.rx.alloc.Used() }
 
 var errTxFull = errors.New("nic: TX FIFO full, management cell dropped")
 
@@ -208,6 +247,7 @@ func (i *Interface) CloseVC(vc atm.VC) {
 	delete(i.txVCs, vc)
 	i.tx.close(vc)
 	i.rx.close(vc)
+	i.fm.close(vc)
 }
 
 // SetMID stamps the AAL3/4 multiplexing identifier used for vc's frames

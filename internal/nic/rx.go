@@ -3,6 +3,7 @@ package nic
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/aal"
 	"repro/internal/atm"
@@ -26,6 +27,8 @@ type RxStats struct {
 	OAMCells  uint64 // management cells diverted off the fast path
 	AALErrors uint64 // frames discarded by AAL checks
 	SRAMDrops uint64 // frames abandoned for adapter memory exhaustion
+	BadOAM    uint64 // management cells dropped: damaged or unhandled type
+	Stale     uint64 // partial frames reclaimed by the reassembly GC
 	Packets   uint64 // frames delivered to the host
 	Bytes     uint64 // SDU bytes delivered
 	MaxFifo   int    // RX FIFO high-water mark (from fifo stats at read)
@@ -81,8 +84,18 @@ type receiver struct {
 	nextSteer  int
 
 	onDeliver func(Delivered)
-	onOAM     func(*atm.Cell) // owns the cell; nil = drop
-	bufp      *bufpool.Pool   // nil unless EnableRxPooling
+	onOAM     func(e int, c *atm.Cell) // owns the cell; nil = drop
+	bufp      *bufpool.Pool            // nil unless EnableRxPooling
+
+	// Reassembly garbage collection (Config.ReassemblyTimeout > 0): a
+	// timer armed while frames are in progress sweeps every VC's
+	// reassembler for partial frames abandoned by a lost end-of-message,
+	// aborts them and returns their adapter-SRAM buffers to the free list.
+	// The timer self-terminates when nothing is mid-frame, so an idle
+	// simulation still drains.
+	clockFn func() int64 // reassembler staleness clock; nil = GC disabled
+	gcFn    func()
+	gcArmed bool
 
 	// Per-engine pre-bound callbacks and completion contexts: engine e
 	// processes one cell at a time (processing[e] serializes), so a single
@@ -99,6 +112,8 @@ type receiver struct {
 	mOAMCells    *metrics.Counter
 	mAALErrors   *metrics.Counter
 	mSRAMDrops   *metrics.Counter
+	mBadOAM      *metrics.Counter
+	mStale       *metrics.Counter
 	mPackets     *metrics.Counter
 	mBytes       *metrics.Counter
 	hCellDelay   *metrics.Histogram // FIFO arrival → per-cell firmware done
@@ -124,6 +139,10 @@ func newReceiver(k *sim.Kernel, cfg *Config, engs []*engine.Engine, dev *bus.Dev
 		r.fifos[i].Instrument(reg, scoped(prefix, fmt.Sprintf("fifo.rx%d", i)))
 		r.arrivals[i] = fifo.NewRing[sim.Time](cfg.RxFifoDepth)
 	}
+	if cfg.ReassemblyTimeout > 0 {
+		r.clockFn = func() int64 { return int64(k.Now()) }
+		r.gcFn = r.gcTick
+	}
 	r.nextFns = make([]func(), n)
 	r.cellCtxs = make([]*rxCellCtx, n)
 	for e := 0; e < n; e++ {
@@ -140,6 +159,8 @@ func newReceiver(k *sim.Kernel, cfg *Config, engs []*engine.Engine, dev *bus.Dev
 	r.mOAMCells = reg.Counter(scoped(prefix, "nic.rx.oam_cells"))
 	r.mAALErrors = reg.Counter(scoped(prefix, "nic.rx.aal_errors"))
 	r.mSRAMDrops = reg.Counter(scoped(prefix, "nic.rx.sram_drops"))
+	r.mBadOAM = reg.Counter(scoped(prefix, "nic.rx.bad_oam"))
+	r.mStale = reg.Counter(scoped(prefix, "nic.rx.stale_frames"))
 	r.mPackets = reg.Counter(scoped(prefix, "nic.rx.packets"))
 	r.mBytes = reg.Counter(scoped(prefix, "nic.rx.bytes"))
 	r.hCellDelay = reg.Histogram(scoped(prefix, "nic.rx.cell_delay"))
@@ -158,6 +179,8 @@ func (r *receiver) snapshot() RxStats {
 		OAMCells:  r.mOAMCells.Value(),
 		AALErrors: r.mAALErrors.Value(),
 		SRAMDrops: r.mSRAMDrops.Value(),
+		BadOAM:    r.mBadOAM.Value(),
+		Stale:     r.mStale.Value(),
 		Packets:   r.mPackets.Value(),
 		Bytes:     r.mBytes.Value(),
 	}
@@ -197,6 +220,18 @@ func (st *rxVC) setPool(p *bufpool.Pool) {
 	}
 }
 
+// reaper returns the VC's staleness interface (nil if its reassembler has
+// no staleness support).
+func (st *rxVC) reaper() aal.StaleReaper {
+	if st.midras != nil {
+		return st.midras
+	}
+	if sr, ok := st.ras.(aal.StaleReaper); ok {
+		return sr
+	}
+	return nil
+}
+
 // open registers a VC for receive.
 func (r *receiver) open(vc atm.VC) error {
 	idx, err := r.lookup.Insert(vc)
@@ -211,6 +246,11 @@ func (r *receiver) open(vc atm.VC) error {
 		_, st.ras = aal.New(r.cfg.AAL, r.cfg.MaxSDU+64)
 		if ir, ok := st.ras.(interface{ SetVCStats(*metrics.VCStats) }); ok {
 			ir.SetVCStats(st.vst)
+		}
+	}
+	if r.clockFn != nil {
+		if sr := st.reaper(); sr != nil {
+			sr.SetClock(r.clockFn)
 		}
 	}
 	if r.bufp != nil {
@@ -285,7 +325,7 @@ func (r *receiver) process(e int) {
 		r.mOAMCells.Inc()
 		r.engs[e].Run("rx_oam", rxCellInstr+rxOAMInstr, func() {
 			if r.onOAM != nil {
-				r.onOAM(cell)
+				r.onOAM(e, cell)
 			} else {
 				r.pool.Put(cell)
 			}
@@ -322,6 +362,7 @@ func (r *receiver) process(e int) {
 		}
 		st.frame = f
 		st.frameStart = r.k.Now()
+		r.armGC()
 	}
 	appendCycles, err := st.frame.Append(cell.Payload[:])
 	if err != nil {
@@ -444,6 +485,64 @@ func (r *receiver) completeFrame(e int, st *rxVC, res *aal.Result, mid uint16) {
 		// involvement cheap.
 		r.next(e)
 	})
+}
+
+// badOAM drops a management cell that is damaged or of no handled
+// type/function — counted, never silent.
+func (r *receiver) badOAM(c *atm.Cell) {
+	r.mBadOAM.Inc()
+	r.reg.VC(c.Header.VPI, c.Header.VCI).Drop(metrics.DropBadOAM)
+	r.pool.Put(c)
+}
+
+// armGC schedules the next garbage-collection sweep if one isn't pending.
+// Called whenever a frame starts; the sweep re-arms itself while any frame
+// remains in progress.
+func (r *receiver) armGC() {
+	if r.gcFn == nil || r.gcArmed {
+		return
+	}
+	r.gcArmed = true
+	r.k.PostAfter(r.cfg.ReassemblyTimeout, r.gcFn)
+}
+
+// gcTick sweeps every VC's reassembler for partial frames that have seen no
+// cell for ReassemblyTimeout, aborting them and releasing their adapter
+// buffers. VCs are visited in lookup-index order so the free-list order —
+// and with it every downstream allocation — stays deterministic.
+func (r *receiver) gcTick() {
+	r.gcArmed = false
+	cutoff := int64(r.k.Now()) - int64(r.cfg.ReassemblyTimeout)
+	idxs := make([]int, 0, len(r.vcs))
+	for idx := range r.vcs {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	busy := false
+	for _, idx := range idxs {
+		st := r.vcs[idx]
+		sr := st.reaper()
+		if sr == nil {
+			continue
+		}
+		if n := sr.ExpireStale(cutoff); n > 0 {
+			r.mStale.Add(uint64(n))
+			// The frame buffer is released only when the reap emptied the
+			// VC: a buffer backing a frame still completing (rx_eop in
+			// flight) must not be pulled out from under the DMA.
+			if !sr.Busy() && st.frame != nil {
+				st.frame.Release()
+				st.frame = nil
+			}
+		}
+		if sr.Busy() {
+			busy = true
+		}
+	}
+	if busy {
+		r.gcArmed = true
+		r.k.PostAfter(r.cfg.ReassemblyTimeout, r.gcFn)
+	}
 }
 
 // next releases engine e for its following cell.

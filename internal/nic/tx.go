@@ -531,7 +531,7 @@ func (t *transmitter) doneDone() {
 func (t *transmitter) injectCell(c *atm.Cell) bool {
 	h := &c.Header
 	if !t.fifo.Push(c) {
-		t.reg.VC(h.VPI, h.VCI).Drop(metrics.DropTxQueue)
+		t.reg.VC(h.VPI, h.VCI).Drop(metrics.DropMgmtTxFull)
 		return false
 	}
 	t.pushTimes.Push(t.k.Now())

@@ -24,7 +24,9 @@ const (
 	TypeFaultMgmt = 0x1
 	// FuncLoopback is the function nibble for loopback.
 	FuncLoopback = 0x8
-	// FuncAIS and FuncRDI are alarm signals (parsed, not generated here).
+	// FuncAIS and FuncRDI are the fault-management alarm signals (see
+	// fault.go: generated at a failure's downstream neighbour and echoed
+	// back by the far endpoint).
 	FuncAIS = 0x0
 	FuncRDI = 0x1
 )

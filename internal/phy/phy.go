@@ -20,6 +20,19 @@ type Stats struct {
 	Delivered uint64
 	Lost      uint64
 	Corrupted uint64
+	// DroppedDown counts units (cells or frames) offered while the link
+	// was failed; they are also included in Lost.
+	DroppedDown uint64
+}
+
+// SignalConsumer is implemented by receivers that track the line signal:
+// a failed link raises loss-of-signal at its delivery end (after the
+// propagation delay), a restored link clears it. NIC interfaces and switch
+// ports implement it to drive their fault-management state.
+type SignalConsumer interface {
+	// SignalChange reports the line signal at the receiver: false on loss
+	// of signal (the upstream link failed), true when it returns.
+	SignalChange(up bool)
 }
 
 // CellLink is a unidirectional cell pipe.
@@ -37,6 +50,8 @@ type CellLink struct {
 	rng   *sim.Rand
 	sink  atm.CellConsumer
 	stats Stats
+	down  bool
+	sig   SignalConsumer // explicit signal sink; nil = auto-detect on sink
 
 	def       *CellDeferrer
 	deliverFn func(*atm.Cell) // bound deliver method, created once
@@ -74,6 +89,46 @@ func (l *CellLink) AttachSink(sink atm.CellConsumer) {
 // Sink returns the currently attached delivery end, so taps can wrap it.
 func (l *CellLink) Sink() atm.CellConsumer { return l.sink }
 
+// SetSignalSink pins the receiver notified of Fail/Restore signal
+// transitions. Without it, the link notifies the cell sink when that sink
+// implements SignalConsumer — which breaks once a trace tap wraps the sink,
+// so builders that install taps should pin the signal sink explicitly.
+func (l *CellLink) SetSignalSink(sc SignalConsumer) { l.sig = sc }
+
+// Down reports whether the link is currently failed.
+func (l *CellLink) Down() bool { return l.down }
+
+// Fail cuts the fiber: every cell offered until Restore is lost, and the
+// delivery end sees loss of signal one propagation delay later. Cells
+// already in flight still arrive (they left before the cut). Idempotent.
+func (l *CellLink) Fail() {
+	if l.down {
+		return
+	}
+	l.down = true
+	l.k.After(l.Delay, func() { l.signal(false) })
+}
+
+// Restore repairs the fiber; the delivery end sees the signal return one
+// propagation delay later. Idempotent.
+func (l *CellLink) Restore() {
+	if !l.down {
+		return
+	}
+	l.down = false
+	l.k.After(l.Delay, func() { l.signal(true) })
+}
+
+func (l *CellLink) signal(up bool) {
+	if l.sig != nil {
+		l.sig.SignalChange(up)
+		return
+	}
+	if sc, ok := l.sink.(SignalConsumer); ok {
+		sc.SignalChange(up)
+	}
+}
+
 // DeliverCell implements atm.CellConsumer: cells delivered into the link
 // enter the fiber (it is the link's ingress). Equivalent to Send.
 func (l *CellLink) DeliverCell(c *atm.Cell) { l.Send(c) }
@@ -82,6 +137,11 @@ func (l *CellLink) DeliverCell(c *atm.Cell) { l.Send(c) }
 // callers must not reuse it (use a pool and recycle in the sink).
 func (l *CellLink) Send(c *atm.Cell) {
 	l.stats.Sent++
+	if l.down {
+		l.stats.Lost++
+		l.stats.DroppedDown++
+		return
+	}
 	if l.LossProb > 0 && l.rng.Bernoulli(l.LossProb) {
 		l.stats.Lost++
 		return
@@ -107,6 +167,8 @@ type FrameLink struct {
 	rng   *sim.Rand
 	sink  func(frame []byte)
 	stats Stats
+	down  bool
+	sig   SignalConsumer
 }
 
 // NewFrameLink builds a frame pipe delivering to sink after delay.
@@ -120,10 +182,48 @@ func NewFrameLink(k *sim.Kernel, delay sim.Duration, seed uint64, sink func([]by
 // Stats returns cumulative counters.
 func (l *FrameLink) Stats() Stats { return l.stats }
 
+// SetSignalSink pins the receiver notified of Fail/Restore transitions
+// (the frame sink is a plain func, so there is nothing to auto-detect).
+func (l *FrameLink) SetSignalSink(sc SignalConsumer) { l.sig = sc }
+
+// Down reports whether the link is currently failed.
+func (l *FrameLink) Down() bool { return l.down }
+
+// Fail cuts the fiber: frames offered until Restore are lost and the
+// delivery end sees loss of signal one propagation delay later. Idempotent.
+func (l *FrameLink) Fail() {
+	if l.down {
+		return
+	}
+	l.down = true
+	l.k.After(l.Delay, func() { l.signal(false) })
+}
+
+// Restore repairs the fiber; the signal returns one propagation delay
+// later. Idempotent.
+func (l *FrameLink) Restore() {
+	if !l.down {
+		return
+	}
+	l.down = false
+	l.k.After(l.Delay, func() { l.signal(true) })
+}
+
+func (l *FrameLink) signal(up bool) {
+	if l.sig != nil {
+		l.sig.SignalChange(up)
+	}
+}
+
 // Send transmits one serialized frame. The frame bytes are copied, so the
 // caller may reuse its buffer immediately.
 func (l *FrameLink) Send(frame []byte) {
 	l.stats.Sent++
+	if l.down {
+		l.stats.Lost++
+		l.stats.DroppedDown++
+		return
+	}
 	buf := make([]byte, len(frame))
 	copy(buf, frame)
 	if l.BitErrProb > 0 && l.rng.Bernoulli(l.BitErrProb) {

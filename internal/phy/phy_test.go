@@ -160,3 +160,111 @@ func TestCellLinkSendZeroAlloc(t *testing.T) {
 		t.Fatal("nothing delivered")
 	}
 }
+
+// sigRecorder captures carrier transitions with their observation times.
+type sigRecorder struct {
+	k      *sim.Kernel
+	ups    []bool
+	atTime []sim.Time
+}
+
+func (s *sigRecorder) SignalChange(up bool) {
+	s.ups = append(s.ups, up)
+	s.atTime = append(s.atTime, s.k.Now())
+}
+
+func TestCellLinkFailRestore(t *testing.T) {
+	k := sim.NewKernel()
+	delivered := 0
+	l := NewCellLink(k, 5000, 1, atm.SinkFunc(func(c *atm.Cell) { delivered++ }))
+	rec := &sigRecorder{k: k}
+	l.SetSignalSink(rec)
+
+	l.Send(&atm.Cell{}) // in flight before the cut: still arrives
+	l.Fail()
+	if !l.Down() {
+		t.Fatal("Down() = false after Fail")
+	}
+	l.Fail() // idempotent
+	for i := 0; i < 3; i++ {
+		l.Send(&atm.Cell{}) // into the dead fiber
+	}
+	k.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered %d cells, want only the pre-cut one", delivered)
+	}
+	s := l.Stats()
+	if s.DroppedDown != 3 || s.Lost != 3 {
+		t.Fatalf("stats %+v, want 3 dropped-down", s)
+	}
+
+	l.Restore()
+	if l.Down() {
+		t.Fatal("Down() = true after Restore")
+	}
+	l.Send(&atm.Cell{})
+	k.Run()
+	if delivered != 2 {
+		t.Fatalf("delivered %d cells after repair, want 2", delivered)
+	}
+	// Each carrier transition is observed one propagation delay later.
+	if len(rec.ups) != 2 || rec.ups[0] || !rec.ups[1] {
+		t.Fatalf("signal transitions %v, want [down up]", rec.ups)
+	}
+	for i, at := range rec.atTime {
+		if (at-5000)%5000 != 0 && at < 5000 {
+			t.Fatalf("transition %d at %v, want >= one delay", i, at)
+		}
+	}
+}
+
+// TestCellLinkSignalFallsBackToSink: with no explicit signal sink, carrier
+// transitions reach the cell sink when it implements SignalConsumer.
+type sinkWithSignal struct {
+	sigRecorder
+	cells int
+}
+
+func (s *sinkWithSignal) DeliverCell(*atm.Cell) { s.cells++ }
+
+func TestCellLinkSignalFallsBackToSink(t *testing.T) {
+	k := sim.NewKernel()
+	sink := &sinkWithSignal{sigRecorder: sigRecorder{k: k}}
+	l := NewCellLink(k, 0, 1, sink)
+	l.Fail()
+	l.Restore()
+	k.Run()
+	if len(sink.ups) != 2 || sink.ups[0] || !sink.ups[1] {
+		t.Fatalf("sink saw transitions %v, want [down up]", sink.ups)
+	}
+}
+
+func TestFrameLinkFailRestore(t *testing.T) {
+	k := sim.NewKernel()
+	frames := 0
+	l := NewFrameLink(k, 2500, 1, func(frame []byte) { frames++ })
+	rec := &sigRecorder{k: k}
+	l.SetSignalSink(rec)
+
+	buf := make([]byte, 64)
+	l.Send(buf)
+	l.Fail()
+	l.Send(buf)
+	l.Send(buf)
+	k.Run()
+	if frames != 1 {
+		t.Fatalf("delivered %d frames, want only the pre-cut one", frames)
+	}
+	if s := l.Stats(); s.DroppedDown != 2 {
+		t.Fatalf("stats %+v, want 2 dropped-down", s)
+	}
+	l.Restore()
+	l.Send(buf)
+	k.Run()
+	if frames != 2 {
+		t.Fatalf("delivered %d frames after repair, want 2", frames)
+	}
+	if len(rec.ups) != 2 || rec.ups[0] || !rec.ups[1] {
+		t.Fatalf("signal transitions %v, want [down up]", rec.ups)
+	}
+}

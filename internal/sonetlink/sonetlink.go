@@ -43,12 +43,14 @@ type Config struct {
 
 // Stats counts one direction's events.
 type Stats struct {
-	Frames      uint64
-	DataCells   uint64 // non-idle cells carried
-	IdleCells   uint64 // fill inserted when the TX queue ran dry
-	QueueDrops  uint64 // TX-side overflow (interface outran the framer)
-	Delineation sonet.DelineatorStats
-	Deframer    sonet.DeframerStats
+	Frames         uint64
+	DataCells      uint64 // non-idle cells carried
+	IdleCells      uint64 // fill inserted when the TX queue ran dry
+	QueueDrops     uint64 // TX-side overflow (interface outran the framer)
+	FrameErrors    uint64 // received frames the deframer rejected outright
+	HeaderDiscards uint64 // delineated cells whose header would not decode
+	Delineation    sonet.DelineatorStats
+	Deframer       sonet.DeframerStats
 }
 
 // Link is a duplex SONET-framed connection between two interfaces.
@@ -83,10 +85,12 @@ type Half struct {
 	stats Stats
 
 	// Registry instruments (no-ops when Config.Metrics is nil).
-	mFrames     *metrics.Counter
-	mDataCells  *metrics.Counter
-	mIdleCells  *metrics.Counter
-	mQueueDrops *metrics.Counter
+	mFrames         *metrics.Counter
+	mDataCells      *metrics.Counter
+	mIdleCells      *metrics.Counter
+	mQueueDrops     *metrics.Counter
+	mFrameErrors    *metrics.Counter
+	mHeaderDiscards *metrics.Counter
 }
 
 // Connect wires a and b through SONET framing in both directions. The
@@ -130,12 +134,17 @@ func newHalf(k *sim.Kernel, cfg Config, src, dst *nic.Interface) *Half {
 	h.mDataCells = cfg.Metrics.Counter(lp + ".data_cells")
 	h.mIdleCells = cfg.Metrics.Counter(lp + ".idle_cells")
 	h.mQueueDrops = cfg.Metrics.Counter(lp + ".queue_drops")
+	h.mFrameErrors = cfg.Metrics.Counter(lp + ".frame_errors")
+	h.mHeaderDiscards = cfg.Metrics.Counter(lp + ".header_discards")
 	h.fr = sonet.NewFramer(cfg.Rate, (*txSource)(h))
 	h.frameBuf = make([]byte, h.fr.Geometry().FrameBytes)
 	h.del = sonet.NewDelineator(h.cellRecovered)
 	h.df = sonet.NewDeframer(cfg.Rate, h.del)
 	h.line = phy.NewFrameLink(k, cfg.Delay, cfg.Seed, h.frameArrived)
 	h.line.BitErrProb = cfg.BitErrProb
+	// Carrier transitions (Fail/Restore) reach the receiving interface's
+	// fault manager: losing the light is LOS, not just silence.
+	h.line.SetSignalSink(dst)
 	// Prime the far end's cell delineation with one idle-only frame at
 	// link bring-up (44+ idle cells comfortably cover HUNT + the 6-cell
 	// PRESYNC confirmation). A real link is never dark before traffic;
@@ -218,11 +227,26 @@ func (t *txSource) NextCell(dst []byte) {
 	h.srcPool.Put(cell)
 }
 
-// frameArrived parses one received frame.
+// Fail cuts this direction's fiber: frames already in flight arrive, then
+// the far end sees loss of signal. Transmitted frames are counted and lost
+// until Restore.
+func (h *Half) Fail() { h.line.Fail() }
+
+// Restore brings the fiber back; the far end sees the signal return after
+// the propagation delay.
+func (h *Half) Restore() { h.line.Restore() }
+
+// Down reports whether the fiber is currently cut.
+func (h *Half) Down() bool { return h.line.Down() }
+
+// frameArrived parses one received frame. A frame the deframer rejects
+// (overhead too damaged to trust) is a counted loss, not a crash: bit-error
+// sweeps must survive whatever the fault injector produces.
 func (h *Half) frameArrived(frame []byte) {
 	h.cellIdx = 0
 	if err := h.df.PushFrame(frame); err != nil {
-		panic("sonetlink: " + err.Error())
+		h.stats.FrameErrors++
+		h.mFrameErrors.Inc()
 	}
 }
 
@@ -234,7 +258,10 @@ func (h *Half) cellRecovered(cell []byte, corrected bool) {
 	c := h.dst.Pool().Get()
 	if _, err := c.Decode(cell, atm.UNI); err != nil {
 		// The delineator verified the HEC; a decode failure here means
-		// an uncorrectable-but-plausible header slipped through. Drop.
+		// an uncorrectable-but-plausible header slipped through. Drop,
+		// counted — the loss is real even if no VC can be charged.
+		h.stats.HeaderDiscards++
+		h.mHeaderDiscards.Inc()
 		h.dst.Pool().Put(c)
 		return
 	}

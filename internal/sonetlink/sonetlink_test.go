@@ -223,3 +223,138 @@ func TestSonetThroughputNearLineRate(t *testing.T) {
 		t.Fatalf("SONET-path goodput %.1f Mb/s < 80%% of %.1f Mb/s", got/1e6, ceiling/1e6)
 	}
 }
+
+// TestSonetBERSweepSurvives is the fault-sweep regression: whatever a given
+// bit-error rate does to frames, headers, and payloads, the run completes
+// without a panic, every delivered SDU is intact, and the damage shows up in
+// counted stats rather than vanishing.
+func TestSonetBERSweepSurvives(t *testing.T) {
+	// BitErrProb is per-frame; an STS-3c frame carries 2430 bytes = 19440
+	// bits, so a line BER of b is roughly 19440*b per frame.
+	const frameBits = 19440
+	for i, ber := range []float64{1e-7, 1e-6, 1e-5, 5e-5} {
+		p := frameBits * ber
+		if p > 1 {
+			p = 1
+		}
+		k := sim.NewKernel()
+		mk := func(name string) *nic.Interface {
+			cfg := nic.DefaultConfig(name)
+			cfg.RxFifoDepth = 128
+			iface, _ := nic.New(k, cfg, host.New(k, host.DefaultConfig()), bus.New(k, bus.DefaultConfig()))
+			return iface
+		}
+		a, b := mk("a"), mk("b")
+		link, err := Connect(k, Config{Rate: sonet.STS3c, Delay: 10_000, BitErrProb: p, Seed: uint64(100 + i)}, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := pkt(9180)
+		var delivered int
+		b.OnReceive(func(d nic.Delivered) {
+			delivered++
+			if !bytes.Equal(d.SDU, payload) {
+				t.Fatalf("ber %g: corrupted SDU delivered", ber)
+			}
+		})
+		a.OpenVC(vc())
+		b.OpenVC(vc())
+		const n = 15
+		for j := 0; j < n; j++ {
+			a.Send(vc(), payload, nil)
+		}
+		k.Run()
+		if delivered > n {
+			t.Fatalf("ber %g: delivered %d of %d sent", ber, delivered, n)
+		}
+		// Whatever was not delivered left a trace in some counter.
+		st := link.AtoB.Stats()
+		rx := b.Stats().Rx
+		damage := st.FrameErrors + st.HeaderDiscards + st.Deframer.B1Errors +
+			st.Deframer.LOSFrames + st.Delineation.HeaderDropped +
+			uint64(st.Delineation.HeaderCorrected) + uint64(st.Delineation.SyncLosses) +
+			rx.AALErrors + rx.BadOAM
+		if delivered < n && damage == 0 {
+			t.Fatalf("ber %g: %d frames lost with no counted damage: link %+v rx %+v",
+				ber, n-delivered, st, rx)
+		}
+	}
+}
+
+// TestSonetDamagedFrameCountedNotPanic is the direct regression for the
+// receive path: a frame the deframer rejects outright must be a counted
+// loss, and a delineated cell whose header will not decode must be a counted
+// discard — neither may crash the run.
+func TestSonetDamagedFrameCounted(t *testing.T) {
+	r := newRig(t, sonet.STS3c)
+	h := r.link.AtoB
+
+	h.frameArrived(make([]byte, 17)) // far too short: PushFrame error
+	if st := h.Stats(); st.FrameErrors != 1 {
+		t.Fatalf("FrameErrors = %d, want 1", st.FrameErrors)
+	}
+
+	// A double-bit header error is beyond the HEC's single-bit correction:
+	// the delineator can hand such a cell up, and decode must reject it.
+	good := &atm.Cell{Header: atm.Header{Format: atm.UNI, VCI: 33}}
+	buf := make([]byte, atm.CellSize)
+	if err := good.Encode(buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0xc0
+	h.cellRecovered(buf, false)
+	if st := h.Stats(); st.HeaderDiscards != 1 {
+		t.Fatalf("HeaderDiscards = %d, want 1", st.HeaderDiscards)
+	}
+	r.k.Run() // nothing pending must misbehave afterwards
+}
+
+// TestSonetLinkFailureLOS: cutting one SONET direction is loss of signal at
+// the far interface — its fault manager declares LOS, answers with RDI over
+// the intact reverse direction, and the alarm soaks out after repair.
+func TestSonetLinkFailureLOS(t *testing.T) {
+	k := sim.NewKernel()
+	mk := func(name string) *nic.Interface {
+		cfg := nic.DefaultConfig(name)
+		cfg.RxFifoDepth = 128
+		cfg.AlarmPeriod = 100 * sim.Microsecond
+		cfg.AlarmClearTimeout = 300 * sim.Microsecond
+		iface, _ := nic.New(k, cfg, host.New(k, host.DefaultConfig()), bus.New(k, bus.DefaultConfig()))
+		return iface
+	}
+	a, b := mk("a"), mk("b")
+	link, err := Connect(k, Config{Rate: sonet.STS3c, Delay: 10_000, Seed: 5}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.OpenVC(vc())
+	b.OpenVC(vc())
+	var bEvents, aEvents []nic.AlarmEvent
+	b.OnAlarm(func(ev nic.AlarmEvent) { bEvents = append(bEvents, ev) })
+	a.OnAlarm(func(ev nic.AlarmEvent) { aEvents = append(aEvents, ev) })
+
+	a.Send(vc(), pkt(1000), nil)
+	k.Run()
+
+	link.AtoB.Fail()
+	if !link.AtoB.Down() {
+		t.Fatal("Down() = false after Fail")
+	}
+	k.RunFor(400 * sim.Microsecond)
+	link.AtoB.Restore()
+	k.Run()
+
+	if len(bEvents) != 2 || bEvents[0].Kind != nic.AlarmLOS || !bEvents[0].Raised || bEvents[1].Raised {
+		t.Fatalf("b alarm events %v, want LOS declare+clear", bEvents)
+	}
+	// b's RDI crossed the intact B->A direction and declared at a.
+	if a.FMStats().RDIRx == 0 {
+		t.Fatal("no RDI reached a over the reverse SONET direction")
+	}
+	if len(aEvents) < 2 || aEvents[0].Kind != nic.AlarmRDI || !aEvents[0].Raised {
+		t.Fatalf("a alarm events %v, want RDI declare then clear", aEvents)
+	}
+	if last := aEvents[len(aEvents)-1]; last.Raised {
+		t.Fatalf("a's RDI alarm never cleared: %v", aEvents)
+	}
+}
