@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench verify fmt fmt-check vet staticcheck
+.PHONY: all build test bench verify fmt fmt-check vet staticcheck trace-verify
 
 all: build
 
@@ -38,8 +38,16 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2023.1.7)"; \
 	fi
 
+# trace-verify exports a flight-recorder trace from a short atmsim run and
+# validates it against the Perfetto trace-event schema subset we emit.
+trace-verify:
+	$(GO) run ./cmd/atmsim -duration 2ms -size 9180 -trace /tmp/atmsim-trace.json >/dev/null
+	$(GO) run ./cmd/traceverify /tmp/atmsim-trace.json
+
 # verify is the pre-PR gate: formatting, vet, staticcheck (when installed),
-# a full build, and the test suite under the race detector.
+# a full build, the test suite under the race detector, and the trace
+# schema gate.
 verify: fmt-check vet staticcheck
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) trace-verify

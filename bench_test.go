@@ -1,5 +1,5 @@
 // Package repro's root benchmarks regenerate every reconstructed table and
-// figure (E1..E16; see DESIGN.md) under `go test -bench`. Each benchmark
+// figure (E1..E18; see DESIGN.md) under `go test -bench`. Each benchmark
 // runs the corresponding experiment core and reports its headline numbers
 // as custom metrics, so `go test -bench=. -benchmem | tee bench_output.txt`
 // is the whole evaluation.
@@ -62,13 +62,22 @@ func BenchmarkE3Throughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pts, _, _ = experiments.E3(ec)
 	}
+	var got155, got622 bool
 	for _, p := range pts {
 		if p.Rate == units.STS3cPayload && p.AAL == aal.AAL5 && p.Size == 9180 {
 			b.ReportMetric(p.GoodputBps/1e6, "mtu155-Mbps")
+			got155 = p.GoodputBps > 0
 		}
 		if p.Rate == units.STS12cPayload && p.AAL == aal.AAL5 && p.Size == 9180 {
 			b.ReportMetric(p.GoodputBps/1e6, "mtu622-Mbps")
+			got622 = p.GoodputBps > 0
 		}
+	}
+	// A zero MTU goodput is a broken measurement rig, not a result — the
+	// 622 column silently reported 0 for several releases because the
+	// receive FIFO overflowed and every frame failed its CRC.
+	if !got155 || !got622 {
+		b.Fatalf("MTU goodput measured as zero (155 ok=%v, 622 ok=%v)", got155, got622)
 	}
 }
 
@@ -222,6 +231,31 @@ func BenchmarkE17FaultRecovery(b *testing.B) {
 	b.ReportMetric(float64(res.DetectLatency)/1000, "detect-us")
 	b.ReportMetric(float64(res.RecoveryLatency)/1000, "recover-us")
 	b.ReportMetric(float64(res.StaleFramesReclaimed), "stale-frames")
+}
+
+// BenchmarkE18StageBreakdown regenerates the per-stage latency attribution
+// of the E5 MTU journey from flight-recorder spans, and asserts the stage
+// sums reconcile with the measured end-to-end latency within 5%.
+func BenchmarkE18StageBreakdown(b *testing.B) {
+	var rows []experiments.E18Row
+	for i := 0; i < b.N; i++ {
+		rows, _, _ = experiments.E18()
+	}
+	for _, r := range rows {
+		switch r.Rate {
+		case units.STS3cPayload:
+			b.ReportMetric(float64(r.Sum)/1000, "155-sum-us")
+			b.ReportMetric(float64(r.SARFifo)/1000, "155-sarfifo-us")
+		case units.STS12cPayload:
+			b.ReportMetric(float64(r.Sum)/1000, "622-sum-us")
+			b.ReportMetric(float64(r.RxFifo)/1000, "622-rxfifo-us")
+		}
+		ratio := float64(r.Sum) / float64(r.Measured)
+		if ratio < 0.95 || ratio > 1.05 {
+			b.Fatalf("rate %d: stage sum %v vs measured %v (ratio %.3f, want within 5%%)",
+				r.Rate, r.Sum, r.Measured, ratio)
+		}
+	}
 }
 
 // BenchmarkAblationInterleave measures the short-frame latency win of

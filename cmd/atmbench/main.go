@@ -1,5 +1,5 @@
 // Command atmbench regenerates the reconstructed evaluation of the Davie
-// SIGCOMM '91 host–network interface: experiments E1 through E17 (see
+// SIGCOMM '91 host–network interface: experiments E1 through E18 (see
 // DESIGN.md for the index). Run with no flags to print everything, or
 // select experiments:
 //
@@ -7,6 +7,7 @@
 //	atmbench -exp e1 -csv
 //	atmbench -quick        # shorter simulated runs
 //	atmbench -parallel 0   # fan sweep points across all CPUs
+//	atmbench -exp e18 -trace e18.json   # export E18's flight trace
 package main
 
 import (
@@ -20,13 +21,15 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiments (e1..e17) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiments (e1..e18) or 'all'")
 	quick := flag.Bool("quick", false, "shorter simulated runs (for smoke tests)")
 	csv := flag.Bool("csv", false, "emit tables as CSV where applicable")
 	metricsPath := flag.String("metrics", "", "run the instrumented telemetry pass and write its JSON snapshot here (\"-\" for stdout)")
+	tracePath := flag.String("trace", "", "with e18: write its flight recording as Perfetto trace-event JSON here (\"-\" for stdout)")
 	parallel := flag.Int("parallel", 1, "worker goroutines for sweep points (0 = GOMAXPROCS); results are bit-identical to -parallel 1")
 	flag.Parse()
 
@@ -34,7 +37,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for i := 1; i <= 17; i++ {
+		for i := 1; i <= 18; i++ {
 			want[fmt.Sprintf("e%d", i)] = true
 		}
 	} else {
@@ -164,6 +167,17 @@ func main() {
 		emitSeries(sr)
 		ran++
 	}
+	if want["e18"] {
+		_, tb, rec := experiments.E18()
+		emitTable(tb)
+		if *tracePath != "" {
+			if err := writeTrace(*tracePath, rec); err != nil {
+				fmt.Fprintln(os.Stderr, "atmbench:", err)
+				os.Exit(1)
+			}
+		}
+		ran++
+	}
 	if *metricsPath != "" {
 		ec := experiments.DefaultTelemetry()
 		ec.RunTime = runTime(ec.RunTime)
@@ -187,7 +201,23 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "atmbench: no experiment matched %q (use e1..e17 or all)\n", *expFlag)
+		fmt.Fprintf(os.Stderr, "atmbench: no experiment matched %q (use e1..e18 or all)\n", *expFlag)
 		os.Exit(2)
 	}
+}
+
+// writeTrace exports a flight recording as Perfetto trace-event JSON.
+func writeTrace(path string, rec *trace.Recorder) error {
+	if path == "-" {
+		return rec.WriteTraceJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteTraceJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

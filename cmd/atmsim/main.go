@@ -9,12 +9,15 @@
 //	atmsim -contract 150000,50000,32 -police    # shaped VC through a policing switch
 //	atmsim -size 1000 -epd 48                   # early packet discard at the switch
 //	atmsim -kill 10ms -restore 25ms -rtimeout 1ms   # cut and repair the a->b fiber
+//	atmsim -trace out.json                      # Perfetto trace of every hop
+//	atmsim -sample 100us -sampleout series.csv  # periodic telemetry time series
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -29,6 +32,7 @@ import (
 	"repro/internal/nic"
 	"repro/internal/sim"
 	"repro/internal/tm"
+	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -45,7 +49,11 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	rxEngines := flag.Int("rxengines", 1, "parallel receive engines")
 	interleave := flag.Bool("interleave", false, "interleave VCs on transmit")
-	traceN := flag.Int("trace", 0, "dump the first N cells on the a->b fiber")
+	dumpN := flag.Int("dump", 0, "dump the first N cells on the a->b fiber")
+	tracePath := flag.String("trace", "", "record a cell-journey flight trace and write Perfetto/Chrome trace-event JSON to this file (\"-\" for stdout)")
+	traceSample := flag.Int("tracesample", 1, "with -trace: record every Nth cell per stage and VC (1 = all)")
+	samplePeriod := flag.Duration("sample", 0, "snapshot all registry counters/gauges every period of simulated time (0 = off)")
+	samplePath := flag.String("sampleout", "samples.csv", "with -sample: write the time series here (.json for JSON, else CSV; \"-\" for CSV on stdout)")
 	metricsPath := flag.String("metrics", "", "write a JSON telemetry snapshot to this file (\"-\" for stdout)")
 	stats := flag.Bool("stats", false, "print the full telemetry table after the run")
 	contract := flag.String("contract", "", "shape a's VC to a traffic contract: \"pcr\" (CBR, cells/s) or \"pcr,scr,mbs\" (rt-VBR)")
@@ -56,16 +64,31 @@ func main() {
 	rtimeout := flag.Duration("rtimeout", 0, "reassembly staleness timeout: partial frames idle this long are aborted and their adapter buffers reclaimed (0 = off)")
 	flag.Parse()
 
-	if err := run(*rate, *aalFlag, *arch, *size, *wl, *duration, *loss, *window, *seed, *rxEngines, *interleave, *traceN, *metricsPath, *stats, *contract, *police, *epd, *kill, *restore, *rtimeout); err != nil {
+	obs := obsOpts{
+		TracePath:    *tracePath,
+		TraceSample:  *traceSample,
+		SamplePeriod: *samplePeriod,
+		SamplePath:   *samplePath,
+	}
+	if err := run(*rate, *aalFlag, *arch, *size, *wl, *duration, *loss, *window, *seed, *rxEngines, *interleave, *dumpN, *metricsPath, *stats, *contract, *police, *epd, *kill, *restore, *rtimeout, obs); err != nil {
 		fmt.Fprintln(os.Stderr, "atmsim:", err)
 		os.Exit(1)
 	}
 }
 
+// obsOpts bundles the observability flags: flight-recorder trace export and
+// the periodic telemetry sampler.
+type obsOpts struct {
+	TracePath    string
+	TraceSample  int
+	SamplePeriod time.Duration
+	SamplePath   string
+}
+
 func run(rate int, aalFlag, arch string, size int, wl string, duration time.Duration,
-	loss float64, window int, seed uint64, rxEngines int, interleave bool, traceN int,
+	loss float64, window int, seed uint64, rxEngines int, interleave bool, dumpN int,
 	metricsPath string, stats bool, contractSpec string, police bool, epd int,
-	kill, restore, rtimeout time.Duration) error {
+	kill, restore, rtimeout time.Duration, obs obsOpts) error {
 	deadline := sim.Time(duration.Nanoseconds())
 
 	payloadRate := units.STS3cPayload
@@ -102,6 +125,9 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 		if kill > 0 || rtimeout > 0 {
 			return fmt.Errorf("-kill/-rtimeout are not supported with -arch percell")
 		}
+		if obs.TracePath != "" || obs.SamplePeriod > 0 {
+			return fmt.Errorf("-trace/-sample are not supported with -arch percell")
+		}
 		return runBaseline(sim.NewKernel(), payloadRate, aalType, size, deadline, loss, seed)
 	}
 	if arch != "engine" && arch != "hardwired" {
@@ -122,8 +148,19 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 		ReassemblyTimeout: sim.Duration(rtimeout.Nanoseconds()),
 	}
 	reg := metrics.NewRegistry()
+	var rec *trace.Recorder
+	k0 := sim.NewKernel()
+	if obs.TracePath != "" {
+		// 1M events ≈ 40 MB: enough for tens of thousands of cell
+		// journeys; wraparound keeps the most recent window and the
+		// export notes the truncation.
+		rec = trace.NewRecorder(k0, 1<<20)
+		rec.SampleCells(obs.TraceSample)
+	}
 	spec := core.NetworkSpec{
-		Metrics: reg,
+		Metrics:  reg,
+		Kernel:   k0,
+		Recorder: rec,
 		Endpoints: []core.EndpointSpec{
 			{Name: "a", Options: opts},
 			{Name: "b", Options: opts},
@@ -162,9 +199,14 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 	a, b := net.Endpoint("a"), net.Endpoint("b")
 	vcc := net.VCC("ab")
 	capture := vcc.Capture
-	if traceN > 0 {
-		capture.Limit = traceN
+	if dumpN > 0 {
+		capture.Limit = dumpN
 		capture.Filter = nil
+	}
+	var sampler *trace.Sampler
+	if obs.SamplePeriod > 0 {
+		sampler = trace.NewSampler(k, reg, sim.Duration(obs.SamplePeriod.Nanoseconds()))
+		sampler.Start(deadline)
 	}
 	var sw *netsim.Switch
 	var pol *tm.Policer
@@ -290,7 +332,7 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 		fmt.Printf("switch            routed %d  dropped %d  epd %d frames/%d cells  ppd %d cells\n",
 			sws.Routed, sws.Dropped, sws.EPDFrames, sws.EPDCells, sws.PPDCells)
 	}
-	if traceN > 0 {
+	if dumpN > 0 {
 		fmt.Println("\nfirst cells on the a->b fiber:")
 		if err := capture.Dump(os.Stdout); err != nil {
 			return err
@@ -327,7 +369,47 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 			return err
 		}
 	}
+	if rec != nil {
+		fmt.Println()
+		if err := rec.WriteBreakdown(os.Stdout); err != nil {
+			return err
+		}
+		if err := writeTo(obs.TracePath, rec.WriteTraceJSON); err != nil {
+			return err
+		}
+		if obs.TracePath != "-" {
+			fmt.Printf("\ntrace: %d events (%d evicted) -> %s\n", rec.Len(), rec.Evicted(), obs.TracePath)
+		}
+	}
+	if sampler != nil {
+		write := sampler.WriteCSV
+		if strings.HasSuffix(obs.SamplePath, ".json") {
+			write = sampler.WriteJSON
+		}
+		if err := writeTo(obs.SamplePath, write); err != nil {
+			return err
+		}
+		if obs.SamplePath != "-" {
+			fmt.Printf("%s -> %s\n", sampler, obs.SamplePath)
+		}
+	}
 	return nil
+}
+
+// writeTo streams fn's output to a file, or to stdout for "-".
+func writeTo(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func runBaseline(k *sim.Kernel, rate units.BitRate, aalType aal.Type, size int,

@@ -1,0 +1,101 @@
+// Command traceverify validates an exported flight-recorder trace against
+// the Chrome/Perfetto trace-event schema subset this repo emits: a JSON
+// object with a traceEvents array of M (metadata), X (complete) and i
+// (instant) events carrying sane timestamps and identifiers. It is the CI
+// gate behind `make trace-verify` — a trace that passes loads in Perfetto.
+//
+//	traceverify out.json
+//	atmsim -duration 2ms -trace - | traceverify -
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    *float64       `json:"ts"`
+	Dur   *float64       `json:"dur"`
+	Pid   *int           `json:"pid"`
+	Tid   *int           `json:"tid"`
+	Cat   string         `json:"cat"`
+	Scope string         `json:"s"`
+	Args  map[string]any `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: traceverify <trace.json | ->")
+		os.Exit(2)
+	}
+	path := os.Args[1]
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	var tf traceFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tf); err != nil {
+		fail("%s: not a trace-event file: %v", path, err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		fail("%s: traceEvents is empty", path)
+	}
+	var complete, instant, meta int
+	for i, ev := range tf.TraceEvents {
+		where := fmt.Sprintf("%s: traceEvents[%d] (%q)", path, i, ev.Name)
+		if ev.Name == "" {
+			fail("%s: missing name", where)
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			fail("%s: missing pid/tid", where)
+		}
+		switch ev.Phase {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if ev.Ts == nil || *ev.Ts < 0 {
+				fail("%s: complete event needs ts >= 0", where)
+			}
+			if ev.Dur == nil || *ev.Dur < 0 {
+				fail("%s: complete event needs dur >= 0", where)
+			}
+		case "i":
+			instant++
+			if ev.Ts == nil || *ev.Ts < 0 {
+				fail("%s: instant event needs ts >= 0", where)
+			}
+			if ev.Scope != "t" && ev.Scope != "p" && ev.Scope != "g" {
+				fail("%s: instant scope %q not in {t,p,g}", where, ev.Scope)
+			}
+		default:
+			fail("%s: unexpected phase %q", where, ev.Phase)
+		}
+	}
+	if complete == 0 {
+		fail("%s: no complete (X) span events — nothing was recorded", path)
+	}
+	fmt.Printf("%s: ok — %d span, %d instant, %d metadata events\n",
+		path, complete, instant, meta)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "traceverify: "+format+"\n", args...)
+	os.Exit(1)
+}

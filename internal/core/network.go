@@ -35,6 +35,13 @@ type NetworkSpec struct {
 	// Kernel lets the caller supply the event kernel (for golden tests that
 	// swap scheduler implementations); nil means sim.NewKernel().
 	Kernel *sim.Kernel
+	// Recorder, when non-nil, attaches flight-recorder stage spans to every
+	// cell-port hop the builder wires: each endpoint's TX FIFO, reassembler
+	// and delivery stages, each switch output queue, and both directions of
+	// every fiber (nodes "<link>.fwd" / "<link>.rev"). Stages register in
+	// spec order, so two builds of the same spec produce identical stage
+	// tables and event streams.
+	Recorder *trace.Recorder
 }
 
 // EndpointSpec is one workstation + interface.
@@ -318,6 +325,21 @@ func NewNetwork(spec NetworkSpec) (*Network, error) {
 			l: l, from: ls.B.Node, to: ls.A.Node,
 			fromPort: ls.B.Port, toPort: ls.A.Port, fwd: false,
 		})
+	}
+	if rec := spec.Recorder; rec != nil {
+		// Attach spans in spec order (endpoints, switches, links) so the
+		// stage table — and with it every exported trace — is deterministic.
+		for _, es := range spec.Endpoints {
+			n.endpoints[es.Name].station.Iface.SetRecorder(rec)
+		}
+		for _, ss := range spec.Switches {
+			n.switches[ss.Name].SetRecorder(rec)
+		}
+		for _, ls := range spec.Links {
+			l := n.links[ls.Name]
+			l.Fwd.SetRecorder(rec, ls.Name+".fwd")
+			l.Rev.SetRecorder(rec, ls.Name+".rev")
+		}
 	}
 	for _, vs := range spec.VCCs {
 		if _, err := n.AddVCC(vs); err != nil {

@@ -92,6 +92,13 @@ func runE3Point(rate units.BitRate, t aal.Type, size int, ec E3Config) E3Point {
 	cfg := nic.DefaultConfig("x")
 	cfg.PayloadRate = rate
 	cfg.AAL = t
+	if rate == units.STS12cPayload {
+		// E9's result applied (as in E11): at STS-12c cell spacing the
+		// default 32-cell RX FIFO overflows faster than one 25 MHz receive
+		// engine drains it, corrupting every large frame — measured goodput
+		// was a flat 0. 128 cells absorbs the burst backlog.
+		cfg.RxFifoDepth = 128
+	}
 	deadline := sim.Time(ec.RunTime)
 	var src *netsim.Source
 	var lastAt sim.Time

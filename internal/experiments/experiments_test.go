@@ -606,3 +606,49 @@ func TestE17Shape(t *testing.T) {
 		t.Fatal("empty report series")
 	}
 }
+
+func TestE18Reconciles(t *testing.T) {
+	rows, tb, rec := E18()
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if tb == nil || rec == nil {
+		t.Fatal("missing table or recorder")
+	}
+	for _, r := range rows {
+		if r.Measured <= 0 {
+			t.Fatalf("rate %v: no measurement", r.Rate)
+		}
+		for _, seg := range []struct {
+			name string
+			d    sim.Duration
+		}{{"host-tx", r.HostTx}, {"sar+fifo", r.SARFifo}, {"prop", r.Prop},
+			{"rx-fifo", r.RxFifo}, {"rx-cell", r.RxCell}, {"deliver", r.Deliver}} {
+			if seg.d < 0 {
+				t.Errorf("rate %v: negative %s segment %v", r.Rate, seg.name, seg.d)
+			}
+		}
+		// The segments are measured between consecutive recorded boundaries,
+		// so the decomposition must reconcile with the end-to-end latency
+		// (acceptance budget 5%; the telescoping construction makes it exact).
+		ratio := float64(r.Sum) / float64(r.Measured)
+		if ratio < 0.95 || ratio > 1.05 {
+			t.Errorf("rate %v: stage sum %v vs measured %v (ratio %.3f)",
+				r.Rate, r.Sum, r.Measured, ratio)
+		}
+		// Propagation is pinned by the spec: 2 km at 5 us/km.
+		if r.Prop != 10_000 {
+			t.Errorf("rate %v: prop segment %v, want 10us", r.Rate, r.Prop)
+		}
+	}
+	// The wire-paced SAR+FIFO segment must shrink substantially from STS-3c
+	// to STS-12c (~3x: the 4x wire speedup is partly eaten by the TX engine
+	// becoming the bottleneck); the fixed host-side ends must not change.
+	r155, r622 := rows[0], rows[1]
+	if float64(r622.SARFifo)*2.5 > float64(r155.SARFifo) {
+		t.Errorf("sar+fifo did not scale with rate: 155 %v vs 622 %v", r155.SARFifo, r622.SARFifo)
+	}
+	if r155.HostTx != r622.HostTx {
+		t.Errorf("host-tx should be rate-independent: %v vs %v", r155.HostTx, r622.HostTx)
+	}
+}

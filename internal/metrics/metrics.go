@@ -106,6 +106,29 @@ func (r *Registry) VC(vpi, vci uint16) *VCStats {
 	return s
 }
 
+// EachCounter calls fn for every registered counter in sorted name order —
+// the deterministic iteration periodic samplers rely on. Nil-safe.
+func (r *Registry) EachCounter(fn func(name string, value uint64)) {
+	if r == nil {
+		return
+	}
+	for _, n := range r.counterNames() {
+		fn(n, r.counters[n].Value())
+	}
+}
+
+// EachGauge calls fn for every registered gauge in sorted name order.
+// Nil-safe.
+func (r *Registry) EachGauge(fn func(name string, value, max int64)) {
+	if r == nil {
+		return
+	}
+	for _, n := range r.gaugeNames() {
+		g := r.gauges[n]
+		fn(n, g.Value(), g.Max())
+	}
+}
+
 // counterNames returns registered counter names, sorted.
 func (r *Registry) counterNames() []string {
 	names := make([]string, 0, len(r.counters))

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"bytes"
 	"encoding/json"
 	"reflect"
 	"strings"
@@ -178,7 +179,7 @@ func TestVCStats(t *testing.T) {
 	// Cause names are stable: they appear in JSON dumps.
 	want := []string{"fifo_overflow", "unknown_vc", "sram_exhausted", "aal_error", "tx_queue_overflow",
 		"policed_clp_tag", "policed_discard", "epd", "ppd", "switch_queue_overflow", "clp_threshold",
-		"oam_bad", "mgmt_tx_full"}
+		"oam_bad", "mgmt_tx_full", "link_loss"}
 	for i, c := range DropCauses() {
 		if c.String() != want[i] {
 			t.Fatalf("cause %d = %q, want %q", i, c.String(), want[i])
@@ -310,4 +311,67 @@ func BenchmarkHotPath(b *testing.B) {
 			v.Drop(DropPolicedDiscard)
 		}
 	}
+}
+
+// TestSnapshotDeterministic pins the satellite guarantee behind diffable
+// telemetry dumps: two registries carrying the same instruments, created in
+// different orders, marshal to byte-identical JSON — and so do repeated
+// snapshots of the same registry (no map-iteration order leaks).
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func(names []string) *Registry {
+		r := NewRegistry()
+		for _, n := range names {
+			r.Counter("c." + n).Add(uint64(10 + len(n)))
+			r.Gauge("g." + n).Set(int64(len(n)))
+			r.Histogram("h." + n).Observe(1000)
+		}
+		r.VC(0, 200).AddCellIn()
+		r.VC(0, 100).Drop(DropFIFO)
+		r.VC(1, 50).AddCellOut()
+		return r
+	}
+	fwd := build([]string{"alpha", "beta", "gamma", "delta"})
+	rev := build([]string{"delta", "gamma", "beta", "alpha"})
+	d1, err := json.Marshal(fwd.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := json.Marshal(rev.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Fatalf("insertion order leaked into snapshot JSON:\n%s\n%s", d1, d2)
+	}
+	d3, err := json.Marshal(fwd.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1, d3) {
+		t.Fatalf("repeated snapshots differ:\n%s\n%s", d1, d3)
+	}
+}
+
+// TestEachCounterEachGauge pins the sampler's iteration contract: sorted
+// order, every instrument visited, nil registry a no-op.
+func TestEachCounterEachGauge(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Add(3)
+	r.Counter("a.first").Add(1)
+	g := r.Gauge("m.mid")
+	g.Set(5)
+	g.Set(2)
+	var cNames []string
+	r.EachCounter(func(name string, v uint64) { cNames = append(cNames, name) })
+	if len(cNames) != 2 || cNames[0] != "a.first" || cNames[1] != "z.last" {
+		t.Fatalf("counter order %v", cNames)
+	}
+	var gv, gmax int64
+	r.EachGauge(func(name string, v, max int64) { gv, gmax = v, max })
+	if gv != 2 || gmax != 5 {
+		t.Fatalf("gauge v=%d max=%d", gv, gmax)
+	}
+	var nilReg *Registry
+	nilReg.EachCounter(func(string, uint64) { t.Fatal("nil registry visited a counter") })
+	nilReg.EachGauge(func(string, int64, int64) { t.Fatal("nil registry visited a gauge") })
 }

@@ -50,6 +50,9 @@ const (
 	// DropMgmtTxFull is a firmware-generated management cell (loopback
 	// response, AIS/RDI) dropped because the transmit FIFO was full.
 	DropMgmtTxFull
+	// DropLink is a cell lost in transit on the physical link (fiber cut
+	// or random in-flight loss).
+	DropLink
 
 	numDropCauses
 )
@@ -83,6 +86,8 @@ func (c DropCause) String() string {
 		return "oam_bad"
 	case DropMgmtTxFull:
 		return "mgmt_tx_full"
+	case DropLink:
+		return "link_loss"
 	default:
 		return "unknown"
 	}

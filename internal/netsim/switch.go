@@ -10,6 +10,7 @@ import (
 	"repro/internal/oam"
 	"repro/internal/sim"
 	"repro/internal/tm"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -142,6 +143,9 @@ type swPort struct {
 	// Instrument; nil (and costless) otherwise.
 	times [tm.NumClasses]*fifo.Ring[sim.Time]
 	hRes  *metrics.Histogram
+
+	// Flight-recorder span for this output queue (nil unless attached).
+	spQueue *trace.StageSpan
 }
 
 // NewSwitch builds a switch with nPorts ports whose output links run at the
@@ -371,6 +375,15 @@ func (s *Switch) Instrument(reg *metrics.Registry, prefix string) {
 	}
 }
 
+// SetRecorder attaches flight-recorder spans to every output queue: stage
+// "portN.queue" under the switch's name covers commit-to-queue through
+// drain onto the output link. Span VCs are output-side (post-rewrite).
+func (s *Switch) SetRecorder(rec *trace.Recorder) {
+	for i, p := range s.ports {
+		p.spQueue = rec.Stage(s.name, fmt.Sprintf("port%d.queue", i))
+	}
+}
+
 func (s *Switch) receive(port int, c *atm.Cell) {
 	key := swKey{inPort: port, vc: c.Header.VC()}
 	if sp := s.policers[key]; sp != nil {
@@ -476,10 +489,12 @@ func (s *Switch) enqueue(d swDest, c *atm.Cell) {
 				s.stats.PPDCells++
 				s.mPPD.Inc()
 				s.dropVC(c, metrics.DropPPD)
+				p.spQueue.Drop(c.Header.VC(), metrics.DropPPD)
 			} else {
 				s.stats.EPDCells++
 				s.mEPD.Inc()
 				s.dropVC(c, metrics.DropEPD)
+				p.spQueue.Drop(c.Header.VC(), metrics.DropEPD)
 			}
 			if eof {
 				fs.inFrame = false
@@ -493,11 +508,13 @@ func (s *Switch) enqueue(d swDest, c *atm.Cell) {
 		s.stats.CLPDropped++
 		s.mCLP.Inc()
 		s.dropVC(c, metrics.DropCLPThreshold)
+		p.spQueue.Drop(c.Header.VC(), metrics.DropCLPThreshold)
 		dropped = true
 	} else if p.occ >= p.depth {
 		s.stats.Dropped++
 		p.mDropped.Inc()
 		s.dropVC(c, metrics.DropSwitchQueue)
+		p.spQueue.Drop(c.Header.VC(), metrics.DropSwitchQueue)
 		dropped = true
 	}
 	if dropped {
@@ -519,6 +536,7 @@ func (s *Switch) enqueue(d swDest, c *atm.Cell) {
 	if p.hRes != nil {
 		p.times[d.class].Push(s.k.Now())
 	}
+	p.spQueue.Enter(c.Header.VC())
 	p.occ++
 	p.mOcc.Set(int64(p.occ))
 	s.stats.Routed++
@@ -562,6 +580,7 @@ func (s *Switch) drain(port int) {
 			p.hRes.Observe(s.k.Now() - t0)
 		}
 	}
+	p.spQueue.Exit(cell.Header.VC())
 	if p.out != nil {
 		p.out.DeliverCell(cell)
 	}

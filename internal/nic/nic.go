@@ -14,6 +14,7 @@ import (
 	"repro/internal/oam"
 	"repro/internal/sim"
 	"repro/internal/tm"
+	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/vclookup"
 )
@@ -405,6 +406,20 @@ func (i *Interface) Stats() Stats {
 		RxEngUtil: rxUtil,
 		SRAMPeak:  i.rx.alloc.Peak(),
 	}
+}
+
+// SetRecorder installs flight-recorder stage spans on the interface's
+// datapath: "<name>/tx.fifo" (cell produced → cell clock), "<name>/rx.fifo"
+// (arrival → engine pop), "<name>/rx.reasm" (first cell → frame complete)
+// and "<name>/rx.deliver" (host delivery instant), plus the drop events
+// each stage can suffer. A nil recorder detaches: the hooks collapse back
+// to one nil test per cell and zero allocations.
+func (i *Interface) SetRecorder(rec *trace.Recorder) {
+	name := i.cfg.Name
+	i.tx.spFifo = rec.Stage(name, "tx.fifo")
+	i.rx.spFifo = rec.Stage(name, "rx.fifo")
+	i.rx.spReasm = rec.Stage(name, "rx.reasm")
+	i.rx.spDeliver = rec.Stage(name, "rx.deliver")
 }
 
 // Metrics returns the telemetry registry the interface records into —

@@ -15,6 +15,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vclookup"
 )
 
@@ -119,6 +120,12 @@ type receiver struct {
 	hCellDelay   *metrics.Histogram // FIFO arrival → per-cell firmware done
 	hReassembly  *metrics.Histogram // first cell buffered → frame complete
 	hIntrService *metrics.Histogram // interrupt posted → host handler done
+
+	// Flight-recorder spans (nil unless a recorder is attached): RX FIFO
+	// residency, reassembly (first cell → frame complete), host delivery.
+	spFifo    *trace.StageSpan
+	spReasm   *trace.StageSpan
+	spDeliver *trace.StageSpan
 }
 
 func newReceiver(k *sim.Kernel, cfg *Config, engs []*engine.Engine, dev *bus.Device,
@@ -294,10 +301,12 @@ func (r *receiver) deliverCell(c *atm.Cell) {
 		// damage later; that is the whole E9 story.
 		r.mFifoDrops.Inc()
 		r.reg.VC(c.Header.VPI, c.Header.VCI).Drop(metrics.DropFIFO)
+		r.spFifo.Drop(c.Header.VC(), metrics.DropFIFO)
 		r.pool.Put(c)
 		return
 	}
 	r.arrivals[e].Push(r.k.Now())
+	r.spFifo.Enter(c.Header.VC())
 	r.process(e)
 }
 
@@ -312,6 +321,7 @@ func (r *receiver) process(e int) {
 	}
 	arrived, haveArrival := r.arrivals[e].Pop()
 	r.processing[e] = true
+	r.spFifo.Exit(cell.Header.VC())
 	r.mCells.Inc()
 
 	// Idle cells are discarded outright; OAM cells leave the fast path
@@ -362,6 +372,7 @@ func (r *receiver) process(e int) {
 		}
 		st.frame = f
 		st.frameStart = r.k.Now()
+		r.spReasm.Enter(st.vc)
 		r.armGC()
 	}
 	appendCycles, err := st.frame.Append(cell.Payload[:])
@@ -446,6 +457,9 @@ func (r *receiver) dropForMemory(e int, st *rxVC, cell *atm.Cell) {
 
 func (r *receiver) releaseFrame(st *rxVC) {
 	if st.frame != nil {
+		// Close the reassembly span even on the unhappy path: a later
+		// frame's Exit must not pair with this abandoned frame's Enter.
+		r.spReasm.Exit(st.vc)
 		st.frame.Release()
 		st.frame = nil
 	}
@@ -457,6 +471,7 @@ func (r *receiver) completeFrame(e int, st *rxVC, res *aal.Result, mid uint16) {
 	vc := st.vc
 	vst := st.vst
 	r.hReassembly.Observe(r.k.Now() - st.frameStart)
+	r.spReasm.Exit(vc)
 	r.engs[e].Run("rx_eop", rxEOPInstr, func() {
 		sdu := res.SDU
 		frame := st.frame
@@ -472,6 +487,7 @@ func (r *receiver) completeFrame(e int, st *rxVC, res *aal.Result, mid uint16) {
 				r.mPackets.Inc()
 				r.mBytes.Add(uint64(len(sdu)))
 				vst.AddSDUIn(len(sdu))
+				r.spDeliver.Point(vc)
 				if r.onDeliver != nil {
 					r.onDeliver(Delivered{VC: vc, SDU: sdu, Cells: res.Cells, MID: mid, At: r.k.Now()})
 				}
@@ -531,6 +547,7 @@ func (r *receiver) gcTick() {
 			// VC: a buffer backing a frame still completing (rx_eop in
 			// flight) must not be pulled out from under the DMA.
 			if !sr.Busy() && st.frame != nil {
+				r.spReasm.Exit(st.vc)
 				st.frame.Release()
 				st.frame = nil
 			}

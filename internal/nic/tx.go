@@ -10,6 +10,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/tm"
+	"repro/internal/trace"
 )
 
 // TxStats is the transmit-side snapshot assembled from the telemetry
@@ -138,6 +139,10 @@ type transmitter struct {
 	gQueued    *metrics.Gauge
 	hCellDelay *metrics.Histogram
 	hDMAWait   *metrics.Histogram
+
+	// Flight-recorder span for TX FIFO residency (nil unless a recorder is
+	// attached; nil-safe like the registry instruments above).
+	spFifo *trace.StageSpan
 }
 
 func newTransmitter(k *sim.Kernel, cfg *Config, eng *engine.Engine, dev *bus.Device,
@@ -466,6 +471,7 @@ func (t *transmitter) cellDone() {
 		panic("nic: TX FIFO overflowed despite stall check")
 	}
 	t.pushTimes.Push(t.k.Now())
+	t.spFifo.Enter(st.vc)
 	t.mCells.Inc()
 	st.vst.AddCellOut()
 	st.cellIdx++
@@ -532,9 +538,11 @@ func (t *transmitter) injectCell(c *atm.Cell) bool {
 	h := &c.Header
 	if !t.fifo.Push(c) {
 		t.reg.VC(h.VPI, h.VCI).Drop(metrics.DropMgmtTxFull)
+		t.spFifo.Drop(h.VC(), metrics.DropMgmtTxFull)
 		return false
 	}
 	t.pushTimes.Push(t.k.Now())
+	t.spFifo.Enter(h.VC())
 	t.mCells.Inc()
 	t.reg.VC(h.VPI, h.VCI).AddCellOut()
 	t.startClock()
@@ -568,6 +576,7 @@ func (t *transmitter) tick() {
 		if t0, tok := t.pushTimes.Pop(); tok {
 			t.hCellDelay.Observe(t.k.Now() - t0)
 		}
+		t.spFifo.Exit(cell.Header.VC())
 		t.out.DeliverCell(cell)
 		if t.stalled {
 			t.stalled = false

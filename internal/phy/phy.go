@@ -11,7 +11,9 @@ package phy
 
 import (
 	"repro/internal/atm"
+	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Stats counts link-level events.
@@ -55,6 +57,11 @@ type CellLink struct {
 
 	def       *CellDeferrer
 	deliverFn func(*atm.Cell) // bound deliver method, created once
+
+	// Flight-recorder span for the fiber transit (nil unless attached):
+	// Enter as the cell leaves the transmitter, Exit on delivery, Drop for
+	// cells the fiber loses.
+	sp *trace.StageSpan
 }
 
 // NewCellLink builds a link delivering cells to sink after delay.
@@ -71,7 +78,16 @@ func NewCellLink(k *sim.Kernel, delay sim.Duration, seed uint64, sink atm.CellCo
 // deliver hands a cell to the current sink. Indirecting through this method
 // (rather than binding the sink at Send time) keeps AttachSink effective for
 // cells already in flight.
-func (l *CellLink) deliver(c *atm.Cell) { l.sink.DeliverCell(c) }
+func (l *CellLink) deliver(c *atm.Cell) {
+	l.sp.Exit(c.Header.VC())
+	l.sink.DeliverCell(c)
+}
+
+// SetRecorder installs the flight-recorder span for this fiber direction
+// under the given node name ("<name>/wire"). A nil recorder detaches.
+func (l *CellLink) SetRecorder(rec *trace.Recorder, name string) {
+	l.sp = rec.Stage(name, "wire")
+}
 
 // Stats returns cumulative counters.
 func (l *CellLink) Stats() Stats { return l.stats }
@@ -140,10 +156,12 @@ func (l *CellLink) Send(c *atm.Cell) {
 	if l.down {
 		l.stats.Lost++
 		l.stats.DroppedDown++
+		l.sp.Drop(c.Header.VC(), metrics.DropLink)
 		return
 	}
 	if l.LossProb > 0 && l.rng.Bernoulli(l.LossProb) {
 		l.stats.Lost++
+		l.sp.Drop(c.Header.VC(), metrics.DropLink)
 		return
 	}
 	if l.CorruptProb > 0 && l.rng.Bernoulli(l.CorruptProb) {
@@ -152,6 +170,7 @@ func (l *CellLink) Send(c *atm.Cell) {
 		c.Payload[i] ^= 1 << uint(l.rng.Intn(8))
 	}
 	l.stats.Delivered++
+	l.sp.Enter(c.Header.VC())
 	l.def.Post(l.Delay, l.deliverFn, c)
 }
 

@@ -18,6 +18,7 @@ import (
 	"repro/internal/phy"
 	"repro/internal/sim"
 	"repro/internal/sonet"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -39,6 +40,11 @@ type Config struct {
 	// counters and "link.<src>.queue.*" FIFO instruments, where <src> is
 	// the transmitting interface's configured name.
 	Metrics *metrics.Registry
+	// Recorder, when non-nil, attaches flight-recorder spans to each
+	// direction under node "link.<src>": stage "framer.queue" covers the
+	// transmit queue (enqueue to pull-into-frame) and stage "wire" the
+	// framed flight plus the receive-side spreading delay.
+	Recorder *trace.Recorder
 }
 
 // Stats counts one direction's events.
@@ -91,6 +97,10 @@ type Half struct {
 	mQueueDrops     *metrics.Counter
 	mFrameErrors    *metrics.Counter
 	mHeaderDiscards *metrics.Counter
+
+	// Flight-recorder spans (nil unless Config.Recorder is set).
+	spQueue *trace.StageSpan
+	spWire  *trace.StageSpan
 }
 
 // Connect wires a and b through SONET framing in both directions. The
@@ -126,10 +136,12 @@ func newHalf(k *sim.Kernel, cfg Config, src, dst *nic.Interface) *Half {
 		cellTime: units.CellTime(cfg.Rate.PayloadRate()),
 	}
 	h.frameTickFn = h.frameTick
-	h.deliverFn = dst.DeliverCell
+	h.deliverFn = h.deliverRecovered
 	h.def = phy.NewCellDeferrer(k)
 	lp := "link." + src.Config().Name
 	h.queue.Instrument(cfg.Metrics, lp+".queue")
+	h.spQueue = cfg.Recorder.Stage(lp, "framer.queue")
+	h.spWire = cfg.Recorder.Stage(lp, "wire")
 	h.mFrames = cfg.Metrics.Counter(lp + ".frames")
 	h.mDataCells = cfg.Metrics.Counter(lp + ".data_cells")
 	h.mIdleCells = cfg.Metrics.Counter(lp + ".idle_cells")
@@ -179,7 +191,10 @@ func (h *Half) enqueue(c *atm.Cell) {
 	if !h.queue.Push(c) {
 		h.stats.QueueDrops++
 		h.mQueueDrops.Inc()
+		h.spQueue.Drop(c.Header.VC(), metrics.DropTxQueue)
 		h.srcPool.Put(c)
+	} else {
+		h.spQueue.Enter(c.Header.VC())
 	}
 	if !h.running {
 		h.running = true
@@ -221,6 +236,8 @@ func (t *txSource) NextCell(dst []byte) {
 	}
 	h.stats.DataCells++
 	h.mDataCells.Inc()
+	h.spQueue.Exit(cell.Header.VC())
+	h.spWire.Enter(cell.Header.VC())
 	if err := cell.Encode(dst); err != nil {
 		panic(err)
 	}
@@ -272,4 +289,12 @@ func (h *Half) cellRecovered(cell []byte, corrected bool) {
 	offset := sim.Duration(h.cellIdx) * h.cellTime
 	h.cellIdx++
 	h.def.Post(offset, h.deliverFn, c)
+}
+
+// deliverRecovered closes the wire span and hands the recovered cell to the
+// destination interface. Cells lost to frame damage in between never Exit;
+// they surface as unmatched spans, mirroring the real loss.
+func (h *Half) deliverRecovered(c *atm.Cell) {
+	h.spWire.Exit(c.Header.VC())
+	h.dst.DeliverCell(c)
 }

@@ -1,0 +1,380 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/atm"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+var recVC = atm.VC{VPI: 0, VCI: 100}
+
+// TestNilRecorderIsFree pins the disabled-path contract: a nil recorder
+// hands out nil spans, and every span method is a no-op on a nil receiver.
+func TestNilRecorderIsFree(t *testing.T) {
+	var r *Recorder
+	sp := r.Stage("a", "tx.fifo")
+	if sp != nil {
+		t.Fatalf("nil recorder returned non-nil span")
+	}
+	// None of these may panic.
+	sp.Enter(recVC)
+	sp.Exit(recVC)
+	sp.Point(recVC)
+	sp.Drop(recVC, metrics.DropFIFO)
+	r.SampleCells(4)
+	r.SampleVCs(4)
+	r.SetVCFilter(nil)
+}
+
+func TestEnterExitSpans(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRecorder(k, 64)
+	sp := r.Stage("a", "tx.fifo")
+	k.At(100, func() { sp.Enter(recVC) })
+	k.At(150, func() { sp.Enter(recVC) })
+	k.At(300, func() { sp.Exit(recVC) })
+	k.At(600, func() { sp.Exit(recVC) })
+	k.Run()
+	spans, unmatched := r.Spans()
+	if unmatched != 0 || len(spans) != 2 {
+		t.Fatalf("spans %v unmatched %d", spans, unmatched)
+	}
+	// FIFO pairing: first Exit matches first Enter.
+	if spans[0].Start != 100 || spans[0].End != 300 {
+		t.Fatalf("span0 %+v", spans[0])
+	}
+	if spans[1].Start != 150 || spans[1].End != 600 {
+		t.Fatalf("span1 %+v", spans[1])
+	}
+}
+
+// TestWraparound pins the flight-recorder semantics: the ring keeps the
+// LAST capacity events in chronological order and counts what it evicted.
+func TestWraparound(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRecorder(k, 8)
+	sp := r.Stage("a", "s")
+	for i := 0; i < 20; i++ {
+		at := sim.Time(i * 10)
+		k.At(at, func() { sp.Enter(recVC) })
+	}
+	k.Run()
+	if r.Len() != 8 {
+		t.Fatalf("len %d, want 8", r.Len())
+	}
+	if r.Evicted() != 12 {
+		t.Fatalf("evicted %d, want 12", r.Evicted())
+	}
+	evs := r.Events()
+	if len(evs) != 8 {
+		t.Fatalf("events %d", len(evs))
+	}
+	// Most recent window, oldest first: times 120..190.
+	for i, ev := range evs {
+		want := sim.Time((12 + i) * 10)
+		if ev.At != want {
+			t.Fatalf("event %d at %v, want %v", i, ev.At, want)
+		}
+	}
+	// An Exit whose Enter was evicted counts as unmatched, not a bogus span.
+	r.Reset()
+	if r.Len() != 0 || r.Evicted() != 0 {
+		t.Fatalf("reset: len %d evicted %d", r.Len(), r.Evicted())
+	}
+}
+
+func TestExitWithoutEnterIsUnmatched(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRecorder(k, 2)
+	sp := r.Stage("a", "s")
+	k.At(10, func() { sp.Enter(recVC) })
+	k.At(20, func() { sp.Exit(recVC) })
+	k.At(30, func() { sp.Exit(recVC) }) // ring holds only the two Exits now
+	k.Run()
+	spans, unmatched := r.Spans()
+	if len(spans) != 0 || unmatched != 2 {
+		t.Fatalf("spans %d unmatched %d, want 0/2", len(spans), unmatched)
+	}
+}
+
+func TestEnableFreezes(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRecorder(k, 16)
+	sp := r.Stage("a", "s")
+	r.Enable(false)
+	k.At(10, func() { sp.Enter(recVC); sp.Exit(recVC) })
+	k.Run()
+	if r.Len() != 0 {
+		t.Fatalf("recorded %d events while disabled", r.Len())
+	}
+	if r.Enabled() {
+		t.Fatalf("Enabled() true after Enable(false)")
+	}
+}
+
+// TestSampleCellsPairing pins the sampling guarantee: both ends sample by
+// per-VC count, so the kth recorded Enter matches the kth recorded Exit and
+// sampled spans have correct durations (not cross-matched neighbors).
+func TestSampleCellsPairing(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRecorder(k, 256)
+	r.SampleCells(3)
+	sp := r.Stage("a", "s")
+	// Cell i enters at 100i and exits at 100i+7: every span is 7 ns.
+	for i := 0; i < 30; i++ {
+		at := sim.Time(i * 100)
+		k.At(at, func() { sp.Enter(recVC) })
+		k.At(at+7, func() { sp.Exit(recVC) })
+	}
+	k.Run()
+	spans, unmatched := r.Spans()
+	if unmatched != 0 || len(spans) != 10 {
+		t.Fatalf("spans %d unmatched %d, want 10/0", len(spans), unmatched)
+	}
+	for _, s := range spans {
+		if s.End-s.Start != 7 {
+			t.Fatalf("span duration %v, want 7ns — sampling skewed the pairing", s.End-s.Start)
+		}
+	}
+}
+
+func TestSampleCellsKeepsDrops(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRecorder(k, 256)
+	r.SampleCells(1000) // thin the healthy stream to almost nothing
+	sp := r.Stage("a", "s")
+	for i := 0; i < 10; i++ {
+		k.At(sim.Time(i), func() { sp.Drop(recVC, metrics.DropFIFO) })
+	}
+	k.Run()
+	drops := 0
+	for _, ev := range r.Events() {
+		if ev.Kind == KindDrop {
+			drops++
+		}
+	}
+	if drops != 10 {
+		t.Fatalf("drops recorded %d, want all 10", drops)
+	}
+}
+
+func TestSampleVCs(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRecorder(k, 256)
+	r.SampleVCs(2) // keep VCs whose hash is even: VCI 100 yes, VCI 101 no
+	sp := r.Stage("a", "s")
+	odd := atm.VC{VPI: 0, VCI: 101}
+	k.At(1, func() {
+		sp.Enter(recVC)
+		sp.Enter(odd)
+		sp.Drop(odd, metrics.DropFIFO)
+	})
+	k.Run()
+	for _, ev := range r.Events() {
+		if ev.VC == odd {
+			t.Fatalf("filtered VC %v recorded", odd)
+		}
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len %d, want 1", r.Len())
+	}
+}
+
+func TestStageRegistrationIsStable(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRecorder(k, 16)
+	s1 := r.Stage("a", "tx.fifo")
+	s2 := r.Stage("b", "rx.fifo")
+	if again := r.Stage("a", "tx.fifo"); again != s1 {
+		t.Fatalf("re-registration returned a new span")
+	}
+	if r.Stages() != 2 {
+		t.Fatalf("stages %d, want 2", r.Stages())
+	}
+	if n, st := r.StageName(s1.id); n != "a" || st != "tx.fifo" {
+		t.Fatalf("stage 0 = %s/%s", n, st)
+	}
+	if n, st := r.StageName(s2.id); n != "b" || st != "rx.fifo" {
+		t.Fatalf("stage 1 = %s/%s", n, st)
+	}
+}
+
+func TestResidency(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRecorder(k, 64)
+	sp := r.Stage("a", "s")
+	for i := 0; i < 4; i++ {
+		at := sim.Time(i * 1000)
+		k.At(at, func() { sp.Enter(recVC) })
+		k.At(at+100, func() { sp.Exit(recVC) })
+	}
+	k.At(9000, func() { sp.Drop(recVC, metrics.DropFIFO) })
+	k.Run()
+	stats := r.Residency()
+	if len(stats) != 1 {
+		t.Fatalf("stats %d", len(stats))
+	}
+	st := stats[0]
+	if st.Node != "a" || st.Stage != "s" || st.Count != 4 || st.Drops != 1 {
+		t.Fatalf("%+v", st)
+	}
+	if st.Total != 400 {
+		t.Fatalf("total %v, want 400ns", st.Total)
+	}
+	if st.Max < 100 || st.Mean < 50 {
+		t.Fatalf("mean %v max %v", st.Mean, st.Max)
+	}
+}
+
+func TestWriteTraceJSONShape(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRecorder(k, 64)
+	sp := r.Stage("a", "tx.fifo")
+	k.At(1000, func() { sp.Enter(recVC) })
+	k.At(3000, func() { sp.Exit(recVC) })
+	k.At(4000, func() { sp.Drop(recVC, metrics.DropFIFO) })
+	k.Run()
+	var buf bytes.Buffer
+	if err := r.WriteTraceJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("export is not JSON: %v", err)
+	}
+	var phases []string
+	for _, ev := range tf.TraceEvents {
+		phases = append(phases, ev["ph"].(string))
+	}
+	joined := strings.Join(phases, "")
+	if !strings.Contains(joined, "X") || !strings.Contains(joined, "i") || !strings.Contains(joined, "M") {
+		t.Fatalf("phases %v missing X/i/M", phases)
+	}
+	// Deterministic: a second export is byte-identical.
+	var buf2 bytes.Buffer
+	if err := r.WriteTraceJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("export not deterministic")
+	}
+}
+
+func TestWriteBreakdown(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRecorder(k, 64)
+	sp := r.Stage("a", "tx.fifo")
+	k.At(0, func() { sp.Enter(recVC) })
+	k.At(500, func() { sp.Exit(recVC) })
+	k.Run()
+	var buf bytes.Buffer
+	if err := r.WriteBreakdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a/tx.fifo") || !strings.Contains(out, "500ns") {
+		t.Fatalf("breakdown missing stage row:\n%s", out)
+	}
+}
+
+// TestConcurrentWorlds runs independent kernel+recorder worlds in parallel —
+// the sweep-runner usage pattern. Each world is single-threaded; the race
+// detector (make verify) confirms no shared state leaks between them.
+func TestConcurrentWorlds(t *testing.T) {
+	var wg sync.WaitGroup
+	results := make([]int, 8)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			k := sim.NewKernel()
+			r := NewRecorder(k, 1024)
+			sp := r.Stage("a", "s")
+			for i := 0; i < 200; i++ {
+				at := sim.Time(i * 10)
+				k.At(at, func() { sp.Enter(recVC) })
+				k.At(at+5, func() { sp.Exit(recVC) })
+			}
+			k.Run()
+			spans, unmatched := r.Spans()
+			if unmatched != 0 {
+				t.Errorf("world %d: %d unmatched", w, unmatched)
+			}
+			results[w] = len(spans)
+		}()
+	}
+	wg.Wait()
+	for w, n := range results {
+		if n != 200 {
+			t.Fatalf("world %d recorded %d spans, want 200", w, n)
+		}
+	}
+}
+
+// TestSamplerSeries pins the periodic sampler: rows at every period up to
+// the stop time, sorted stable columns, and a kernel that still drains.
+func TestSamplerSeries(t *testing.T) {
+	k := sim.NewKernel()
+	reg := metrics.NewRegistry()
+	c := reg.Counter("z.cells")
+	g := reg.Gauge("a.occ")
+	s := NewSampler(k, reg, 100)
+	s.Start(1000)
+	for i := 1; i <= 20; i++ {
+		at := sim.Time(i * 50)
+		k.At(at, func() { c.Inc(); g.Set(int64(at)) })
+	}
+	k.Run() // terminates: the sampler stops re-arming past the stop time
+	rows := s.Rows()
+	if len(rows) != 10 {
+		t.Fatalf("rows %d, want 10", len(rows))
+	}
+	if rows[0].At != 100 || rows[9].At != 1000 {
+		t.Fatalf("row times %v..%v", rows[0].At, rows[9].At)
+	}
+	// Counters snapshot at the tick. The tick at t=100 was posted before
+	// the t=100 increment, so it sees only the t=50 one — same-timestamp
+	// events run in posting order.
+	if rows[0].Values["z.cells"] != 1 {
+		t.Fatalf("first row cells %v", rows[0].Values["z.cells"])
+	}
+	// The second tick was re-armed at t=100, AFTER the t=200 increment was
+	// posted, so it runs last at t=200 and sees all four increments.
+	if rows[1].Values["z.cells"] != 4 {
+		t.Fatalf("second row cells %v", rows[1].Values["z.cells"])
+	}
+	var csvBuf bytes.Buffer
+	if err := s.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("csv lines %d, want header+10", len(lines))
+	}
+	if lines[0] != "t_ns,a.occ,z.cells" {
+		t.Fatalf("csv header %q not sorted", lines[0])
+	}
+	var jsonBuf bytes.Buffer
+	if err := s.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var back []struct {
+		T      int64              `json:"t_ns"`
+		Values map[string]float64 `json:"values"`
+	}
+	if err := json.Unmarshal(jsonBuf.Bytes(), &back); err != nil {
+		t.Fatalf("sampler JSON: %v", err)
+	}
+	if len(back) != 10 || back[9].T != 1000 {
+		t.Fatalf("json rows %d last %d", len(back), back[len(back)-1].T)
+	}
+}
