@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench verify fmt fmt-check vet staticcheck trace-verify
+.PHONY: all build test bench verify fmt fmt-check vet staticcheck trace-verify cover-tcpip
 
 all: build
 
@@ -37,6 +37,16 @@ staticcheck:
 	else \
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2023.1.7)"; \
 	fi
+
+# cover-tcpip gates line coverage of the internet-over-ATM packages: the
+# profile is written to tcpip-cover.out (a CI artifact) and the combined
+# total must clear 75%.
+cover-tcpip:
+	$(GO) test -coverprofile=tcpip-cover.out ./internal/ip ./internal/tcp
+	@$(GO) tool cover -func=tcpip-cover.out | awk ' \
+		/^total:/ { pct = $$3; sub(/%/, "", pct); \
+			if (pct + 0 < 75) { printf "coverage %s%% is below the 75%% gate\n", pct; exit 1 } \
+			printf "internal/ip + internal/tcp line coverage %s%% (gate 75%%)\n", pct }'
 
 # trace-verify exports a flight-recorder trace from a short atmsim run and
 # validates it against the Perfetto trace-event schema subset we emit.

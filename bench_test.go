@@ -1,11 +1,12 @@
 // Package repro's root benchmarks regenerate every reconstructed table and
-// figure (E1..E18; see DESIGN.md) under `go test -bench`. Each benchmark
+// figure (E1..E20; see DESIGN.md) under `go test -bench`. Each benchmark
 // runs the corresponding experiment core and reports its headline numbers
 // as custom metrics, so `go test -bench=. -benchmem | tee bench_output.txt`
 // is the whole evaluation.
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/aal"
@@ -372,4 +373,32 @@ func BenchmarkE15EPD(b *testing.B) {
 	}
 	b.ReportMetric(pts[0].Efficiency, "tail-eff")
 	b.ReportMetric(pts[1].Efficiency, "epd-eff")
+}
+
+// BenchmarkE19TCPBuffer regenerates the TCP-goodput-vs-switch-buffer figure
+// at its extreme points: tail drop collapses below 1xBDP, EPD/PPD recovers.
+func BenchmarkE19TCPBuffer(b *testing.B) {
+	var pts []experiments.E19Point
+	for i := 0; i < b.N; i++ {
+		pts, _ = experiments.E19([]float64{0.25, 2.0}, 1500*sim.Millisecond)
+	}
+	for _, p := range pts {
+		name := "tail"
+		if p.EPD {
+			name = "epd"
+		}
+		b.ReportMetric(p.Efficiency, fmt.Sprintf("%s-%.2fbdp-eff", name, p.BufferFrac))
+	}
+}
+
+// BenchmarkE20GEO regenerates the GEO-delay TCP run: window-limited goodput
+// over a 275 ms hop with a clean, stable cwnd trace.
+func BenchmarkE20GEO(b *testing.B) {
+	var res experiments.E20Result
+	for i := 0; i < b.N; i++ {
+		res, _ = experiments.E20(2, 6*sim.Second)
+	}
+	b.ReportMetric(res.Flows[0].GoodputBps/1e6, "flow0-Mbps")
+	b.ReportMetric(res.JainIndex, "jain")
+	b.ReportMetric(res.WindowLimitBps/1e6, "winlimit-Mbps")
 }

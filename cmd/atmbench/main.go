@@ -25,11 +25,13 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiments (e1..e18) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiments (e1..e20) or 'all'")
 	quick := flag.Bool("quick", false, "shorter simulated runs (for smoke tests)")
 	csv := flag.Bool("csv", false, "emit tables as CSV where applicable")
 	metricsPath := flag.String("metrics", "", "run the instrumented telemetry pass and write its JSON snapshot here (\"-\" for stdout)")
 	tracePath := flag.String("trace", "", "with e18: write its flight recording as Perfetto trace-event JSON here (\"-\" for stdout)")
+	cwndPath := flag.String("cwnd", "", "with e20: write the sampled cwnd/metrics time series as CSV here (\"-\" for stdout)")
+	geoFlows := flag.Int("geo-flows", 2, "with e20: number of concurrent GEO flows")
 	parallel := flag.Int("parallel", 1, "worker goroutines for sweep points (0 = GOMAXPROCS); results are bit-identical to -parallel 1")
 	flag.Parse()
 
@@ -37,7 +39,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for i := 1; i <= 18; i++ {
+		for i := 1; i <= 20; i++ {
 			want[fmt.Sprintf("e%d", i)] = true
 		}
 	} else {
@@ -178,6 +180,25 @@ func main() {
 		}
 		ran++
 	}
+	if want["e19"] {
+		pts, sr := experiments.E19(nil, runTime(2*sim.Second))
+		emitSeries(sr)
+		for _, p := range pts {
+			fmt.Println(" ", p.String())
+		}
+		ran++
+	}
+	if want["e20"] {
+		res, tb := experiments.E20(*geoFlows, runTime(10*sim.Second))
+		emitTable(tb)
+		if *cwndPath != "" {
+			if err := writeCwnd(*cwndPath, res.Sampler); err != nil {
+				fmt.Fprintln(os.Stderr, "atmbench:", err)
+				os.Exit(1)
+			}
+		}
+		ran++
+	}
 	if *metricsPath != "" {
 		ec := experiments.DefaultTelemetry()
 		ec.RunTime = runTime(ec.RunTime)
@@ -201,9 +222,26 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "atmbench: no experiment matched %q (use e1..e18 or all)\n", *expFlag)
+		fmt.Fprintf(os.Stderr, "atmbench: no experiment matched %q (use e1..e20 or all)\n", *expFlag)
 		os.Exit(2)
 	}
+}
+
+// writeCwnd exports the sampled metrics time series (cwnd gauges included)
+// as CSV.
+func writeCwnd(path string, s *trace.Sampler) error {
+	if path == "-" {
+		return s.WriteCSV(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTrace exports a flight recording as Perfetto trace-event JSON.

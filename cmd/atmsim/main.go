@@ -11,6 +11,7 @@
 //	atmsim -kill 10ms -restore 25ms -rtimeout 1ms   # cut and repair the a->b fiber
 //	atmsim -trace out.json                      # Perfetto trace of every hop
 //	atmsim -sample 100us -sampleout series.csv  # periodic telemetry time series
+//	atmsim -tcp 1000000 -duration 200ms         # TCP Reno transfer over RFC 2684
 package main
 
 import (
@@ -27,10 +28,12 @@ import (
 	"repro/internal/atm"
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/ip"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/nic"
 	"repro/internal/sim"
+	"repro/internal/tcp"
 	"repro/internal/tm"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -62,6 +65,7 @@ func main() {
 	kill := flag.Duration("kill", 0, "cut the a->b fiber at this simulated time (0 = never); alarm events print as they fire")
 	restore := flag.Duration("restore", 0, "restore the cut fiber at this simulated time (0 = stays dark)")
 	rtimeout := flag.Duration("rtimeout", 0, "reassembly staleness timeout: partial frames idle this long are aborted and their adapter buffers reclaimed (0 = off)")
+	tcpBytes := flag.Int("tcp", 0, "replace the raw workload with a TCP Reno bulk transfer of this many bytes over RFC 2684 LLC/SNAP (0 = off)")
 	flag.Parse()
 
 	obs := obsOpts{
@@ -70,7 +74,7 @@ func main() {
 		SamplePeriod: *samplePeriod,
 		SamplePath:   *samplePath,
 	}
-	if err := run(*rate, *aalFlag, *arch, *size, *wl, *duration, *loss, *window, *seed, *rxEngines, *interleave, *dumpN, *metricsPath, *stats, *contract, *police, *epd, *kill, *restore, *rtimeout, obs); err != nil {
+	if err := run(*rate, *aalFlag, *arch, *size, *wl, *duration, *loss, *window, *seed, *rxEngines, *interleave, *dumpN, *metricsPath, *stats, *contract, *police, *epd, *kill, *restore, *rtimeout, *tcpBytes, obs); err != nil {
 		fmt.Fprintln(os.Stderr, "atmsim:", err)
 		os.Exit(1)
 	}
@@ -88,7 +92,7 @@ type obsOpts struct {
 func run(rate int, aalFlag, arch string, size int, wl string, duration time.Duration,
 	loss float64, window int, seed uint64, rxEngines int, interleave bool, dumpN int,
 	metricsPath string, stats bool, contractSpec string, police bool, epd int,
-	kill, restore, rtimeout time.Duration, obs obsOpts) error {
+	kill, restore, rtimeout time.Duration, tcpBytes int, obs obsOpts) error {
 	deadline := sim.Time(duration.Nanoseconds())
 
 	payloadRate := units.STS3cPayload
@@ -127,6 +131,9 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 		}
 		if obs.TracePath != "" || obs.SamplePeriod > 0 {
 			return fmt.Errorf("-trace/-sample are not supported with -arch percell")
+		}
+		if tcpBytes > 0 {
+			return fmt.Errorf("-tcp is not supported with -arch percell")
 		}
 		return runBaseline(sim.NewKernel(), payloadRate, aalType, size, deadline, loss, seed)
 	}
@@ -168,6 +175,8 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 		VCCs: []core.VCCSpec{{
 			Name: "ab", From: "a", To: "b", VC: stdVC(),
 			Contract: contract, Shape: haveContract, Latency: true,
+			// TCP needs the ACK path back from b to a.
+			Duplex: tcpBytes > 0,
 		}},
 	}
 	if police || epd > 0 {
@@ -268,7 +277,18 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 	}
 
 	sent := 0
-	if wl == "fixed" {
+	var flow *tcp.Flow
+	if tcpBytes > 0 {
+		// A Reno source at a, sink at b: IP datagrams ride the VCC under
+		// RFC 2684 LLC/SNAP, ACKs return on the duplex reverse path. The
+		// flow's cwnd/ssthresh gauges land in the registry, so -sample
+		// captures the congestion window trace.
+		stackA := ip.NewStack(a.Interface(), ip.LLCSnap, ip.Addr{10, 0, 0, 1})
+		stackB := ip.NewStack(b.Interface(), ip.LLCSnap, ip.Addr{10, 0, 0, 2})
+		flow = tcp.NewFlow(k, "ab", stackA, vcc.SourceVC, stackB, vcc.DestVC, tcp.Config{})
+		flow.Instrument(reg)
+		flow.Start(uint64(tcpBytes), nil)
+	} else if wl == "fixed" {
 		var send func()
 		send = func() {
 			if k.Now() > deadline {
@@ -301,8 +321,20 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 	utilA, utilB := a.Host().Utilization(), b.Host().Utilization()
 	txU, rxU := a.Interface().TxEngine().Utilization(), b.Interface().RxEngine().Utilization()
 	st := b.Stats()
+	var tcpSt tcp.SenderStats
+	var tcpDelivered uint64
+	if flow != nil {
+		tcpSt = flow.Sender.Stats()
+		tcpDelivered = flow.Delivered()
+		sent = int(tcpSt.Segments)
+		flow.Stop()
+	}
 	k.Run()
-	fmt.Printf("architecture      %s, %v, %s, workload %s\n", arch, payloadRate, aalType, gen.Name())
+	wlName := gen.Name()
+	if flow != nil {
+		wlName = fmt.Sprintf("tcp %d bytes", tcpBytes)
+	}
+	fmt.Printf("architecture      %s, %v, %s, workload %s\n", arch, payloadRate, aalType, wlName)
 	fmt.Printf("simulated time    %v\n", k.Now())
 	fmt.Printf("packets sent      %d\n", sent)
 	fmt.Printf("packets delivered %d  (%d bytes)\n", st.Rx.Packets, st.Rx.Bytes)
@@ -314,6 +346,14 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 	fmt.Printf("engines           tx %.1f%%   rx %.1f%%\n", 100*txU, 100*rxU)
 	fmt.Printf("adapter sram peak %d bytes\n", st.SRAMPeak)
 	fmt.Printf("link a->b         sent %d cells\n", st.Rx.Cells)
+	if flow != nil {
+		fmt.Printf("tcp               delivered %d/%d bytes  goodput %.2f Mb/s  segments %d\n",
+			tcpDelivered, tcpBytes,
+			units.ThroughputBps(int64(tcpDelivered), deadline)/1e6, tcpSt.Segments)
+		fmt.Printf("tcp sender        cwnd %d  srtt %v  retx %d (fast %d)  timeouts %d\n",
+			flow.Sender.Cwnd(), flow.Sender.SRTT(),
+			tcpSt.Retransmits, tcpSt.FastRetransmits, tcpSt.Timeouts)
+	}
 	if haveContract {
 		fmt.Printf("contract          %v (shaping at a)\n", contract)
 	}

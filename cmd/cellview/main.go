@@ -5,11 +5,16 @@
 //	echo 0000000105526a6a... | cellview            # one 53-byte cell
 //	cellview -format nni 12345678...
 //	cellview -hec 00000001                          # compute a header's HEC
+//
+// Cell payloads that begin with an RFC 2684 LLC/SNAP routed-PDU header
+// (AA-AA-03 + OUI + EtherType) are decoded one layer deeper, including the
+// IPv4 header of an encapsulated datagram.
 package main
 
 import (
 	"bufio"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +23,7 @@ import (
 
 	"repro/internal/atm"
 	"repro/internal/crc"
+	"repro/internal/ip"
 )
 
 func main() {
@@ -90,6 +96,7 @@ func decodeOne(w io.Writer, input string, f atm.Format, hecOnly bool) error {
 		}
 		printHeader(w, &c.Header, corrected)
 		fmt.Fprintf(w, "  payload   %s\n", hex.EncodeToString(c.Payload[:16])+"...")
+		printEncap(w, c.Payload[:])
 		if len(raw) > atm.CellSize {
 			fmt.Fprintf(w, "  (%d trailing bytes ignored)\n", len(raw)-atm.CellSize)
 		}
@@ -104,6 +111,49 @@ func decodeOne(w io.Writer, input string, f atm.Format, hecOnly bool) error {
 		return fmt.Errorf("need at least %d bytes, got %d", atm.HeaderSize, len(raw))
 	}
 	return nil
+}
+
+// printEncap recognizes an RFC 2684 LLC/SNAP routed-PDU header at the start
+// of a cell payload — the shape of the first cell of an encapsulated AAL5
+// frame — and decodes it, plus the IPv4 header behind it when the EtherType
+// says so. A 48-byte cell usually holds only the front of the datagram, so a
+// header whose TotalLen runs past the cell is reported as continuing rather
+// than rejected.
+func printEncap(w io.Writer, payload []byte) {
+	et, pdu, ok := ip.DecodeLLCSnap(payload)
+	if !ok {
+		return
+	}
+	fmt.Fprintf(w, "  llc/snap  AA-AA-03  OUI 00-00-00  ethertype %#04x (%s)\n",
+		et, ip.EtherTypeName(et))
+	if et != ip.EtherTypeIPv4 || len(pdu) < ip.HeaderSize {
+		return
+	}
+	h, body, err := ip.Parse(pdu)
+	switch {
+	case err == nil:
+		fmt.Fprintf(w, "  ipv4      %v -> %v  proto %s  ttl %d  len %d (%d payload bytes in this cell)\n",
+			h.Src, h.Dst, protoName(h.Proto), h.TTL, h.TotalLen, len(body))
+	case errors.Is(err, ip.ErrTruncated):
+		// The header itself parsed and checksummed; only the body spills
+		// into the frame's later cells.
+		fmt.Fprintf(w, "  ipv4      %v -> %v  proto %s  ttl %d  len %d [continues beyond this cell]\n",
+			h.Src, h.Dst, protoName(h.Proto), h.TTL, h.TotalLen)
+	default:
+		fmt.Fprintf(w, "  ipv4      undecodable: %v\n", err)
+	}
+}
+
+// protoName names the IP protocol numbers the testbed carries.
+func protoName(p uint8) string {
+	switch p {
+	case ip.ProtoTCP:
+		return "tcp"
+	case ip.ProtoUDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("%d", p)
+	}
 }
 
 func printHeader(w io.Writer, h *atm.Header, corrected bool) {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/atm"
+	"repro/internal/ip"
 )
 
 func encodeCellHex(t *testing.T, h atm.Header, fill byte) string {
@@ -149,5 +150,87 @@ func TestDecodeCLPAndEFCI(t *testing.T) {
 	}
 	if strings.Contains(out.String(), "EFCI") || strings.Contains(out.String(), "discard eligible") {
 		t.Fatalf("spurious flags:\n%s", out.String())
+	}
+}
+
+func encapCellHex(t *testing.T, h atm.Header, sdu []byte) string {
+	t.Helper()
+	c := atm.Cell{Header: h}
+	copy(c.Payload[:], sdu)
+	var wire [atm.CellSize]byte
+	if err := c.Encode(wire[:]); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, x := range wire {
+		b.WriteString(strings.TrimPrefix(hexByte(x), "0x"))
+	}
+	return b.String()
+}
+
+func TestDecodeLLCSnapIPv4(t *testing.T) {
+	// A short datagram: header + 12 payload bytes fit entirely inside one
+	// cell behind the 8-byte LLC/SNAP header.
+	iph := ip.Header{Proto: ip.ProtoTCP, Src: ip.Addr{10, 0, 0, 1}, Dst: ip.Addr{10, 0, 0, 2}}
+	sdu := ip.Encapsulate(ip.LLCSnap, ip.EtherTypeIPv4, iph.Datagram(make([]byte, 12)))
+	h := atm.Header{Format: atm.UNI, VPI: 0, VCI: 100, PT: atm.PTUser0}
+	var out strings.Builder
+	if err := decodeOne(&out, encapCellHex(t, h, sdu), atm.UNI, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"llc/snap", "0x0800 (IPv4)", "10.0.0.1 -> 10.0.0.2",
+		"proto tcp", "len 32 (12 payload bytes in this cell)"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDecodeLLCSnapIPv4Truncated(t *testing.T) {
+	// A full-size datagram: only its front rides in the first cell, and the
+	// decoder reports the continuation instead of rejecting it.
+	iph := ip.Header{Proto: ip.ProtoUDP, Src: ip.Addr{192, 168, 1, 1}, Dst: ip.Addr{192, 168, 1, 2}}
+	sdu := ip.Encapsulate(ip.LLCSnap, ip.EtherTypeIPv4, iph.Datagram(make([]byte, 1000)))
+	h := atm.Header{Format: atm.UNI, VPI: 0, VCI: 100, PT: atm.PTUser0}
+	var out strings.Builder
+	if err := decodeOne(&out, encapCellHex(t, h, sdu[:atm.PayloadSize]), atm.UNI, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"llc/snap", "192.168.1.1 -> 192.168.1.2", "proto udp",
+		"len 1020 [continues beyond this cell]"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDecodeLLCSnapNonIP(t *testing.T) {
+	// An ARP EtherType decodes the encapsulation but goes no deeper.
+	sdu := ip.Encapsulate(ip.LLCSnap, ip.EtherTypeARP, make([]byte, 28))
+	h := atm.Header{Format: atm.UNI, VPI: 0, VCI: 100, PT: atm.PTUser0}
+	var out strings.Builder
+	if err := decodeOne(&out, encapCellHex(t, h, sdu), atm.UNI, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "0x0806 (ARP)") {
+		t.Fatalf("ARP EtherType not decoded:\n%s", got)
+	}
+	if strings.Contains(got, "ipv4") {
+		t.Fatalf("spurious ipv4 decode:\n%s", got)
+	}
+}
+
+func TestDecodePlainPayloadNoEncap(t *testing.T) {
+	// A payload that is not LLC/SNAP prints no encapsulation lines.
+	h := atm.Header{Format: atm.UNI, VPI: 0, VCI: 100, PT: atm.PTUser0}
+	var out strings.Builder
+	if err := decodeOne(&out, encodeCellHex(t, h, 0x42), atm.UNI, false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "llc/snap") {
+		t.Fatalf("spurious llc/snap decode:\n%s", out.String())
 	}
 }

@@ -186,6 +186,7 @@ func (r *Reassembler34) ExpireStale(olderThan int64) int {
 	}
 	r.Abort()
 	r.vst.IncReassemblyTimeout()
+	r.vst.Drop(metrics.DropReassemblyTimeout)
 	return 1
 }
 

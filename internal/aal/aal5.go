@@ -134,6 +134,7 @@ func (r *Reassembler5) ExpireStale(olderThan int64) int {
 	}
 	r.Abort()
 	r.vst.IncReassemblyTimeout()
+	r.vst.Drop(metrics.DropReassemblyTimeout)
 	return 1
 }
 

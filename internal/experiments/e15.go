@@ -6,6 +6,7 @@ import (
 	"repro/internal/atm"
 	"repro/internal/core"
 	"repro/internal/experiments/runner"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -23,6 +24,15 @@ type E15Point struct {
 	EPDCells    uint64
 	PPDCells    uint64
 	AALErrors   uint64
+	// Drop attribution split by level, summed from the per-VC metrics rows.
+	// TimeoutFrames are partial frames aged out of the receiver's
+	// reassembler (metrics.DropReassemblyTimeout): the frame-level residue
+	// of cell-level tail drop, whose surviving cells crossed the congested
+	// port for nothing. EPDDropCells are cells refused under
+	// metrics.DropEPD — losses taken deliberately at frame granularity, so
+	// they leave no stranded reassembly state behind.
+	TimeoutFrames uint64
+	EPDDropCells  uint64
 }
 
 // E15 reproduces the classic AAL5 goodput-collapse-and-recovery result:
@@ -94,7 +104,10 @@ func runE15(overload float64, epd bool, runTime sim.Duration) E15Point {
 		Endpoints: []core.EndpointSpec{
 			{Name: "a", Options: core.Options{InterleaveVCs: true}},
 			{Name: "b", Options: core.Options{InterleaveVCs: true}},
-			{Name: "c"},
+			// The receiver ages out partial frames a few frame times after
+			// their last cell, so tail drop's stranded reassembly state is
+			// counted (DropReassemblyTimeout) instead of lingering forever.
+			{Name: "c", Options: core.Options{ReassemblyTimeout: sim.Millisecond}},
 		},
 		Switches: []core.SwitchSpec{
 			{Name: "sw", Ports: 3, Rate: units.STS3cPayload, QueueDepth: queueDepth},
@@ -142,16 +155,26 @@ func runE15(overload float64, epd bool, runTime sim.Duration) E15Point {
 	goodput := units.ThroughputBps(int64(st.Rx.Bytes), deadline)
 	kern.Run()
 
+	// Attribute losses by level from the per-VC metrics rows, after the
+	// drain so end-of-run stale frames have been reaped and counted.
+	var timeoutFrames, epdDropCells uint64
+	for _, vs := range net.Metrics().Snapshot().VCs {
+		timeoutFrames += vs.Drops[metrics.DropReassemblyTimeout.String()]
+		epdDropCells += vs.Drops[metrics.DropEPD.String()]
+	}
+
 	sws := net.Switch("sw").Stats()
 	return E15Point{
-		Overload:    overload,
-		EPD:         epd,
-		GoodputBps:  goodput,
-		Efficiency:  goodput / sduCeilingBps(units.STS3cPayload, sduSize, frameCells),
-		TailDropped: sws.Dropped,
-		EPDCells:    sws.EPDCells,
-		PPDCells:    sws.PPDCells,
-		AALErrors:   st.Rx.AALErrors,
+		Overload:      overload,
+		EPD:           epd,
+		GoodputBps:    goodput,
+		Efficiency:    goodput / sduCeilingBps(units.STS3cPayload, sduSize, frameCells),
+		TailDropped:   sws.Dropped,
+		EPDCells:      sws.EPDCells,
+		PPDCells:      sws.PPDCells,
+		AALErrors:     st.Rx.AALErrors,
+		TimeoutFrames: timeoutFrames,
+		EPDDropCells:  epdDropCells,
 	}
 }
 
@@ -161,6 +184,7 @@ func (p E15Point) String() string {
 	if p.EPD {
 		pol = "epd"
 	}
-	return fmt.Sprintf("ov=%.1f %s eff=%.3f tail=%d epd=%d ppd=%d aalerr=%d",
-		p.Overload, pol, p.Efficiency, p.TailDropped, p.EPDCells, p.PPDCells, p.AALErrors)
+	return fmt.Sprintf("ov=%.1f %s eff=%.3f tail=%d epd=%d ppd=%d aalerr=%d stale=%d epdvc=%d",
+		p.Overload, pol, p.Efficiency, p.TailDropped, p.EPDCells, p.PPDCells, p.AALErrors,
+		p.TimeoutFrames, p.EPDDropCells)
 }

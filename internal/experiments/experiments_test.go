@@ -503,6 +503,30 @@ func TestE15Shape(t *testing.T) {
 	if get(true, 1.3).EPDCells == 0 {
 		t.Error("EPD never triggered at 1.3x")
 	}
+	// Drop attribution splits by level: EPD's deliberate frame-granular
+	// discard is accounted per VC under DropEPD and leaves no stranded
+	// reassembly state, while tail drop's losses surface (partly) as
+	// partial frames aged out of the receiver — and never as DropEPD.
+	var tailStale uint64
+	for _, p := range pts {
+		if p.EPD {
+			if p.EPDDropCells != p.EPDCells {
+				t.Errorf("ov=%.1f epd: per-VC epd drops %d != switch epd cells %d",
+					p.Overload, p.EPDDropCells, p.EPDCells)
+			}
+			if p.TimeoutFrames != 0 {
+				t.Errorf("ov=%.1f epd: %d stranded frames aged out", p.Overload, p.TimeoutFrames)
+			}
+		} else {
+			tailStale += p.TimeoutFrames
+			if p.EPDDropCells != 0 {
+				t.Errorf("ov=%.1f tail: unexpected per-VC epd drops %d", p.Overload, p.EPDDropCells)
+			}
+		}
+	}
+	if tailStale == 0 {
+		t.Error("tail drop stranded no partial frames across the sweep (reassembly timeout never attributed)")
+	}
 	if sr.Y("tail-drop") == nil || sr.Y("epd-ppd") == nil {
 		t.Fatal("series missing")
 	}
@@ -650,5 +674,113 @@ func TestE18Reconciles(t *testing.T) {
 	}
 	if r155.HostTx != r622.HostTx {
 		t.Errorf("host-tx should be rate-independent: %v vs %v", r155.HostTx, r622.HostTx)
+	}
+}
+
+func TestE19Shape(t *testing.T) {
+	fracs := []float64{0.25, 0.5, 2.0}
+	pts, sr := E19(fracs, 2*sim.Second)
+	get := func(epd bool, frac float64) E19Point {
+		for _, p := range pts {
+			if p.EPD == epd && p.BufferFrac == frac {
+				return p
+			}
+		}
+		panic("missing point")
+	}
+	for _, p := range pts {
+		if p.Efficiency <= 0.3 || p.Efficiency > 1 {
+			t.Errorf("%s: efficiency %.3f out of range", p.String(), p.Efficiency)
+		}
+		if p.EPD && (p.EPDCells == 0 || p.TailDropped != 0) {
+			t.Errorf("%s: EPD run dropped wrong way (epd=%d tail=%d)",
+				p.String(), p.EPDCells, p.TailDropped)
+		}
+		if !p.EPD && (p.TailDropped == 0 || p.EPDCells != 0) {
+			t.Errorf("%s: tail run dropped wrong way (epd=%d tail=%d)",
+				p.String(), p.EPDCells, p.TailDropped)
+		}
+	}
+	// The satellite-ATM result: tail-drop goodput degrades as the buffer
+	// shrinks below ~1xBDP...
+	if tailSmall, tailBig := get(false, 0.25), get(false, 2.0); tailSmall.Efficiency > tailBig.Efficiency-0.05 {
+		t.Errorf("tail drop did not degrade at small buffer: 0.25x %.3f vs 2x %.3f",
+			tailSmall.Efficiency, tailBig.Efficiency)
+	}
+	// ...and EPD/PPD recovers most of it where the squeeze is on.
+	for _, frac := range []float64{0.25, 0.5} {
+		tail, epd := get(false, frac), get(true, frac)
+		if epd.Efficiency < tail.Efficiency+0.02 {
+			t.Errorf("EPD did not recover at %.2fxBDP: epd %.3f vs tail %.3f",
+				frac, epd.Efficiency, tail.Efficiency)
+		}
+	}
+	// Reno pays for congestion in retransmissions either way; the policies
+	// must at least be exercised.
+	if get(false, 0.25).Retransmits == 0 || get(true, 0.25).Retransmits == 0 {
+		t.Error("no retransmissions at the smallest buffer — no congestion?")
+	}
+	if sr.Y("tail-drop") == nil || sr.Y("epd-ppd") == nil {
+		t.Fatal("series missing")
+	}
+}
+
+func TestE20SingleFlowShape(t *testing.T) {
+	res, tb := E20(1, 6*sim.Second)
+	if len(res.Flows) != 1 {
+		t.Fatalf("%d flows", len(res.Flows))
+	}
+	f := res.Flows[0]
+	// The GEO pipe is clean and over-buffered: zero loss events, and an
+	// RTT pinned at the 552 ms propagation floor (plus queueing epsilon).
+	if f.Retransmits != 0 || f.Timeouts != 0 {
+		t.Errorf("loss events on a clean GEO path: %+v", f)
+	}
+	if f.SRTT < e20RTT || f.SRTT > e20RTT+20*sim.Millisecond {
+		t.Errorf("SRTT %v, want ~%v", f.SRTT, e20RTT)
+	}
+	// Window-limited regime: goodput approaches RcvWnd/RTT (short of it by
+	// the seconds slow start burns at this RTT) and never exceeds it.
+	if f.GoodputBps < 0.6*res.WindowLimitBps || f.GoodputBps > 1.05*res.WindowLimitBps {
+		t.Errorf("goodput %.0f vs window limit %.0f", f.GoodputBps, res.WindowLimitBps)
+	}
+	// cwnd opened past the advertised window: the flow is receiver-limited.
+	if f.CwndBytes < e20RcvWnd {
+		t.Errorf("cwnd %d never reached the advertised window %d", f.CwndBytes, e20RcvWnd)
+	}
+	// The sampled cwnd trace is the deliverable: it must exist, grow to a
+	// plateau at/above the advertised window, and never fall back (no loss).
+	rows := res.Sampler.Rows()
+	if len(rows) < 50 {
+		t.Fatalf("sampler recorded %d rows", len(rows))
+	}
+	const col = "tcp.geo0.cwnd"
+	mid, last := rows[len(rows)/2].Values[col], rows[len(rows)-1].Values[col]
+	if last < float64(e20RcvWnd) {
+		t.Errorf("final sampled cwnd %.0f below advertised window %d", last, e20RcvWnd)
+	}
+	if last < mid {
+		t.Errorf("cwnd trace fell back: mid %.0f -> last %.0f", mid, last)
+	}
+	if !strings.Contains(tb.String(), "geo0") {
+		t.Error("table missing flow row")
+	}
+}
+
+func TestE20TwoFlowFairness(t *testing.T) {
+	res, _ := E20(2, 8*sim.Second)
+	if len(res.Flows) != 2 {
+		t.Fatalf("%d flows", len(res.Flows))
+	}
+	if res.JainIndex < 0.95 {
+		t.Errorf("Jain index %.4f — staggered window-limited flows should converge", res.JainIndex)
+	}
+	for _, f := range res.Flows {
+		if f.Retransmits != 0 || f.Timeouts != 0 {
+			t.Errorf("flow %s saw loss on the over-buffered GEO path: %+v", f.Name, f)
+		}
+		if f.GoodputBps < 0.5*res.WindowLimitBps {
+			t.Errorf("flow %s goodput %.0f below half the window limit", f.Name, f.GoodputBps)
+		}
 	}
 }

@@ -1,0 +1,77 @@
+package ip
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestLLCSnapRoundTrip(t *testing.T) {
+	dgram := (&Header{Proto: ProtoTCP}).Datagram([]byte("data"))
+	sdu := Encapsulate(LLCSnap, EtherTypeIPv4, dgram)
+	if len(sdu) != LLCSnapSize+len(dgram) {
+		t.Fatalf("sdu length %d", len(sdu))
+	}
+	if !bytes.Equal(sdu[:3], []byte{0xAA, 0xAA, 0x03}) {
+		t.Errorf("LLC bytes % x", sdu[:3])
+	}
+	et, pdu, err := Decapsulate(LLCSnap, sdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if et != EtherTypeIPv4 {
+		t.Errorf("ethertype %#04x", et)
+	}
+	if !bytes.Equal(pdu, dgram) {
+		t.Error("inner PDU mismatch")
+	}
+}
+
+func TestVCMuxRoundTrip(t *testing.T) {
+	dgram := (&Header{Proto: ProtoTCP}).Datagram([]byte("data"))
+	sdu := Encapsulate(VCMux, EtherTypeIPv4, dgram)
+	if &sdu[0] != &dgram[0] {
+		t.Error("VC-mux should not copy")
+	}
+	et, pdu, err := Decapsulate(VCMux, sdu)
+	if err != nil || et != EtherTypeIPv4 || !bytes.Equal(pdu, dgram) {
+		t.Errorf("vc-mux decap: %v %#04x", err, et)
+	}
+}
+
+func TestDecapsulateRejects(t *testing.T) {
+	if _, _, err := Decapsulate(LLCSnap, []byte{0xAA, 0xAA}); err != ErrShortEncap {
+		t.Errorf("short: %v", err)
+	}
+	notSnap := []byte{0xFE, 0xFE, 0x03, 0, 0, 0, 0x08, 0x00, 1, 2}
+	if _, _, err := Decapsulate(LLCSnap, notSnap); err != ErrNotLLCSnap {
+		t.Errorf("not-snap: %v", err)
+	}
+}
+
+func TestDecodeLLCSnapOtherProtocols(t *testing.T) {
+	arp := Encapsulate(LLCSnap, EtherTypeARP, []byte{1, 2, 3})
+	et, pdu, ok := DecodeLLCSnap(arp)
+	if !ok || et != EtherTypeARP || len(pdu) != 3 {
+		t.Errorf("arp decode: ok=%v et=%#04x", ok, et)
+	}
+	if _, _, ok := DecodeLLCSnap([]byte{0xAA}); ok {
+		t.Error("short buffer decoded")
+	}
+}
+
+func TestMethodStringsAndOverhead(t *testing.T) {
+	if LLCSnap.String() != "llc/snap" || VCMux.String() != "vc-mux" {
+		t.Error("method names")
+	}
+	if LLCSnap.Overhead() != 8 || VCMux.Overhead() != 0 {
+		t.Error("overhead")
+	}
+	for _, tc := range []struct {
+		et   uint16
+		want string
+	}{{EtherTypeIPv4, "IPv4"}, {EtherTypeARP, "ARP"}, {EtherTypeIPv6, "IPv6"}, {0x1234, "unknown"}} {
+		if got := EtherTypeName(tc.et); got != tc.want {
+			t.Errorf("EtherTypeName(%#04x) = %q", tc.et, got)
+		}
+	}
+}

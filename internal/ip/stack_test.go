@@ -1,0 +1,158 @@
+package ip
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/atm"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+// newPair wires two stations with a stack on each and one open VC.
+func newPair(t *testing.T, method Method) (k *sim.Kernel, sa, sb *Stack, vc atm.VC) {
+	t.Helper()
+	k = sim.NewKernel()
+	a, err := netsim.NewStation(k, nic.DefaultConfig("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := netsim.NewStation(k, nic.DefaultConfig("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	netsim.Connect(k, a, b, netsim.LinkConfig{Delay: 10_000, Seed: 7})
+	vc = atm.VC{VCI: 70}
+	a.Iface.OpenVC(vc)
+	b.Iface.OpenVC(vc)
+	sa = NewStack(a.Iface, method, Addr{10, 0, 0, 1})
+	sb = NewStack(b.Iface, method, Addr{10, 0, 0, 2})
+	return k, sa, sb, vc
+}
+
+func TestStackEndToEnd(t *testing.T) {
+	for _, method := range []Method{LLCSnap, VCMux} {
+		k, sa, sb, vc := newPair(t, method)
+		var got []byte
+		var gotHdr Header
+		sb.Bind(vc, func(h Header, payload []byte, at sim.Time) {
+			gotHdr = h
+			got = append([]byte(nil), payload...)
+		})
+		msg := bytes.Repeat([]byte{0xA5}, 1460)
+		if err := sa.Send(vc, ProtoTCP, sb.Addr(), msg, nil); err != nil {
+			t.Fatal(err)
+		}
+		k.Run()
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("%v: payload not delivered intact (%d bytes)", method, len(got))
+		}
+		if gotHdr.Proto != ProtoTCP || gotHdr.Src != sa.Addr() || gotHdr.Dst != sb.Addr() {
+			t.Errorf("%v: header %+v", method, gotHdr)
+		}
+		if sa.Stats().TxDatagrams != 1 || sb.Stats().RxDatagrams != 1 {
+			t.Errorf("%v: stats tx=%d rx=%d", method,
+				sa.Stats().TxDatagrams, sb.Stats().RxDatagrams)
+		}
+	}
+}
+
+func TestStackNoHandler(t *testing.T) {
+	k, sa, sb, vc := newPair(t, LLCSnap)
+	if err := sa.Send(vc, ProtoUDP, sb.Addr(), []byte("x"), nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if sb.Stats().NoHandler != 1 {
+		t.Errorf("NoHandler = %d", sb.Stats().NoHandler)
+	}
+	// Bind then unbind: back to NoHandler.
+	sb.Bind(vc, func(Header, []byte, sim.Time) {})
+	sb.Unbind(vc)
+	sa.Send(vc, ProtoUDP, sb.Addr(), []byte("y"), nil)
+	k.Run()
+	if sb.Stats().NoHandler != 2 {
+		t.Errorf("NoHandler after unbind = %d", sb.Stats().NoHandler)
+	}
+}
+
+func TestStackEncapMismatchCounted(t *testing.T) {
+	// Sender speaks VC-mux, receiver expects LLC/SNAP: every frame counts
+	// as an encapsulation error and nothing reaches the handler.
+	k, sa, sb, vc := newPair(t, VCMux)
+	sbLLC := NewStack(sb.Interface(), LLCSnap, sb.Addr())
+	delivered := 0
+	sbLLC.Bind(vc, func(Header, []byte, sim.Time) { delivered++ })
+	sa.Send(vc, ProtoTCP, sb.Addr(), []byte("hello"), nil)
+	k.Run()
+	if delivered != 0 || sbLLC.Stats().EncapErrors != 1 {
+		t.Errorf("delivered=%d encapErrors=%d", delivered, sbLLC.Stats().EncapErrors)
+	}
+}
+
+func TestStackNonIPCounted(t *testing.T) {
+	k, sa, sb, vc := newPair(t, LLCSnap)
+	delivered := 0
+	sb.Bind(vc, func(Header, []byte, sim.Time) { delivered++ })
+	// Hand-craft an ARP frame on the same VC.
+	sdu := Encapsulate(LLCSnap, EtherTypeARP, []byte{0, 1})
+	if err := sa.Interface().Send(vc, sdu, nil); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if delivered != 0 || sb.Stats().NonIP != 1 {
+		t.Errorf("delivered=%d nonIP=%d", delivered, sb.Stats().NonIP)
+	}
+}
+
+func TestStackHeaderErrorCounted(t *testing.T) {
+	k, sa, sb, vc := newPair(t, LLCSnap)
+	delivered := 0
+	sb.Bind(vc, func(Header, []byte, sim.Time) { delivered++ })
+	// An LLC/SNAP frame claiming IPv4 whose inner bytes are garbage.
+	sdu := Encapsulate(LLCSnap, EtherTypeIPv4, bytes.Repeat([]byte{0xFF}, 24))
+	sa.Interface().Send(vc, sdu, nil)
+	k.Run()
+	if delivered != 0 || sb.Stats().HeaderErrors != 1 {
+		t.Errorf("delivered=%d headerErrors=%d", delivered, sb.Stats().HeaderErrors)
+	}
+}
+
+func TestStackMTUEnforced(t *testing.T) {
+	_, sa, sb, vc := newPair(t, LLCSnap)
+	if sa.MTU() != sa.Interface().Config().MaxSDU-LLCSnapSize-HeaderSize {
+		t.Errorf("MTU = %d", sa.MTU())
+	}
+	big := make([]byte, sa.MTU()+1)
+	if err := sa.Send(vc, ProtoTCP, sb.Addr(), big, nil); err == nil {
+		t.Error("over-MTU send accepted")
+	}
+	if sa.Stats().TxDatagrams != 0 {
+		t.Error("failed send counted")
+	}
+}
+
+func TestStackInstrument(t *testing.T) {
+	k, sa, sb, vc := newPair(t, LLCSnap)
+	reg := metrics.NewRegistry()
+	sa.Instrument(reg, "a")
+	sb.Instrument(reg, "b")
+	sb.Bind(vc, func(Header, []byte, sim.Time) {})
+	sa.Send(vc, ProtoTCP, sb.Addr(), []byte("z"), nil)
+	k.Run()
+	if reg.Counter("ip.a.tx_datagrams").Value() != 1 {
+		t.Error("tx counter not recorded")
+	}
+	if reg.Counter("ip.b.rx_datagrams").Value() != 1 {
+		t.Error("rx counter not recorded")
+	}
+}
+
+func TestStackSendUnknownVC(t *testing.T) {
+	_, sa, sb, _ := newPair(t, LLCSnap)
+	if err := sa.Send(atm.VC{VCI: 999}, ProtoTCP, sb.Addr(), []byte("x"), nil); err == nil {
+		t.Error("send on unopened VC accepted")
+	}
+}

@@ -179,7 +179,7 @@ func TestVCStats(t *testing.T) {
 	// Cause names are stable: they appear in JSON dumps.
 	want := []string{"fifo_overflow", "unknown_vc", "sram_exhausted", "aal_error", "tx_queue_overflow",
 		"policed_clp_tag", "policed_discard", "epd", "ppd", "switch_queue_overflow", "clp_threshold",
-		"oam_bad", "mgmt_tx_full", "link_loss"}
+		"oam_bad", "mgmt_tx_full", "link_loss", "reassembly_timeout"}
 	for i, c := range DropCauses() {
 		if c.String() != want[i] {
 			t.Fatalf("cause %d = %q, want %q", i, c.String(), want[i])

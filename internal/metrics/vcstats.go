@@ -53,6 +53,12 @@ const (
 	// DropLink is a cell lost in transit on the physical link (fiber cut
 	// or random in-flight loss).
 	DropLink
+	// DropReassemblyTimeout is a partial frame aged out of the reassembler:
+	// a frame-level loss (the cells already spent were wasted), as opposed
+	// to the cell-level causes above. Distinguishing it from DropEPD is how
+	// an experiment attributes goodput loss to stranded reassembly state
+	// rather than deliberate frame discard at the switch.
+	DropReassemblyTimeout
 
 	numDropCauses
 )
@@ -88,6 +94,8 @@ func (c DropCause) String() string {
 		return "mgmt_tx_full"
 	case DropLink:
 		return "link_loss"
+	case DropReassemblyTimeout:
+		return "reassembly_timeout"
 	default:
 		return "unknown"
 	}

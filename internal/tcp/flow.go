@@ -1,0 +1,73 @@
+package tcp
+
+import (
+	"repro/internal/atm"
+	"repro/internal/ip"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Flow ties a Sender and Receiver together over one duplex virtual channel:
+// data segments ride the forward direction, cumulative ACKs the reverse.
+// Both ends bind onto their endpoint's IP stack; many flows can share a
+// stack as long as each uses its own VC.
+type Flow struct {
+	Name     string
+	Sender   *Sender
+	Receiver *Receiver
+
+	k       *sim.Kernel
+	startAt sim.Time
+	started bool
+}
+
+// NewFlow builds a flow named name sending from sndStack (on sndVC) to
+// rcvStack (on rcvVC). The VCs must be open on their interfaces and routed
+// toward each other — under core.NewNetwork that is one Duplex VCC, with
+// sndVC/rcvVC its per-endpoint VC numbers.
+func NewFlow(k *sim.Kernel, name string, sndStack *ip.Stack, sndVC atm.VC,
+	rcvStack *ip.Stack, rcvVC atm.VC, cfg Config) *Flow {
+	cfg = cfg.withDefaults()
+	// Ports are cosmetic (one flow per VC); derive stable ones from nothing.
+	const dataPort, ackPort = 5001, 34000
+	f := &Flow{Name: name, k: k}
+	f.Sender = NewSender(k, sndStack, sndVC, rcvStack.Addr(), ackPort, dataPort, cfg)
+	f.Receiver = NewReceiver(k, rcvStack, rcvVC, sndStack.Addr(), dataPort, ackPort, cfg.RcvWnd)
+	sndStack.Bind(sndVC, f.Sender.HandleSegment)
+	rcvStack.Bind(rcvVC, f.Receiver.HandleSegment)
+	return f
+}
+
+// Instrument registers both halves' metrics under "tcp.<Name>.*"; the cwnd
+// and ssthresh gauges are what a periodic trace.Sampler turns into
+// congestion-window traces.
+func (f *Flow) Instrument(reg *metrics.Registry) {
+	f.Sender.Instrument(reg, f.Name)
+	f.Receiver.Instrument(reg, f.Name)
+}
+
+// Start begins the transfer: totalBytes bounds it (0 = unbounded, run until
+// Stop). onDone (may be nil) fires when the last byte is acknowledged.
+func (f *Flow) Start(totalBytes uint64, onDone func()) {
+	f.startAt = f.k.Now()
+	f.started = true
+	f.Sender.Start(totalBytes, onDone)
+}
+
+// Stop quiesces the sender so the kernel can drain in-flight events.
+func (f *Flow) Stop() { f.Sender.Stop() }
+
+// Done reports whether a bounded transfer has completed.
+func (f *Flow) Done() bool { return f.Sender.Done() }
+
+// Delivered returns the in-order bytes the receiver has accepted.
+func (f *Flow) Delivered() uint64 { return f.Receiver.Delivered() }
+
+// Goodput returns the flow's delivered rate in bits/s from Start until at.
+func (f *Flow) Goodput(at sim.Time) float64 {
+	if !f.started || at <= f.startAt {
+		return 0
+	}
+	elapsed := float64(at-f.startAt) / float64(sim.Second)
+	return float64(f.Receiver.Delivered()) * 8 / elapsed
+}

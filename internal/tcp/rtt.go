@@ -1,0 +1,62 @@
+package tcp
+
+import "repro/internal/sim"
+
+// RTOEstimator is the Jacobson/Karels retransmission-timeout estimator
+// (RFC 6298): smoothed RTT plus four mean deviations, exponential backoff
+// on timeout, and the Karn discipline applied by the caller (never sample a
+// retransmitted segment).
+type RTOEstimator struct {
+	srtt    sim.Duration
+	rttvar  sim.Duration
+	rto     sim.Duration
+	minRTO  sim.Duration
+	maxRTO  sim.Duration
+	sampled bool
+}
+
+// NewRTOEstimator builds an estimator that answers initial before the first
+// sample and clamps the computed RTO into [min, max].
+func NewRTOEstimator(initial, min, max sim.Duration) RTOEstimator {
+	return RTOEstimator{rto: initial, minRTO: min, maxRTO: max}
+}
+
+// Sample feeds one round-trip measurement.
+func (e *RTOEstimator) Sample(rtt sim.Duration) {
+	if rtt < 0 {
+		return
+	}
+	if !e.sampled {
+		e.srtt = rtt
+		e.rttvar = rtt / 2
+		e.sampled = true
+	} else {
+		// RTTVAR <- 3/4 RTTVAR + 1/4 |SRTT - R|; SRTT <- 7/8 SRTT + 1/8 R.
+		diff := e.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		e.rttvar = (3*e.rttvar + diff) / 4
+		e.srtt = (7*e.srtt + rtt) / 8
+	}
+	e.rto = e.clamp(e.srtt + 4*e.rttvar)
+}
+
+// RTO returns the current retransmission timeout.
+func (e *RTOEstimator) RTO() sim.Duration { return e.rto }
+
+// SRTT returns the smoothed round-trip estimate (0 before any sample).
+func (e *RTOEstimator) SRTT() sim.Duration { return e.srtt }
+
+// Backoff doubles the RTO (Karn's exponential backoff after a timeout).
+func (e *RTOEstimator) Backoff() { e.rto = e.clamp(e.rto * 2) }
+
+func (e *RTOEstimator) clamp(d sim.Duration) sim.Duration {
+	if d < e.minRTO {
+		return e.minRTO
+	}
+	if d > e.maxRTO {
+		return e.maxRTO
+	}
+	return d
+}

@@ -1,0 +1,64 @@
+package tcp
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRTOEstimatorFirstSample(t *testing.T) {
+	e := NewRTOEstimator(200*sim.Millisecond, 10*sim.Millisecond, 10*sim.Second)
+	if e.RTO() != 200*sim.Millisecond {
+		t.Fatalf("initial RTO = %v", e.RTO())
+	}
+	if e.SRTT() != 0 {
+		t.Fatalf("SRTT before sample = %v", e.SRTT())
+	}
+	e.Sample(100 * sim.Millisecond)
+	if e.SRTT() != 100*sim.Millisecond {
+		t.Errorf("SRTT after first sample = %v", e.SRTT())
+	}
+	// RTO = SRTT + 4*RTTVAR = 100 + 4*50 = 300 ms.
+	if e.RTO() != 300*sim.Millisecond {
+		t.Errorf("RTO after first sample = %v", e.RTO())
+	}
+}
+
+func TestRTOEstimatorEWMA(t *testing.T) {
+	e := NewRTOEstimator(200*sim.Millisecond, 10*sim.Millisecond, 10*sim.Second)
+	e.Sample(100 * sim.Millisecond)
+	e.Sample(100 * sim.Millisecond)
+	// Steady input: SRTT stays, RTTVAR decays 3/4 each round.
+	if e.SRTT() != 100*sim.Millisecond {
+		t.Errorf("SRTT = %v", e.SRTT())
+	}
+	prev := e.RTO()
+	for i := 0; i < 20; i++ {
+		e.Sample(100 * sim.Millisecond)
+		if e.RTO() > prev {
+			t.Fatalf("RTO grew on steady samples: %v -> %v", prev, e.RTO())
+		}
+		prev = e.RTO()
+	}
+	// Variance decays toward zero; the min clamp must hold the floor.
+	if e.RTO() < 10*sim.Millisecond {
+		t.Errorf("RTO below floor: %v", e.RTO())
+	}
+}
+
+func TestRTOEstimatorBackoffAndClamp(t *testing.T) {
+	e := NewRTOEstimator(200*sim.Millisecond, 10*sim.Millisecond, sim.Second)
+	e.Backoff()
+	if e.RTO() != 400*sim.Millisecond {
+		t.Errorf("RTO after backoff = %v", e.RTO())
+	}
+	e.Backoff()
+	e.Backoff()
+	if e.RTO() != sim.Second {
+		t.Errorf("RTO not clamped to max: %v", e.RTO())
+	}
+	e.Sample(-1) // ignored
+	if e.SRTT() != 0 {
+		t.Errorf("negative sample accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package tcp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ip"
+)
+
+var segSrc = ip.Addr{10, 0, 0, 1}
+var segDst = ip.Addr{10, 0, 0, 2}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	s := Segment{
+		SrcPort: 5001, DstPort: 34000,
+		Seq: 0xDEADBEEF, Ack: 42,
+		Flags: FlagACK | FlagPSH, Window: 128 << 10,
+		Payload: bytes.Repeat([]byte{0}, 1460),
+	}
+	b := s.Marshal(segSrc, segDst)
+	got, err := ParseSegment(segSrc, segDst, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != s.SrcPort || got.DstPort != s.DstPort ||
+		got.Seq != s.Seq || got.Ack != s.Ack || got.Flags != s.Flags {
+		t.Errorf("round trip: %+v", got)
+	}
+	if got.Window != s.Window {
+		t.Errorf("window: got %d want %d", got.Window, s.Window)
+	}
+	if len(got.Payload) != len(s.Payload) {
+		t.Errorf("payload length %d", len(got.Payload))
+	}
+}
+
+func TestSegmentChecksumRejected(t *testing.T) {
+	s := Segment{Seq: 7, Flags: FlagACK, Window: 1 << windowShift}
+	b := s.Marshal(segSrc, segDst)
+	b[4] ^= 0x80 // corrupt seq
+	if _, err := ParseSegment(segSrc, segDst, b); err != ErrChecksum {
+		t.Errorf("corrupted segment: err = %v", err)
+	}
+	// Wrong pseudo-header (misdelivered datagram) also fails.
+	if _, err := ParseSegment(segSrc, ip.Addr{10, 0, 0, 9}, s.Marshal(segSrc, segDst)); err != ErrChecksum {
+		t.Errorf("wrong addresses: err = %v", err)
+	}
+}
+
+func TestSegmentShortRejected(t *testing.T) {
+	if _, err := ParseSegment(segSrc, segDst, make([]byte, HeaderSize-1)); err != ErrShortSegment {
+		t.Errorf("short: err = %v", err)
+	}
+	// A header claiming a data offset beyond the segment.
+	s := Segment{Flags: FlagACK}
+	b := s.Marshal(segSrc, segDst)
+	b[12] = 15 << 4 // 60-byte header in a 20-byte segment
+	if _, err := ParseSegment(segSrc, segDst, b); err == nil {
+		t.Error("oversized data offset accepted")
+	}
+}
+
+func TestSegmentWindowQuantized(t *testing.T) {
+	// Sub-unit windows round down to 0; oversized clamp to MaxWindow.
+	s := Segment{Window: (1 << windowShift) - 1, Flags: FlagACK}
+	got, err := ParseSegment(segSrc, segDst, s.Marshal(segSrc, segDst))
+	if err != nil || got.Window != 0 {
+		t.Errorf("tiny window: %d err=%v", got.Window, err)
+	}
+	s.Window = MaxWindow * 2
+	got, err = ParseSegment(segSrc, segDst, s.Marshal(segSrc, segDst))
+	if err != nil || got.Window != MaxWindow {
+		t.Errorf("huge window: %d err=%v", got.Window, err)
+	}
+}
+
+func TestSeqCompare(t *testing.T) {
+	if !seqLT(0xFFFFFFF0, 5) || seqGT(0xFFFFFFF0, 5) {
+		t.Error("wraparound comparison broken")
+	}
+	if !seqGEQ(5, 5) || !seqGEQ(6, 5) || seqGEQ(4, 5) {
+		t.Error("seqGEQ broken")
+	}
+}

@@ -63,6 +63,7 @@ var (
 	ErrTooManyRetries = errors.New("transport: retries exhausted")
 	ErrBusy           = errors.New("transport: a message is already in flight")
 	ErrClosed         = errors.New("transport: connection failed")
+	ErrSDUTooLarge    = errors.New("transport: segment would exceed the interface's MaxSDU")
 )
 
 // Stats counts protocol events on the sending side.
@@ -120,6 +121,17 @@ func (s *Sender) Send(msg []byte, onDone func(err error)) error {
 	}
 	if len(msg) == 0 {
 		return fmt.Errorf("transport: empty message")
+	}
+	// Reject up front what the interface would refuse cell by cell: the
+	// largest frame this message produces must fit the adaptation layer's
+	// SDU bound, or the mid-message iface.Send failure would be fatal.
+	seg := s.cfg.SegmentSize
+	if len(msg) < seg {
+		seg = len(msg)
+	}
+	if max := s.iface.Config().MaxSDU; DataHeaderSize+seg > max {
+		return fmt.Errorf("%w: header %d + segment %d > MaxSDU %d",
+			ErrSDUTooLarge, DataHeaderSize, seg, max)
 	}
 	s.msgID++
 	s.segments = s.segments[:0]

@@ -305,3 +305,67 @@ func TestSelectiveRepeatOrderPreserved(t *testing.T) {
 		t.Fatal("out-of-order hold corrupted the message")
 	}
 }
+
+func TestOneCellSDUBoundary(t *testing.T) {
+	// DataHeaderSize + 30 payload bytes = a 40-byte SDU: with AAL5's 8-byte
+	// trailer that is exactly one cell. One byte more must spill into a
+	// second cell.
+	for _, tc := range []struct {
+		payload, cells int
+	}{
+		{30, 1}, // 40-byte SDU: boundary, exactly one cell
+		{31, 2}, // 41-byte SDU: trailer no longer fits
+	} {
+		r := newRig(t, 0, DefaultConfig())
+		var done error = errors.New("pending")
+		if err := r.sender.Send(msgBytes(tc.payload), func(err error) { done = err }); err != nil {
+			t.Fatal(err)
+		}
+		r.k.Run()
+		if done != nil {
+			t.Fatalf("payload %d: done err = %v", tc.payload, done)
+		}
+		if len(r.received) != 1 || len(r.received[0]) != tc.payload {
+			t.Fatalf("payload %d: delivery %d msgs", tc.payload, len(r.received))
+		}
+		if got := r.b.Iface.Stats().Rx.Cells; got != uint64(tc.cells) {
+			t.Errorf("payload %d: %d data cells at b, want %d", tc.payload, got, tc.cells)
+		}
+	}
+}
+
+func TestSendRejectsOversizedSegment(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SegmentSize = 65530 // DataHeaderSize + 65530 > the default 65535 MaxSDU
+	r := newRig(t, 0, cfg)
+	err := r.sender.Send(msgBytes(70000), nil)
+	if !errors.Is(err, ErrSDUTooLarge) {
+		t.Fatalf("oversized segment: err = %v, want ErrSDUTooLarge", err)
+	}
+	// The rejection happens before any state changes: the sender is neither
+	// busy nor closed, and a message whose single segment fits still goes.
+	var done error = errors.New("pending")
+	if err := r.sender.Send(msgBytes(100), func(e error) { done = e }); err != nil {
+		t.Fatalf("small message after rejection: %v", err)
+	}
+	r.k.Run()
+	if done != nil || len(r.received) != 1 {
+		t.Fatalf("recovery send failed: done=%v received=%d", done, len(r.received))
+	}
+}
+
+func TestMaxSDUSizedSegmentStillFits(t *testing.T) {
+	// The largest legal segment: DataHeaderSize + SegmentSize == MaxSDU.
+	cfg := DefaultConfig()
+	max := nic.DefaultConfig("x").MaxSDU
+	cfg.SegmentSize = max - DataHeaderSize
+	r := newRig(t, 0, cfg)
+	var done error = errors.New("pending")
+	if err := r.sender.Send(msgBytes(cfg.SegmentSize), func(e error) { done = e }); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Run()
+	if done != nil || len(r.received) != 1 || len(r.received[0]) != cfg.SegmentSize {
+		t.Fatalf("max-SDU segment not delivered: done=%v", done)
+	}
+}
