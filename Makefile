@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test bench verify fmt fmt-check vet staticcheck trace-verify cover-tcpip
+.PHONY: all build test bench bench-compare verify fmt fmt-check vet staticcheck trace-verify cover-tcpip
 
 all: build
 
@@ -15,6 +15,15 @@ test:
 # the raw `go test` lines still stream to the terminal via stderr.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH.json
+
+# bench-compare re-runs the benchmarks into a scratch snapshot and prints
+# the per-metric delta against the committed BENCH.json, flagging anything
+# that regressed by more than 10%. benchjson exits 3 on a regression; the
+# leading `-` keeps the report informational so noisy-machine variance
+# never blocks a verify run — read the deltas, then decide.
+bench-compare:
+	$(GO) test -run='^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -o /tmp/bench-new.json
+	-$(GO) run ./cmd/benchjson -compare -threshold 10 BENCH.json /tmp/bench-new.json
 
 fmt:
 	gofmt -w .
@@ -55,9 +64,10 @@ trace-verify:
 	$(GO) run ./cmd/traceverify /tmp/atmsim-trace.json
 
 # verify is the pre-PR gate: formatting, vet, staticcheck (when installed),
-# a full build, the test suite under the race detector, and the trace
-# schema gate.
+# a full build, the test suite under the race detector, the trace schema
+# gate, and a non-blocking benchmark delta against the committed BENCH.json.
 verify: fmt-check vet staticcheck
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) trace-verify
+	-$(MAKE) bench-compare

@@ -33,6 +33,7 @@ func main() {
 	cwndPath := flag.String("cwnd", "", "with e20: write the sampled cwnd/metrics time series as CSV here (\"-\" for stdout)")
 	geoFlows := flag.Int("geo-flows", 2, "with e20: number of concurrent GEO flows")
 	parallel := flag.Int("parallel", 1, "worker goroutines for sweep points (0 = GOMAXPROCS); results are bit-identical to -parallel 1")
+	burst := flag.Bool("burst", false, "run the SONET-path recovery ablation, serial vs burst cell vectors (alias for -exp sonet)")
 	flag.Parse()
 
 	experiments.SetParallelism(*parallel)
@@ -46,6 +47,9 @@ func main() {
 		for _, e := range strings.Split(*expFlag, ",") {
 			want[strings.TrimSpace(strings.ToLower(e))] = true
 		}
+	}
+	if *burst {
+		want["sonet"] = true
 	}
 
 	runTime := func(full sim.Duration) sim.Duration {
@@ -197,6 +201,11 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		ran++
+	}
+	if want["sonet"] {
+		_, tb := experiments.SonetPath(runTime(20 * sim.Millisecond))
+		emitTable(tb)
 		ran++
 	}
 	if *metricsPath != "" {

@@ -66,6 +66,9 @@ func main() {
 	restore := flag.Duration("restore", 0, "restore the cut fiber at this simulated time (0 = stays dark)")
 	rtimeout := flag.Duration("rtimeout", 0, "reassembly staleness timeout: partial frames idle this long are aborted and their adapter buffers reclaimed (0 = off)")
 	tcpBytes := flag.Int("tcp", 0, "replace the raw workload with a TCP Reno bulk transfer of this many bytes over RFC 2684 LLC/SNAP (0 = off)")
+	framed := flag.Bool("framed", false, "carry the a<->b fiber through the full SONET physical layer (framing, scrambling, HEC delineation) instead of the cell-granular shortcut; direct topology only")
+	burst := flag.Bool("burst", false, "batched cell-vector receive recovery on the SONET path (implies -framed); delivery is golden-identical to the serial path, just cheaper")
+	biterr := flag.Float64("biterr", 0, "with -framed: probability each frame suffers one random line bit error")
 	flag.Parse()
 
 	obs := obsOpts{
@@ -74,7 +77,8 @@ func main() {
 		SamplePeriod: *samplePeriod,
 		SamplePath:   *samplePath,
 	}
-	if err := run(*rate, *aalFlag, *arch, *size, *wl, *duration, *loss, *window, *seed, *rxEngines, *interleave, *dumpN, *metricsPath, *stats, *contract, *police, *epd, *kill, *restore, *rtimeout, *tcpBytes, obs); err != nil {
+	line := lineOpts{Framed: *framed || *burst, Burst: *burst, BitErrProb: *biterr}
+	if err := run(*rate, *aalFlag, *arch, *size, *wl, *duration, *loss, *window, *seed, *rxEngines, *interleave, *dumpN, *metricsPath, *stats, *contract, *police, *epd, *kill, *restore, *rtimeout, *tcpBytes, line, obs); err != nil {
 		fmt.Fprintln(os.Stderr, "atmsim:", err)
 		os.Exit(1)
 	}
@@ -89,10 +93,18 @@ type obsOpts struct {
 	SamplePath   string
 }
 
+// lineOpts bundles the physical-layer flags: SONET framing on the a<->b
+// fiber, burst-mode receive recovery, and line bit errors.
+type lineOpts struct {
+	Framed     bool
+	Burst      bool
+	BitErrProb float64
+}
+
 func run(rate int, aalFlag, arch string, size int, wl string, duration time.Duration,
 	loss float64, window int, seed uint64, rxEngines int, interleave bool, dumpN int,
 	metricsPath string, stats bool, contractSpec string, police bool, epd int,
-	kill, restore, rtimeout time.Duration, tcpBytes int, obs obsOpts) error {
+	kill, restore, rtimeout time.Duration, tcpBytes int, line lineOpts, obs obsOpts) error {
 	deadline := sim.Time(duration.Nanoseconds())
 
 	payloadRate := units.STS3cPayload
@@ -118,6 +130,19 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 	if police && !haveContract {
 		return fmt.Errorf("-police needs -contract to know what to enforce")
 	}
+	if line.Framed {
+		if police || epd > 0 {
+			return fmt.Errorf("-framed/-burst need the direct a<->b topology (switch ports are cell-granular)")
+		}
+		if loss != 0 {
+			return fmt.Errorf("-loss is cell-granular; on the SONET path use -biterr")
+		}
+		if dumpN > 0 {
+			return fmt.Errorf("-dump taps the cell-granular fiber; not available with -framed/-burst")
+		}
+	} else if line.BitErrProb != 0 {
+		return fmt.Errorf("-biterr needs -framed (or -burst)")
+	}
 
 	if arch == "percell" {
 		if metricsPath != "" || stats {
@@ -134,6 +159,9 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 		}
 		if tcpBytes > 0 {
 			return fmt.Errorf("-tcp is not supported with -arch percell")
+		}
+		if line.Framed {
+			return fmt.Errorf("-framed/-burst are not supported with -arch percell")
 		}
 		return runBaseline(sim.NewKernel(), payloadRate, aalType, size, deadline, loss, seed)
 	}
@@ -165,16 +193,19 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 		rec.SampleCells(obs.TraceSample)
 	}
 	spec := core.NetworkSpec{
-		Metrics:  reg,
-		Kernel:   k0,
-		Recorder: rec,
+		Metrics:   reg,
+		Kernel:    k0,
+		Recorder:  rec,
+		BurstMode: line.Burst,
 		Endpoints: []core.EndpointSpec{
 			{Name: "a", Options: opts},
 			{Name: "b", Options: opts},
 		},
 		VCCs: []core.VCCSpec{{
 			Name: "ab", From: "a", To: "b", VC: stdVC(),
-			Contract: contract, Shape: haveContract, Latency: true,
+			// The latency tap hooks the cell-granular fiber; the framed
+			// path has no per-cell wire to hook.
+			Contract: contract, Shape: haveContract, Latency: !line.Framed,
 			// TCP needs the ACK path back from b to a.
 			Duplex: tcpBytes > 0,
 		}},
@@ -197,7 +228,8 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 	} else {
 		spec.Links = []core.LinkSpec{
 			{Name: "ab", A: core.NodeRef{Node: "a"}, B: core.NodeRef{Node: "b"},
-				Delay: 10_000, LossProb: loss, Seed: seed},
+				Delay: 10_000, LossProb: loss, Seed: seed,
+				Framed: line.Framed, BitErrProb: line.BitErrProb},
 		}
 	}
 	net, err := core.NewNetwork(spec)
@@ -250,14 +282,18 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 			linkName = "sw-b"
 		}
 		lk := net.Link(linkName)
+		failFn, restoreFn := lk.Fwd.Fail, lk.Fwd.Restore
+		if lk.Framed != nil {
+			failFn, restoreFn = lk.Framed.AtoB.Fail, lk.Framed.AtoB.Restore
+		}
 		k.At(sim.Time(kill.Nanoseconds()), func() {
 			fmt.Printf("t=%-12v fiber %s cut\n", k.Now(), linkName)
-			lk.Fwd.Fail()
+			failFn()
 		})
 		if restore > 0 {
 			k.At(sim.Time(restore.Nanoseconds()), func() {
 				fmt.Printf("t=%-12v fiber %s restored\n", k.Now(), linkName)
-				lk.Fwd.Restore()
+				restoreFn()
 			})
 		}
 	}
@@ -334,7 +370,14 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 	if flow != nil {
 		wlName = fmt.Sprintf("tcp %d bytes", tcpBytes)
 	}
-	fmt.Printf("architecture      %s, %v, %s, workload %s\n", arch, payloadRate, aalType, wlName)
+	phys := ""
+	if line.Framed {
+		phys = ", sonet-framed"
+		if line.Burst {
+			phys = ", sonet-framed (burst recovery)"
+		}
+	}
+	fmt.Printf("architecture      %s, %v, %s%s, workload %s\n", arch, payloadRate, aalType, phys, wlName)
 	fmt.Printf("simulated time    %v\n", k.Now())
 	fmt.Printf("packets sent      %d\n", sent)
 	fmt.Printf("packets delivered %d  (%d bytes)\n", st.Rx.Packets, st.Rx.Bytes)

@@ -9,6 +9,16 @@
 // run still shows live progress and results.
 //
 //	go test -bench=. -benchmem ./... | benchjson -o BENCH.json
+//
+// Delta mode compares two such documents and prints per-metric changes,
+// flagging regressions beyond a threshold (default 10%). Cost metrics
+// (ns/op, B/op, allocs/op, events/op) regress when they rise; rate metrics
+// (MB/s, Mb/s-style, efficiencies, fractions) regress when they fall; other
+// custom metrics are reported without a verdict. The exit status is 3 when
+// any regression crossed the threshold, so CI can choose to gate or merely
+// report:
+//
+//	benchjson -compare BENCH.json new.json -threshold 10
 package main
 
 import (
@@ -18,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -40,7 +51,17 @@ type Output struct {
 
 func main() {
 	out := flag.String("o", "BENCH.json", "output path (\"-\" for stdout)")
+	compare := flag.Bool("compare", false, "compare two BENCH.json files (old new) instead of parsing stdin")
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent for -compare")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))
+	}
 
 	doc := Output{
 		GoVersion:  runtime.Version(),
@@ -84,6 +105,100 @@ func main() {
 	if *out != "-" {
 		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
 	}
+}
+
+// metricDir classifies a metric unit: +1 higher-is-better, -1 lower-is-
+// better, 0 informational (no regression verdict).
+func metricDir(unit string) int {
+	switch unit {
+	case "ns/op", "B/op", "allocs/op", "events/op":
+		return -1
+	}
+	switch {
+	case strings.Contains(unit, "MB/s"), strings.Contains(unit, "Mbps"),
+		strings.Contains(unit, "Mb/s"), strings.Contains(unit, "eff"),
+		strings.Contains(unit, "frac"), strings.Contains(unit, "jain"):
+		return +1
+	}
+	return 0
+}
+
+func loadDoc(path string) (Output, error) {
+	var doc Output
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	return doc, json.Unmarshal(data, &doc)
+}
+
+// runCompare prints the per-metric delta between two BENCH.json documents
+// and returns the process exit code: 0 clean, 3 when a regression crossed
+// the threshold.
+func runCompare(oldPath, newPath string, threshold float64) int {
+	oldDoc, err := loadDoc(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newDoc, err := loadDoc(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	oldBy := make(map[string]Benchmark, len(oldDoc.Benchmarks))
+	for _, b := range oldDoc.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	regressions := 0
+	for _, nb := range newDoc.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Printf("%-40s new benchmark\n", nb.Name)
+			continue
+		}
+		units := make([]string, 0, len(nb.Metrics))
+		for unit := range nb.Metrics {
+			if _, both := ob.Metrics[unit]; both {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			ov, nv := ob.Metrics[unit], nb.Metrics[unit]
+			if ov == nv {
+				continue
+			}
+			if ov == 0 {
+				fmt.Printf("%-40s %-14s %12.4g -> %-12.4g (was zero)\n", nb.Name, unit, ov, nv)
+				continue
+			}
+			pct := 100 * (nv - ov) / ov
+			verdict := ""
+			if dir := metricDir(unit); dir != 0 && pct*float64(-dir) > threshold {
+				verdict = "  REGRESSION"
+				regressions++
+			}
+			fmt.Printf("%-40s %-14s %12.4g -> %-12.4g %+7.1f%%%s\n", nb.Name, unit, ov, nv, pct, verdict)
+		}
+	}
+	for _, ob := range oldDoc.Benchmarks {
+		found := false
+		for _, nb := range newDoc.Benchmarks {
+			if nb.Name == ob.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("%-40s removed\n", ob.Name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("%d metric(s) regressed beyond %.0f%%\n", regressions, threshold)
+		return 3
+	}
+	return 0
 }
 
 // parseLine parses one `BenchmarkName-N  iters  v unit  v unit …` line.

@@ -1,0 +1,102 @@
+package atm
+
+// CellBurst is a vector of back-to-back cells committed to the wire in one
+// contiguous run. It is the batched counterpart of a single DeliverCell: a
+// producer that has several cells bound for the same consumer at a known
+// fixed spacing hands them across in one call instead of one kernel event
+// per cell. The per-cell wire times are arithmetic — cell i leaves (or
+// arrived) at Base + i*Stride — so no information is lost by batching; any
+// stage that needs per-cell times reconstructs them exactly.
+//
+// Ownership follows the single-cell rule, lifted to the vector: the whole
+// burst (the record and every *Cell in it) belongs to the callee once
+// DeliverBurst returns. Cells the consumer drops must be recycled to their
+// origin Pool; the CellBurst record itself goes back via PutBurst. Cells is
+// in wire order and a consumer must process it front to back — reordering
+// within a burst would reorder the wire.
+type CellBurst struct {
+	Cells  []*Cell
+	Base   int64 // wire time of Cells[0], kernel nanoseconds
+	Stride int64 // nanoseconds between consecutive cell slots
+}
+
+// Len returns the number of cells in the burst.
+func (b *CellBurst) Len() int { return len(b.Cells) }
+
+// At returns the wire time of cell i.
+func (b *CellBurst) At(i int) int64 { return b.Base + int64(i)*b.Stride }
+
+// BurstConsumer is implemented by consumers that accept cell vectors
+// natively. A consumer that implements it must preserve exact per-cell
+// semantics: processing a burst of N cells must leave the consumer (and
+// everything downstream) in the same state as N DeliverCell calls at the
+// burst's arithmetic timestamps would. Consumers whose per-cell behavior
+// depends on simulation state that evolves between cell slots (FIFO
+// occupancy, engine scheduling) must NOT implement BurstConsumer; the
+// degrading adapter feeds them per-cell instead.
+type BurstConsumer interface {
+	CellConsumer
+	// DeliverBurst accepts a cell vector, taking ownership of the record
+	// and every cell in it.
+	DeliverBurst(*CellBurst)
+}
+
+// BurstProducer is implemented by stages that can emit cell vectors when
+// asked to. Burst emission is an opt-in mode (core.NetworkSpec.BurstMode)
+// so the serial path remains the golden reference; SetBurstMode(true) makes
+// the producer coalesce back-to-back cells into CellBursts where its own
+// timing model permits.
+type BurstProducer interface {
+	CellProducer
+	SetBurstMode(on bool)
+}
+
+// DeliverBurstTo hands burst b to sink: natively when sink implements
+// BurstConsumer, otherwise degraded to per-cell DeliverCell calls in wire
+// order (the universal adapter that lets burst producers feed any legacy
+// consumer). In the degraded case the burst record is recycled here; the
+// cells themselves pass to the sink as usual.
+func DeliverBurstTo(sink CellConsumer, b *CellBurst) {
+	if bc, ok := sink.(BurstConsumer); ok {
+		bc.DeliverBurst(b)
+		return
+	}
+	for _, c := range b.Cells {
+		sink.DeliverCell(c)
+	}
+	PutBurst(b)
+}
+
+// Burst records are pooled like cells: the simulator is single-goroutine,
+// so a plain free list is deterministic and allocation-free in steady state.
+var burstFree []*CellBurst
+
+// GetBurst returns an empty CellBurst with at least the given capacity.
+func GetBurst(capHint int) *CellBurst {
+	n := len(burstFree)
+	if n == 0 {
+		return &CellBurst{Cells: make([]*Cell, 0, capHint)}
+	}
+	b := burstFree[n-1]
+	burstFree[n-1] = nil
+	burstFree = burstFree[:n-1]
+	if cap(b.Cells) < capHint {
+		b.Cells = make([]*Cell, 0, capHint)
+	}
+	b.Base, b.Stride = 0, 0
+	return b
+}
+
+// PutBurst recycles a burst record. The caller must have disposed of the
+// cells (handed on or recycled); PutBurst only clears the slice so stale
+// cell pointers do not pin pool memory.
+func PutBurst(b *CellBurst) {
+	if b == nil {
+		return
+	}
+	for i := range b.Cells {
+		b.Cells[i] = nil
+	}
+	b.Cells = b.Cells[:0]
+	burstFree = append(burstFree, b)
+}

@@ -1,0 +1,83 @@
+package atm
+
+import "testing"
+
+type burstSink struct {
+	cells  []*Cell
+	bursts int
+	base   int64
+	stride int64
+}
+
+func (s *burstSink) DeliverCell(c *Cell) { s.cells = append(s.cells, c) }
+func (s *burstSink) DeliverBurst(b *CellBurst) {
+	s.bursts++
+	s.base, s.stride = b.Base, b.Stride
+	s.cells = append(s.cells, b.Cells...)
+	PutBurst(b)
+}
+
+type cellOnlySink struct{ cells []*Cell }
+
+func (s *cellOnlySink) DeliverCell(c *Cell) { s.cells = append(s.cells, c) }
+
+func makeBurst(n int, base, stride int64) *CellBurst {
+	b := GetBurst(n)
+	for i := 0; i < n; i++ {
+		c := new(Cell)
+		c.Header.VCI = uint16(i + 1)
+		b.Cells = append(b.Cells, c)
+	}
+	b.Base, b.Stride = base, stride
+	return b
+}
+
+func TestDeliverBurstToNative(t *testing.T) {
+	s := &burstSink{}
+	DeliverBurstTo(s, makeBurst(5, 1000, 170))
+	if s.bursts != 1 || len(s.cells) != 5 {
+		t.Fatalf("bursts=%d cells=%d, want 1 burst of 5", s.bursts, len(s.cells))
+	}
+	if s.base != 1000 || s.stride != 170 {
+		t.Fatalf("base/stride %d/%d, want 1000/170", s.base, s.stride)
+	}
+}
+
+func TestDeliverBurstToDegrades(t *testing.T) {
+	s := &cellOnlySink{}
+	DeliverBurstTo(s, makeBurst(4, 0, 170))
+	if len(s.cells) != 4 {
+		t.Fatalf("degraded delivery got %d cells, want 4", len(s.cells))
+	}
+	for i, c := range s.cells {
+		if c.Header.VCI != uint16(i+1) {
+			t.Fatalf("cell %d out of wire order: VCI %d", i, c.Header.VCI)
+		}
+	}
+}
+
+func TestBurstAt(t *testing.T) {
+	b := makeBurst(3, 500, 170)
+	for i := 0; i < 3; i++ {
+		if got, want := b.At(i), int64(500+170*i); got != want {
+			t.Fatalf("At(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestBurstPoolRecycles(t *testing.T) {
+	b := GetBurst(8)
+	b.Cells = append(b.Cells, new(Cell))
+	b.Base, b.Stride = 9, 9
+	PutBurst(b)
+	b2 := GetBurst(4)
+	if b2 != b {
+		t.Fatal("pool did not recycle the burst record")
+	}
+	if len(b2.Cells) != 0 || b2.Base != 0 || b2.Stride != 0 {
+		t.Fatalf("recycled burst not reset: %+v", b2)
+	}
+	if b2.Cells[:1][0] != nil {
+		t.Fatal("stale cell pointer pins memory after PutBurst")
+	}
+}

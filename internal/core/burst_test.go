@@ -1,0 +1,295 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// coreRun captures everything a mode-equivalence check compares at the
+// builder level: every delivered SDU with its nanosecond timestamp and
+// payload head, the whole metrics registry (per-VC rows, link counters,
+// drop attribution), and the flight recorder's matched spans.
+type coreRun struct {
+	deliveries []string
+	metrics    string
+	spans      []trace.Span
+	unmatched  int
+}
+
+// buildRun constructs the spec with the shared instruments installed,
+// hands the network to drive for traffic injection, runs to completion and
+// collects the comparison state. The spec's Kernel/Metrics/Recorder fields
+// are overwritten; BurstMode is the axis under test.
+func buildRun(t *testing.T, spec NetworkSpec, burst bool, drive func(*Network, *coreRun)) coreRun {
+	t.Helper()
+	k := sim.NewKernel()
+	rec := trace.NewRecorder(k, 1<<16)
+	spec.Kernel = k
+	spec.Recorder = rec
+	spec.BurstMode = burst
+	net, err := NewNetwork(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run coreRun
+	drive(net, &run)
+	net.Run()
+	var sb bytes.Buffer
+	if err := net.Metrics().Snapshot().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	run.metrics = sb.String()
+	spans, unmatched := rec.Spans()
+	trace.SortSpans(spans)
+	run.spans = spans
+	run.unmatched = unmatched
+	return run
+}
+
+// requireIdentical is the golden comparison: burst mode must change nothing
+// observable — not a timestamp, not a payload byte, not a counter, not a
+// span.
+func requireIdentical(t *testing.T, label string, serial, burst coreRun) {
+	t.Helper()
+	if len(burst.deliveries) != len(serial.deliveries) {
+		t.Fatalf("%s: burst delivered %d SDUs, serial %d", label, len(burst.deliveries), len(serial.deliveries))
+	}
+	for i := range burst.deliveries {
+		if burst.deliveries[i] != serial.deliveries[i] {
+			t.Fatalf("%s delivery %d:\n  burst:  %s\n  serial: %s", label, i, burst.deliveries[i], serial.deliveries[i])
+		}
+	}
+	if burst.metrics != serial.metrics {
+		t.Fatalf("%s: metrics registry diverges:\n--- burst\n%s\n--- serial\n%s", label, burst.metrics, serial.metrics)
+	}
+	if len(burst.spans) != len(serial.spans) || burst.unmatched != serial.unmatched {
+		t.Fatalf("%s: %d spans (%d unmatched), serial %d (%d)",
+			label, len(burst.spans), burst.unmatched, len(serial.spans), serial.unmatched)
+	}
+	for i := range burst.spans {
+		if burst.spans[i] != serial.spans[i] {
+			t.Fatalf("%s span %d: burst %+v, serial %+v", label, i, burst.spans[i], serial.spans[i])
+		}
+	}
+}
+
+func framedPairSpec(opts Options, seed uint64, bitErrProb float64) NetworkSpec {
+	return NetworkSpec{
+		Endpoints: []EndpointSpec{
+			{Name: "a", Options: opts},
+			{Name: "b", Options: opts},
+		},
+		Links: []LinkSpec{{
+			Name: "ab", A: NodeRef{Node: "a"}, B: NodeRef{Node: "b"},
+			Delay: 10_000, Seed: seed, Framed: true, BitErrProb: bitErrProb,
+		}},
+		VCCs: []VCCSpec{{Name: "flow", From: "a", To: "b"}},
+	}
+}
+
+func record(run *coreRun) func(Packet) {
+	return func(p Packet) {
+		head := p.Data
+		if len(head) > 4 {
+			head = head[:4]
+		}
+		run.deliveries = append(run.deliveries,
+			fmt.Sprintf("t=%d vc=%v len=%d cells=%d head=%x", int64(p.At), p.VC, len(p.Data), p.Cells, head))
+	}
+}
+
+func sendAll(t *testing.T, net *Network, run *coreRun, sizes []int) {
+	t.Helper()
+	vcc := net.VCC("flow")
+	net.Endpoint("b").OnReceive(record(run))
+	for i, size := range sizes {
+		data := make([]byte, size)
+		for j := range data {
+			data[j] = byte(i + j)
+		}
+		if err := net.Endpoint("a").Send(vcc.SourceVC, data, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFramedPairBurstGoldenIdentity is the E3-shaped golden test: a
+// host-to-host throughput run over the full SONET path at both line rates.
+// Burst mode must deliver the same SDUs at the same nanoseconds with the
+// same headers/payloads, the same registry byte-for-byte (so every drop is
+// attributed identically), and the same trace spans.
+func TestFramedPairBurstGoldenIdentity(t *testing.T) {
+	sizes := []int{9180, 9180, 9180, 4352, 9180, 1500}
+	for _, opts := range []Options{
+		{FifoCells: 128},
+		// At 622 the stock 25 MHz engine saturates (the E3 story); give the
+		// pair the upgraded board so the workload actually arrives.
+		{Rate: Rate622, FifoCells: 128, EngineMHz: 66, RxEngines: 3},
+	} {
+		label := fmt.Sprintf("rate=%v", opts.Rate)
+		spec := framedPairSpec(opts, 11, 0)
+		drive := func(net *Network, run *coreRun) { sendAll(t, net, run, sizes) }
+		serial := buildRun(t, spec, false, drive)
+		if len(serial.deliveries) != len(sizes) {
+			t.Fatalf("%s serial: delivered %d of %d", label, len(serial.deliveries), len(sizes))
+		}
+		burst := buildRun(t, spec, true, drive)
+		requireIdentical(t, label, serial, burst)
+	}
+}
+
+// TestFramedPairBurstLatencyShape is the E5-shaped golden test: small
+// request/response SDUs whose per-delivery timestamps are the measurement.
+// Any retiming burst mode introduced would move these nanoseconds.
+func TestFramedPairBurstLatencyShape(t *testing.T) {
+	sizes := []int{1, 44, 45, 89, 512, 1000, 2048, 40, 4000}
+	spec := framedPairSpec(Options{FifoCells: 128}, 5, 0)
+	drive := func(net *Network, run *coreRun) { sendAll(t, net, run, sizes) }
+	serial := buildRun(t, spec, false, drive)
+	if len(serial.deliveries) != len(sizes) {
+		t.Fatalf("serial: delivered %d of %d", len(serial.deliveries), len(sizes))
+	}
+	burst := buildRun(t, spec, true, drive)
+	requireIdentical(t, "latency-shape", serial, burst)
+}
+
+// TestSwitchTopologyBurstModeInert is the E15-shaped golden test: two
+// senders congesting one switch output port, plus seeded cell loss on an
+// access fiber. Nothing in a cell-granular topology produces bursts, so
+// BurstMode must be completely inert — including every drop-attribution
+// counter the congestion generates.
+func TestSwitchTopologyBurstModeInert(t *testing.T) {
+	spec := NetworkSpec{
+		Endpoints: []EndpointSpec{
+			{Name: "a"}, {Name: "b"},
+			{Name: "c", Options: Options{ReassemblyTimeout: sim.Millisecond}},
+		},
+		Switches: []SwitchSpec{
+			{Name: "sw", Ports: 3, QueueDepth: 16},
+		},
+		Links: []LinkSpec{
+			{Name: "a-sw", A: NodeRef{Node: "a"}, B: NodeRef{Node: "sw", Port: 0}, Delay: 1000, Seed: 25, LossProb: 0.01},
+			{Name: "b-sw", A: NodeRef{Node: "b"}, B: NodeRef{Node: "sw", Port: 1}, Delay: 2400, Seed: 26},
+			{Name: "sw-c", A: NodeRef{Node: "sw", Port: 2}, B: NodeRef{Node: "c"}, Seed: 27},
+		},
+		VCCs: []VCCSpec{
+			{Name: "a-c", From: "a", To: "c", VC: VC{VCI: 101}},
+			{Name: "b-c", From: "b", To: "c", VC: VC{VCI: 201}},
+		},
+	}
+	drive := func(net *Network, run *coreRun) {
+		net.Endpoint("c").OnReceive(record(run))
+		for i := 0; i < 10; i++ {
+			data := make([]byte, 3000)
+			for j := range data {
+				data[j] = byte(i ^ j)
+			}
+			if err := net.Endpoint("a").Send(net.VCC("a-c").SourceVC, data, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := net.Endpoint("b").Send(net.VCC("b-c").SourceVC, data, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	serial := buildRun(t, spec, false, drive)
+	burst := buildRun(t, spec, true, drive)
+	if !strings.Contains(serial.metrics, "drop") {
+		t.Fatalf("congestion workload produced no drop rows:\n%s", serial.metrics)
+	}
+	requireIdentical(t, "switch-topology", serial, burst)
+}
+
+// TestFramedBurstPropertySweep varies workload shape, fault seeding and
+// line bit errors across both SONET rates and requires mode equivalence on
+// every combination — the builder-level counterpart of the sonetlink
+// burst-size sweep. Bit-error runs lose cells to frame damage; the loss
+// pattern, its attribution, and the surviving deliveries must not depend
+// on the recovery path's batching.
+func TestFramedBurstPropertySweep(t *testing.T) {
+	type swept struct {
+		opts    Options
+		seed    uint64
+		bitErr  float64
+		nSDU    int
+		sizeGen func(i int) int
+	}
+	cases := []swept{
+		{Options{FifoCells: 128}, 1, 0, 9, func(i int) int { return 40 + (i*613)%5000 }},
+		{Options{FifoCells: 128}, 9, 2e-4, 14, func(i int) int { return 300 + (i*2897)%4000 }},
+		{Options{Rate: Rate622, FifoCells: 128}, 4, 0, 9, func(i int) int { return 1 + (i*9181)%9180 }},
+		{Options{Rate: Rate622, FifoCells: 128}, 7, 5e-4, 14, func(i int) int { return 64 + (i*4099)%8192 }},
+	}
+	for ci, c := range cases {
+		sizes := make([]int, c.nSDU)
+		for i := range sizes {
+			sizes[i] = c.sizeGen(i)
+		}
+		spec := framedPairSpec(c.opts, c.seed, c.bitErr)
+		drive := func(net *Network, run *coreRun) { sendAll(t, net, run, sizes) }
+		serial := buildRun(t, spec, false, drive)
+		burst := buildRun(t, spec, true, drive)
+		requireIdentical(t, fmt.Sprintf("case %d", ci), serial, burst)
+		if c.bitErr == 0 && len(serial.deliveries) != c.nSDU {
+			t.Fatalf("case %d: clean line delivered %d of %d", ci, len(serial.deliveries), c.nSDU)
+		}
+	}
+}
+
+// TestFramedLinkValidation pins the builder's rejection of spec shapes the
+// framed path cannot model.
+func TestFramedLinkValidation(t *testing.T) {
+	base := func() NetworkSpec {
+		return NetworkSpec{
+			Endpoints: []EndpointSpec{{Name: "a"}, {Name: "b"}},
+			Links: []LinkSpec{{
+				Name: "ab", A: NodeRef{Node: "a"}, B: NodeRef{Node: "b"}, Framed: true,
+			}},
+		}
+	}
+	t.Run("switch port", func(t *testing.T) {
+		spec := base()
+		spec.Switches = []SwitchSpec{{Name: "sw", Ports: 2}}
+		spec.Links[0].B = NodeRef{Node: "sw", Port: 0}
+		if _, err := NewNetwork(spec); err == nil || !strings.Contains(err.Error(), "two endpoints") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("cell faults on framed", func(t *testing.T) {
+		spec := base()
+		spec.Links[0].LossProb = 0.1
+		if _, err := NewNetwork(spec); err == nil || !strings.Contains(err.Error(), "BitErrProb") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("bit errors on cell link", func(t *testing.T) {
+		spec := base()
+		spec.Links[0].Framed = false
+		spec.Links[0].BitErrProb = 1e-3
+		if _, err := NewNetwork(spec); err == nil || !strings.Contains(err.Error(), "Framed") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("latency tap over framed", func(t *testing.T) {
+		spec := base()
+		spec.VCCs = []VCCSpec{{Name: "flow", From: "a", To: "b", Latency: true}}
+		if _, err := NewNetwork(spec); err == nil || !strings.Contains(err.Error(), "latency tap") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("framed link built", func(t *testing.T) {
+		net, err := NewNetwork(base())
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := net.Link("ab")
+		if l.Framed == nil || l.Fwd != nil || l.Rev != nil {
+			t.Fatalf("framed link handle: %+v", l)
+		}
+	})
+}

@@ -8,6 +8,8 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/phy"
 	"repro/internal/sim"
+	"repro/internal/sonet"
+	"repro/internal/sonetlink"
 	"repro/internal/tm"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -38,10 +40,19 @@ type NetworkSpec struct {
 	// Recorder, when non-nil, attaches flight-recorder stage spans to every
 	// cell-port hop the builder wires: each endpoint's TX FIFO, reassembler
 	// and delivery stages, each switch output queue, and both directions of
-	// every fiber (nodes "<link>.fwd" / "<link>.rev"). Stages register in
-	// spec order, so two builds of the same spec produce identical stage
-	// tables and event streams.
+	// every fiber (nodes "<link>.fwd" / "<link>.rev"; framed links use
+	// sonetlink's "link.<src>" naming and register during link construction).
+	// Stages register in spec order, so two builds of the same spec produce
+	// identical stage tables and event streams.
 	Recorder *trace.Recorder
+	// BurstMode switches framed links' receive recovery to cell-vector
+	// delivery: each parsed SONET frame's data cells cross the link as one
+	// atm.CellBurst and are re-spread at the destination's receive door, so
+	// observable behavior is cell-for-cell identical to the serial path (the
+	// mode-equivalence golden tests pin this). Cell-granular links are
+	// unaffected — their producers emit one cell per event, and the switch
+	// and interface doors are must-split stages either way.
+	BurstMode bool
 }
 
 // EndpointSpec is one workstation + interface.
@@ -88,6 +99,18 @@ type LinkSpec struct {
 	// streams from it (2·Seed+1 forward, 2·Seed+2 reverse — the same
 	// derivation netsim.Connect uses, so testbeds golden-match).
 	Seed uint64
+	// Framed carries this fiber through the full SONET physical layer
+	// (sonetlink.Connect: framing, scrambling, HEC delineation) instead of
+	// the cell-granular phy.CellLink shortcut. Framed links join two
+	// endpoints directly — switch ports speak cells, not frames — and the
+	// endpoints' payload rate selects STS-3c or STS-12c framing. Faults are
+	// bit-granular on a framed link: set BitErrProb, not LossProb or
+	// CorruptProb (the builder rejects the mismatch). NetworkSpec.BurstMode
+	// selects the receive recovery path.
+	Framed bool
+	// BitErrProb is the per-frame probability of one random line bit error
+	// (framed links only).
+	BitErrProb float64
 }
 
 // VCCSpec is one end-to-end virtual channel connection between two
@@ -119,11 +142,15 @@ type VCCSpec struct {
 	Latency bool
 }
 
-// Link is the built form of a LinkSpec: the two directed cell pipes.
+// Link is the built form of a LinkSpec: the two directed cell pipes, or the
+// SONET-framed duplex connection when the spec set Framed.
 type Link struct {
 	Name string
-	// Fwd carries A→B, Rev carries B→A.
+	// Fwd carries A→B, Rev carries B→A. Both are nil on a framed link.
 	Fwd, Rev *phy.CellLink
+	// Framed is the SONET-layer connection (nil on cell-granular links);
+	// its halves expose Fail/Restore and per-direction framing stats.
+	Framed *sonetlink.Link
 
 	a, b    NodeRef
 	usedVCs map[atm.VC]bool
@@ -170,6 +197,7 @@ type Network struct {
 	portCAC map[portKey]*tm.CAC      // per switch output port
 	inHalf  map[string]*phy.CellLink // the half delivering into an endpoint
 	outHalf map[string]*phy.CellLink // the half an endpoint transmits into
+	epLink  map[string]string        // endpoint → the one link it is on
 }
 
 // netEdge is one directed use of a link.
@@ -211,6 +239,7 @@ func NewNetwork(spec NetworkSpec) (*Network, error) {
 		portCAC:   make(map[portKey]*tm.CAC),
 		inHalf:    make(map[string]*phy.CellLink),
 		outHalf:   make(map[string]*phy.CellLink),
+		epLink:    make(map[string]string),
 	}
 	for _, es := range spec.Endpoints {
 		if es.Name == "" {
@@ -266,9 +295,10 @@ func NewNetwork(spec NetworkSpec) (*Network, error) {
 				return nil, fmt.Errorf("core: link %q references unknown node %q", ls.Name, ref.Node)
 			}
 			if _, isEp := n.endpoints[ref.Node]; isEp {
-				if n.outHalf[ref.Node] != nil {
+				if n.epLink[ref.Node] != "" {
 					return nil, fmt.Errorf("core: endpoint %q on more than one link", ref.Node)
 				}
+				n.epLink[ref.Node] = ls.Name
 				continue
 			}
 			ss := n.swSpecs[ref.Node]
@@ -286,6 +316,23 @@ func NewNetwork(spec NetworkSpec) (*Network, error) {
 		delay := ls.Delay
 		if delay == 0 {
 			delay = phy.PropDelay(ls.DistanceKm)
+		}
+		if ls.Framed {
+			l, err := n.buildFramedLink(spec, ls, delay)
+			if err != nil {
+				return nil, err
+			}
+			n.links[ls.Name] = l
+			n.adj[ls.A.Node] = append(n.adj[ls.A.Node], netEdge{
+				l: l, from: ls.A.Node, to: ls.B.Node, fwd: true,
+			})
+			n.adj[ls.B.Node] = append(n.adj[ls.B.Node], netEdge{
+				l: l, from: ls.B.Node, to: ls.A.Node, fwd: false,
+			})
+			continue
+		}
+		if ls.BitErrProb != 0 {
+			return nil, fmt.Errorf("core: link %q: BitErrProb needs a Framed link (cell-granular fibers take LossProb/CorruptProb)", ls.Name)
 		}
 		// Same construction order and seed derivation as netsim.Connect,
 		// so a builder topology is event-identical to the hand wiring.
@@ -337,6 +384,9 @@ func NewNetwork(spec NetworkSpec) (*Network, error) {
 		}
 		for _, ls := range spec.Links {
 			l := n.links[ls.Name]
+			if l.Framed != nil {
+				continue // spans attached at sonetlink.Connect time
+			}
 			l.Fwd.SetRecorder(rec, ls.Name+".fwd")
 			l.Rev.SetRecorder(rec, ls.Name+".rev")
 		}
@@ -347,6 +397,44 @@ func NewNetwork(spec NetworkSpec) (*Network, error) {
 		}
 	}
 	return n, nil
+}
+
+// buildFramedLink wires one LinkSpec through the full SONET physical layer.
+// Framed links join two endpoints directly (sonetlink speaks nic.Interface,
+// and switch ports speak cells); the endpoints' payload rate selects the
+// framing rate, and NetworkSpec.BurstMode selects the receive recovery path.
+func (n *Network) buildFramedLink(spec NetworkSpec, ls LinkSpec, delay sim.Duration) (*Link, error) {
+	if ls.LossProb != 0 || ls.CorruptProb != 0 {
+		return nil, fmt.Errorf("core: framed link %q: faults are bit-granular on the SONET line — set BitErrProb, not LossProb/CorruptProb", ls.Name)
+	}
+	epA, okA := n.endpoints[ls.A.Node]
+	epB, okB := n.endpoints[ls.B.Node]
+	if !okA || !okB {
+		return nil, fmt.Errorf("core: framed link %q must join two endpoints (switch ports are cell-granular)", ls.Name)
+	}
+	var rate sonet.Rate
+	switch pr := epA.station.Iface.Config().PayloadRate; pr {
+	case sonet.STS3c.PayloadRate():
+		rate = sonet.STS3c
+	case sonet.STS12c.PayloadRate():
+		rate = sonet.STS12c
+	default:
+		return nil, fmt.Errorf("core: framed link %q: endpoint %q payload rate %v matches no SONET rate", ls.Name, ls.A.Node, pr)
+	}
+	sl, err := sonetlink.Connect(n.k, sonetlink.Config{
+		Rate:       rate,
+		Delay:      delay,
+		BitErrProb: ls.BitErrProb,
+		Seed:       ls.Seed,
+		Metrics:    n.reg,
+		Recorder:   spec.Recorder,
+		Burst:      spec.BurstMode,
+	}, epA.station.Iface, epB.station.Iface)
+	if err != nil {
+		return nil, fmt.Errorf("core: framed link %q: %w", ls.Name, err)
+	}
+	return &Link{Name: ls.Name, Framed: sl, a: ls.A, b: ls.B,
+		usedVCs: make(map[atm.VC]bool)}, nil
 }
 
 func (n *Network) known(name string) bool {
@@ -663,7 +751,7 @@ func (n *Network) AddVCC(vs VCCSpec) (*VCC, error) {
 		in := n.inHalf[vs.To]
 		if out == nil || in == nil {
 			release()
-			return nil, fmt.Errorf("core: vcc %q: latency tap needs both endpoints linked", vs.Name)
+			return nil, fmt.Errorf("core: vcc %q: latency tap needs both endpoints on cell-granular links (framed links have no per-cell fiber to hook)", vs.Name)
 		}
 		src.station.Iface.SetOutput(timed.Ingress(out.Send))
 		in.AttachSink(atm.SinkFunc(timed.Egress(dst.station.Iface.DeliverCell)))

@@ -67,6 +67,18 @@ func HECBitwise(h [4]byte) byte {
 	return crc ^ HECCoset
 }
 
+// HECOK reports whether the five bytes at h[0:5] carry an exactly matching
+// HEC (no single-bit correction attempted). This is the check cell
+// delineation performs on every candidate byte offset while hunting, kept
+// copy-free so the sliding-window loop stays four table loads per offset.
+func HECOK(h []byte) bool {
+	crc := hecTable[h[0]]
+	crc = hecTable[crc^h[1]]
+	crc = hecTable[crc^h[2]]
+	crc = hecTable[crc^h[3]]
+	return crc^HECCoset == h[4]
+}
+
 // hecSyndrome returns the HEC syndrome for a received 5-byte header: zero
 // means the header is error-free.
 func hecSyndrome(h [5]byte) byte {
@@ -220,6 +232,14 @@ const crc32Poly = 0x04c11db7
 
 var crc32Table [256]uint32
 
+// crc32Slice holds the slicing-by-8 tables: crc32Slice[k][b] is the CRC
+// contribution of byte b positioned k+1 bytes before the end of an 8-byte
+// block (crc32Slice[0] is the plain byte table). Processing eight input
+// bytes then costs eight table loads and XORs instead of eight dependent
+// shift-and-lookup steps — the classic Intel slicing-by-8 scheme, here in
+// the MSB-first (non-reflected) form I.363's AAL5 CRC uses.
+var crc32Slice [8][256]uint32
+
 func init() {
 	for i := 0; i < 256; i++ {
 		crc := uint32(i) << 24
@@ -232,6 +252,13 @@ func init() {
 		}
 		crc32Table[i] = crc
 	}
+	crc32Slice[0] = crc32Table
+	for k := 1; k < 8; k++ {
+		for i := 0; i < 256; i++ {
+			prev := crc32Slice[k-1][i]
+			crc32Slice[k][i] = prev<<8 ^ crc32Table[byte(prev>>24)]
+		}
+	}
 }
 
 // CRC32 computes the AAL5 CPCS CRC: register preset to all ones, MSB-first,
@@ -243,8 +270,22 @@ func CRC32(p []byte) uint32 {
 // CRC32Update advances a running (uncomplemented) CRC register over p.
 // Start from 0xffffffff; complement the final value to get the transmitted
 // CRC. This form lets the segmenter fold the check in cell-sized pieces, as
-// the hardware does.
+// the hardware does. Blocks of eight bytes go through the slicing-by-8
+// tables; the remainder falls back to the byte table. The tests pin both
+// paths against the bit-serial reference.
 func CRC32Update(crc uint32, p []byte) uint32 {
+	for len(p) >= 8 {
+		crc ^= uint32(p[0])<<24 | uint32(p[1])<<16 | uint32(p[2])<<8 | uint32(p[3])
+		crc = crc32Slice[7][byte(crc>>24)] ^
+			crc32Slice[6][byte(crc>>16)] ^
+			crc32Slice[5][byte(crc>>8)] ^
+			crc32Slice[4][byte(crc)] ^
+			crc32Slice[3][p[4]] ^
+			crc32Slice[2][p[5]] ^
+			crc32Slice[1][p[6]] ^
+			crc32Slice[0][p[7]]
+		p = p[8:]
+	}
 	for _, b := range p {
 		crc = crc<<8 ^ crc32Table[byte(crc>>24)^b]
 	}

@@ -170,6 +170,47 @@ func TestCRC32MatchesBitwise(t *testing.T) {
 	}
 }
 
+// crc32ByteSerial is the pre-slicing byte-table loop, retained to pin the
+// slicing-by-8 path at every alignment and length.
+func crc32ByteSerial(crc uint32, p []byte) uint32 {
+	for _, b := range p {
+		crc = crc<<8 ^ crc32Table[byte(crc>>24)^b]
+	}
+	return crc
+}
+
+func TestCRC32SlicingMatchesByteSerial(t *testing.T) {
+	msg := make([]byte, 257)
+	for i := range msg {
+		msg[i] = byte(i*131 + 7)
+	}
+	for start := 0; start < 9; start++ {
+		for n := 0; n <= 64; n++ {
+			if start+n > len(msg) {
+				break
+			}
+			p := msg[start : start+n]
+			if got, want := CRC32Update(0xffff_ffff, p), crc32ByteSerial(0xffff_ffff, p); got != want {
+				t.Fatalf("start %d len %d: slicing %#08x, byte-serial %#08x", start, n, got, want)
+			}
+		}
+	}
+}
+
+func TestHECOKMatchesHEC(t *testing.T) {
+	f := func(h [4]byte) bool {
+		hdr := []byte{h[0], h[1], h[2], h[3], HEC(h)}
+		if !HECOK(hdr) {
+			return false
+		}
+		hdr[4] ^= 0x01
+		return !HECOK(hdr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCRC32KnownVector(t *testing.T) {
 	// "123456789" under CRC-32/MPEG-2-style MSB-first with pre/post
 	// inversion (the AAL5 form, aka CRC-32/BZIP2): 0xFC891918.

@@ -8,6 +8,8 @@ package experiments
 
 import (
 	"repro/internal/atm"
+	"repro/internal/bus"
+	"repro/internal/host"
 	"repro/internal/netsim"
 	"repro/internal/nic"
 	"repro/internal/sim"
@@ -21,15 +23,22 @@ var stdVC = atm.VC{VPI: 0, VCI: 100}
 // the kernel until deadline+drain and returns both stations.
 func runPair(cfg nic.Config, link netsim.LinkConfig, deadline sim.Time,
 	drive func(k *sim.Kernel, a, b *netsim.Station)) (a, b *netsim.Station, k *sim.Kernel) {
+	return runPairHost(cfg, host.DefaultConfig(), link, deadline, drive)
+}
+
+// runPairHost is runPair with an explicit host model, for rigs where the
+// workstation CPU must not be the confound (see fastHost).
+func runPairHost(cfg nic.Config, hostCfg host.Config, link netsim.LinkConfig, deadline sim.Time,
+	drive func(k *sim.Kernel, a, b *netsim.Station)) (a, b *netsim.Station, k *sim.Kernel) {
 	k = newKernel()
 	cfgA, cfgB := cfg, cfg
 	cfgA.Name, cfgB.Name = "a", "b"
 	var err error
-	a, err = netsim.NewStation(k, cfgA)
+	a, err = netsim.NewStationFull(k, cfgA, hostCfg, bus.DefaultConfig())
 	if err != nil {
 		panic("experiments: " + err.Error())
 	}
-	b, err = netsim.NewStation(k, cfgB)
+	b, err = netsim.NewStationFull(k, cfgB, hostCfg, bus.DefaultConfig())
 	if err != nil {
 		panic("experiments: " + err.Error())
 	}

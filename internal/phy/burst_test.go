@@ -1,0 +1,203 @@
+package phy
+
+import (
+	"testing"
+
+	"repro/internal/atm"
+	"repro/internal/bufpool"
+	"repro/internal/sim"
+)
+
+// arrival is one observed cell delivery: which cell, and the wire time the
+// consumer should account it at.
+type arrival struct {
+	vci uint16
+	at  int64
+}
+
+// serialLinkRun sends n cells one per slot through a fresh link and records
+// per-cell delivery times — the golden reference for the burst paths.
+func serialLinkRun(n int, stride, delay sim.Duration, lossProb float64, seed uint64) []arrival {
+	k := sim.NewKernel()
+	var got []arrival
+	l := NewCellLink(k, delay, seed, atm.SinkFunc(func(c *atm.Cell) {
+		got = append(got, arrival{c.Header.VCI, int64(k.Now())})
+	}))
+	l.LossProb = lossProb
+	for i := 0; i < n; i++ {
+		i := i
+		k.At(sim.Time(i)*stride, func() {
+			c := &atm.Cell{}
+			c.Header.VCI = uint16(i + 1)
+			l.Send(c)
+		})
+	}
+	k.Run()
+	return got
+}
+
+func newBurst(n int, base, stride int64) *atm.CellBurst {
+	b := atm.GetBurst(n)
+	for i := 0; i < n; i++ {
+		c := &atm.Cell{}
+		c.Header.VCI = uint16(i + 1)
+		b.Cells = append(b.Cells, c)
+	}
+	b.Base, b.Stride = base, stride
+	return b
+}
+
+// burstAwareSink accepts bursts natively and expands the arithmetic
+// per-cell arrival times, as a real burst consumer would.
+type burstAwareSink struct{ got *[]arrival }
+
+func (s *burstAwareSink) DeliverCell(c *atm.Cell) {
+	*s.got = append(*s.got, arrival{c.Header.VCI, -1})
+}
+func (s *burstAwareSink) DeliverBurst(b *atm.CellBurst) {
+	for i, c := range b.Cells {
+		if c == nil {
+			continue
+		}
+		*s.got = append(*s.got, arrival{c.Header.VCI, b.At(i)})
+	}
+	atm.PutBurst(b)
+}
+
+func TestCellLinkBurstMatchesSerial(t *testing.T) {
+	const n, stride, delay = 7, 170, 5000
+	want := serialLinkRun(n, stride, delay, 0, 1)
+
+	k := sim.NewKernel()
+	var got []arrival
+	l := NewCellLink(k, delay, 1, &burstAwareSink{got: &got})
+	k.At(0, func() { l.DeliverBurst(newBurst(n, 0, stride)) })
+	k.Run()
+
+	if len(got) != len(want) {
+		t.Fatalf("got %d arrivals, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("arrival %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if got, want := l.Stats(), (Stats{Sent: n, Delivered: n}); got != want {
+		t.Fatalf("stats %+v, want %+v", got, want)
+	}
+	if d := k.Dispatched(); d >= n {
+		t.Fatalf("clean burst to a burst sink used %d events, want < %d (one transit)", d, n)
+	}
+}
+
+func TestCellLinkBurstDegradesToPerCellSink(t *testing.T) {
+	const n, stride, delay = 5, 170, 2500
+	want := serialLinkRun(n, stride, delay, 0, 1)
+
+	k := sim.NewKernel()
+	var got []arrival
+	l := NewCellLink(k, delay, 1, atm.SinkFunc(func(c *atm.Cell) {
+		got = append(got, arrival{c.Header.VCI, int64(k.Now())})
+	}))
+	k.At(0, func() { l.DeliverBurst(newBurst(n, 0, stride)) })
+	k.Run()
+
+	if len(got) != len(want) {
+		t.Fatalf("got %d arrivals, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("arrival %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCellLinkBurstLossMatchesSerialRng(t *testing.T) {
+	// With the same seed, the burst path must lose exactly the cells the
+	// serial path loses (the rng draws are per cell in wire order in both),
+	// and the survivors must arrive per-cell at the serial times.
+	const n, stride, delay = 20, 170, 1000
+	const seed, p = 7, 0.3
+	want := serialLinkRun(n, stride, delay, p, seed)
+	if len(want) == n || len(want) == 0 {
+		t.Fatalf("seed gives %d/%d survivors; pick one that actually loses some", len(want), n)
+	}
+
+	k := sim.NewKernel()
+	var got []arrival
+	l := NewCellLink(k, delay, seed, atm.SinkFunc(func(c *atm.Cell) {
+		got = append(got, arrival{c.Header.VCI, int64(k.Now())})
+	}))
+	l.LossProb = p
+	k.At(0, func() { l.DeliverBurst(newBurst(n, 0, stride)) })
+	k.Run()
+
+	if len(got) != len(want) {
+		t.Fatalf("got %d survivors, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("arrival %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBurstSpreaderMatchesArithmeticTimes(t *testing.T) {
+	k := sim.NewKernel()
+	var got []arrival
+	s := NewBurstSpreader(k, atm.SinkFunc(func(c *atm.Cell) {
+		got = append(got, arrival{c.Header.VCI, int64(k.Now())})
+	}))
+	k.At(100, func() { s.DeliverBurst(newBurst(4, 100, 170)) })
+	k.Run()
+	for i, a := range got {
+		if want := (arrival{uint16(i + 1), int64(100 + 170*i)}); a != want {
+			t.Fatalf("arrival %d: %+v, want %+v", i, a, want)
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("%d arrivals, want 4", len(got))
+	}
+}
+
+func TestPostBurstSkipsNilSlotsKeepingOffsets(t *testing.T) {
+	k := sim.NewKernel()
+	d := NewCellDeferrer(k)
+	b := newBurst(3, 0, 100)
+	b.Cells[1] = nil
+	var got []arrival
+	k.At(0, func() {
+		d.PostBurst(50, 100, func(c *atm.Cell) {
+			got = append(got, arrival{c.Header.VCI, int64(k.Now())})
+		}, b)
+	})
+	k.Run()
+	want := []arrival{{1, 50}, {3, 250}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("arrivals %+v, want %+v", got, want)
+	}
+}
+
+func TestFrameLinkPoolRecyclesCopies(t *testing.T) {
+	k := sim.NewKernel()
+	frames := 0
+	l := NewFrameLink(k, 10, 1, func(f []byte) { frames++ })
+	pool := bufpool.New()
+	l.SetBufPool(pool)
+	frame := make([]byte, 2430)
+	// Prime the pool with the first flight, then the steady state must hit
+	// the free list for every copy.
+	l.Send(frame)
+	k.Run()
+	for i := 0; i < 50; i++ {
+		l.Send(frame)
+		k.Run()
+	}
+	if frames != 51 {
+		t.Fatalf("%d frames delivered, want 51", frames)
+	}
+	hits, misses, puts := pool.Stats()
+	if misses != 1 || hits != 50 || puts != 51 {
+		t.Fatalf("pool hits=%d misses=%d puts=%d, want 50/1/51", hits, misses, puts)
+	}
+}

@@ -11,6 +11,7 @@ package phy
 
 import (
 	"repro/internal/atm"
+	"repro/internal/bufpool"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -55,8 +56,9 @@ type CellLink struct {
 	down  bool
 	sig   SignalConsumer // explicit signal sink; nil = auto-detect on sink
 
-	def       *CellDeferrer
-	deliverFn func(*atm.Cell) // bound deliver method, created once
+	def            *CellDeferrer
+	deliverFn      func(*atm.Cell)      // bound deliver method, created once
+	deliverBurstFn func(*atm.CellBurst) // bound burst deliver method
 
 	// Flight-recorder span for the fiber transit (nil unless attached):
 	// Enter as the cell leaves the transmitter, Exit on delivery, Drop for
@@ -72,6 +74,7 @@ func NewCellLink(k *sim.Kernel, delay sim.Duration, seed uint64, sink atm.CellCo
 	l := &CellLink{k: k, Delay: delay, rng: sim.NewRand(seed), sink: sink}
 	l.def = NewCellDeferrer(k)
 	l.deliverFn = l.deliver
+	l.deliverBurstFn = l.deliverBurst
 	return l
 }
 
@@ -174,6 +177,66 @@ func (l *CellLink) Send(c *atm.Cell) {
 	l.def.Post(l.Delay, l.deliverFn, c)
 }
 
+// DeliverBurst implements atm.BurstConsumer: a whole cell vector enters the
+// fiber in one call. The producer must emit the burst in an event at time
+// b.Base (cell 0's wire slot). Loss and corruption are drawn per cell in
+// wire order — the identical rng sequence the serial path draws — and each
+// dropped cell is attributed at its own slot time. A clean burst bound for a
+// burst-aware sink crosses the fiber as ONE kernel event; a lossy burst is no
+// longer a uniform-stride run, so it (like any burst bound for a per-cell
+// sink) degrades to per-cell deferred delivery at the arithmetic arrival
+// times, event-for-event identical to serial.
+//
+// Known divergence from serial: the link's up/down state and the per-cell
+// rng are sampled when the burst is offered (time Base), so a Fail or
+// Restore landing inside the burst's wire window affects the whole burst
+// rather than its tail — a window of at most one frame time.
+func (l *CellLink) DeliverBurst(b *atm.CellBurst) {
+	lossy := false
+	for i, c := range b.Cells {
+		l.stats.Sent++
+		drop := l.down
+		if drop {
+			l.stats.DroppedDown++
+		} else if l.LossProb > 0 && l.rng.Bernoulli(l.LossProb) {
+			drop = true
+		}
+		if drop {
+			l.stats.Lost++
+			l.sp.DropAt(sim.Time(b.At(i)), c.Header.VC(), metrics.DropLink)
+			b.Cells[i] = nil
+			lossy = true
+			continue
+		}
+		if l.CorruptProb > 0 && l.rng.Bernoulli(l.CorruptProb) {
+			l.stats.Corrupted++
+			j := l.rng.Intn(len(c.Payload))
+			c.Payload[j] ^= 1 << uint(l.rng.Intn(8))
+		}
+		l.stats.Delivered++
+	}
+	l.sp.EnterBurst(b)
+	if _, ok := l.sink.(atm.BurstConsumer); ok && !lossy {
+		l.def.PostBurstEvent(l.Delay, l.deliverBurstFn, b)
+		return
+	}
+	l.def.PostBurst(l.Delay, sim.Duration(b.Stride), l.deliverFn, b)
+}
+
+// deliverBurst fires one propagation delay after a clean burst entered the
+// fiber; the arrival base is kernel-now. If the sink was re-attached to a
+// per-cell consumer while the burst was in flight, the remainder spreads to
+// individual deliveries at the arithmetic arrival times.
+func (l *CellLink) deliverBurst(b *atm.CellBurst) {
+	b.Base = int64(l.k.Now())
+	if bc, ok := l.sink.(atm.BurstConsumer); ok {
+		l.sp.ExitBurst(b)
+		bc.DeliverBurst(b)
+		return
+	}
+	l.def.PostBurst(0, sim.Duration(b.Stride), l.deliverFn, b)
+}
+
 // FrameLink is a unidirectional SONET-frame pipe.
 type FrameLink struct {
 	k *sim.Kernel
@@ -188,6 +251,31 @@ type FrameLink struct {
 	stats Stats
 	down  bool
 	sig   SignalConsumer
+
+	pool  *bufpool.Pool // optional: recycles in-flight frame copies
+	ffree *frameDefer
+}
+
+// frameDefer parks one in-flight frame copy; pooled like cellDefer so a
+// steady frame stream costs no per-frame closure.
+type frameDefer struct {
+	l    *FrameLink
+	buf  []byte
+	fn   func()
+	next *frameDefer
+}
+
+func (r *frameDefer) fire() {
+	l, buf := r.l, r.buf
+	r.buf = nil
+	r.next = l.ffree
+	l.ffree = r
+	l.sink(buf)
+	// With a pool installed the frame copy is recycled as soon as the sink
+	// returns — the sink must not retain it (the deframer copies; see
+	// SetBufPool). Without a pool, Put is a no-op and the buffer is the
+	// sink's to keep, preserving the original contract.
+	l.pool.Put(buf)
 }
 
 // NewFrameLink builds a frame pipe delivering to sink after delay.
@@ -200,6 +288,13 @@ func NewFrameLink(k *sim.Kernel, delay sim.Duration, seed uint64, sink func([]by
 
 // Stats returns cumulative counters.
 func (l *FrameLink) Stats() Stats { return l.stats }
+
+// SetBufPool installs a buffer pool for the per-frame wire copies. With a
+// pool, each frame copy is drawn from it and recycled the moment the sink
+// returns — so the sink must consume the frame during the call (the deframer
+// copies into its own scratch). Without a pool, every Send allocates a fresh
+// copy that the sink owns outright.
+func (l *FrameLink) SetBufPool(p *bufpool.Pool) { l.pool = p }
 
 // SetSignalSink pins the receiver notified of Fail/Restore transitions
 // (the frame sink is a plain func, so there is nothing to auto-detect).
@@ -243,7 +338,7 @@ func (l *FrameLink) Send(frame []byte) {
 		l.stats.DroppedDown++
 		return
 	}
-	buf := make([]byte, len(frame))
+	buf := l.pool.Get(len(frame))
 	copy(buf, frame)
 	if l.BitErrProb > 0 && l.rng.Bernoulli(l.BitErrProb) {
 		l.stats.Corrupted++
@@ -251,7 +346,16 @@ func (l *FrameLink) Send(frame []byte) {
 		buf[i] ^= 1 << uint(l.rng.Intn(8))
 	}
 	l.stats.Delivered++
-	l.k.After(l.Delay, func() { l.sink(buf) })
+	r := l.ffree
+	if r == nil {
+		r = &frameDefer{l: l}
+		r.fn = r.fire
+	} else {
+		l.ffree = r.next
+		r.next = nil
+	}
+	r.buf = buf
+	l.k.PostAfter(l.Delay, r.fn)
 }
 
 // PropDelay returns the propagation delay for a fiber of the given length in

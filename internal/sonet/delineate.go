@@ -83,11 +83,35 @@ func (d *Delineator) Stats() DelineatorStats { return d.stats }
 // correctable windows would make ~16% of random offsets look like cell
 // boundaries and delineation would false-lock constantly.
 func hecOK(w []byte) bool {
-	return crc.HEC([4]byte{w[0], w[1], w[2], w[3]}) == w[4]
+	return crc.HECOK(w)
 }
 
 // Push feeds payload-stream bytes to the delineator.
 func (d *Delineator) Push(p []byte) {
+	// SYNC fast path: consume whole cells straight from the pushed slice,
+	// bypassing the staging window. A partial cell left from the previous
+	// push is first topped up and consumed, then cells are read at 53-byte
+	// stride until the tail (or a loss of lock) falls back to the window.
+	// Steady-state delineation therefore copies each payload byte once and
+	// never grows the window.
+	if d.state == Sync && len(d.window) > 0 && len(d.window) < 53 && len(d.window)+len(p) >= 53 {
+		need := 53 - len(d.window)
+		d.window = append(d.window, p[:need]...)
+		p = p[need:]
+		d.syncCell(d.window)
+		d.window = d.window[:0]
+	}
+	for d.state == Sync && len(d.window) == 0 && len(p) >= 53 {
+		still := d.syncCell(p)
+		p = p[53:]
+		if !still {
+			break
+		}
+	}
+	if len(p) == 0 {
+		d.compact()
+		return
+	}
 	d.window = append(d.window, p...)
 	for {
 		switch d.state {
@@ -133,33 +157,42 @@ func (d *Delineator) Push(p []byte) {
 				d.compact()
 				return
 			}
-			var h [5]byte
-			copy(h[:], d.window[:5])
-			ok, corrected := crc.HECCheck(&h)
-			if !ok {
-				d.badRun++
-				d.stats.HeaderDropped++
-				// Still consume the cell slot and keep scrambler state.
-				d.cs.Descramble(d.window[5:53])
-				d.window = d.window[53:]
-				if d.badRun >= d.Alpha {
-					d.state = Hunt
-					d.stats.SyncLosses++
-				}
-				continue
-			}
-			d.badRun = 0
-			if corrected {
-				d.stats.HeaderCorrected++
-			}
-			copy(d.cell[:5], h[:])
-			copy(d.cell[5:], d.window[5:53])
-			d.cs.Descramble(d.cell[5:])
+			d.syncCell(d.window)
 			d.window = d.window[53:]
-			d.stats.Cells++
-			d.sink(d.cell[:], corrected)
 		}
 	}
+}
+
+// syncCell consumes one 53-byte cell slot in SYNC state from w (which is not
+// modified) and reports whether the delineator is still in SYNC afterwards.
+func (d *Delineator) syncCell(w []byte) bool {
+	var h [5]byte
+	copy(h[:], w[:5])
+	ok, corrected := crc.HECCheck(&h)
+	if !ok {
+		d.badRun++
+		d.stats.HeaderDropped++
+		// Still consume the cell slot and keep scrambler state: the
+		// descrambler register depends only on received line bits.
+		copy(d.cell[5:], w[5:53])
+		d.cs.Descramble(d.cell[5:])
+		if d.badRun >= d.Alpha {
+			d.state = Hunt
+			d.stats.SyncLosses++
+			return false
+		}
+		return true
+	}
+	d.badRun = 0
+	if corrected {
+		d.stats.HeaderCorrected++
+	}
+	copy(d.cell[:5], h[:])
+	copy(d.cell[5:], w[5:53])
+	d.cs.Descramble(d.cell[5:])
+	d.stats.Cells++
+	d.sink(d.cell[:], corrected)
+	return d.state == Sync
 }
 
 // compact bounds the pending window's backing array. Without this the

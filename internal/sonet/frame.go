@@ -118,7 +118,8 @@ type Framer struct {
 	cs      CellScrambler
 	src     CellSource
 	cellBuf [53]byte
-	cellOff int // bytes of cellBuf already emitted; 53 = need a new cell
+	cellOff int    // bytes of cellBuf already emitted; 53 = need a new cell
+	stream  []byte // per-frame staging for the contiguous cell stream
 	frameNo uint64
 	prevB1  byte // BIP-8 of previous scrambled frame
 	prevB3  byte // BIP-8 of previous SPE
@@ -129,7 +130,9 @@ func NewFramer(r Rate, src CellSource) *Framer {
 	if src == nil {
 		panic("sonet: nil cell source")
 	}
-	return &Framer{geom: Geom(r), rate: r, src: src, cellOff: 53}
+	g := Geom(r)
+	return &Framer{geom: g, rate: r, src: src, cellOff: 53,
+		stream: make([]byte, g.PayloadPer)}
 }
 
 // Geometry returns the framer's layout.
@@ -172,27 +175,35 @@ func (f *Framer) NextFrame(dst []byte) int {
 	frame[2*g.Cols+pohCol] = 0x13   // C2: payload label "ATM"
 
 	// Payload columns: fill with the continuous cell stream. Payload
-	// occupies columns [TOHCols+1+FixedStuff, Cols) of every row.
+	// occupies columns [TOHCols+1+FixedStuff, Cols) of every row. The
+	// frame's slice of the stream is staged contiguously (whole cells land
+	// directly in the staging buffer; only boundary cells pass through
+	// cellBuf) and then block-copied into the rows.
 	payStart := g.TOHCols + 1 + g.FixedStuff
-	var spe []byte // SPE bytes for B3 (POH + payload columns)
+	stream := f.stream
+	n := copy(stream, f.cellBuf[f.cellOff:])
+	for n+53 <= len(stream) {
+		f.src.NextCell(stream[n : n+53])
+		// Scramble the info field only; header in clear.
+		f.cs.Scramble(stream[n+5 : n+53])
+		n += 53
+	}
+	if n < len(stream) {
+		f.src.NextCell(f.cellBuf[:])
+		f.cs.Scramble(f.cellBuf[5:])
+		f.cellOff = copy(stream[n:], f.cellBuf[:])
+	} else {
+		f.cellOff = 53
+	}
+	var b3 byte
 	for row := 0; row < rows; row++ {
 		base := row * g.Cols
-		for col := payStart; col < g.Cols; col++ {
-			if f.cellOff == 53 {
-				f.src.NextCell(f.cellBuf[:])
-				// Scramble the info field only; header in clear.
-				f.cs.Scramble(f.cellBuf[5:])
-				f.cellOff = 0
-			}
-			frame[base+col] = f.cellBuf[f.cellOff]
-			f.cellOff++
-		}
+		copy(frame[base+payStart:base+g.Cols], stream[row*g.PayloadCols:])
+		// B3 covers the SPE (POH column through the row end); XOR folds
+		// row by row instead of staging a contiguous SPE copy.
+		b3 ^= bip8(frame[base+pohCol : base+g.Cols])
 	}
-	for row := 0; row < rows; row++ {
-		base := row * g.Cols
-		spe = append(spe, frame[base+pohCol:base+g.Cols]...)
-	}
-	f.prevB3 = bip8(spe)
+	f.prevB3 = b3
 
 	// Frame-synchronous scrambling: everything except row-1 TOH.
 	f.fs.Reset()
@@ -281,16 +292,17 @@ func (d *Deframer) PushFrame(frame []byte) error {
 		d.stats.PointerErrs++
 	}
 
-	// Extract SPE for next frame's B3 check and feed payload bytes to the
-	// delineator.
+	// Fold the SPE for next frame's B3 check (row-by-row XOR — BIP-8 is
+	// position-independent, so no contiguous SPE copy is needed) and feed
+	// payload bytes to the delineator.
 	pohCol := g.TOHCols
 	payStart := g.TOHCols + 1 + g.FixedStuff
-	var spe []byte
+	var b3 byte
 	for row := 0; row < rows; row++ {
 		base := row * g.Cols
-		spe = append(spe, f[base+pohCol:base+g.Cols]...)
+		b3 ^= bip8(f[base+pohCol : base+g.Cols])
 	}
-	d.expB3 = bip8(spe)
+	d.expB3 = b3
 	for row := 0; row < rows; row++ {
 		base := row * g.Cols
 		d.del.Push(f[base+payStart : base+g.Cols])

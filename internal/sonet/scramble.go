@@ -12,12 +12,54 @@
 // touches.
 package sonet
 
+import (
+	"crypto/subtle"
+	"encoding/binary"
+)
+
 // FrameScrambler is the frame-synchronous SONET scrambler, generator
 // 1 + x⁶ + x⁷, reset to all ones at the first byte after the row-1 section
 // overhead of every frame. It whitens the line so clock recovery works; it
 // is its own inverse.
+//
+// Because the LFSR restarts from the same state every frame, its keystream
+// is data-independent and identical frame after frame: Apply on a freshly
+// Reset scrambler is a straight XOR with a precomputed keystream table
+// (vectorized by the compiler into word/SIMD XORs) instead of the bit-serial
+// register walk. The bit-serial form survives for mid-stream states and as
+// the reference the tests pin the table against.
 type FrameScrambler struct {
 	state uint8 // 7-bit LFSR state
+}
+
+// frameKeystreamMax covers the largest region a framer scrambles: an
+// STS-12c frame minus its row-1 section overhead columns.
+const frameKeystreamMax = rows*90*12 - 3*12
+
+var (
+	// frameKeystream[i] is the mask byte the LFSR produces for the i-th
+	// byte after a Reset.
+	frameKeystream [frameKeystreamMax]byte
+	// frameKsState[i] is the LFSR state after producing i mask bytes from
+	// the reset state, so the fast path leaves the register exactly where
+	// the bit-serial walk would.
+	frameKsState [frameKeystreamMax + 1]uint8
+)
+
+func init() {
+	st := uint8(0x7f)
+	frameKsState[0] = st
+	for i := range frameKeystream {
+		var mask uint8
+		for bit := 0; bit < 8; bit++ {
+			out := (st >> 6) & 1 // x⁷ tap
+			mask = mask<<1 | out
+			fb := ((st >> 6) ^ (st >> 5)) & 1 // x⁷ ⊕ x⁶
+			st = st<<1&0x7f | fb
+		}
+		frameKeystream[i] = mask
+		frameKsState[i+1] = st
+	}
 }
 
 // Reset returns the LFSR to the all-ones frame-start state.
@@ -26,6 +68,17 @@ func (s *FrameScrambler) Reset() { s.state = 0x7f }
 // Apply scrambles (or equivalently descrambles) p in place, advancing the
 // LFSR one bit per data bit, MSB first.
 func (s *FrameScrambler) Apply(p []byte) {
+	if s.state == 0x7f && len(p) <= frameKeystreamMax {
+		subtle.XORBytes(p, p, frameKeystream[:len(p)])
+		s.state = frameKsState[len(p)]
+		return
+	}
+	s.applyBitwise(p)
+}
+
+// applyBitwise is the reference register walk, used for states the keystream
+// table does not cover (Apply without an interleaved Reset).
+func (s *FrameScrambler) applyBitwise(p []byte) {
 	st := s.state
 	for i, b := range p {
 		var mask uint8
@@ -46,50 +99,56 @@ func (s *FrameScrambler) Apply(p []byte) {
 // Being self-synchronous, a receiver's descrambler converges to the
 // transmitter's state after 43 received bits regardless of how it was
 // initialized.
+//
+// The tap sits 43 bits back — further than a byte — so none of a byte's
+// eight keystream bits can depend on that same byte's output bits, and the
+// whole byte transforms at once: the key is bits 42..35 of the register, the
+// register then shifts in the eight line bits. The tests pin this against
+// the bit-serial reference.
 type CellScrambler struct {
 	state uint64 // low 43 bits hold the last 43 output (line) bits
 }
+
+const cellScramblerMask = 0x7ff_ffff_ffff // 43 bits
 
 // Scramble transforms plaintext p in place into line bits.
 func (s *CellScrambler) Scramble(p []byte) {
 	st := s.state
 	for i, b := range p {
-		var out uint8
-		for bit := 7; bit >= 0; bit-- {
-			in := (b >> bit) & 1
-			o := in ^ uint8(st>>42&1)
-			out = out<<1 | o
-			st = st<<1&0x7ff_ffff_ffff | uint64(o)
-		}
+		out := b ^ byte(st>>35)
+		st = st<<8&cellScramblerMask | uint64(out)
 		p[i] = out
 	}
 	s.state = st
 }
 
-// Descramble transforms line bits p in place back into plaintext. The LFSR
-// shifts in the *received* bits, which is what makes the pair
+// Descramble transforms line bits p in place back into plaintext. The
+// register shifts in the *received* bits, which is what makes the pair
 // self-synchronizing.
 func (s *CellScrambler) Descramble(p []byte) {
 	st := s.state
 	for i, b := range p {
-		var out uint8
-		for bit := 7; bit >= 0; bit-- {
-			in := (b >> bit) & 1
-			o := in ^ uint8(st>>42&1)
-			out = out<<1 | o
-			st = st<<1&0x7ff_ffff_ffff | uint64(in)
-		}
-		p[i] = out
+		p[i] = b ^ byte(st>>35)
+		st = st<<8&cellScramblerMask | uint64(b)
 	}
 	s.state = st
 }
 
 // bip8 computes even-parity BIP-8 over p: each bit of the result makes the
 // corresponding bit position of p even-parity. SONET B1/B3 bytes carry this.
+// Byte XOR is position-independent, so the fold runs a word at a time.
 func bip8(p []byte) byte {
+	var acc uint64
+	for len(p) >= 8 {
+		acc ^= binary.LittleEndian.Uint64(p)
+		p = p[8:]
+	}
 	var b byte
 	for _, x := range p {
 		b ^= x
 	}
-	return b
+	acc ^= acc >> 32
+	acc ^= acc >> 16
+	acc ^= acc >> 8
+	return b ^ byte(acc)
 }

@@ -1,0 +1,114 @@
+package sonetlink
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/host"
+	"repro/internal/metrics"
+	"repro/internal/nic"
+	"repro/internal/sim"
+	"repro/internal/sonet"
+	"repro/internal/trace"
+)
+
+// sonetRun captures everything a mode-equivalence check compares: each
+// delivered SDU with its delivery time, the link and interface counters,
+// and the flight recorder's matched spans in deterministic order.
+type sonetRun struct {
+	deliveries []string
+	metrics    string
+	spans      []trace.Span
+	unmatched  int
+}
+
+func runSonetWorkload(t *testing.T, rate sonet.Rate, burst bool, burstSize int) sonetRun {
+	t.Helper()
+	k := sim.NewKernel()
+	reg := metrics.NewRegistry()
+	rec := trace.NewRecorder(k, 1<<16)
+	mk := func(name string) *nic.Interface {
+		cfg := nic.DefaultConfig(name)
+		cfg.PayloadRate = rate.PayloadRate()
+		cfg.RxFifoDepth = 128
+		cfg.Metrics = reg
+		iface, err := nic.New(k, cfg, host.New(k, host.DefaultConfig()), bus.New(k, bus.DefaultConfig()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return iface
+	}
+	a, b := mk("a"), mk("b")
+	_, err := Connect(k, Config{
+		Rate: rate, Delay: 10_000, Seed: 3,
+		Metrics: reg, Recorder: rec,
+		Burst: burst, BurstSize: burstSize,
+	}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run sonetRun
+	b.OnReceive(func(d nic.Delivered) {
+		run.deliveries = append(run.deliveries,
+			fmt.Sprintf("t=%d vc=%v len=%d head=%x", int64(k.Now()), d.VC, len(d.SDU), d.SDU[:4]))
+	})
+	a.OpenVC(vc())
+	b.OpenVC(vc())
+	for i := 0; i < 12; i++ {
+		if err := a.Send(vc(), pkt(700+331*i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Run()
+	var sb bytes.Buffer
+	if err := reg.Snapshot().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	run.metrics = sb.String()
+	spans, unmatched := rec.Spans()
+	trace.SortSpans(spans)
+	run.spans = spans
+	run.unmatched = unmatched
+	return run
+}
+
+// TestSonetBurstModeGoldenIdentity pins burst-mode delivery cell-for-cell
+// against the serial per-cell path: same SDUs at the same nanoseconds, the
+// same metrics registry byte-for-byte, and the same trace spans.
+func TestSonetBurstModeGoldenIdentity(t *testing.T) {
+	for _, rate := range []sonet.Rate{sonet.STS3c, sonet.STS12c} {
+		serial := runSonetWorkload(t, rate, false, 0)
+		if len(serial.deliveries) != 12 {
+			t.Fatalf("%v serial: delivered %d of 12", rate, len(serial.deliveries))
+		}
+		for _, size := range []int{0, 1, 2, 7, 44} {
+			burst := runSonetWorkload(t, rate, true, size)
+			if len(burst.deliveries) != len(serial.deliveries) {
+				t.Fatalf("%v burst(size=%d): delivered %d, serial %d",
+					rate, size, len(burst.deliveries), len(serial.deliveries))
+			}
+			for i := range burst.deliveries {
+				if burst.deliveries[i] != serial.deliveries[i] {
+					t.Fatalf("%v burst(size=%d) delivery %d:\n  burst:  %s\n  serial: %s",
+						rate, size, i, burst.deliveries[i], serial.deliveries[i])
+				}
+			}
+			if burst.metrics != serial.metrics {
+				t.Fatalf("%v burst(size=%d): metrics registry diverges from serial:\n--- burst\n%s\n--- serial\n%s",
+					rate, size, burst.metrics, serial.metrics)
+			}
+			if len(burst.spans) != len(serial.spans) || burst.unmatched != serial.unmatched {
+				t.Fatalf("%v burst(size=%d): %d spans (%d unmatched), serial %d (%d)",
+					rate, size, len(burst.spans), burst.unmatched, len(serial.spans), serial.unmatched)
+			}
+			for i := range burst.spans {
+				if burst.spans[i] != serial.spans[i] {
+					t.Fatalf("%v burst(size=%d) span %d: %+v, serial %+v",
+						rate, size, i, burst.spans[i], serial.spans[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/atm"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func testBurst(n int, base, stride int64, vci func(i int) uint16) *atm.CellBurst {
+	b := atm.GetBurst(n)
+	for i := 0; i < n; i++ {
+		c := &atm.Cell{}
+		c.Header.VCI = vci(i)
+		b.Cells = append(b.Cells, c)
+	}
+	b.Base, b.Stride = base, stride
+	return b
+}
+
+// TestBurstOpsExpandToSerialStream pins the compaction contract: a burst
+// entry occupies one ring slot but Events() yields the exact per-cell stream
+// a serial producer records.
+func TestBurstOpsExpandToSerialStream(t *testing.T) {
+	k := sim.NewKernel()
+	same := func(int) uint16 { return 100 }
+
+	burst := NewRecorder(k, 64)
+	bsp := burst.Stage("a", "wire")
+	b := testBurst(5, 0, 7, same)
+	bsp.EnterBurst(b)
+	if got := burst.Len(); got != 1 {
+		t.Fatalf("burst entry occupies %d ring slots, want 1", got)
+	}
+	evs := burst.Events()
+	if len(evs) != 5 {
+		t.Fatalf("expanded to %d events, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.At != sim.Time(i*7) || ev.Kind != KindEnter || ev.VC != recVC || ev.Count != 0 || ev.Stride != 0 {
+			t.Fatalf("event %d: %+v", i, ev)
+		}
+	}
+	atm.PutBurst(b)
+}
+
+// TestDropAtRecordsExplicitTime pins the batched link path's drop
+// attribution: the event carries the cell's slot time, not the kernel-now of
+// the event that drew the loss.
+func TestDropAtRecordsExplicitTime(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRecorder(k, 8)
+	sp := r.Stage("a", "wire")
+	sp.DropAt(1234, recVC, metrics.DropLink)
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].At != 1234 || evs[0].Kind != KindDrop || evs[0].Cause != metrics.DropLink {
+		t.Fatalf("events %+v", evs)
+	}
+}
+
+// TestBurstOpsSplitMixedVCRuns checks a burst carrying several connections
+// compacts per same-VC run, preserving each cell's VC and slot time.
+func TestBurstOpsSplitMixedVCRuns(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRecorder(k, 64)
+	sp := r.Stage("a", "wire")
+	// VCs: 1,1,2,1 → runs [1,1], [2], [1] → 3 ring entries, 4 events.
+	vcs := []uint16{1, 1, 2, 1}
+	b := testBurst(4, 1000, 10, func(i int) uint16 { return vcs[i] })
+	sp.ExitBurst(b)
+	if got := r.Len(); got != 3 {
+		t.Fatalf("%d ring entries, want 3 runs", got)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("%d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.At != sim.Time(1000+10*i) || ev.VC.VCI != vcs[i] || ev.Kind != KindExit {
+			t.Fatalf("event %d: %+v", i, ev)
+		}
+	}
+	atm.PutBurst(b)
+}
+
+// TestBurstOpsRespectSampling: with cell sampling active the compact form
+// cannot honor per-cell admission, so burst ops must fall back to the same
+// per-cell recording the serial path does — the kth recorded Enter still
+// matches the kth recorded Exit.
+func TestBurstOpsRespectSampling(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewRecorder(k, 64)
+	r.SampleCells(3)
+	sp := r.Stage("a", "wire")
+	same := func(int) uint16 { return 100 }
+	b := testBurst(9, 0, 5, same)
+	sp.EnterBurst(b)
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("sampled 1-in-3 of 9 cells gave %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.At != sim.Time(i*15) {
+			t.Fatalf("sampled event %d at %v, want %v", i, ev.At, sim.Time(i*15))
+		}
+	}
+	atm.PutBurst(b)
+}
+
+// TestBurstSpansMatchPerCell runs the same enter/exit history through burst
+// ops and per-cell ops and requires identical matched spans — the guarantee
+// the sonetlink mode-equivalence test leans on.
+func TestBurstSpansMatchPerCell(t *testing.T) {
+	k := sim.NewKernel()
+	same := func(int) uint16 { return 100 }
+
+	burst := NewRecorder(k, 256)
+	bsp := burst.Stage("a", "wire")
+	be := testBurst(6, 0, 10, same)
+	bsp.EnterBurst(be)
+	bx := testBurst(6, 50, 10, same)
+	bsp.ExitBurst(bx)
+
+	serial := NewRecorder(k, 256)
+	ssp := serial.Stage("a", "wire")
+	for i := 0; i < 6; i++ {
+		ssp.burst(testBurst(1, int64(10*i), 0, same), KindEnter, &ssp.in)
+	}
+	for i := 0; i < 6; i++ {
+		ssp.burst(testBurst(1, int64(50+10*i), 0, same), KindExit, &ssp.out)
+	}
+
+	bs, bu := burst.Spans()
+	ss, su := serial.Spans()
+	if bu != 0 || su != 0 {
+		t.Fatalf("unmatched spans: burst %d serial %d", bu, su)
+	}
+	if len(bs) != len(ss) {
+		t.Fatalf("burst %d spans, serial %d", len(bs), len(ss))
+	}
+	for i := range bs {
+		if bs[i] != ss[i] {
+			t.Fatalf("span %d: burst %+v, serial %+v", i, bs[i], ss[i])
+		}
+	}
+}
