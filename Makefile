@@ -18,12 +18,14 @@ bench:
 
 # bench-compare re-runs the benchmarks into a scratch snapshot and prints
 # the per-metric delta against the committed BENCH.json, flagging anything
-# that regressed by more than 10%. benchjson exits 3 on a regression; the
-# leading `-` keeps the report informational so noisy-machine variance
-# never blocks a verify run — read the deltas, then decide.
+# that regressed by more than 10%. The same delta is written as a markdown
+# table to bench-delta.md (CI uploads it as an artifact). benchjson exits 3
+# on a regression; the leading `-` keeps the report informational so
+# noisy-machine variance never blocks a verify run — read the deltas, then
+# decide.
 bench-compare:
 	$(GO) test -run='^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -o /tmp/bench-new.json
-	-$(GO) run ./cmd/benchjson -compare -threshold 10 BENCH.json /tmp/bench-new.json
+	-$(GO) run ./cmd/benchjson -compare -threshold 10 -md bench-delta.md BENCH.json /tmp/bench-new.json
 
 fmt:
 	gofmt -w .

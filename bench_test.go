@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"flag"
 	"fmt"
 	"testing"
 
@@ -16,12 +17,19 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/host"
+	"repro/internal/netsim"
 	"repro/internal/nic"
 	"repro/internal/sim"
 	"repro/internal/sonet"
 	"repro/internal/sonetlink"
 	"repro/internal/units"
 )
+
+// -shards mirrors atmbench's flag for the experiment benchmarks whose
+// topologies the partitioner can cut (E16): `go test -bench=E16 . -shards=4`
+// runs the tandem chain on a 4-way sharded kernel. Results are pinned
+// bit-identical to serial by the golden tests, so this only moves time.
+var benchShards = flag.Int("shards", 1, "intra-run partition count for shardable experiment benchmarks")
 
 // BenchmarkE1TxSegmentation regenerates the transmit firmware budget table.
 func BenchmarkE1TxSegmentation(b *testing.B) {
@@ -209,6 +217,9 @@ func BenchmarkE11EngineScaleOut(b *testing.B) {
 // figure: the 4-hop, 155 Mb/s point of the E16 sweep, built entirely
 // through core.NewNetwork.
 func BenchmarkE16MultiHop(b *testing.B) {
+	prev := experiments.Shards()
+	experiments.SetShards(*benchShards)
+	defer experiments.SetShards(prev)
 	var pts []experiments.E16Point
 	for i := 0; i < b.N; i++ {
 		pts, _ = experiments.E16(5 * sim.Millisecond)
@@ -372,6 +383,129 @@ func BenchmarkBurstSonetPath(b *testing.B) {
 	}
 	b.Run("serial", func(b *testing.B) { run(b, false) })
 	b.Run("burst", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkShardedTopology measures what partitioned conservative-parallel
+// execution buys on a topology built for it: four switch islands (one switch
+// + two endpoints each) joined in a chain by 50 µs inter-island fibers — the
+// lookahead window — with heavy intra-island traffic and a light paced flow
+// crossing each boundary. The golden tests pin sharded runs byte-identical
+// to serial; this records the wall-clock trajectory (1/2/4 shards) in
+// BENCH.json. The speedup needs real cores: with GOMAXPROCS below the shard
+// count the partitions timeshare one CPU and only the barrier overhead shows.
+func BenchmarkShardedTopology(b *testing.B) {
+	const (
+		islands  = 4
+		deadline = sim.Time(10 * sim.Millisecond)
+		interDly = 50_000 // ns; the partitions' lookahead
+	)
+	mkSpec := func() core.NetworkSpec {
+		var spec core.NetworkSpec
+		for i := 1; i <= islands; i++ {
+			spec.Switches = append(spec.Switches, core.SwitchSpec{
+				Name: fmt.Sprintf("sw%d", i), Ports: 4, QueueDepth: 96,
+			})
+			spec.Endpoints = append(spec.Endpoints,
+				core.EndpointSpec{Name: fmt.Sprintf("a%d", i)},
+				core.EndpointSpec{Name: fmt.Sprintf("b%d", i)})
+			spec.Links = append(spec.Links,
+				core.LinkSpec{
+					Name: fmt.Sprintf("a%d-in", i), A: core.NodeRef{Node: fmt.Sprintf("a%d", i)},
+					B:     core.NodeRef{Node: fmt.Sprintf("sw%d", i), Port: 0},
+					Delay: 1_000, Seed: uint64(10 + i),
+				},
+				core.LinkSpec{
+					Name: fmt.Sprintf("b%d-in", i), A: core.NodeRef{Node: fmt.Sprintf("b%d", i)},
+					B:     core.NodeRef{Node: fmt.Sprintf("sw%d", i), Port: 1},
+					Delay: 1_000, Seed: uint64(20 + i),
+				})
+			if i > 1 {
+				spec.Links = append(spec.Links, core.LinkSpec{
+					Name:  fmt.Sprintf("sw%d-sw%d", i-1, i),
+					A:     core.NodeRef{Node: fmt.Sprintf("sw%d", i-1), Port: 2},
+					B:     core.NodeRef{Node: fmt.Sprintf("sw%d", i), Port: 3},
+					Delay: interDly, Seed: uint64(30 + i),
+				})
+			}
+			// Heavy intra-island load both ways, plus one light flow into the
+			// next island (paced below 5% of line so the boundary stays cheap).
+			spec.VCCs = append(spec.VCCs,
+				core.VCCSpec{Name: fmt.Sprintf("ab%d", i), From: fmt.Sprintf("a%d", i),
+					To: fmt.Sprintf("b%d", i), VC: core.VC{VCI: uint16(100 + i)}},
+				core.VCCSpec{Name: fmt.Sprintf("ba%d", i), From: fmt.Sprintf("b%d", i),
+					To: fmt.Sprintf("a%d", i), VC: core.VC{VCI: uint16(120 + i)}})
+			if i > 1 {
+				spec.VCCs = append(spec.VCCs, core.VCCSpec{
+					Name: fmt.Sprintf("x%d", i), From: fmt.Sprintf("a%d", i-1),
+					To: fmt.Sprintf("b%d", i), VC: core.VC{VCI: uint16(140 + i)}})
+			}
+		}
+		return spec
+	}
+	partitions := func(shards int) [][]string {
+		parts := make([][]string, shards)
+		per := islands / shards
+		for i := 1; i <= islands; i++ {
+			s := (i - 1) / per
+			parts[s] = append(parts[s],
+				fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i), fmt.Sprintf("sw%d", i))
+		}
+		return parts
+	}
+	run := func(b *testing.B, shards int) uint64 {
+		var delivered uint64
+		for n := 0; n < b.N; n++ {
+			spec := mkSpec()
+			if shards > 1 {
+				spec.Partitions = partitions(shards)
+			}
+			net, err := core.NewNetwork(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			counts := make([]int, 2*islands)
+			for i := 1; i <= islands; i++ {
+				slotA, slotB := &counts[2*(i-1)], &counts[2*(i-1)+1]
+				net.Endpoint(fmt.Sprintf("a%d", i)).OnReceive(func(core.Packet) { *slotA++ })
+				net.Endpoint(fmt.Sprintf("b%d", i)).OnReceive(func(core.Packet) { *slotB++ })
+			}
+			for i := 1; i <= islands; i++ {
+				for _, name := range []string{fmt.Sprintf("ab%d", i), fmt.Sprintf("ba%d", i)} {
+					v := net.VCC(name)
+					netsim.NewSource(net.NodeKernel(v.Source.Name()), v.Source.Station(),
+						v.SourceVC, 9180, deadline).Start(4)
+				}
+				if i > 1 {
+					v := net.VCC(fmt.Sprintf("x%d", i))
+					if err := v.Source.SetPeakCellRate(v.SourceVC, 0.05*units.CellRate(units.STS3cPayload)); err != nil {
+						b.Fatal(err)
+					}
+					netsim.NewSource(net.NodeKernel(v.Source.Name()), v.Source.Station(),
+						v.SourceVC, 9180, deadline).Start(2)
+				}
+			}
+			net.Run()
+			net.Close()
+			delivered = 0
+			for _, c := range counts {
+				delivered += uint64(c)
+			}
+			if delivered == 0 {
+				b.Fatal("no SDUs delivered")
+			}
+		}
+		b.ReportMetric(float64(delivered), "sdus/op")
+		return delivered
+	}
+	var serialCount uint64
+	b.Run("shards=1", func(b *testing.B) { serialCount = run(b, 1) })
+	for _, shards := range []int{2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			if got := run(b, shards); serialCount != 0 && got != serialCount {
+				b.Fatalf("delivered %d SDUs, serial %d", got, serialCount)
+			}
+		})
+	}
 }
 
 // BenchmarkE12Transport regenerates the transport-over-loss figure.

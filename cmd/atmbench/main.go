@@ -6,8 +6,15 @@
 //	atmbench -exp e3,e4
 //	atmbench -exp e1 -csv
 //	atmbench -quick        # shorter simulated runs
-//	atmbench -parallel 0   # fan sweep points across all CPUs
+//	atmbench -parallel 0   # fan independent sweep points across all CPUs
+//	atmbench -shards 4     # shard each simulation across partition kernels
 //	atmbench -exp e18 -trace e18.json   # export E18's flight trace
+//
+// -parallel and -shards are different axes: -parallel runs many independent
+// simulations at once (one goroutine per sweep point), while -shards splits
+// one simulation's topology into conservatively-synchronized partitions
+// (see DESIGN.md, "Parallel execution"). Both are pinned bit-identical to
+// the serial kernel and they compose.
 package main
 
 import (
@@ -32,11 +39,13 @@ func main() {
 	tracePath := flag.String("trace", "", "with e18: write its flight recording as Perfetto trace-event JSON here (\"-\" for stdout)")
 	cwndPath := flag.String("cwnd", "", "with e20: write the sampled cwnd/metrics time series as CSV here (\"-\" for stdout)")
 	geoFlows := flag.Int("geo-flows", 2, "with e20: number of concurrent GEO flows")
-	parallel := flag.Int("parallel", 1, "worker goroutines for sweep points (0 = GOMAXPROCS); results are bit-identical to -parallel 1")
+	parallel := flag.Int("parallel", 1, "worker goroutines fanning independent sweep points across CPUs (0 = GOMAXPROCS); results are bit-identical to -parallel 1; for parallelism inside one simulation see -shards")
+	shards := flag.Int("shards", 1, "partition count for intra-run conservative-parallel execution: each simulation's topology is split across this many kernels advancing in lock-step (experiments that build partitionable topologies honor it; results are bit-identical to -shards 1)")
 	burst := flag.Bool("burst", false, "run the SONET-path recovery ablation, serial vs burst cell vectors (alias for -exp sonet)")
 	flag.Parse()
 
 	experiments.SetParallelism(*parallel)
+	experiments.SetShards(*shards)
 
 	want := map[string]bool{}
 	if *expFlag == "all" {

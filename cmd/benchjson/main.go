@@ -18,7 +18,12 @@
 // any regression crossed the threshold, so CI can choose to gate or merely
 // report:
 //
-//	benchjson -compare BENCH.json new.json -threshold 10
+//	benchjson -compare -threshold 10 BENCH.json new.json
+//
+// With -md the comparison is also written as a GitHub-flavored markdown
+// table (suitable for a CI artifact or a PR comment):
+//
+//	benchjson -compare -md bench-delta.md BENCH.json new.json
 package main
 
 import (
@@ -53,6 +58,7 @@ func main() {
 	out := flag.String("o", "BENCH.json", "output path (\"-\" for stdout)")
 	compare := flag.Bool("compare", false, "compare two BENCH.json files (old new) instead of parsing stdin")
 	threshold := flag.Float64("threshold", 10, "regression threshold in percent for -compare")
+	mdPath := flag.String("md", "", "with -compare: also write the delta as a markdown table here (\"-\" for stdout)")
 	flag.Parse()
 
 	if *compare {
@@ -60,7 +66,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
 			os.Exit(2)
 		}
-		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold, *mdPath))
 	}
 
 	doc := Output{
@@ -132,10 +138,21 @@ func loadDoc(path string) (Output, error) {
 	return doc, json.Unmarshal(data, &doc)
 }
 
+// deltaRow is one comparison line: a metric change, or a benchmark that
+// only exists on one side (note set, no metric values).
+type deltaRow struct {
+	Name       string
+	Unit       string
+	Old, New   float64
+	Pct        float64
+	Regression bool
+	Note       string // "new benchmark" / "removed" / "(was zero)"
+}
+
 // runCompare prints the per-metric delta between two BENCH.json documents
-// and returns the process exit code: 0 clean, 3 when a regression crossed
-// the threshold.
-func runCompare(oldPath, newPath string, threshold float64) int {
+// (optionally also as a markdown table) and returns the process exit code:
+// 0 clean, 3 when a regression crossed the threshold.
+func runCompare(oldPath, newPath string, threshold float64, mdPath string) int {
 	oldDoc, err := loadDoc(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -146,15 +163,50 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		return 2
 	}
+	rows, regressions := diffDocs(oldDoc, newDoc, threshold)
+	for _, r := range rows {
+		switch {
+		case r.Note == "new benchmark" || r.Note == "removed":
+			fmt.Printf("%-40s %s\n", r.Name, r.Note)
+		case r.Note == "(was zero)":
+			fmt.Printf("%-40s %-14s %12.4g -> %-12.4g (was zero)\n", r.Name, r.Unit, r.Old, r.New)
+		default:
+			verdict := ""
+			if r.Regression {
+				verdict = "  REGRESSION"
+			}
+			fmt.Printf("%-40s %-14s %12.4g -> %-12.4g %+7.1f%%%s\n", r.Name, r.Unit, r.Old, r.New, r.Pct, verdict)
+		}
+	}
+	if mdPath != "" {
+		md := markdownDelta(rows, regressions, threshold)
+		if mdPath == "-" {
+			fmt.Print(md)
+		} else if err := os.WriteFile(mdPath, []byte(md), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			return 2
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("%d metric(s) regressed beyond %.0f%%\n", regressions, threshold)
+		return 3
+	}
+	return 0
+}
+
+// diffDocs walks the two documents in new-doc order and returns the delta
+// rows plus the count of threshold-crossing regressions.
+func diffDocs(oldDoc, newDoc Output, threshold float64) ([]deltaRow, int) {
 	oldBy := make(map[string]Benchmark, len(oldDoc.Benchmarks))
 	for _, b := range oldDoc.Benchmarks {
 		oldBy[b.Name] = b
 	}
+	var rows []deltaRow
 	regressions := 0
 	for _, nb := range newDoc.Benchmarks {
 		ob, ok := oldBy[nb.Name]
 		if !ok {
-			fmt.Printf("%-40s new benchmark\n", nb.Name)
+			rows = append(rows, deltaRow{Name: nb.Name, Note: "new benchmark"})
 			continue
 		}
 		units := make([]string, 0, len(nb.Metrics))
@@ -170,16 +222,16 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 				continue
 			}
 			if ov == 0 {
-				fmt.Printf("%-40s %-14s %12.4g -> %-12.4g (was zero)\n", nb.Name, unit, ov, nv)
+				rows = append(rows, deltaRow{Name: nb.Name, Unit: unit, Old: ov, New: nv, Note: "(was zero)"})
 				continue
 			}
 			pct := 100 * (nv - ov) / ov
-			verdict := ""
+			reg := false
 			if dir := metricDir(unit); dir != 0 && pct*float64(-dir) > threshold {
-				verdict = "  REGRESSION"
+				reg = true
 				regressions++
 			}
-			fmt.Printf("%-40s %-14s %12.4g -> %-12.4g %+7.1f%%%s\n", nb.Name, unit, ov, nv, pct, verdict)
+			rows = append(rows, deltaRow{Name: nb.Name, Unit: unit, Old: ov, New: nv, Pct: pct, Regression: reg})
 		}
 	}
 	for _, ob := range oldDoc.Benchmarks {
@@ -191,14 +243,42 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 			}
 		}
 		if !found {
-			fmt.Printf("%-40s removed\n", ob.Name)
+			rows = append(rows, deltaRow{Name: ob.Name, Note: "removed"})
+		}
+	}
+	return rows, regressions
+}
+
+// markdownDelta renders the delta rows as a GitHub-flavored markdown table.
+func markdownDelta(rows []deltaRow, regressions int, threshold float64) string {
+	var sb strings.Builder
+	sb.WriteString("# Benchmark delta\n\n")
+	if len(rows) == 0 {
+		sb.WriteString("No metric changes.\n")
+		return sb.String()
+	}
+	sb.WriteString("| Benchmark | Metric | Old | New | Δ | |\n")
+	sb.WriteString("|---|---|---:|---:|---:|---|\n")
+	for _, r := range rows {
+		switch {
+		case r.Note == "new benchmark" || r.Note == "removed":
+			fmt.Fprintf(&sb, "| `%s` | | | | | %s |\n", r.Name, r.Note)
+		case r.Note == "(was zero)":
+			fmt.Fprintf(&sb, "| `%s` | %s | %.4g | %.4g | | was zero |\n", r.Name, r.Unit, r.Old, r.New)
+		default:
+			flag := ""
+			if r.Regression {
+				flag = "⚠️ regression"
+			}
+			fmt.Fprintf(&sb, "| `%s` | %s | %.4g | %.4g | %+.1f%% | %s |\n", r.Name, r.Unit, r.Old, r.New, r.Pct, flag)
 		}
 	}
 	if regressions > 0 {
-		fmt.Printf("%d metric(s) regressed beyond %.0f%%\n", regressions, threshold)
-		return 3
+		fmt.Fprintf(&sb, "\n**%d metric(s) regressed beyond %.0f%%.**\n", regressions, threshold)
+	} else {
+		fmt.Fprintf(&sb, "\nNo regressions beyond %.0f%%.\n", threshold)
 	}
-	return 0
+	return sb.String()
 }
 
 // parseLine parses one `BenchmarkName-N  iters  v unit  v unit …` line.

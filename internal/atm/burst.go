@@ -1,5 +1,7 @@
 package atm
 
+import "sync"
+
 // CellBurst is a vector of back-to-back cells committed to the wire in one
 // contiguous run. It is the batched counterpart of a single DeliverCell: a
 // producer that has several cells bound for the same consumer at a known
@@ -67,19 +69,31 @@ func DeliverBurstTo(sink CellConsumer, b *CellBurst) {
 	PutBurst(b)
 }
 
-// Burst records are pooled like cells: the simulator is single-goroutine,
-// so a plain free list is deterministic and allocation-free in steady state.
-var burstFree []*CellBurst
+// Burst records are pooled across the process in one free list. Unlike
+// cell Pools (one per interface, so each stays inside a single partition),
+// the burst pool is package-global, and a sharded run (sim.Group) works it
+// from several partition goroutines at once — hence the mutex. Which
+// record a Get returns is never observable (records are blank), so the
+// lock guards memory safety only, not determinism. Serial runs pay one
+// uncontended lock per burst, noise next to the per-frame work a burst
+// amortizes.
+var (
+	burstMu   sync.Mutex
+	burstFree []*CellBurst
+)
 
 // GetBurst returns an empty CellBurst with at least the given capacity.
 func GetBurst(capHint int) *CellBurst {
+	burstMu.Lock()
 	n := len(burstFree)
 	if n == 0 {
+		burstMu.Unlock()
 		return &CellBurst{Cells: make([]*Cell, 0, capHint)}
 	}
 	b := burstFree[n-1]
 	burstFree[n-1] = nil
 	burstFree = burstFree[:n-1]
+	burstMu.Unlock()
 	if cap(b.Cells) < capHint {
 		b.Cells = make([]*Cell, 0, capHint)
 	}
@@ -98,5 +112,7 @@ func PutBurst(b *CellBurst) {
 		b.Cells[i] = nil
 	}
 	b.Cells = b.Cells[:0]
+	burstMu.Lock()
 	burstFree = append(burstFree, b)
+	burstMu.Unlock()
 }

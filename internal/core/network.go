@@ -53,6 +53,31 @@ type NetworkSpec struct {
 	// unaffected — their producers emit one cell per event, and the switch
 	// and interface doors are must-split stages either way.
 	BurstMode bool
+
+	// Shards > 1 requests a partitioned conservative-parallel build: the
+	// topology is split into partitions — each with its own kernel, metrics
+	// registry and (when Recorder is set) trace recorder — advanced in
+	// lock-step windows by a sim.Group, with every cross-partition fiber's
+	// propagation delay declared as lookahead. Deliveries, merged metrics
+	// and merged traces are byte-identical to the serial build (the golden
+	// tests pin this). 0 and 1 build the classic serial network. The shard
+	// count is clamped to the number of partitionable units; framed and
+	// zero-delay links never cross partitions (see partition.go).
+	//
+	// A sharded build rejects a caller-supplied Kernel or Metrics registry
+	// (both would be shared across partition goroutines) and VCCs with
+	// Latency taps (a timed tap spans two partitions). When Recorder is
+	// set, it serves as a capacity template only: each partition records
+	// into its own recorder of the same capacity, and Network.TraceEvents
+	// merges them.
+	Shards int
+
+	// Partitions pins the node→partition assignment explicitly, overriding
+	// the default endpoint/switch-cluster split: each inner slice names the
+	// nodes of one partition. Every declared node must appear exactly once,
+	// and no framed or zero-delay link may cross groups. Implies sharded
+	// mode with len(Partitions) shards; Shards is ignored.
+	Partitions [][]string
 }
 
 // EndpointSpec is one workstation + interface.
@@ -183,8 +208,17 @@ type VCC struct {
 
 // Network is a built topology.
 type Network struct {
-	k   *sim.Kernel
-	reg *metrics.Registry
+	k   *sim.Kernel       // serial builds only; nil when sharded
+	reg *metrics.Registry // serial builds only; nil when sharded
+	rec *trace.Recorder   // serial builds: the spec's recorder (may be nil)
+
+	// Sharded builds: one kernel/registry/recorder per partition, driven in
+	// lock-step by the group. All nil/empty on serial builds.
+	group   *sim.Group
+	kernels []*sim.Kernel
+	regs    []*metrics.Registry
+	recs    []*trace.Recorder
+	shardOf map[string]int
 
 	endpoints map[string]*Endpoint
 	switches  map[string]*netsim.Switch
@@ -218,17 +252,7 @@ type portKey struct {
 // entry; a VCC admission failure aborts the build (use AddVCC after a
 // successful build to probe admission).
 func NewNetwork(spec NetworkSpec) (*Network, error) {
-	k := spec.Kernel
-	if k == nil {
-		k = sim.NewKernel()
-	}
-	reg := spec.Metrics
-	if reg == nil {
-		reg = metrics.NewRegistry()
-	}
 	n := &Network{
-		k:         k,
-		reg:       reg,
 		endpoints: make(map[string]*Endpoint),
 		switches:  make(map[string]*netsim.Switch),
 		swSpecs:   make(map[string]SwitchSpec),
@@ -241,6 +265,40 @@ func NewNetwork(spec NetworkSpec) (*Network, error) {
 		outHalf:   make(map[string]*phy.CellLink),
 		epLink:    make(map[string]string),
 	}
+	if spec.Shards > 1 || len(spec.Partitions) > 0 {
+		if spec.Kernel != nil {
+			return nil, fmt.Errorf("core: sharded build cannot take a caller-supplied Kernel (each partition owns one)")
+		}
+		if spec.Metrics != nil {
+			return nil, fmt.Errorf("core: sharded build cannot take a caller-supplied Metrics registry (each partition owns one; use Network.Metrics for the merge)")
+		}
+		plan, err := planPartitions(spec)
+		if err != nil {
+			return nil, err
+		}
+		n.shardOf = plan.of
+		n.kernels = make([]*sim.Kernel, plan.shards)
+		n.regs = make([]*metrics.Registry, plan.shards)
+		n.recs = make([]*trace.Recorder, plan.shards)
+		for i := range n.kernels {
+			n.kernels[i] = sim.NewKernel()
+			n.regs[i] = metrics.NewRegistry()
+			if spec.Recorder != nil {
+				n.recs[i] = trace.NewRecorder(n.kernels[i], spec.Recorder.Capacity())
+			}
+		}
+		n.group = sim.NewGroup(n.kernels)
+	} else {
+		n.k = spec.Kernel
+		if n.k == nil {
+			n.k = sim.NewKernel()
+		}
+		n.reg = spec.Metrics
+		if n.reg == nil {
+			n.reg = metrics.NewRegistry()
+		}
+		n.rec = spec.Recorder
+	}
 	for _, es := range spec.Endpoints {
 		if es.Name == "" {
 			return nil, fmt.Errorf("core: endpoint with empty name")
@@ -249,18 +307,19 @@ func NewNetwork(spec NetworkSpec) (*Network, error) {
 			return nil, fmt.Errorf("core: duplicate node name %q", es.Name)
 		}
 		cfg := es.Options.nicConfig(es.Name)
-		cfg.Metrics = reg
+		cfg.Metrics = n.regFor(es.Name)
+		ek := n.kernelFor(es.Name)
 		var st *netsim.Station
 		var err error
 		if es.Options.Hardwired {
-			st, err = netsim.NewHardwiredStation(k, cfg)
+			st, err = netsim.NewHardwiredStation(ek, cfg)
 		} else {
-			st, err = netsim.NewStation(k, cfg)
+			st, err = netsim.NewStation(ek, cfg)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("core: endpoint %q: %w", es.Name, err)
 		}
-		n.endpoints[es.Name] = &Endpoint{name: es.Name, station: st, k: k}
+		n.endpoints[es.Name] = &Endpoint{name: es.Name, station: st, k: ek}
 	}
 	for _, ss := range spec.Switches {
 		if ss.Name == "" {
@@ -275,10 +334,10 @@ func NewNetwork(spec NetworkSpec) (*Network, error) {
 		if ss.QueueDepth == 0 {
 			ss.QueueDepth = 64
 		}
-		sw := netsim.NewSwitch(k, ss.Name, ss.Ports, ss.Rate, ss.QueueDepth)
+		sw := netsim.NewSwitch(n.kernelFor(ss.Name), ss.Name, ss.Ports, ss.Rate, ss.QueueDepth)
 		sw.SwitchingDelay = ss.SwitchingDelay
 		sw.AISPeriod = ss.AISPeriod
-		sw.Instrument(reg, ss.Name)
+		sw.Instrument(n.regFor(ss.Name), ss.Name)
 		n.switches[ss.Name] = sw
 		n.swSpecs[ss.Name] = ss
 	}
@@ -335,15 +394,28 @@ func NewNetwork(spec NetworkSpec) (*Network, error) {
 			return nil, fmt.Errorf("core: link %q: BitErrProb needs a Framed link (cell-granular fibers take LossProb/CorruptProb)", ls.Name)
 		}
 		// Same construction order and seed derivation as netsim.Connect,
-		// so a builder topology is event-identical to the hand wiring.
-		fwd := phy.NewCellLink(k, delay, ls.Seed*2+1, n.consumer(ls.B))
+		// so a builder topology is event-identical to the hand wiring. Each
+		// half lives on its SENDING node's kernel: the send side (stats, the
+		// loss/corruption rng draws, trace Enter) always runs in the source
+		// partition, so the rng sequence matches the serial projection.
+		kA, kB := n.kernelFor(ls.A.Node), n.kernelFor(ls.B.Node)
+		fwd := phy.NewCellLink(kA, delay, ls.Seed*2+1, n.consumer(ls.B))
 		fwd.LossProb = ls.LossProb
 		fwd.CorruptProb = ls.CorruptProb
-		rev := phy.NewCellLink(k, delay, ls.Seed*2+2, n.consumer(ls.A))
+		rev := phy.NewCellLink(kB, delay, ls.Seed*2+2, n.consumer(ls.A))
 		rev.LossProb = ls.LossProb
 		rev.CorruptProb = ls.CorruptProb
 		n.producer(ls.A).AttachSink(fwd)
 		n.producer(ls.B).AttachSink(rev)
+		if n.group != nil && n.shardOf[ls.A.Node] != n.shardOf[ls.B.Node] {
+			// Cut link: deliveries and signal transitions cross via mailboxes,
+			// declaring the propagation delay as the partitions' lookahead.
+			// Arrival-side trace events land on the destination partition's
+			// recorder under the same stage names the attach loop below gives
+			// the send side, so merged traces pair up like a serial run's.
+			fwd.SetBoundary(n.group.Mailbox(kA, kB, delay), n.recFor(ls.B.Node), ls.Name+".fwd")
+			rev.SetBoundary(n.group.Mailbox(kB, kA, delay), n.recFor(ls.A.Node), ls.Name+".rev")
+		}
 		// Carrier state reaches the receiving node directly, even when a
 		// latency tap later wraps the link's cell sink: losing the light
 		// must become LOS at the interface or AIS insertion at the switch.
@@ -373,22 +445,25 @@ func NewNetwork(spec NetworkSpec) (*Network, error) {
 			fromPort: ls.B.Port, toPort: ls.A.Port, fwd: false,
 		})
 	}
-	if rec := spec.Recorder; rec != nil {
+	if spec.Recorder != nil {
 		// Attach spans in spec order (endpoints, switches, links) so the
 		// stage table — and with it every exported trace — is deterministic.
+		// Sharded builds record each instance on its own partition's recorder
+		// (recFor); link halves record on their sending node's, with the
+		// arrival side of cut links already wired by SetBoundary above.
 		for _, es := range spec.Endpoints {
-			n.endpoints[es.Name].station.Iface.SetRecorder(rec)
+			n.endpoints[es.Name].station.Iface.SetRecorder(n.recFor(es.Name))
 		}
 		for _, ss := range spec.Switches {
-			n.switches[ss.Name].SetRecorder(rec)
+			n.switches[ss.Name].SetRecorder(n.recFor(ss.Name))
 		}
 		for _, ls := range spec.Links {
 			l := n.links[ls.Name]
 			if l.Framed != nil {
 				continue // spans attached at sonetlink.Connect time
 			}
-			l.Fwd.SetRecorder(rec, ls.Name+".fwd")
-			l.Rev.SetRecorder(rec, ls.Name+".rev")
+			l.Fwd.SetRecorder(n.recFor(ls.A.Node), ls.Name+".fwd")
+			l.Rev.SetRecorder(n.recFor(ls.B.Node), ls.Name+".rev")
 		}
 	}
 	for _, vs := range spec.VCCs {
@@ -421,13 +496,16 @@ func (n *Network) buildFramedLink(spec NetworkSpec, ls LinkSpec, delay sim.Durat
 	default:
 		return nil, fmt.Errorf("core: framed link %q: endpoint %q payload rate %v matches no SONET rate", ls.Name, ls.A.Node, pr)
 	}
-	sl, err := sonetlink.Connect(n.k, sonetlink.Config{
+	// Framed links are never cut (the whole sonetlink world lives on one
+	// kernel), so both endpoints share a partition and A's kernel/registry/
+	// recorder serve the link.
+	sl, err := sonetlink.Connect(n.kernelFor(ls.A.Node), sonetlink.Config{
 		Rate:       rate,
 		Delay:      delay,
 		BitErrProb: ls.BitErrProb,
 		Seed:       ls.Seed,
-		Metrics:    n.reg,
-		Recorder:   spec.Recorder,
+		Metrics:    n.regFor(ls.A.Node),
+		Recorder:   n.recFor(ls.A.Node),
 		Burst:      spec.BurstMode,
 	}, epA.station.Iface, epB.station.Iface)
 	if err != nil {
@@ -435,6 +513,32 @@ func (n *Network) buildFramedLink(spec NetworkSpec, ls LinkSpec, delay sim.Durat
 	}
 	return &Link{Name: ls.Name, Framed: sl, a: ls.A, b: ls.B,
 		usedVCs: make(map[atm.VC]bool)}, nil
+}
+
+// kernelFor returns the kernel the named node lives on: its partition's on
+// sharded builds, the one shared kernel otherwise.
+func (n *Network) kernelFor(node string) *sim.Kernel {
+	if n.group != nil {
+		return n.kernels[n.shardOf[node]]
+	}
+	return n.k
+}
+
+// regFor returns the registry the named node's instruments register in.
+func (n *Network) regFor(node string) *metrics.Registry {
+	if n.group != nil {
+		return n.regs[n.shardOf[node]]
+	}
+	return n.reg
+}
+
+// recFor returns the recorder the named node's stages record on (nil when
+// the spec attached no Recorder).
+func (n *Network) recFor(node string) *trace.Recorder {
+	if n.group != nil {
+		return n.recs[n.shardOf[node]]
+	}
+	return n.rec
 }
 
 func (n *Network) known(name string) bool {
@@ -461,23 +565,101 @@ func (n *Network) producer(ref NodeRef) atm.CellProducer {
 	return n.switches[ref.Node].Port(ref.Port)
 }
 
-// Kernel exposes the simulation clock/scheduler.
-func (n *Network) Kernel() *sim.Kernel { return n.k }
+// Kernel exposes the simulation clock/scheduler. On a sharded build there is
+// no single kernel — it panics; use NodeKernel to schedule work in a
+// particular node's partition.
+func (n *Network) Kernel() *sim.Kernel {
+	if n.group != nil {
+		panic("core: sharded network has one kernel per partition; use NodeKernel(name)")
+	}
+	return n.k
+}
 
-// Metrics returns the shared telemetry registry.
-func (n *Network) Metrics() *metrics.Registry { return n.reg }
+// NodeKernel returns the kernel the named node's events run on — the shared
+// kernel on a serial build, the node's partition kernel on a sharded one.
+// Drivers scheduling stimulus (traffic ticks, fault injection) against a
+// node must use that node's kernel so the work lands in the right partition.
+func (n *Network) NodeKernel(name string) *sim.Kernel {
+	if !n.known(name) {
+		panic("core: unknown node " + name)
+	}
+	return n.kernelFor(name)
+}
+
+// Shards reports the number of partitions the build produced (1 for a
+// serial build).
+func (n *Network) Shards() int {
+	if n.group != nil {
+		return len(n.kernels)
+	}
+	return 1
+}
+
+// Metrics returns the telemetry registry. On a sharded build it merges the
+// per-partition registries into a fresh snapshot (see metrics.Merge for why
+// the merge is exact); call it after the run, not during.
+func (n *Network) Metrics() *metrics.Registry {
+	if n.group != nil {
+		merged := metrics.NewRegistry()
+		for _, reg := range n.regs {
+			merged.Merge(reg)
+		}
+		return merged
+	}
+	return n.reg
+}
+
+// TraceEvents returns the run's flight-recorder events in canonical sorted
+// order with stage names resolved — the whole-run trace on both serial and
+// sharded builds (which record into one recorder per partition). Empty when
+// the spec attached no Recorder.
+func (n *Network) TraceEvents() []trace.NamedEvent {
+	if n.group != nil {
+		return trace.MergeNamed(n.recs...)
+	}
+	return trace.MergeNamed(n.rec)
+}
 
 // Run drains all scheduled work and returns the final simulated time.
-func (n *Network) Run() sim.Time { return n.k.Run() }
+func (n *Network) Run() sim.Time {
+	if n.group != nil {
+		return n.group.Run()
+	}
+	return n.k.Run()
+}
 
 // RunUntil advances the simulation to t.
-func (n *Network) RunUntil(t sim.Time) sim.Time { return n.k.RunUntil(t) }
+func (n *Network) RunUntil(t sim.Time) sim.Time {
+	if n.group != nil {
+		return n.group.RunUntil(t)
+	}
+	return n.k.RunUntil(t)
+}
 
 // RunFor advances the simulation by d.
-func (n *Network) RunFor(d sim.Duration) sim.Time { return n.k.RunFor(d) }
+func (n *Network) RunFor(d sim.Duration) sim.Time {
+	if n.group != nil {
+		return n.group.RunFor(d)
+	}
+	return n.k.RunFor(d)
+}
 
 // Now returns the current simulated time.
-func (n *Network) Now() sim.Time { return n.k.Now() }
+func (n *Network) Now() sim.Time {
+	if n.group != nil {
+		return n.group.Now()
+	}
+	return n.k.Now()
+}
+
+// Close releases the partition worker goroutines of a sharded build (no-op
+// on serial builds, and safe to call more than once). The network cannot be
+// run afterwards.
+func (n *Network) Close() {
+	if n.group != nil {
+		n.group.Close()
+	}
+}
 
 // Endpoint returns the named endpoint; it panics on an unknown name (a
 // spec/lookup mismatch is a programming error, not a runtime state).
@@ -741,6 +923,14 @@ func (n *Network) AddVCC(vs VCCSpec) (*VCC, error) {
 	}
 
 	if vs.Latency {
+		if n.group != nil {
+			// A timed tap matches ingress (source partition) to egress
+			// (destination partition) through one shared capture — state two
+			// goroutines would race on. Use the flight recorder's merged
+			// NamedSpans for cross-partition latency instead.
+			release()
+			return nil, fmt.Errorf("core: vcc %q: Latency taps are not supported on sharded builds (the tap would span two partitions); use Recorder stage spans instead", vs.Name)
+		}
 		// Span the whole connection: ingress as cells leave the source's
 		// cell clock, egress as they reach the destination's door. The
 		// capture stores nothing until the caller relaxes its Filter.

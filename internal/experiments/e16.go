@@ -104,11 +104,19 @@ func runE16(nSw int, rate units.BitRate, runTime sim.Duration) E16Point {
 	)
 	opts := core.Options{Rate: rate}
 	spec := core.NetworkSpec{
-		Kernel: newKernel(),
 		Endpoints: []core.EndpointSpec{
 			{Name: "src", Options: opts},
 			{Name: "dst", Options: opts},
 		},
+	}
+	// Intra-run sharding (SetShards) splits this topology into partitions
+	// run in parallel; the core golden tests pin the results byte-identical
+	// to serial. Sharded builds own their kernels, so the kernel-constructor
+	// hook only applies to serial runs.
+	if shards := Shards(); shards > 1 {
+		spec.Shards = shards
+	} else {
+		spec.Kernel = newKernel()
 	}
 	// Tandem chain: src → sw1 → … → swN → dst. Port 0 faces upstream,
 	// port 1 downstream. Every switch gets its own cross-traffic feed on
@@ -188,9 +196,12 @@ func runE16(nSw int, rate units.BitRate, runTime sim.Duration) E16Point {
 	if err != nil {
 		panic(err)
 	}
-	kern := net.Kernel()
+	defer net.Close()
 	deadline := sim.Time(runTime)
 
+	// All stimulus is scheduled via NodeKernel so it lands in the right
+	// partition on sharded builds (on serial builds NodeKernel returns the
+	// one shared kernel and nothing changes).
 	portCell := units.CellRate(rate)
 	for i := 1; i <= nSw; i++ {
 		v := net.VCC(fmt.Sprintf("cross%d", i))
@@ -198,7 +209,7 @@ func runE16(nSw int, rate units.BitRate, runTime sim.Duration) E16Point {
 		if err := src.SetPeakCellRate(v.SourceVC, crossShare*portCell); err != nil {
 			panic(err)
 		}
-		netsim.NewSource(kern, src.Station(), v.SourceVC, crossSDU, deadline).Start(4)
+		netsim.NewSource(net.NodeKernel(src.Name()), src.Station(), v.SourceVC, crossSDU, deadline).Start(4)
 	}
 
 	// Probe frames are one cell each and carry their departure time in the
@@ -209,29 +220,31 @@ func runE16(nSw int, rate units.BitRate, runTime sim.Duration) E16Point {
 	// host-side queueing (a receiver artifact, identical at every hop count)
 	// into the network CDV under study.
 	probe := net.VCC("probe")
+	dstKern := net.NodeKernel("dst")
 	dstIface := net.Endpoint("dst").Interface()
 	var samples []sim.Duration
 	net.Link("last-dst").Fwd.AttachSink(atm.SinkFunc(func(c *atm.Cell) {
 		if c.Header.VC() == probe.DestVC {
 			t0 := sim.Time(binary.BigEndian.Uint64(c.Payload[:8]))
-			samples = append(samples, sim.Duration(kern.Now()-t0))
+			samples = append(samples, sim.Duration(dstKern.Now()-t0))
 		}
 		dstIface.DeliverCell(c)
 	}))
+	srcKern := net.NodeKernel("src")
 	src := net.Endpoint("src")
 	var tick func()
 	tick = func() {
-		if kern.Now() > deadline {
+		if srcKern.Now() > deadline {
 			return
 		}
 		payload := make([]byte, 40)
-		binary.BigEndian.PutUint64(payload[:8], uint64(kern.Now()))
+		binary.BigEndian.PutUint64(payload[:8], uint64(srcKern.Now()))
 		src.Send(probe.SourceVC, payload, nil)
-		kern.After(probeInterval, tick)
+		srcKern.After(probeInterval, tick)
 	}
 	tick()
-	kern.RunUntil(deadline)
-	kern.Run()
+	net.RunUntil(deadline)
+	net.Run()
 
 	pt := E16Point{
 		Switches:  nSw,

@@ -91,6 +91,27 @@ func TestE16SerialParallelIdentical(t *testing.T) {
 	}
 }
 
+func withShards(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := Shards()
+	SetShards(n)
+	defer SetShards(prev)
+	fn()
+}
+
+// TestE16ShardedSerialIdentical pins the third equivalence: intra-run
+// sharding (one simulation split across partition kernels, the -shards
+// flag) must leave every E16 result bit-identical to the serial kernel —
+// the experiments-level counterpart of core's parallel golden tests.
+func TestE16ShardedSerialIdentical(t *testing.T) {
+	var serial, sharded []E16Point
+	withShards(t, 1, func() { serial, _ = E16(3 * sim.Millisecond) })
+	withShards(t, 4, func() { sharded, _ = E16(3 * sim.Millisecond) })
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Errorf("E16 sharded results differ from serial:\nserial: %+v\nsharded: %+v", serial, sharded)
+	}
+}
+
 func TestE16HeapWheelIdentical(t *testing.T) {
 	wheel, _ := E16(5 * sim.Millisecond)
 	var heap []E16Point

@@ -26,6 +26,30 @@ func SetParallelism(n int) {
 // Parallelism reports the configured worker count (0 = GOMAXPROCS).
 func Parallelism() int { return int(parWorkers.Load()) }
 
+// Intra-run sharding: orthogonal to sweep parallelism above. Where sweep
+// parallelism runs many independent simulations at once (one per point),
+// sharding splits ONE simulation's topology into partitions advanced in
+// lock-step by sim.Group (see core.NetworkSpec.Shards). Experiments whose
+// topologies the partitioner can cut honor it (currently E16, the multi-
+// switch tandem chain); the two compose — each sweep worker runs its own
+// sharded network. Sharded runs are pinned byte-identical to serial by the
+// core golden tests, so results do not depend on this setting.
+var runShards atomic.Int32
+
+func init() { runShards.Store(1) }
+
+// SetShards sets the partition count topology-building experiments request
+// from core.NewNetwork. n <= 1 (the default) builds serial networks.
+func SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	runShards.Store(int32(n))
+}
+
+// Shards reports the configured intra-run partition count.
+func Shards() int { return int(runShards.Load()) }
+
 // newKernel is the kernel constructor every experiment uses. Tests swap in
 // sim.NewHeapKernel to prove the timing-wheel scheduler dispatches in the
 // exact order of the pre-wheel binary heap.

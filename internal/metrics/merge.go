@@ -1,0 +1,74 @@
+package metrics
+
+// Merge folds src's instruments into r. It exists for sharded runs
+// (sim.Group): each partition updates its own single-goroutine registry
+// during the run, and the partitions' registries are merged afterwards into
+// the one snapshot a serial run would have produced.
+//
+// Exactness: instrument names are instance-scoped ("a.nic.tx.cells",
+// "sw.port1.residency"), and a sharded build keeps every instance inside
+// exactly one partition — so for any given name, at most one source
+// registry has non-zero state and the merge is trivially exact. The
+// per-VC table is the one shared namespace: a VC's transmit-side fields
+// accumulate in the sender's partition and its receive-side fields in the
+// receiver's, touching disjoint fields of the row, so field-wise addition
+// reconstructs the serial row exactly. Histograms merge bucket-wise; the
+// layout is fixed (same 248 log-linear buckets everywhere), so quantiles of
+// a merged histogram equal quantiles of the serially-filled one.
+func (r *Registry) Merge(src *Registry) {
+	if r == nil || src == nil {
+		return
+	}
+	for name, c := range src.counters {
+		r.Counter(name).Add(c.v)
+	}
+	for name, g := range src.gauges {
+		d := r.Gauge(name)
+		d.v += g.v
+		if g.max > d.max {
+			d.max = g.max
+		}
+	}
+	for name, h := range src.histos {
+		r.Histogram(name).merge(h)
+	}
+	for id, s := range src.vcs {
+		r.VC(id.VPI, id.VCI).merge(s)
+	}
+}
+
+// merge folds src's distribution into h.
+func (h *Histogram) merge(src *Histogram) {
+	if src.count == 0 {
+		return
+	}
+	if h.count == 0 || src.min < h.min {
+		h.min = src.min
+	}
+	if src.max > h.max {
+		h.max = src.max
+	}
+	h.count += src.count
+	h.sum += src.sum
+	for i := range h.buckets {
+		h.buckets[i] += src.buckets[i]
+	}
+}
+
+// merge folds src's accounting into s field-wise.
+func (s *VCStats) merge(src *VCStats) {
+	s.CellsOut += src.CellsOut
+	s.CellsIn += src.CellsIn
+	s.SDUsOut += src.SDUsOut
+	s.SDUsIn += src.SDUsIn
+	s.BytesOut += src.BytesOut
+	s.BytesIn += src.BytesIn
+	for i := range s.Drops {
+		s.Drops[i] += src.Drops[i]
+	}
+	s.CRCErrors += src.CRCErrors
+	s.LengthErrors += src.LengthErrors
+	s.LostCells += src.LostCells
+	s.ReassemblyTimeouts += src.ReassemblyTimeouts
+	s.MidFrameKills += src.MidFrameKills
+}

@@ -60,6 +60,17 @@ type CellLink struct {
 	deliverFn      func(*atm.Cell)      // bound deliver method, created once
 	deliverBurstFn func(*atm.CellBurst) // bound burst deliver method
 
+	// Boundary mode (sharded runs): when the two ends of the link live in
+	// different partitions, deliveries ride a sim.Mailbox instead of a local
+	// deferred event, and the fiber's propagation delay is the partition
+	// lookahead. The send side (stats, loss/corruption draws, Enter/Drop
+	// trace events) runs unchanged in the source partition, so the rng
+	// sequence matches the serial projection draw for draw.
+	mb             *sim.Mailbox
+	remoteFn       func(any) // bound remote-arrival method
+	remoteSignalFn func(any)
+	exitSp         *trace.StageSpan // arrival span on the DEST partition's recorder
+
 	// Flight-recorder span for the fiber transit (nil unless attached):
 	// Enter as the cell leaves the transmitter, Exit on delivery, Drop for
 	// cells the fiber loses.
@@ -91,6 +102,39 @@ func (l *CellLink) deliver(c *atm.Cell) {
 func (l *CellLink) SetRecorder(rec *trace.Recorder, name string) {
 	l.sp = rec.Stage(name, "wire")
 }
+
+// SetBoundary switches the link into cross-partition mode: deliveries and
+// signal transitions are posted to mb (arriving in the destination
+// partition's kernel after the propagation delay, which the mailbox has
+// declared as lookahead) instead of a local deferred event. Arrival-side
+// trace events are recorded on rec — the DESTINATION partition's recorder —
+// under the same stage name SetRecorder used on the source side, so the
+// merged trace pairs up exactly like a serial run's. rec may be nil.
+func (l *CellLink) SetBoundary(mb *sim.Mailbox, rec *trace.Recorder, name string) {
+	if l.Delay <= 0 {
+		panic("phy: boundary link needs positive propagation delay (lookahead)")
+	}
+	l.mb = mb
+	l.exitSp = rec.Stage(name, "wire")
+	l.remoteFn = l.remoteDeliver
+	l.remoteSignalFn = l.remoteSignal
+}
+
+// remoteDeliver runs in the destination partition's kernel at the cell's
+// arrival time: the boundary counterpart of deliver.
+func (l *CellLink) remoteDeliver(arg any) {
+	c := arg.(*atm.Cell)
+	l.exitSp.Exit(c.Header.VC())
+	l.sink.DeliverCell(c)
+}
+
+// Pre-boxed signal values keep the rare Fail/Restore boundary path
+// allocation-free too.
+var sigUp, sigDown any = true, false
+
+// remoteSignal runs in the destination partition's kernel when a Fail or
+// Restore propagates across the boundary.
+func (l *CellLink) remoteSignal(arg any) { l.signal(arg.(bool)) }
 
 // Stats returns cumulative counters.
 func (l *CellLink) Stats() Stats { return l.stats }
@@ -125,6 +169,10 @@ func (l *CellLink) Fail() {
 		return
 	}
 	l.down = true
+	if l.mb != nil {
+		l.mb.Post(l.k.Now()+l.Delay, l.k.Now(), l.remoteSignalFn, sigDown)
+		return
+	}
 	l.k.After(l.Delay, func() { l.signal(false) })
 }
 
@@ -135,6 +183,10 @@ func (l *CellLink) Restore() {
 		return
 	}
 	l.down = false
+	if l.mb != nil {
+		l.mb.Post(l.k.Now()+l.Delay, l.k.Now(), l.remoteSignalFn, sigUp)
+		return
+	}
 	l.k.After(l.Delay, func() { l.signal(true) })
 }
 
@@ -174,6 +226,10 @@ func (l *CellLink) Send(c *atm.Cell) {
 	}
 	l.stats.Delivered++
 	l.sp.Enter(c.Header.VC())
+	if l.mb != nil {
+		l.mb.Post(l.k.Now()+l.Delay, l.k.Now(), l.remoteFn, c)
+		return
+	}
 	l.def.Post(l.Delay, l.deliverFn, c)
 }
 
@@ -216,6 +272,21 @@ func (l *CellLink) DeliverBurst(b *atm.CellBurst) {
 		l.stats.Delivered++
 	}
 	l.sp.EnterBurst(b)
+	if l.mb != nil {
+		// Boundary crossing degrades to per-cell mailbox posts at the
+		// arithmetic arrival times: the dest partition sees the identical
+		// per-cell event sequence the serial degraded path produces. (No
+		// current topology cuts a burst-carrying link — framed links are
+		// never cut — so this path trades batching for simplicity.)
+		for i, c := range b.Cells {
+			if c == nil {
+				continue
+			}
+			l.mb.Post(sim.Time(b.At(i))+l.Delay, l.k.Now(), l.remoteFn, c)
+		}
+		atm.PutBurst(b)
+		return
+	}
 	if _, ok := l.sink.(atm.BurstConsumer); ok && !lossy {
 		l.def.PostBurstEvent(l.Delay, l.deliverBurstFn, b)
 		return

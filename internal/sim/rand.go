@@ -10,6 +10,19 @@ import "math"
 // math/rand would also work, but carrying our own keeps the generator stable
 // across Go releases (math/rand/v2 changed algorithms) and allows cheap
 // independent streams per model via Split.
+//
+// # Sharing across partitions
+//
+// A Rand is single-owner state, exactly like a queue or a FIFO: the sequence
+// a consumer sees depends on every draw interleaved before its own. In a
+// serial run that interleaving is fixed by the event order; in a sharded run
+// (sim.Group) two partitions draining one shared Rand would race AND would
+// draw a different per-node sequence than the serial reference, silently
+// breaking golden equivalence. The rule, enforced by TestRandSplitStreams:
+// every node owns its own stream — seeded independently or derived once via
+// Split before the run starts — so each partition's draws are a pure
+// function of its own event order. The core builder follows it already:
+// every link and workload seeds its own Rand from its spec seed.
 type Rand struct {
 	state uint64
 }
@@ -22,7 +35,9 @@ func NewRand(seed uint64) *Rand {
 
 // Split derives an independent stream from the current one, advancing the
 // parent. Useful to give each simulated component its own stream so adding a
-// component does not perturb the others' draws.
+// component does not perturb the others' draws — and, in sharded runs,
+// so that no two partitions ever share generator state (see the type
+// comment). Split during setup, before any partition starts drawing.
 func (r *Rand) Split() *Rand {
 	return &Rand{state: r.Uint64() ^ 0x9e3779b97f4a7c15}
 }

@@ -36,6 +36,18 @@
 // blocking.  This keeps runs deterministic and fast (no channel hand-offs on
 // the per-cell hot path) and mirrors how the hardware being modelled is
 // clocked.
+//
+// # Parallel execution
+//
+// A Group (parallel.go) runs several kernels — one partition of the topology
+// each — in lock-step windows bounded by the minimum cross-partition link
+// delay (conservative synchronization with link-delay lookahead).  Each
+// kernel stays single-goroutine; cross-partition traffic rides Mailboxes
+// that are appended during a window and drained at the barrier between
+// windows.  Events carry a full dispatch key (at, pt, lane, seq) — pt is the
+// virtual time the event was scheduled, lane the scheduling partition's rank
+// — so a merged parallel run dispatches in an order a serial run would also
+// produce; the serial kernel remains the golden reference.
 package sim
 
 import (
@@ -96,9 +108,17 @@ const (
 // At/After stay valid after they fire (Reschedule re-queues them); events
 // scheduled with Post/PostAfter are kernel-owned and recycled at dispatch.
 type Event struct {
-	at  Time
-	seq uint64 // insertion order; breaks ties deterministically
-	fn  func()
+	at   Time
+	pt   Time   // virtual time the event was scheduled (post time)
+	seq  uint64 // insertion order; breaks ties deterministically
+	lane int32  // scheduling partition rank; 0 on serial kernels
+	fn   func()
+
+	// Boundary events (PostBoundary) carry their payload out-of-line so a
+	// cross-partition cell hand-off is closure-free: afn(arg) runs instead
+	// of fn. A pointer in arg does not allocate.
+	afn func(any)
+	arg any
 
 	// Queue position. Exactly one of these is nonzero while queued:
 	// slot1 is 1+wheel-slot when in the wheel, hidx1 is 1+heap-index when
@@ -109,17 +129,53 @@ type Event struct {
 	pooled     bool   // from the Post free list; recycled at dispatch
 }
 
+// eventLess orders two events by the full dispatch key (at, pt, lane, seq).
+// On a serial kernel pt is nondecreasing in seq (the clock is monotone) and
+// lane is constant, so this collapses to the original (at, seq) order. In a
+// parallel run the extended key lets boundary events — whose seq comes from
+// a different kernel — take a deterministic position among local events:
+// first by when they were scheduled in virtual time, then by partition rank.
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.pt != b.pt {
+		return a.pt < b.pt
+	}
+	if a.lane != b.lane {
+		return a.lane < b.lane
+	}
+	return a.seq < b.seq
+}
+
 // At reports the time the event is scheduled for.
 func (e *Event) At() Time { return e.at }
 
 // Scheduled reports whether the event is currently in the queue.
 func (e *Event) Scheduled() bool { return e != nil && (e.slot1 != 0 || e.hidx1 != 0) }
 
+// Scheduler is the event-scheduling surface models need from a kernel: a
+// clock plus cancellable (At/After) and fire-and-forget (Post/PostAfter)
+// scheduling. *Kernel implements it; a partition in a parallel run is simply
+// a Kernel whose Scheduler is local to that partition. Hot-path model code
+// may still hold a concrete *Kernel — the interface exists to mark and check
+// the boundary, not to force dynamic dispatch on per-cell paths.
+type Scheduler interface {
+	Now() Time
+	At(at Time, fn func()) *Event
+	After(d Duration, fn func()) *Event
+	Post(at Time, fn func())
+	PostAfter(d Duration, fn func())
+	Cancel(e *Event)
+	Reschedule(e *Event, at Time)
+}
+
 // Kernel is a discrete-event simulator instance. The zero value is not
 // usable; call NewKernel (or NewHeapKernel for the heap-only scheduler).
 type Kernel struct {
 	now     Time
 	seq     uint64
+	lane    int32 // partition rank stamped on every scheduled event
 	stopped bool
 
 	// Wheel tier: doubly-linked per-slot lists kept sorted by (at, seq),
@@ -142,6 +198,8 @@ type Kernel struct {
 	dispatched uint64
 }
 
+var _ Scheduler = (*Kernel)(nil)
+
 // NewKernel returns a kernel with the clock at zero and an empty queue.
 func NewKernel() *Kernel {
 	return &Kernel{}
@@ -157,6 +215,15 @@ func NewHeapKernel() *Kernel {
 
 // Now returns the current simulated time.
 func (k *Kernel) Now() Time { return k.now }
+
+// SetLane tags every event this kernel subsequently schedules with lane, the
+// partition rank used as a deterministic cross-partition tie-breaker in the
+// dispatch key. Serial kernels keep the zero lane; Group assigns one rank
+// per partition at construction.
+func (k *Kernel) SetLane(lane int32) { k.lane = lane }
+
+// Lane reports the partition rank stamped on this kernel's events.
+func (k *Kernel) Lane() int32 { return k.lane }
 
 // Dispatched reports how many events have been executed so far.
 func (k *Kernel) Dispatched() uint64 { return k.dispatched }
@@ -175,7 +242,7 @@ func (k *Kernel) At(at Time, fn func()) *Event {
 	if fn == nil {
 		panic("sim: schedule nil callback")
 	}
-	e := &Event{at: at, seq: k.seq, fn: fn}
+	e := &Event{at: at, pt: k.now, lane: k.lane, seq: k.seq, fn: fn}
 	k.seq++
 	k.insert(e)
 	return e
@@ -207,8 +274,33 @@ func (k *Kernel) Post(at Time, fn func()) {
 		k.free = e.next
 		e.next = nil
 	}
-	e.at, e.seq, e.fn, e.pooled = at, k.seq, fn, true
+	e.at, e.pt, e.lane, e.seq, e.fn, e.pooled = at, k.now, k.lane, k.seq, fn, true
 	k.seq++
+	k.insert(e)
+}
+
+// PostBoundary schedules a cross-partition event with an explicit dispatch
+// key: pt is the virtual time the sending partition scheduled it, lane the
+// sender's rank, seq a sequence number drawn from the sender's kernel. The
+// callback is the closure-free afn(arg) pair so cell hand-offs do not
+// allocate. Only Mailbox.drain should call this; like Post, the event is
+// recycled at dispatch.
+func (k *Kernel) PostBoundary(at, pt Time, lane int32, seq uint64, afn func(any), arg any) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: boundary event at %v before now %v (lookahead violated)", at, k.now))
+	}
+	if afn == nil {
+		panic("sim: schedule nil boundary callback")
+	}
+	e := k.free
+	if e == nil {
+		e = &Event{}
+	} else {
+		k.free = e.next
+		e.next = nil
+	}
+	e.at, e.pt, e.lane, e.seq = at, pt, lane, seq
+	e.fn, e.afn, e.arg, e.pooled = nil, afn, arg, true
 	k.insert(e)
 }
 
@@ -230,13 +322,15 @@ func (k *Kernel) insert(e *Event) {
 	k.overflow.push(e)
 }
 
-// wheelInsert links e into its slot's list, kept sorted by (at, seq). The
-// new event carries the largest seq in the kernel, so among equal times it
-// always lands last; the backward scan only ever skips later-time events.
+// wheelInsert links e into its slot's list, kept sorted by the full dispatch
+// key. A locally scheduled event carries the largest (pt, seq) in its lane,
+// so among equal times it lands last and the backward scan only ever skips
+// later-time events; boundary events may scan past same-time locals to take
+// their key-ordered position.
 func (k *Kernel) wheelInsert(e *Event) {
 	s := int((e.at >> wheelShift) & wheelMask)
 	p := k.tail[s]
-	for p != nil && p.at > e.at {
+	for p != nil && eventLess(e, p) {
 		p = p.prev
 	}
 	if p == nil { // new head
@@ -310,7 +404,7 @@ func (k *Kernel) peekWheel() *Event {
 	return nil
 }
 
-// peekNext returns the next event to dispatch — the (time, seq) minimum
+// peekNext returns the next event to dispatch — the dispatch-key minimum
 // across both tiers — without removing it.
 func (k *Kernel) peekNext() *Event {
 	we := k.peekWheel()
@@ -318,7 +412,7 @@ func (k *Kernel) peekNext() *Event {
 		return we
 	}
 	he := k.overflow[0]
-	if we == nil || he.at < we.at || (he.at == we.at && he.seq < we.seq) {
+	if we == nil || eventLess(he, we) {
 		return he
 	}
 	return we
@@ -358,6 +452,8 @@ func (k *Kernel) Reschedule(e *Event, at Time) {
 		k.remove(e)
 	}
 	e.at = at
+	e.pt = k.now
+	e.lane = k.lane
 	e.seq = k.seq
 	k.seq++
 	k.insert(e)
@@ -374,13 +470,17 @@ func (k *Kernel) dispatch(e *Event) {
 	}
 	k.now = e.at
 	k.dispatched++
-	fn := e.fn
+	fn, afn, arg := e.fn, e.afn, e.arg
 	if e.pooled {
-		e.fn = nil
+		e.fn, e.afn, e.arg = nil, nil, nil
 		e.next = k.free
 		k.free = e
 	}
-	fn()
+	if fn != nil {
+		fn()
+	} else {
+		afn(arg)
+	}
 }
 
 // Step executes the single next event, if any, advancing the clock to its
@@ -424,17 +524,39 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 // RunFor advances the simulation by d nanoseconds of simulated time.
 func (k *Kernel) RunFor(d Duration) Time { return k.RunUntil(k.now + d) }
 
+// RunBefore executes every queued event with timestamp strictly before
+// limit and reports how many it dispatched. Unlike RunUntil, the clock is
+// left at the last dispatched event — it does not jump to limit — so a
+// boundary event inserted afterwards at any time >= the old limit is still
+// in this kernel's future. This is the per-window body of a Group run.
+func (k *Kernel) RunBefore(limit Time) int {
+	n := 0
+	for {
+		e := k.peekNext()
+		if e == nil || e.at >= limit {
+			return n
+		}
+		k.dispatch(e)
+		n++
+	}
+}
+
+// NextEventTime reports the timestamp of the next queued event, or Never
+// when the queue is empty.
+func (k *Kernel) NextEventTime() Time {
+	e := k.peekNext()
+	if e == nil {
+		return Never
+	}
+	return e.at
+}
+
 // eventHeap is the overflow tier: a binary heap ordered by (at, seq). It is
 // the original kernel's queue, inlined (rather than container/heap) so push
 // and pop stay free of interface conversions.
 type eventHeap []*Event
 
-func (h eventHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
+func (h eventHeap) less(i, j int) bool { return eventLess(h[i], h[j]) }
 
 func (h eventHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]

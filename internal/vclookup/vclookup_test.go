@@ -295,3 +295,113 @@ func TestPropertyStrategiesMatchMapModel(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSixtyFourKEntries is city-scale coverage (ROADMAP item 3): CAM and
+// hash agree with a map model at 65536 registered VCs — full insert,
+// strided removal, reinsertion, and miss reporting. Linear scan is excluded:
+// its duplicate check makes 64k inserts quadratic, and E6 already shows the
+// firmware scan is hopeless far below this point.
+func TestSixtyFourKEntries(t *testing.T) {
+	const n = 1 << 16
+	for _, s := range []Strategy{NewCAM(n), NewHash(n)} {
+		idx := make(map[atm.VC]int, n)
+		for i := 0; i < n; i++ {
+			vc := vcN(i)
+			id, err := s.Insert(vc)
+			if err != nil {
+				t.Fatalf("%s: insert %d (%v): %v", s.Name(), i, vc, err)
+			}
+			idx[vc] = id
+		}
+		if s.Len() != n {
+			t.Fatalf("%s: Len = %d, want %d", s.Name(), s.Len(), n)
+		}
+		if _, err := s.Insert(atm.VC{VPI: 4096, VCI: 1}); !errors.Is(err, ErrFull) {
+			t.Fatalf("%s: insert past 64k: err = %v, want ErrFull", s.Name(), err)
+		}
+		for i := 0; i < n; i++ {
+			vc := vcN(i)
+			got, cycles, ok := s.Lookup(vc)
+			if !ok || got != idx[vc] {
+				t.Fatalf("%s: lookup %d = (%d, %v), want %d", s.Name(), i, got, ok, idx[vc])
+			}
+			if cycles <= 0 {
+				t.Fatalf("%s: free lookup at %d", s.Name(), i)
+			}
+		}
+		// Remove every 17th entry, then verify holes and survivors.
+		for i := 0; i < n; i += 17 {
+			s.Remove(vcN(i))
+		}
+		for i := 0; i < n; i++ {
+			_, _, ok := s.Lookup(vcN(i))
+			if want := i%17 != 0; ok != want {
+				t.Fatalf("%s: after removal, lookup %d = %v, want %v", s.Name(), i, ok, want)
+			}
+		}
+		// Freed capacity is reusable and reinserts resolve again.
+		for i := 0; i < n; i += 17 {
+			if _, err := s.Insert(vcN(i)); err != nil {
+				t.Fatalf("%s: reinsert %d: %v", s.Name(), i, err)
+			}
+		}
+		if s.Len() != n {
+			t.Fatalf("%s: Len after reinsert = %d, want %d", s.Name(), s.Len(), n)
+		}
+	}
+}
+
+// TestHashCostBounded64k pins that the hash stays half-loaded and its probe
+// chains stay short even at city-scale occupancy — the property that lets
+// firmware survive without a 64k-entry CAM part.
+func TestHashCostBounded64k(t *testing.T) {
+	const n = 1 << 16
+	h := NewHash(n)
+	for i := 0; i < n; i++ {
+		if _, err := h.Insert(vcN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	worst, total := 0, 0
+	for i := 0; i < n; i++ {
+		_, c, ok := h.Lookup(vcN(i))
+		if !ok {
+			t.Fatalf("inserted VC %d missing", i)
+		}
+		total += c
+		if c > worst {
+			worst = c
+		}
+	}
+	if worst > hashSetupCycles+64*hashProbeCycles {
+		t.Fatalf("worst lookup %d cycles at 64k; table degenerated", worst)
+	}
+	if avg := float64(total) / n; avg > hashSetupCycles+4*hashProbeCycles {
+		t.Fatalf("average lookup %.1f cycles at 64k; load factor broken", avg)
+	}
+}
+
+// BenchmarkLookup64k measures real wall-clock Lookup cost at 65536 active
+// VCs for the two strategies that scale there, and reports each strategy's
+// modelled engine cycles so BENCH.json records both axes.
+func BenchmarkLookup64k(b *testing.B) {
+	const n = 1 << 16
+	for _, s := range []Strategy{NewCAM(n), NewHash(n)} {
+		for i := 0; i < n; i++ {
+			if _, err := s.Insert(vcN(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(s.Name(), func(b *testing.B) {
+			totalCycles := 0
+			for i := 0; i < b.N; i++ {
+				_, cycles, ok := s.Lookup(vcN(i & (n - 1)))
+				if !ok {
+					b.Fatal("miss")
+				}
+				totalCycles += cycles
+			}
+			b.ReportMetric(float64(totalCycles)/float64(b.N), "engine-cycles")
+		})
+	}
+}
