@@ -584,3 +584,21 @@ func BenchmarkE20GEO(b *testing.B) {
 	b.ReportMetric(res.JainIndex, "jain")
 	b.ReportMetric(res.WindowLimitBps/1e6, "winlimit-Mbps")
 }
+
+// BenchmarkE21ABRConvergence regenerates the ABR closed-loop figure at its
+// middle feedback delay: convergence time, Jain fairness over the settled
+// tail, and the bottleneck queue excursion.
+func BenchmarkE21ABRConvergence(b *testing.B) {
+	var pts []experiments.E21Point
+	for i := 0; i < b.N; i++ {
+		pts, _ = experiments.E21(30 * sim.Millisecond)
+	}
+	mid := pts[1] // 50 µs one-way delay
+	conv := float64(-1)
+	if mid.Converged {
+		conv = float64(mid.Convergence) / 1e6
+	}
+	b.ReportMetric(conv, "conv-ms")
+	b.ReportMetric(mid.Jain, "jain")
+	b.ReportMetric(float64(mid.QueuePeak), "qpeak-cells")
+}

@@ -1,5 +1,5 @@
 // Command atmbench regenerates the reconstructed evaluation of the Davie
-// SIGCOMM '91 host–network interface: experiments E1 through E18 (see
+// SIGCOMM '91 host–network interface: experiments E1 through E21 (see
 // DESIGN.md for the index). Run with no flags to print everything, or
 // select experiments:
 //
@@ -32,7 +32,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiments (e1..e20) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiments (e1..e21) or 'all'")
 	quick := flag.Bool("quick", false, "shorter simulated runs (for smoke tests)")
 	csv := flag.Bool("csv", false, "emit tables as CSV where applicable")
 	metricsPath := flag.String("metrics", "", "run the instrumented telemetry pass and write its JSON snapshot here (\"-\" for stdout)")
@@ -49,7 +49,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for i := 1; i <= 20; i++ {
+		for i := 1; i <= 21; i++ {
 			want[fmt.Sprintf("e%d", i)] = true
 		}
 	} else {
@@ -212,6 +212,14 @@ func main() {
 		}
 		ran++
 	}
+	if want["e21"] {
+		pts, sr := experiments.E21(runTime(30 * sim.Millisecond))
+		emitSeries(sr)
+		for _, p := range pts {
+			fmt.Println(" ", p.String())
+		}
+		ran++
+	}
 	if want["sonet"] {
 		_, tb := experiments.SonetPath(runTime(20 * sim.Millisecond))
 		emitTable(tb)
@@ -240,7 +248,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "atmbench: no experiment matched %q (use e1..e20 or all)\n", *expFlag)
+		fmt.Fprintf(os.Stderr, "atmbench: no experiment matched %q (use e1..e21 or all)\n", *expFlag)
 		os.Exit(2)
 	}
 }

@@ -8,6 +8,7 @@
 //	atmsim -arch percell -size 1000     # the per-cell-interrupt baseline
 //	atmsim -contract 150000,50000,32 -police    # shaped VC through a policing switch
 //	atmsim -size 1000 -epd 48                   # early packet discard at the switch
+//	atmsim -rate 622 -abr -duration 100ms       # ABR closed loop through an ERICA switch
 //	atmsim -kill 10ms -restore 25ms -rtimeout 1ms   # cut and repair the a->b fiber
 //	atmsim -trace out.json                      # Perfetto trace of every hop
 //	atmsim -sample 100us -sampleout series.csv  # periodic telemetry time series
@@ -62,6 +63,7 @@ func main() {
 	contract := flag.String("contract", "", "shape a's VC to a traffic contract: \"pcr\" (CBR, cells/s) or \"pcr,scr,mbs\" (rt-VBR)")
 	police := flag.Bool("police", false, "route through a 155 Mb/s switch whose ingress polices -contract (tagging SCR violators)")
 	epd := flag.Int("epd", 0, "route through a 155 Mb/s switch with early packet discard above this queue depth (0 = off; congests with -rate 622)")
+	abr := flag.Bool("abr", false, "run the VCC as an ABR connection: route through a 155 Mb/s switch running ERICA explicit-rate feedback and EFCI marking, with the source rate steered by RM cells (congests with -rate 622; incompatible with -contract)")
 	kill := flag.Duration("kill", 0, "cut the a->b fiber at this simulated time (0 = never); alarm events print as they fire")
 	restore := flag.Duration("restore", 0, "restore the cut fiber at this simulated time (0 = stays dark)")
 	rtimeout := flag.Duration("rtimeout", 0, "reassembly staleness timeout: partial frames idle this long are aborted and their adapter buffers reclaimed (0 = off)")
@@ -78,7 +80,7 @@ func main() {
 		SamplePath:   *samplePath,
 	}
 	line := lineOpts{Framed: *framed || *burst, Burst: *burst, BitErrProb: *biterr}
-	if err := run(*rate, *aalFlag, *arch, *size, *wl, *duration, *loss, *window, *seed, *rxEngines, *interleave, *dumpN, *metricsPath, *stats, *contract, *police, *epd, *kill, *restore, *rtimeout, *tcpBytes, line, obs); err != nil {
+	if err := run(*rate, *aalFlag, *arch, *size, *wl, *duration, *loss, *window, *seed, *rxEngines, *interleave, *dumpN, *metricsPath, *stats, *contract, *police, *epd, *abr, *kill, *restore, *rtimeout, *tcpBytes, line, obs); err != nil {
 		fmt.Fprintln(os.Stderr, "atmsim:", err)
 		os.Exit(1)
 	}
@@ -103,7 +105,7 @@ type lineOpts struct {
 
 func run(rate int, aalFlag, arch string, size int, wl string, duration time.Duration,
 	loss float64, window int, seed uint64, rxEngines int, interleave bool, dumpN int,
-	metricsPath string, stats bool, contractSpec string, police bool, epd int,
+	metricsPath string, stats bool, contractSpec string, police bool, epd int, abr bool,
 	kill, restore, rtimeout time.Duration, tcpBytes int, line lineOpts, obs obsOpts) error {
 	deadline := sim.Time(duration.Nanoseconds())
 
@@ -130,8 +132,11 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 	if police && !haveContract {
 		return fmt.Errorf("-police needs -contract to know what to enforce")
 	}
+	if abr && haveContract {
+		return fmt.Errorf("-abr derives its own ABR contract; drop -contract")
+	}
 	if line.Framed {
-		if police || epd > 0 {
+		if police || epd > 0 || abr {
 			return fmt.Errorf("-framed/-burst need the direct a<->b topology (switch ports are cell-granular)")
 		}
 		if loss != 0 {
@@ -148,8 +153,8 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 		if metricsPath != "" || stats {
 			return fmt.Errorf("-metrics/-stats are not supported with -arch percell")
 		}
-		if haveContract || police || epd > 0 {
-			return fmt.Errorf("-contract/-police/-epd are not supported with -arch percell")
+		if haveContract || police || epd > 0 || abr {
+			return fmt.Errorf("-contract/-police/-epd/-abr are not supported with -arch percell")
 		}
 		if kill > 0 || rtimeout > 0 {
 			return fmt.Errorf("-kill/-rtimeout are not supported with -arch percell")
@@ -206,19 +211,28 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 			// The latency tap hooks the cell-granular fiber; the framed
 			// path has no per-cell wire to hook.
 			Contract: contract, Shape: haveContract, Latency: !line.Framed,
-			// TCP needs the ACK path back from b to a.
-			Duplex: tcpBytes > 0,
+			// TCP needs the ACK path back from b to a; ABR needs it for the
+			// backward RM cells.
+			Duplex: tcpBytes > 0 || abr,
 		}},
 	}
-	if police || epd > 0 {
+	// EFCI marks above this queue depth on the ABR bottleneck port.
+	const abrEFCI = 32
+	if abr {
+		spec.VCCs[0].ABR = &tm.ABRParams{PCR: units.CellRate(payloadRate)}
+	}
+	if police || epd > 0 || abr {
 		// a -> fiber -> switch -> b: the switch polices a's cells at its
 		// ingress and/or runs early packet discard on its output queue.
 		// The port always drains at STS-3c: with matched rates the queue
 		// never builds, so a 622 Mb/s sender into the 155 Mb/s port is how
 		// to congest it.
-		spec.Switches = []core.SwitchSpec{
-			{Name: "sw", Ports: 2, Rate: units.STS3cPayload, QueueDepth: 64},
+		sw := core.SwitchSpec{Name: "sw", Ports: 2, Rate: units.STS3cPayload, QueueDepth: 64}
+		if abr {
+			sw.EFCIThreshold = abrEFCI
+			sw.ERICA = &netsim.ERICAConfig{} // defaults: 0.9 target, 500 µs interval
 		}
+		spec.Switches = []core.SwitchSpec{sw}
 		spec.Links = []core.LinkSpec{
 			{Name: "a-sw", A: core.NodeRef{Node: "a"}, B: core.NodeRef{Node: "sw", Port: 0},
 				Delay: 10_000, LossProb: loss, Seed: seed},
@@ -251,7 +265,7 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 	}
 	var sw *netsim.Switch
 	var pol *tm.Policer
-	if police || epd > 0 {
+	if police || epd > 0 || abr {
 		sw = net.Switch("sw")
 		if police {
 			pol = tm.NewPolicer(contract)
@@ -260,7 +274,11 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 			sw.SetPolicer(hop.InPort, hop.InVC, pol)
 		}
 		if epd > 0 {
-			sw.SetThresholds(vcc.Hops[0].OutPort, 0, epd)
+			efci := 0
+			if abr {
+				efci = abrEFCI // keep the spec's EFCI marking alongside EPD
+			}
+			sw.SetThresholds(vcc.Hops[0].OutPort, 0, epd, efci)
 		}
 	}
 
@@ -399,6 +417,16 @@ func run(rate int, aalFlag, arch string, size int, wl string, duration time.Dura
 	}
 	if haveContract {
 		fmt.Printf("contract          %v (shaping at a)\n", contract)
+	}
+	if abr {
+		acr, _ := a.Interface().ACR(vcc.SourceVC)
+		sws := sw.Stats()
+		fmt.Printf("abr               acr %.0f c/s (pcr %.0f)  frm %d  turned %d  brm %d\n",
+			acr, units.CellRate(payloadRate),
+			reg.Counter("a.nic.abr.frm_tx").Value(),
+			reg.Counter("b.nic.abr.turnaround").Value(),
+			reg.Counter("a.nic.abr.brm_rx").Value())
+		fmt.Printf("switch abr        efci marked %d  er stamped %d\n", sws.EFCIMarked, sws.ERStamped)
 	}
 	if pol != nil {
 		ps := pol.Stats()

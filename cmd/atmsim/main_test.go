@@ -33,7 +33,7 @@ func TestRunCombinations(t *testing.T) {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
 			if err := run(c.rate, c.aal, c.arch, c.size, c.wl,
-				3*time.Millisecond, c.loss, 2, 1, c.rxEngines, c.interleave, 0, "", false, "", false, 0, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err != nil {
+				3*time.Millisecond, c.loss, 2, 1, c.rxEngines, c.interleave, 0, "", false, "", false, 0, false, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -41,32 +41,32 @@ func TestRunCombinations(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run(100, "5", "engine", 100, "fixed", time.Millisecond, 0, 1, 1, 1, false, 0, "", false, "", false, 0, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err == nil {
+	if err := run(100, "5", "engine", 100, "fixed", time.Millisecond, 0, 1, 1, 1, false, 0, "", false, "", false, 0, false, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err == nil {
 		t.Fatal("bad rate accepted")
 	}
-	if err := run(155, "7", "engine", 100, "fixed", time.Millisecond, 0, 1, 1, 1, false, 0, "", false, "", false, 0, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err == nil {
+	if err := run(155, "7", "engine", 100, "fixed", time.Millisecond, 0, 1, 1, 1, false, 0, "", false, "", false, 0, false, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err == nil {
 		t.Fatal("bad AAL accepted")
 	}
-	if err := run(155, "5", "warp", 100, "fixed", time.Millisecond, 0, 1, 1, 1, false, 0, "", false, "", false, 0, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err == nil {
+	if err := run(155, "5", "warp", 100, "fixed", time.Millisecond, 0, 1, 1, 1, false, 0, "", false, "", false, 0, false, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err == nil {
 		t.Fatal("bad arch accepted")
 	}
-	if err := run(155, "5", "engine", 100, "telepathy", time.Millisecond, 0, 1, 1, 1, false, 0, "", false, "", false, 0, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err == nil {
+	if err := run(155, "5", "engine", 100, "telepathy", time.Millisecond, 0, 1, 1, 1, false, 0, "", false, "", false, 0, false, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err == nil {
 		t.Fatal("bad workload accepted")
 	}
-	if err := run(155, "5", "percell", 100, "fixed", time.Millisecond, 0, 1, 1, 1, false, 0, "x.json", false, "", false, 0, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err == nil {
+	if err := run(155, "5", "percell", 100, "fixed", time.Millisecond, 0, 1, 1, 1, false, 0, "x.json", false, "", false, 0, false, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err == nil {
 		t.Fatal("percell + -metrics accepted")
 	}
 }
 
 func TestRunWithTrace(t *testing.T) {
-	if err := run(155, "5", "engine", 500, "fixed", 2*time.Millisecond, 0, 1, 1, 1, false, 3, "", false, "", false, 0, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err != nil {
+	if err := run(155, "5", "engine", 500, "fixed", 2*time.Millisecond, 0, 1, 1, 1, false, 3, "", false, "", false, 0, false, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithMetrics(t *testing.T) {
 	path := t.TempDir() + "/metrics.json"
-	if err := run(155, "5", "engine", 9180, "fixed", 3*time.Millisecond, 0, 2, 1, 1, false, 0, path, true, "", false, 0, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err != nil {
+	if err := run(155, "5", "engine", 9180, "fixed", 3*time.Millisecond, 0, 2, 1, 1, false, 0, path, true, "", false, 0, false, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	// The snapshot must exist and be non-trivial; its shape is covered by
@@ -80,34 +80,34 @@ func TestRunWithMetrics(t *testing.T) {
 func TestRunTrafficManagement(t *testing.T) {
 	// Shaped + policed: the contract round-trips through the switch.
 	if err := run(155, "5", "engine", 4000, "fixed", 3*time.Millisecond,
-		0, 2, 1, 1, false, 0, "", false, "150000,50000,32", true, 0, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err != nil {
+		0, 2, 1, 1, false, 0, "", false, "150000,50000,32", true, 0, false, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	// CBR one-field contract with EPD on the switch.
 	if err := run(155, "5", "engine", 1000, "fixed", 2*time.Millisecond,
-		0, 2, 1, 1, false, 0, "", false, "100000", false, 48, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err != nil {
+		0, 2, 1, 1, false, 0, "", false, "100000", false, 48, false, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	// EPD alone still routes through the switch.
 	if err := run(155, "5", "engine", 1000, "fixed", 2*time.Millisecond,
-		0, 2, 1, 1, false, 0, "", false, "", false, 32, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err != nil {
+		0, 2, 1, 1, false, 0, "", false, "", false, 32, false, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	// -police without -contract is refused.
 	if err := run(155, "5", "engine", 1000, "fixed", time.Millisecond,
-		0, 1, 1, 1, false, 0, "", false, "", true, 0, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err == nil {
+		0, 1, 1, 1, false, 0, "", false, "", true, 0, false, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err == nil {
 		t.Fatal("police without contract accepted")
 	}
 	// Malformed contracts are refused.
 	for _, bad := range []string{"abc", "1,2", "150000,50000,32,9", "-5"} {
 		if err := run(155, "5", "engine", 1000, "fixed", time.Millisecond,
-			0, 1, 1, 1, false, 0, "", false, bad, false, 0, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err == nil {
+			0, 1, 1, 1, false, 0, "", false, bad, false, 0, false, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err == nil {
 			t.Fatalf("contract %q accepted", bad)
 		}
 	}
 	// percell rejects the TM flags.
 	if err := run(155, "5", "percell", 1000, "fixed", time.Millisecond,
-		0, 1, 1, 1, false, 0, "", false, "100000", false, 0, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err == nil {
+		0, 1, 1, 1, false, 0, "", false, "100000", false, 0, false, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err == nil {
 		t.Fatal("percell + -contract accepted")
 	}
 }
@@ -121,7 +121,7 @@ func TestRunWithObservability(t *testing.T) {
 		SamplePath:   dir + "/samples.csv",
 	}
 	if err := run(155, "5", "engine", 9180, "fixed", 2*time.Millisecond,
-		0, 2, 1, 1, false, 0, "", false, "", false, 0, 0, 0, 0, 0, lineOpts{}, obs); err != nil {
+		0, 2, 1, 1, false, 0, "", false, "", false, 0, false, 0, 0, 0, 0, lineOpts{}, obs); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range []string{obs.TracePath, obs.SamplePath} {
@@ -132,7 +132,7 @@ func TestRunWithObservability(t *testing.T) {
 	}
 	// percell has no recorder hooks or registry to sample.
 	if err := run(155, "5", "percell", 1000, "fixed", time.Millisecond,
-		0, 1, 1, 1, false, 0, "", false, "", false, 0, 0, 0, 0, 0,
+		0, 1, 1, 1, false, 0, "", false, "", false, 0, false, 0, 0, 0, 0,
 		lineOpts{}, obsOpts{TracePath: dir + "/t2.json", TraceSample: 1}); err == nil {
 		t.Fatal("percell + -trace accepted")
 	}
@@ -141,19 +141,19 @@ func TestRunWithObservability(t *testing.T) {
 func TestRunFaultInjection(t *testing.T) {
 	// Cut and repair the fiber mid-run with the reassembly GC on.
 	if err := run(155, "5", "engine", 9180, "fixed", 5*time.Millisecond,
-		0, 2, 1, 1, false, 0, "", false, "", false, 0,
+		0, 2, 1, 1, false, 0, "", false, "", false, 0, false,
 		time.Millisecond, 2*time.Millisecond, 500*time.Microsecond, 0, lineOpts{}, obsOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	// With a switch in the path, the cut moves to its egress link.
 	if err := run(155, "5", "engine", 1000, "fixed", 3*time.Millisecond,
-		0, 2, 1, 1, false, 0, "", false, "", false, 32,
+		0, 2, 1, 1, false, 0, "", false, "", false, 32, false,
 		time.Millisecond, 2*time.Millisecond, 0, 0, lineOpts{}, obsOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	// percell has no fault plane.
 	if err := run(155, "5", "percell", 1000, "fixed", time.Millisecond,
-		0, 1, 1, 1, false, 0, "", false, "", false, 0,
+		0, 1, 1, 1, false, 0, "", false, "", false, 0, false,
 		time.Millisecond, 0, 0, 0, lineOpts{}, obsOpts{}); err == nil {
 		t.Fatal("percell + -kill accepted")
 	}
@@ -162,17 +162,17 @@ func TestRunFaultInjection(t *testing.T) {
 func TestRunTCPFlow(t *testing.T) {
 	// A bounded Reno transfer completes and prints its summary.
 	if err := run(155, "5", "engine", 9180, "fixed", 20*time.Millisecond,
-		0, 2, 1, 1, false, 0, "", false, "", false, 0, 0, 0, 0, 200_000, lineOpts{}, obsOpts{}); err != nil {
+		0, 2, 1, 1, false, 0, "", false, "", false, 0, false, 0, 0, 0, 200_000, lineOpts{}, obsOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	// TCP through the EPD switch path exercises the duplex reverse route.
 	if err := run(155, "5", "engine", 9180, "fixed", 10*time.Millisecond,
-		0, 2, 1, 1, false, 0, "", false, "", false, 48, 0, 0, 0, 50_000, lineOpts{}, obsOpts{}); err != nil {
+		0, 2, 1, 1, false, 0, "", false, "", false, 48, false, 0, 0, 0, 50_000, lineOpts{}, obsOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	// percell has no IP stack to bind.
 	if err := run(155, "5", "percell", 1000, "fixed", time.Millisecond,
-		0, 1, 1, 1, false, 0, "", false, "", false, 0, 0, 0, 0, 1000, lineOpts{}, obsOpts{}); err == nil {
+		0, 1, 1, 1, false, 0, "", false, "", false, 0, false, 0, 0, 0, 1000, lineOpts{}, obsOpts{}); err == nil {
 		t.Fatal("percell + -tcp accepted")
 	}
 }
@@ -181,33 +181,61 @@ func TestRunFramedLine(t *testing.T) {
 	// The full SONET path, serial and burst receive recovery: both complete.
 	for _, line := range []lineOpts{{Framed: true}, {Framed: true, Burst: true}} {
 		if err := run(155, "5", "engine", 9180, "fixed", 3*time.Millisecond,
-			0, 2, 1, 1, false, 0, "", false, "", false, 0, 0, 0, 0, 0, line, obsOpts{}); err != nil {
+			0, 2, 1, 1, false, 0, "", false, "", false, 0, false, 0, 0, 0, 0, line, obsOpts{}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Bit errors ride the framed line; cutting it exercises the SONET fault plane.
 	if err := run(155, "5", "engine", 9180, "fixed", 5*time.Millisecond,
-		0, 2, 1, 1, false, 0, "", false, "", false, 0,
+		0, 2, 1, 1, false, 0, "", false, "", false, 0, false,
 		time.Millisecond, 2*time.Millisecond, 500*time.Microsecond, 0,
 		lineOpts{Framed: true, BitErrProb: 1e-6}, obsOpts{}); err != nil {
 		t.Fatal(err)
 	}
 	// -biterr needs -framed.
 	if err := run(155, "5", "engine", 1000, "fixed", time.Millisecond,
-		0, 1, 1, 1, false, 0, "", false, "", false, 0, 0, 0, 0, 0,
+		0, 1, 1, 1, false, 0, "", false, "", false, 0, false, 0, 0, 0, 0,
 		lineOpts{BitErrProb: 1e-6}, obsOpts{}); err == nil {
 		t.Fatal("-biterr without -framed accepted")
 	}
 	// Framed lines are endpoint-to-endpoint: the EPD switch path is refused.
 	if err := run(155, "5", "engine", 1000, "fixed", time.Millisecond,
-		0, 1, 1, 1, false, 0, "", false, "", false, 32, 0, 0, 0, 0,
+		0, 1, 1, 1, false, 0, "", false, "", false, 32, false, 0, 0, 0, 0,
 		lineOpts{Framed: true}, obsOpts{}); err == nil {
 		t.Fatal("framed + -epd accepted")
 	}
 	// percell has no SONET framer to speak through.
 	if err := run(155, "5", "percell", 1000, "fixed", time.Millisecond,
-		0, 1, 1, 1, false, 0, "", false, "", false, 0, 0, 0, 0, 0,
+		0, 1, 1, 1, false, 0, "", false, "", false, 0, false, 0, 0, 0, 0,
 		lineOpts{Framed: true}, obsOpts{}); err == nil {
 		t.Fatal("percell + -framed accepted")
+	}
+}
+
+func TestRunABR(t *testing.T) {
+	// The closed loop on the two-station topology: source, ERICA+EFCI
+	// switch, turnaround destination.
+	if err := run(155, "5", "engine", 9180, "fixed", 5*time.Millisecond,
+		0, 2, 1, 1, false, 0, "", false, "", false, 0, true, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	// -abr composes with -epd: the switch carries both thresholds.
+	if err := run(155, "5", "engine", 9180, "fixed", 5*time.Millisecond,
+		0, 2, 1, 1, false, 0, "", false, "", false, 48, true, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	// ABR supersedes an explicit contract; the combination is refused.
+	if err := run(155, "5", "engine", 1000, "fixed", time.Millisecond,
+		0, 1, 1, 1, false, 0, "", false, "100000", false, 0, true, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err == nil {
+		t.Fatal("-abr + -contract accepted")
+	}
+	// percell has no RM plane; framed lines cannot host the switch.
+	if err := run(155, "5", "percell", 1000, "fixed", time.Millisecond,
+		0, 1, 1, 1, false, 0, "", false, "", false, 0, true, 0, 0, 0, 0, lineOpts{}, obsOpts{}); err == nil {
+		t.Fatal("percell + -abr accepted")
+	}
+	if err := run(155, "5", "engine", 1000, "fixed", time.Millisecond,
+		0, 1, 1, 1, false, 0, "", false, "", false, 0, true, 0, 0, 0, 0, lineOpts{Framed: true}, obsOpts{}); err == nil {
+		t.Fatal("framed + -abr accepted")
 	}
 }

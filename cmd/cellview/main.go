@@ -96,7 +96,11 @@ func decodeOne(w io.Writer, input string, f atm.Format, hecOnly bool) error {
 		}
 		printHeader(w, &c.Header, corrected)
 		fmt.Fprintf(w, "  payload   %s\n", hex.EncodeToString(c.Payload[:16])+"...")
-		printEncap(w, c.Payload[:])
+		if atm.IsRM(&c.Header) {
+			printRM(w, &c.Payload)
+		} else {
+			printEncap(w, c.Payload[:])
+		}
 		if len(raw) > atm.CellSize {
 			fmt.Fprintf(w, "  (%d trailing bytes ignored)\n", len(raw)-atm.CellSize)
 		}
@@ -142,6 +146,37 @@ func printEncap(w io.Writer, payload []byte) {
 	default:
 		fmt.Fprintf(w, "  ipv4      undecodable: %v\n", err)
 	}
+}
+
+// printRM decodes the ABR resource-management payload of a PT=0b110 cell:
+// direction and feedback bits, then the three rates in the 16-bit ATM
+// floating-point format.
+func printRM(w io.Writer, payload *[atm.PayloadSize]byte) {
+	var rm atm.RM
+	if err := rm.Decode(payload); err != nil {
+		fmt.Fprintf(w, "  rm        undecodable: %v\n", err)
+		return
+	}
+	dir := "forward (source->dest)"
+	if rm.DIR {
+		dir = "backward (dest->source)"
+	}
+	var flags []string
+	if rm.BN {
+		flags = append(flags, "BN (switch-generated)")
+	}
+	if rm.CI {
+		flags = append(flags, "CI (congestion)")
+	}
+	if rm.NI {
+		flags = append(flags, "NI (no increase)")
+	}
+	fl := ""
+	if len(flags) > 0 {
+		fl = "  " + strings.Join(flags, ", ")
+	}
+	fmt.Fprintf(w, "  rm        abr %s%s\n", dir, fl)
+	fmt.Fprintf(w, "            ER %.0f c/s  CCR %.0f c/s  MCR %.0f c/s\n", rm.ER, rm.CCR, rm.MCR)
 }
 
 // protoName names the IP protocol numbers the testbed carries.

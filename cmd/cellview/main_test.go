@@ -234,3 +234,49 @@ func TestDecodePlainPayloadNoEncap(t *testing.T) {
 		t.Fatalf("spurious llc/snap decode:\n%s", out.String())
 	}
 }
+
+func TestDecodeRMCell(t *testing.T) {
+	// A backward RM cell with CI set decodes direction, feedback bits and
+	// the three rates.
+	c := atm.Cell{Header: atm.Header{Format: atm.UNI, VPI: 0, VCI: 100, PT: atm.PTResourceMgmt}}
+	rm := atm.RM{DIR: true, CI: true, ER: 317_952, CCR: 100_000, MCR: 1_413}
+	rm.Encode(&c.Payload)
+	var wire [atm.CellSize]byte
+	if err := c.Encode(wire[:]); err != nil {
+		t.Fatal(err)
+	}
+	hexStr := ""
+	for _, b := range wire {
+		hexStr += strings.TrimPrefix(hexByte(b), "0x")
+	}
+	var out strings.Builder
+	if err := decodeOne(&out, hexStr, atm.UNI, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"abr backward (dest->source)", "CI (congestion)", "ER 317952", "CCR 99968", "MCR 1414"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "NI (no increase)") || strings.Contains(got, "BN (switch-generated)") {
+		t.Fatalf("spurious flags:\n%s", got)
+	}
+
+	// A corrupted RM payload reports itself instead of printing garbage.
+	c.Payload[4] ^= 0xff
+	if err := c.Encode(wire[:]); err != nil {
+		t.Fatal(err)
+	}
+	hexStr = ""
+	for _, b := range wire {
+		hexStr += strings.TrimPrefix(hexByte(b), "0x")
+	}
+	out.Reset()
+	if err := decodeOne(&out, hexStr, atm.UNI, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "rm        undecodable") {
+		t.Fatalf("corrupt RM not flagged:\n%s", out.String())
+	}
+}

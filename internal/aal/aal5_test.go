@@ -368,3 +368,46 @@ func BenchmarkAAL5RoundTrip9180(b *testing.B) {
 		}
 	}
 }
+
+func TestAAL5ReassemblyWithEFCIMarkedCells(t *testing.T) {
+	// A congested switch sets the EFCI bit on user cells in flight
+	// (PT 0b000→0b010, 0b001→0b011). The AAU bit is a separate PT bit, so
+	// a marked end-of-frame cell must still terminate reassembly and a
+	// marked middle cell must still be a middle cell.
+	seg, ras := New(AAL5, 0)
+	for _, n := range []int{1, 48, 100, 9180} {
+		sdu := patterned(n)
+		cells, err := seg.Begin(sdu)
+		if err != nil {
+			t.Fatalf("Begin: %v", err)
+		}
+		var res *Result
+		for i := 0; i < cells; i++ {
+			var p [atm.PayloadSize]byte
+			pt, _, err := seg.Next(&p)
+			if err != nil {
+				t.Fatalf("Next cell %d: %v", i, err)
+			}
+			pt |= atm.PTUserCongested // what Switch.enqueue does above the EFCI threshold
+			if i == cells-1 && pt != atm.PTUserCongestedEnd {
+				t.Fatalf("EOM cell marked to PT=%03b, want %03b", pt, atm.PTUserCongestedEnd)
+			}
+			r, err := ras.Push(&p, pt)
+			if err != nil {
+				t.Fatalf("Push cell %d (PT=%03b): %v", i, pt, err)
+			}
+			if r != nil && i != cells-1 {
+				t.Fatalf("congestion bit terminated the frame early at cell %d of %d", i, cells)
+			}
+			if r != nil {
+				res = r
+			}
+		}
+		if res == nil {
+			t.Fatalf("size %d: marked EOM cell did not terminate reassembly", n)
+		}
+		if !bytes.Equal(res.SDU, sdu) {
+			t.Fatalf("size %d: SDU corrupted through EFCI-marked cells", n)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package atm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/crc"
+)
+
+// This file implements the ABR resource-management cell payload of ATM
+// Forum TM 4.0 §5.10.3: the in-band feedback vehicle of the ABR closed
+// loop. A source emits a forward RM cell (DIR=0) every Nrm cells on the
+// same VC as its data; every switch on the path may reduce the explicit
+// rate (ER) field and set CI/NI; the destination turns the cell around
+// (DIR=1) and the source adjusts its allowed cell rate from the returned
+// CI/NI/ER. RM cells ride the data path — same VC, same queues, PT=0b110 —
+// which is what makes the feedback delay equal the real round-trip time.
+//
+// Layout (48-byte payload, offsets per TM 4.0 Table 5-4):
+//
+//	 0     protocol ID (1 = ABR)
+//	 1     message type: DIR | BN | CI | NI | RA | reserved(3)
+//	 2-3   ER  — explicit rate, 16-bit ATM floating point
+//	 4-5   CCR — current cell rate of the source
+//	 6-7   MCR — minimum cell rate of the connection
+//	 8-15  QL / SN (unused here, zero)
+//	16-45  reserved
+//	46-47  reserved(6 bits) + CRC-10 over the whole payload
+type RM struct {
+	// DIR is the direction bit: false = forward (source → destination),
+	// true = backward (turned around by the destination).
+	DIR bool
+	// BN marks a backward explicit congestion notification cell generated
+	// by a switch or the destination rather than turned around from a
+	// forward RM cell.
+	BN bool
+	// CI is the congestion indication: makes the source decrease ACR by
+	// ACR×RDF. The destination sets it when data cells arrived with EFCI.
+	CI bool
+	// NI is the no-increase bit: suppresses additive increase without
+	// forcing a decrease.
+	NI bool
+	// ER is the explicit rate in cells/s: the highest ACR the most
+	// congested switch on the path will tolerate.
+	ER float64
+	// CCR is the source's current allowed cell rate in cells/s when the
+	// forward cell left; ERICA uses it to compute the VC's share of the
+	// measured overload.
+	CCR float64
+	// MCR is the connection's contracted minimum cell rate in cells/s.
+	MCR float64
+}
+
+// RMProtoABR is the protocol identifier of ABR resource management.
+const RMProtoABR = 1
+
+// Message-type bit positions (payload byte 1).
+const (
+	rmDIR = 1 << 7
+	rmBN  = 1 << 6
+	rmCI  = 1 << 5
+	rmNI  = 1 << 4
+)
+
+// Errors returned by the RM codec.
+var (
+	ErrRMProto = errors.New("atm: not an ABR RM payload")
+	ErrRMCRC   = errors.New("atm: RM cell CRC-10 mismatch")
+)
+
+// EncodeRate packs a cell rate into the 16-bit ATM floating-point format:
+// bit 14 nonzero flag, bits 13..9 a 5-bit exponent e, bits 8..0 a 9-bit
+// mantissa m, value = 2^e × (1 + m/512) cells/s (TM 4.0 §5.10.3.2; bit 15
+// reserved zero). Rates below 1 cell/s encode as zero; rates beyond the
+// format's ceiling (≈4.3e9) saturate.
+func EncodeRate(r float64) uint16 {
+	if r < 1 || math.IsNaN(r) {
+		return 0
+	}
+	frac, exp := math.Frexp(r) // r = frac × 2^exp, frac ∈ [0.5, 1)
+	e := exp - 1
+	m := int(math.Round((frac*2 - 1) * 512))
+	if m == 512 {
+		m = 0
+		e++
+	}
+	if e > 31 {
+		e, m = 31, 511
+	}
+	return 1<<14 | uint16(e)<<9 | uint16(m)
+}
+
+// DecodeRate unpacks a 16-bit ATM floating-point rate into cells/s.
+func DecodeRate(v uint16) float64 {
+	if v&(1<<14) == 0 {
+		return 0
+	}
+	e := int(v >> 9 & 0x1f)
+	m := float64(v & 0x1ff)
+	return math.Ldexp(1+m/512, e)
+}
+
+// Encode writes the RM fields into a 48-byte cell payload, zeroing the
+// reserved space and stamping the trailing CRC-10.
+func (rm *RM) Encode(p *[PayloadSize]byte) {
+	for i := range p {
+		p[i] = 0
+	}
+	p[0] = RMProtoABR
+	var mt byte
+	if rm.DIR {
+		mt |= rmDIR
+	}
+	if rm.BN {
+		mt |= rmBN
+	}
+	if rm.CI {
+		mt |= rmCI
+	}
+	if rm.NI {
+		mt |= rmNI
+	}
+	p[1] = mt
+	putRate(p[2:4], rm.ER)
+	putRate(p[4:6], rm.CCR)
+	putRate(p[6:8], rm.MCR)
+	crc.CRC10Fill(p[:])
+}
+
+// Decode parses an RM payload, verifying the protocol ID and the CRC-10.
+func (rm *RM) Decode(p *[PayloadSize]byte) error {
+	if p[0] != RMProtoABR {
+		return fmt.Errorf("%w: protocol %d", ErrRMProto, p[0])
+	}
+	if !crc.CRC10Check(p[:]) {
+		return ErrRMCRC
+	}
+	mt := p[1]
+	rm.DIR = mt&rmDIR != 0
+	rm.BN = mt&rmBN != 0
+	rm.CI = mt&rmCI != 0
+	rm.NI = mt&rmNI != 0
+	rm.ER = DecodeRate(getRate(p[2:4]))
+	rm.CCR = DecodeRate(getRate(p[4:6]))
+	rm.MCR = DecodeRate(getRate(p[6:8]))
+	return nil
+}
+
+func putRate(b []byte, r float64) {
+	v := EncodeRate(r)
+	b[0] = byte(v >> 8)
+	b[1] = byte(v)
+}
+
+func getRate(b []byte) uint16 { return uint16(b[0])<<8 | uint16(b[1]) }
+
+// IsRM reports whether the header marks a resource-management cell.
+func IsRM(h *Header) bool { return h.PT == PTResourceMgmt }

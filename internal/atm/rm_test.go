@@ -1,0 +1,90 @@
+package atm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRateFormatRoundTrip(t *testing.T) {
+	// The 9-bit mantissa gives ~0.2% granularity; every encodable rate must
+	// round-trip within one mantissa step.
+	for _, r := range []float64{1, 2, 3, 100, 4000, 353207.5, 1_412_830, 2.1e9} {
+		got := DecodeRate(EncodeRate(r))
+		if rel := math.Abs(got-r) / r; rel > 1.0/512 {
+			t.Errorf("rate %g round-trips to %g (rel err %g)", r, got, rel)
+		}
+	}
+}
+
+func TestRateFormatEdges(t *testing.T) {
+	if EncodeRate(0) != 0 || EncodeRate(-5) != 0 || EncodeRate(0.5) != 0 {
+		t.Error("sub-unity rates must encode as zero")
+	}
+	if DecodeRate(0) != 0 {
+		t.Error("zero decodes nonzero")
+	}
+	// Saturation: beyond 2^31×(1+511/512) the format pins at its ceiling.
+	max := DecodeRate(EncodeRate(math.MaxFloat64))
+	want := math.Ldexp(1+511.0/512, 31)
+	if max != want {
+		t.Errorf("saturated rate = %g, want %g", max, want)
+	}
+	// Mantissa carry: a rate just below a power of two must not overflow
+	// the 9-bit mantissa.
+	r := math.Nextafter(4096, 0)
+	if got := DecodeRate(EncodeRate(r)); got != 4096 {
+		t.Errorf("carry case: %g -> %g, want 4096", r, got)
+	}
+}
+
+func TestRMRoundTrip(t *testing.T) {
+	rm := RM{DIR: true, CI: true, NI: false, BN: false,
+		ER: 150_000, CCR: 88_000, MCR: 1000}
+	var p [PayloadSize]byte
+	rm.Encode(&p)
+	if p[0] != RMProtoABR {
+		t.Fatalf("protocol ID = %d", p[0])
+	}
+	var got RM
+	if err := got.Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if got.DIR != rm.DIR || got.BN != rm.BN || got.CI != rm.CI || got.NI != rm.NI {
+		t.Errorf("flag mismatch: %+v vs %+v", got, rm)
+	}
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{{"ER", got.ER, rm.ER}, {"CCR", got.CCR, rm.CCR}, {"MCR", got.MCR, rm.MCR}} {
+		if rel := math.Abs(c.got-c.want) / c.want; rel > 1.0/512 {
+			t.Errorf("%s = %g, want ~%g", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestRMDecodeRejects(t *testing.T) {
+	var p [PayloadSize]byte
+	rm := RM{ER: 1000}
+	rm.Encode(&p)
+	p[0] = 7 // not ABR
+	var got RM
+	if err := got.Decode(&p); err == nil {
+		t.Error("bad protocol ID accepted")
+	}
+	p[0] = RMProtoABR
+	p[3] ^= 0x40 // corrupt ER
+	if err := got.Decode(&p); err != ErrRMCRC {
+		t.Errorf("corrupted payload: err = %v, want ErrRMCRC", err)
+	}
+}
+
+func TestIsRM(t *testing.T) {
+	h := Header{PT: PTResourceMgmt}
+	if !IsRM(&h) {
+		t.Error("PTResourceMgmt not recognized")
+	}
+	h.PT = PTUserCongestedEnd
+	if IsRM(&h) {
+		t.Error("user cell recognized as RM")
+	}
+}

@@ -101,6 +101,14 @@ type SwitchSpec struct {
 	// down, the switch inserts AIS downstream on every route that port
 	// feeds, once per period. Zero disables generation.
 	AISPeriod sim.Duration
+	// EFCIThreshold arms forward congestion marking on every output port:
+	// a user cell enqueued while the port holds at least this many cells
+	// gets its EFCI bit set (netsim.Switch.SetThresholds). Zero disables.
+	EFCIThreshold int
+	// ERICA arms per-output-port explicit-rate ABR feedback on every port:
+	// the switch measures ABR load each averaging interval and stamps a
+	// max-min fair rate into backward RM cells. Nil disables.
+	ERICA *netsim.ERICAConfig
 }
 
 // NodeRef names one end of a link: an endpoint (Port ignored) or a switch
@@ -165,6 +173,12 @@ type VCCSpec struct {
 	// FIFO matching is exact only while the tapped fibers carry just this
 	// connection's cells.
 	Latency bool
+	// ABR arms closed-loop rate control: the admitted contract is derived
+	// from the parameters (class ABR, PCR ceiling, MCR reservation), the
+	// source paces at a live ACR steered by backward RM cells, and the
+	// destination turns forward RM cells around. Requires Duplex (the
+	// feedback path) and supersedes Contract and Shape.
+	ABR *tm.ABRParams
 }
 
 // Link is the built form of a LinkSpec: the two directed cell pipes, or the
@@ -338,6 +352,16 @@ func NewNetwork(spec NetworkSpec) (*Network, error) {
 		sw.SwitchingDelay = ss.SwitchingDelay
 		sw.AISPeriod = ss.AISPeriod
 		sw.Instrument(n.regFor(ss.Name), ss.Name)
+		if ss.EFCIThreshold > 0 {
+			for p := 0; p < ss.Ports; p++ {
+				sw.SetThresholds(p, 0, 0, ss.EFCIThreshold)
+			}
+		}
+		if ss.ERICA != nil {
+			for p := 0; p < ss.Ports; p++ {
+				sw.EnableERICA(p, *ss.ERICA)
+			}
+		}
 		n.switches[ss.Name] = sw
 		n.swSpecs[ss.Name] = ss
 	}
@@ -816,8 +840,22 @@ func (n *Network) AddVCC(vs VCCSpec) (*VCC, error) {
 	if err != nil {
 		return nil, err
 	}
+	var abr *tm.ABRParams
+	if vs.ABR != nil {
+		if !vs.Duplex {
+			return nil, fmt.Errorf("core: vcc %q: ABR needs Duplex (backward RM cells ride the reverse path)", vs.Name)
+		}
+		p := *vs.ABR
+		p.Normalize()
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("core: vcc %q: %w", vs.Name, err)
+		}
+		abr = &p
+	}
 	contract := vs.Contract
-	if contract.PCR == 0 {
+	if abr != nil {
+		contract = abr.Contract()
+	} else if contract.PCR == 0 {
 		contract = tm.UBRContract(src.station.Iface.Config().PayloadRate)
 	}
 	if err := contract.Validate(); err != nil {
@@ -915,7 +953,15 @@ func (n *Network) AddVCC(vs VCCSpec) (*VCC, error) {
 		release()
 		return nil, fmt.Errorf("core: vcc %q: open %v at %q: %w", vs.Name, v.DestVC, vs.To, err)
 	}
-	if vs.Shape {
+	switch {
+	case abr != nil:
+		// SetABR installs the ACR shaper itself (starting at ICR), so the
+		// Shape flag is subsumed.
+		if err := src.station.Iface.SetABR(v.SourceVC, *abr); err != nil {
+			release()
+			return nil, fmt.Errorf("core: vcc %q: abr: %w", vs.Name, err)
+		}
+	case vs.Shape:
 		if err := src.station.Iface.SetContract(v.SourceVC, contract); err != nil {
 			release()
 			return nil, fmt.Errorf("core: vcc %q: shape: %w", vs.Name, err)

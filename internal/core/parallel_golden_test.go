@@ -551,3 +551,101 @@ func TestShardedBuildValidation(t *testing.T) {
 		}
 	})
 }
+
+// TestParallelGoldenABRLoop is the E21-shaped golden test: three greedy ABR
+// sources over real-delay access fibers into one EFCI+ERICA switch whose
+// output port drains at 155 Mb/s. Every forward RM cell, every EFCI-marked
+// data cell and every turned-around backward RM cell crosses a partition
+// mailbox in the sharded build, and the closed loop makes cell timing
+// feedback-coupled: one RM cell delivered a nanosecond late would re-target
+// a shaper and shift every subsequent cell. Deliveries, the registry
+// (including efci_marked/er_stamped and the NICs' abr counters), the trace
+// and each source's final ACR must be byte-identical to the serial run.
+func TestParallelGoldenABRLoop(t *testing.T) {
+	const nSrc = 3
+	deadline := sim.Time(2 * sim.Millisecond)
+	pcr := units.CellRate(Rate622)
+	mk := func() NetworkSpec {
+		erica := netsim.ERICAConfig{TargetUtil: 0.9, Interval: 100 * sim.Microsecond}
+		spec := NetworkSpec{
+			Switches: []SwitchSpec{{
+				Name: "sw", Ports: nSrc + 1, Rate: Rate622, QueueDepth: 512,
+				EFCIThreshold: 32, ERICA: &erica,
+			}},
+		}
+		for i := 0; i < nSrc; i++ {
+			name := fmt.Sprintf("s%d", i+1)
+			spec.Endpoints = append(spec.Endpoints, EndpointSpec{Name: name, Options: Options{Rate: Rate622}})
+			spec.Links = append(spec.Links, LinkSpec{
+				Name: name + "-sw", A: NodeRef{Node: name},
+				B:     NodeRef{Node: "sw", Port: i},
+				Delay: sim.Duration(20_000 + 7_000*i), Seed: uint64(90 + i),
+			})
+		}
+		spec.Endpoints = append(spec.Endpoints, EndpointSpec{Name: "dst", Options: Options{Rate: Rate155}})
+		spec.Links = append(spec.Links, LinkSpec{
+			Name: "sw-dst", A: NodeRef{Node: "sw", Port: nSrc},
+			B: NodeRef{Node: "dst"}, Delay: 5_000, Seed: 99,
+		})
+		for i := 0; i < nSrc; i++ {
+			spec.VCCs = append(spec.VCCs, VCCSpec{
+				Name: fmt.Sprintf("abr%d", i+1), From: fmt.Sprintf("s%d", i+1), To: "dst",
+				VC:     atm.VC{VCI: uint16(101 + i)},
+				Duplex: true,
+				ABR:    &tm.ABRParams{PCR: pcr, ICR: pcr / 16, Nrm: 32},
+			})
+		}
+		return spec
+	}
+	type abrRun struct {
+		run  parRun
+		acrs []float64
+	}
+	do := func(shards int) abrRun {
+		var acrs []float64
+		var netRef *Network
+		run := goldenRun(t, mk, shards, func(net *Network, col *collector) {
+			netRef = net
+			net.Switch("sw").SetPortRate(nSrc, Rate155)
+			col.watch(net, "dst")
+			for i := 0; i < nSrc; i++ {
+				v := net.VCC(fmt.Sprintf("abr%d", i+1))
+				netsim.NewSource(net.NodeKernel(v.Source.Name()), v.Source.Station(), v.SourceVC, 9180, deadline).Start(4)
+			}
+		})
+		for i := 0; i < nSrc; i++ {
+			v := netRef.VCC(fmt.Sprintf("abr%d", i+1))
+			acr, ok := v.Source.Interface().ACR(v.SourceVC)
+			if !ok {
+				t.Fatalf("shards=%d: %s lost its ABR state", shards, v.Name)
+			}
+			acrs = append(acrs, acr)
+		}
+		return abrRun{run: run, acrs: acrs}
+	}
+	serial := do(0)
+	if len(serial.run.deliveries) == 0 {
+		t.Fatal("serial run delivered nothing")
+	}
+	if !strings.Contains(serial.run.metrics, "er_stamped") {
+		t.Fatalf("serial run never stamped an explicit rate:\n%s", serial.run.metrics)
+	}
+	for i, acr := range serial.acrs {
+		if acr <= 0 || acr >= pcr {
+			t.Fatalf("serial abr%d ACR = %.0f, outside (0, PCR): loop never engaged", i+1, acr)
+		}
+	}
+	for _, shards := range []int{2, 4} {
+		run := do(shards)
+		label := fmt.Sprintf("abr shards=%d", shards)
+		if run.run.shards < 2 {
+			t.Fatalf("%s: built %d partitions", label, run.run.shards)
+		}
+		requireRunsIdentical(t, label, serial.run, run.run)
+		for i := range run.acrs {
+			if run.acrs[i] != serial.acrs[i] {
+				t.Fatalf("%s abr%d: ACR %.2f, serial %.2f", label, i+1, run.acrs[i], serial.acrs[i])
+			}
+		}
+	}
+}

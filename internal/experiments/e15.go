@@ -123,7 +123,7 @@ func runE15(overload float64, epd bool, runTime sim.Duration) E15Point {
 	}
 	kern := net.Kernel()
 	if epd {
-		net.Switch("sw").SetThresholds(2, 0, epdThresh)
+		net.Switch("sw").SetThresholds(2, 0, epdThresh, 0)
 	}
 
 	// Aggregate offered load = overload x the output port's cell rate,

@@ -130,7 +130,7 @@ func runE19(frac float64, epd bool, runTime sim.Duration) E19Point {
 	}
 	kern := net.Kernel()
 	if epd {
-		net.Switch("sw").SetThresholds(2, 0, epdThresh)
+		net.Switch("sw").SetThresholds(2, 0, epdThresh, 0)
 	}
 
 	stacks := map[string]*ip.Stack{

@@ -784,3 +784,47 @@ func TestE20TwoFlowFairness(t *testing.T) {
 		}
 	}
 }
+
+func TestE21Shape(t *testing.T) {
+	pts, sr := E21(30 * sim.Millisecond)
+	if len(pts) != 3 {
+		t.Fatalf("%d delay points", len(pts))
+	}
+	var stamped uint64
+	for _, p := range pts {
+		// The converged operating point is delay-invariant: max-min fair
+		// shares at the ERICA target, whatever the loop length.
+		if !p.Converged {
+			t.Errorf("delay %v: never converged", p.FeedbackDelay)
+		}
+		if p.Jain < 0.95 {
+			t.Errorf("delay %v: Jain %.4f < 0.95", p.FeedbackDelay, p.Jain)
+		}
+		// Bounded bottleneck queue: ERICA holds the excursion far below
+		// the 512-cell buffer, so nothing rides on tail drop.
+		if p.QueuePeak <= 0 || p.QueuePeak > 256 {
+			t.Errorf("delay %v: queue peak %d cells", p.FeedbackDelay, p.QueuePeak)
+		}
+		stamped += p.ERStamped
+		// Each source settles at or above the nominal fair share (ERICA
+		// allocates measured load; duty factor < 1 lifts ACR, never drops
+		// it below fair share) and well below the 622 access rate.
+		for _, src := range p.Sources {
+			if src.MeanACR < 0.9*p.FairShare || src.MeanACR > 4*p.FairShare {
+				t.Errorf("delay %v %s: mean ACR %.0f vs fair share %.0f",
+					p.FeedbackDelay, src.Name, src.MeanACR, p.FairShare)
+			}
+			if src.Delivered == 0 {
+				t.Errorf("delay %v %s: no cells delivered", p.FeedbackDelay, src.Name)
+			}
+		}
+	}
+	if stamped == 0 {
+		t.Error("ERICA never stamped an explicit rate")
+	}
+	for _, y := range []string{"jain-index", "queue-peak-cells", "convergence-us"} {
+		if sr.Y(y) == nil {
+			t.Fatalf("series %q missing", y)
+		}
+	}
+}

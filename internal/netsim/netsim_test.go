@@ -472,7 +472,7 @@ func TestSwitchPolicerTagsAndCLPThreshold(t *testing.T) {
 	// arriving CLP=1 cell dies while CLP=0 cells still queue.
 	k2 := sim.NewKernel()
 	sw2 := NewSwitch(k2, "sw", 2, units.STS3cPayload, 8)
-	sw2.SetThresholds(1, 2, 0)
+	sw2.SetThresholds(1, 2, 0, 0)
 	sw2.SetRoute(0, vc(6), 1, vc(6), RouteOptions{Class: tm.UBR})
 	in2 := sw2.Port(0)
 	in2.DeliverCell(mkCell(6, atm.PTUser0, true)) // occ 0 < 2: accepted
@@ -492,7 +492,7 @@ func TestSwitchEPD(t *testing.T) {
 	// above it, is refused whole — every cell including its EOF.
 	k := sim.NewKernel()
 	sw := NewSwitch(k, "sw", 2, units.STS3cPayload, 10)
-	sw.SetThresholds(1, 0, 4)
+	sw.SetThresholds(1, 0, 4, 0)
 	var got []*atm.Cell
 	sw.Port(1).AttachSink(atm.SinkFunc(func(c *atm.Cell) { got = append(got, c) }))
 	sw.SetRoute(0, vc(7), 1, vc(7), RouteOptions{Class: tm.UBR})
@@ -524,7 +524,7 @@ func TestSwitchPPDForwardsEOF(t *testing.T) {
 	// next frame still delineates.
 	k := sim.NewKernel()
 	sw := NewSwitch(k, "sw", 2, units.STS3cPayload, 6)
-	sw.SetThresholds(1, 0, 6) // frame discard armed, EPD gate = full buffer
+	sw.SetThresholds(1, 0, 6, 0) // frame discard armed, EPD gate = full buffer
 	var got []*atm.Cell
 	sw.Port(1).AttachSink(atm.SinkFunc(func(c *atm.Cell) { got = append(got, c) }))
 	sw.SetRoute(0, vc(8), 1, vc(8), RouteOptions{Class: tm.UBR})

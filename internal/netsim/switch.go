@@ -21,7 +21,7 @@ import (
 //
 // Output buffering is a shared per-port budget of queueDepth cells split
 // across one queue per service class (tm.ServiceClass); the drain is strict
-// priority — CBR first, then rt-VBR, then UBR. Congestion controls, all off
+// priority — CBR first, then rt-VBR, then ABR, UBR last. Congestion controls, all off
 // by default so the zero configuration behaves like the original blind
 // tail-drop switch:
 //
@@ -29,11 +29,17 @@ import (
 //     are policed before routing and either pass, get their CLP demoted,
 //     or are discarded at the ingress;
 //   - SetThresholds arms a CLP threshold (arriving discard-eligible cells
-//     are dropped once the port occupancy reaches it) and an EPD threshold
+//     are dropped once the port occupancy reaches it), an EPD threshold
 //     (a new AAL5 frame arriving above it is refused whole — Early Packet
 //     Discard — and a frame that loses a cell mid-flight has its remainder
 //     dropped, Partial Packet Discard, with the final EOF cell forwarded
-//     to preserve frame delineation for the reassembler).
+//     to preserve frame delineation for the reassembler), and an EFCI
+//     threshold (user cells committed to the queue at or above it leave
+//     with the EFCI congestion bit set — the binary half of the ABR
+//     feedback loop);
+//   - EnableERICA (abr.go) arms explicit-rate feedback on an output port:
+//     backward RM cells get their ER field reduced to the port's measured
+//     max-min allocation.
 type Switch struct {
 	k        *sim.Kernel
 	name     string
@@ -72,6 +78,8 @@ type Switch struct {
 	mNoRt   *metrics.Counter
 	mBcast  *metrics.Counter
 	mAIS    *metrics.Counter
+	mEFCI   *metrics.Counter
+	mER     *metrics.Counter
 }
 
 // SwitchStats counts switch events.
@@ -89,6 +97,8 @@ type SwitchStats struct {
 	PPDFrames        uint64 // frames truncated after a mid-frame loss
 	PPDCells         uint64 // tail cells dropped by PPD
 	AISCells         uint64 // AIS cells generated for failed input ports
+	EFCIMarked       uint64 // user cells marked EFCI at the queue threshold
+	ERStamped        uint64 // backward RM cells whose ER ERICA reduced
 }
 
 type swKey struct {
@@ -127,8 +137,13 @@ type swPort struct {
 	draining bool
 	drainFn  func() // bound drain callback, created once
 
-	clpThreshold int // 0 = disabled
-	epdThreshold int // 0 = frame discard (EPD/PPD) disabled
+	clpThreshold  int // 0 = disabled
+	epdThreshold  int // 0 = frame discard (EPD/PPD) disabled
+	efciThreshold int // 0 = EFCI marking disabled
+
+	// erica is the explicit-rate state for this port as an output (nil
+	// until EnableERICA).
+	erica *ericaPort
 
 	frames map[atm.VC]*frameState
 
@@ -187,15 +202,19 @@ func (s *Switch) SetPortRate(port int, rate units.BitRate) {
 	s.port(port).cellTime = units.CellTime(rate)
 }
 
-// SetThresholds arms congestion controls on an output port, both in cells
+// SetThresholds arms congestion controls on an output port, all in cells
 // of total port occupancy: arriving CLP=1 cells are dropped at or above
-// clp, and new AAL5 frames arriving at or above epd are refused whole
-// (EPD) with mid-frame losses truncating the remainder (PPD). Zero
-// disables a threshold; both default to zero (blind tail drop).
-func (s *Switch) SetThresholds(port, clp, epd int) {
+// clp, new AAL5 frames arriving at or above epd are refused whole (EPD)
+// with mid-frame losses truncating the remainder (PPD), and user cells
+// committed to the queue at or above efci leave with the EFCI congestion
+// bit set in their PT (AAU preserved) — the binary feedback the ABR
+// destination folds into backward RM cells as CI. Zero disables a
+// threshold; all default to zero (blind tail drop).
+func (s *Switch) SetThresholds(port, clp, epd, efci int) {
 	p := s.port(port)
 	p.clpThreshold = clp
 	p.epdThreshold = epd
+	p.efciThreshold = efci
 }
 
 // SetPolicer installs a UPC policer on an input port's VC: every arriving
@@ -359,6 +378,8 @@ func (s *Switch) Instrument(reg *metrics.Registry, prefix string) {
 	s.mNoRt = reg.Counter(prefix + ".no_route")
 	s.mBcast = reg.Counter(prefix + ".broadcasts")
 	s.mAIS = reg.Counter(prefix + ".ais_cells")
+	s.mEFCI = reg.Counter(prefix + ".efci_marked")
+	s.mER = reg.Counter(prefix + ".er_stamped")
 	for i, p := range s.ports {
 		pn := fmt.Sprintf("%s.port%d", prefix, i)
 		p.mRouted = reg.Counter(pn + ".routed")
@@ -405,6 +426,12 @@ func (s *Switch) receive(port int, c *atm.Cell) {
 		s.stats.NoRoute++
 		s.mNoRt.Inc()
 		return
+	}
+	if c.Header.PT == atm.PTResourceMgmt {
+		// Backward RM cells arrive on the port whose output side their
+		// connection's forward cells congest; stamp ERICA's explicit rate
+		// before the fabric carries them on toward the source.
+		s.rmReceive(port, c)
 	}
 	if len(rt.dests) > 1 {
 		s.stats.Broadcasts++
@@ -465,6 +492,11 @@ func (p *swPort) frame(vc atm.VC) *frameState {
 
 func (s *Switch) enqueue(d swDest, c *atm.Cell) {
 	p := s.ports[d.outPort]
+	if p.erica != nil {
+		// ERICA measures offered load — before any drop decision — so the
+		// overload factor sees the demand the queue is refusing.
+		p.erica.observe(s.k.Now(), d.class, c)
+	}
 	frameDiscard := p.epdThreshold > 0 && c.Header.PT.User()
 	var fs *frameState
 	eof := c.Header.PT.EndOfFrame()
@@ -532,6 +564,13 @@ func (s *Switch) enqueue(d swDest, c *atm.Cell) {
 		return
 	}
 
+	if p.efciThreshold > 0 && p.occ >= p.efciThreshold && c.Header.PT.User() {
+		// Congestion experienced: set EFCI in the PT, preserving the AAU
+		// (end-of-frame) bit — 0b001 becomes 0b011, not a new frame shape.
+		c.Header.PT |= atm.PTUserCongested
+		s.stats.EFCIMarked++
+		s.mEFCI.Inc()
+	}
 	p.queues[d.class].Push(c)
 	if p.hRes != nil {
 		p.times[d.class].Push(s.k.Now())
@@ -562,7 +601,7 @@ func (s *Switch) drain(port int) {
 	p := s.ports[port]
 	var cell *atm.Cell
 	cls := -1
-	for class := range p.queues { // strict priority: CBR, rt-VBR, UBR
+	for class := range p.queues { // strict priority: CBR, rt-VBR, ABR, UBR
 		if c, ok := p.queues[class].Pop(); ok {
 			cell = c
 			cls = class

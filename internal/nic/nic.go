@@ -44,6 +44,10 @@ type Interface struct {
 	reg        *metrics.Registry
 	txVCs      map[atm.VC]bool
 	onLoopback func(vc atm.VC, correlation uint32)
+
+	// ABR management-path counters (see abr.go).
+	mRMTurn *metrics.Counter // forward RM cells turned around as destination
+	mBRMRx  *metrics.Counter // backward RM cells consumed as source
 }
 
 // Errors surfaced by the interface API.
@@ -79,6 +83,8 @@ func New(k *sim.Kernel, cfg Config, hst *host.Host, b *bus.Bus) (*Interface, err
 		reg:      reg,
 		txVCs:    make(map[atm.VC]bool),
 	}
+	i.mRMTurn = reg.Counter(scoped(cfg.Name, "nic.abr.turnaround"))
+	i.mBRMRx = reg.Counter(scoped(cfg.Name, "nic.abr.brm_rx"))
 	i.txEngine.Instrument(reg, scoped(cfg.Name, "engine.txeng"))
 	i.buf.Instrument(reg, scoped(cfg.Name, "nic.bufpool"))
 	for e := 0; e < cfg.RxEngines; e++ {
@@ -99,6 +105,12 @@ func New(k *sim.Kernel, cfg Config, hst *host.Host, b *bus.Bus) (*Interface, err
 	// into the fault state machine, and counts everything else — damaged
 	// or unhandled — as a visible drop instead of a silent one.
 	i.rx.onOAM = func(e int, c *atm.Cell) {
+		if c.Header.PT == atm.PTResourceMgmt {
+			// ABR resource-management cells have their own payload format;
+			// dispatch them before the OAM classifier (abr.go).
+			i.handleRM(c)
+			return
+		}
 		typ, fn, ok := oam.Classify(&c.Payload)
 		if !ok || typ != oam.TypeFaultMgmt {
 			i.rx.badOAM(c)

@@ -55,6 +55,7 @@ type rxVC struct {
 	frame      bufmgr.Frame          // nil when no frame in progress
 	vst        *metrics.VCStats      // per-connection telemetry row
 	frameStart sim.Time              // first-cell arrival of the frame in progress
+	efci       bool                  // latest data cell carried the EFCI bit
 }
 
 // receiver is the receive half: per-engine RX FIFOs behind a hardware VC
@@ -354,6 +355,9 @@ func (r *receiver) process(e int) {
 	}
 	st := r.vcs[idx]
 	st.vst.AddCellIn()
+	// The ABR destination turnaround reads this: CI in a turned RM cell
+	// reflects whether the network marked the latest data cell EFCI.
+	st.efci = cell.Header.PT.Congestion()
 
 	instr := rxCellInstr + lookCycles
 	if r.cfg.AAL == aal.AAL34 {

@@ -66,6 +66,10 @@ type txVC struct {
 	nextEligible sim.Time
 	shaper       *tm.Shaper
 
+	// abr, when armed (Interface.SetABR), makes the shaper rate track the
+	// closed-loop ACR and interleaves forward RM cells every Nrm cells.
+	abr *abrTx
+
 	// Staging-DMA completion state: one burst is in flight per frame, so a
 	// single pre-bound callback per VC replaces a closure per burst.
 	stageDoneFn func()
@@ -136,6 +140,7 @@ type transmitter struct {
 	mStalls    *metrics.Counter
 	mDMAWaits  *metrics.Counter
 	mPaceWaits *metrics.Counter
+	mFRM       *metrics.Counter
 	gQueued    *metrics.Gauge
 	hCellDelay *metrics.Histogram
 	hDMAWait   *metrics.Histogram
@@ -169,6 +174,7 @@ func newTransmitter(k *sim.Kernel, cfg *Config, eng *engine.Engine, dev *bus.Dev
 	t.mStalls = reg.Counter(scoped(prefix, "nic.tx.fifo_stalls"))
 	t.mDMAWaits = reg.Counter(scoped(prefix, "nic.tx.dma_waits"))
 	t.mPaceWaits = reg.Counter(scoped(prefix, "nic.tx.pace_waits"))
+	t.mFRM = reg.Counter(scoped(prefix, "nic.abr.frm_tx"))
 	t.gQueued = reg.Gauge(scoped(prefix, "nic.tx.queued"))
 	t.hCellDelay = reg.Histogram(scoped(prefix, "nic.tx.cell_delay"))
 	t.hDMAWait = reg.Histogram(scoped(prefix, "nic.tx.dma_wait"))
@@ -482,6 +488,9 @@ func (t *transmitter) cellDone() {
 		st.nextEligible = t.k.Now() + st.minGap
 	}
 	t.startClock()
+	if st.abr != nil {
+		t.maybeSendFRM(st)
+	}
 	if done {
 		t.finishFrame(st)
 		return

@@ -11,6 +11,7 @@ import (
 	"repro/internal/nic"
 	"repro/internal/sim"
 	"repro/internal/sonet"
+	"repro/internal/tm"
 	"repro/internal/trace"
 )
 
@@ -109,6 +110,109 @@ func TestSonetBurstModeGoldenIdentity(t *testing.T) {
 						rate, size, i, burst.spans[i], serial.spans[i])
 				}
 			}
+		}
+	}
+}
+
+// runSonetABRWorkload is the marked-up variant of runSonetWorkload: an ABR
+// connection whose data cells are all EFCI-marked on the way into the
+// framer, so the recovery path under test carries congested user cells in
+// one direction and turned-around RM cells in the other.
+func runSonetABRWorkload(t *testing.T, burst bool, burstSize int) (sonetRun, float64) {
+	t.Helper()
+	k := sim.NewKernel()
+	reg := metrics.NewRegistry()
+	rec := trace.NewRecorder(k, 1<<16)
+	mk := func(name string) *nic.Interface {
+		cfg := nic.DefaultConfig(name)
+		cfg.RxFifoDepth = 128
+		cfg.Metrics = reg
+		iface, err := nic.New(k, cfg, host.New(k, host.DefaultConfig()), bus.New(k, bus.DefaultConfig()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return iface
+	}
+	a, b := mk("a"), mk("b")
+	link, err := Connect(k, Config{
+		Rate: sonet.STS3c, Delay: 10_000, Seed: 3,
+		Metrics: reg, Recorder: rec,
+		Burst: burst, BurstSize: burstSize,
+	}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.OpenVC(vc())
+	b.OpenVC(vc())
+	if err := a.SetABR(vc(), tm.ABRParams{PCR: 100_000, ICR: 50_000, Nrm: 32}); err != nil {
+		t.Fatal(err)
+	}
+	a.AttachSink(&efciMarker{dst: link.AtoB})
+	var run sonetRun
+	b.OnReceive(func(d nic.Delivered) {
+		run.deliveries = append(run.deliveries,
+			fmt.Sprintf("t=%d vc=%v len=%d head=%x", int64(k.Now()), d.VC, len(d.SDU), d.SDU[:4]))
+	})
+	for i := 0; i < 8; i++ {
+		if err := a.Send(vc(), pkt(2000+777*i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Run()
+	var sb bytes.Buffer
+	if err := reg.Snapshot().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	run.metrics = sb.String()
+	spans, unmatched := rec.Spans()
+	trace.SortSpans(spans)
+	run.spans = spans
+	run.unmatched = unmatched
+	acr, _ := a.ACR(vc())
+	return run, acr
+}
+
+// TestSonetBurstEFCIMarkedGoldenIdentity pins the batched recovery path
+// against serial delivery on a workload where every user cell carries the
+// EFCI bit and the reverse direction carries CI-bearing backward RM cells:
+// same SDUs at the same nanoseconds, byte-identical registry (including
+// the NIC's abr counters), the same spans, and the same final ACR. A burst
+// path that dropped or reordered the congestion bit would diverge in all
+// four.
+func TestSonetBurstEFCIMarkedGoldenIdentity(t *testing.T) {
+	serial, serialACR := runSonetABRWorkload(t, false, 0)
+	if len(serial.deliveries) != 8 {
+		t.Fatalf("serial: delivered %d of 8", len(serial.deliveries))
+	}
+	if serialACR >= 50_000 || serialACR <= 0 {
+		t.Fatalf("serial ACR = %.0f, want inside (0, ICR): CI feedback missing", serialACR)
+	}
+	for _, size := range []int{0, 1, 7} {
+		burst, burstACR := runSonetABRWorkload(t, true, size)
+		if len(burst.deliveries) != len(serial.deliveries) {
+			t.Fatalf("burst(size=%d): delivered %d, serial %d", size, len(burst.deliveries), len(serial.deliveries))
+		}
+		for i := range burst.deliveries {
+			if burst.deliveries[i] != serial.deliveries[i] {
+				t.Fatalf("burst(size=%d) delivery %d:\n  burst:  %s\n  serial: %s",
+					size, i, burst.deliveries[i], serial.deliveries[i])
+			}
+		}
+		if burst.metrics != serial.metrics {
+			t.Fatalf("burst(size=%d): metrics registry diverges:\n--- burst\n%s\n--- serial\n%s",
+				size, burst.metrics, serial.metrics)
+		}
+		if len(burst.spans) != len(serial.spans) || burst.unmatched != serial.unmatched {
+			t.Fatalf("burst(size=%d): %d spans (%d unmatched), serial %d (%d)",
+				size, len(burst.spans), burst.unmatched, len(serial.spans), serial.unmatched)
+		}
+		for i := range burst.spans {
+			if burst.spans[i] != serial.spans[i] {
+				t.Fatalf("burst(size=%d) span %d: %+v, serial %+v", size, i, burst.spans[i], serial.spans[i])
+			}
+		}
+		if burstACR != serialACR {
+			t.Fatalf("burst(size=%d) ACR = %.0f, serial %.0f", size, burstACR, serialACR)
 		}
 	}
 }

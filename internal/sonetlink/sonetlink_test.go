@@ -10,6 +10,7 @@ import (
 	"repro/internal/nic"
 	"repro/internal/sim"
 	"repro/internal/sonet"
+	"repro/internal/tm"
 	"repro/internal/units"
 )
 
@@ -356,5 +357,71 @@ func TestSonetLinkFailureLOS(t *testing.T) {
 	}
 	if last := aEvents[len(aEvents)-1]; last.Raised {
 		t.Fatalf("a's RDI alarm never cleared: %v", aEvents)
+	}
+}
+
+// efciMarker sits between the transmitting interface's cell clock and the
+// SONET framer, setting the EFCI bit on every user cell — a stand-in for a
+// congested switch upstream of this fiber. RM and OAM cells pass unmarked,
+// as a real switch would leave them.
+type efciMarker struct {
+	dst    atm.CellConsumer
+	marked int
+}
+
+func (m *efciMarker) DeliverCell(c *atm.Cell) {
+	if c.Header.PT.User() {
+		c.Header.PT |= atm.PTUserCongested
+		m.marked++
+	}
+	m.dst.DeliverCell(c)
+}
+
+// TestSonetEFCISurvivesFraming closes the ABR loop over the real physical
+// layer with every data cell EFCI-marked: the congestion bit must survive
+// scrambling, delineation and header decode into the destination's EFCI
+// state, the turned-around backward RM cells must carry CI=1 back across
+// the reverse SONET direction, and the source's ACR must therefore fall
+// below its initial rate. Marked frames must still reassemble intact —
+// PT 0b011 remains end-of-frame.
+func TestSonetEFCISurvivesFraming(t *testing.T) {
+	r := newRig(t, sonet.STS3c)
+	r.a.OpenVC(vc())
+	r.b.OpenVC(vc())
+	const icr = 50_000
+	if err := r.a.SetABR(vc(), tm.ABRParams{PCR: 100_000, ICR: icr, Nrm: 32}); err != nil {
+		t.Fatal(err)
+	}
+	m := &efciMarker{dst: r.link.AtoB}
+	r.a.AttachSink(m)
+	payload := pkt(9180) // 192 cells: several Nrm cadences per SDU
+	for i := 0; i < 3; i++ {
+		if err := r.a.Send(vc(), payload, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.k.Run()
+	if len(r.got) != 3 {
+		t.Fatalf("delivered %d of 3 EFCI-marked frames", len(r.got))
+	}
+	for i, sdu := range r.got {
+		if !bytes.Equal(sdu, payload) {
+			t.Fatalf("frame %d corrupted by EFCI marking", i)
+		}
+	}
+	if m.marked == 0 {
+		t.Fatal("marker saw no user cells")
+	}
+	acr, ok := r.a.ACR(vc())
+	if !ok {
+		t.Fatal("ACR lost its ABR state")
+	}
+	// Every backward RM cell carried CI (the destination's EFCI state was
+	// pinned by the marked data cells), so the source only ever decreased.
+	if acr >= icr {
+		t.Fatalf("ACR = %.0f, want < ICR %d: CI feedback never arrived, so the EFCI bit died in framing", acr, icr)
+	}
+	if acr <= 0 {
+		t.Fatalf("ACR = %.0f fell through the MCR floor", acr)
 	}
 }

@@ -1,0 +1,125 @@
+package tm
+
+import "fmt"
+
+// ABRParams is the per-connection parameter set of the ABR closed loop
+// (ATM Forum TM 4.0 §5.10.2): the rates the contract fixes plus the knobs
+// that govern how fast the source chases the network's feedback. The
+// zero-value fields are filled by Normalize; PCR is the only mandatory one.
+type ABRParams struct {
+	// PCR is the peak cell rate in cells/s: the ceiling ACR never exceeds.
+	PCR float64
+	// MCR is the minimum cell rate in cells/s: the floor ACR never drops
+	// below, and the bandwidth the CAC reserves. Defaults to PCR/1000
+	// (at least 1 cell/s) so the VC can never be starved to a standstill.
+	MCR float64
+	// ICR is the initial cell rate: where ACR starts before the first
+	// backward RM cell arrives. Defaults to PCR/10, floored at MCR.
+	ICR float64
+	// Nrm is the RM-cell cadence: one forward RM cell per Nrm cells sent
+	// (RM cells included). Defaults to 32 (the TM 4.0 default).
+	Nrm int
+	// RIF is the rate increase factor: additive increase per backward RM
+	// cell without CI/NI is RIF×PCR. Defaults to 1/16.
+	RIF float64
+	// RDF is the rate decrease factor: a CI cell multiplies ACR by
+	// (1 − RDF). Defaults to 1/16.
+	RDF float64
+}
+
+// Normalize fills defaulted fields in place and returns the receiver.
+func (p *ABRParams) Normalize() *ABRParams {
+	if p.MCR == 0 {
+		p.MCR = p.PCR / 1000
+		if p.MCR < 1 {
+			p.MCR = 1
+		}
+	}
+	if p.ICR == 0 {
+		p.ICR = p.PCR / 10
+	}
+	if p.ICR < p.MCR {
+		p.ICR = p.MCR
+	}
+	if p.Nrm == 0 {
+		p.Nrm = 32
+	}
+	if p.RIF == 0 {
+		p.RIF = 1.0 / 16
+	}
+	if p.RDF == 0 {
+		p.RDF = 1.0 / 16
+	}
+	return p
+}
+
+// Validate checks a normalized parameter set.
+func (p *ABRParams) Validate() error {
+	if p.PCR <= 0 {
+		return fmt.Errorf("tm: abr: PCR %g must be > 0", p.PCR)
+	}
+	if p.MCR <= 0 || p.MCR > p.PCR {
+		return fmt.Errorf("tm: abr: MCR %g outside (0, PCR=%g]", p.MCR, p.PCR)
+	}
+	if p.ICR < p.MCR || p.ICR > p.PCR {
+		return fmt.Errorf("tm: abr: ICR %g outside [MCR=%g, PCR=%g]", p.ICR, p.MCR, p.PCR)
+	}
+	if p.Nrm < 2 {
+		return fmt.Errorf("tm: abr: Nrm %d must be >= 2", p.Nrm)
+	}
+	if p.RIF <= 0 || p.RIF > 1 {
+		return fmt.Errorf("tm: abr: RIF %g outside (0, 1]", p.RIF)
+	}
+	if p.RDF <= 0 || p.RDF > 1 {
+		return fmt.Errorf("tm: abr: RDF %g outside (0, 1]", p.RDF)
+	}
+	return nil
+}
+
+// Contract returns the TrafficContract the parameter set admits under:
+// class ABR, the PCR ceiling, the MCR reservation.
+func (p *ABRParams) Contract() TrafficContract {
+	return TrafficContract{Class: ABR, PCR: p.PCR, MCR: p.MCR}
+}
+
+// ABRSource holds one connection's allowed cell rate and applies the TM 4.0
+// source rate rules to each backward RM cell. It is pure rate arithmetic —
+// the NIC owns the shaper this steers.
+type ABRSource struct {
+	params ABRParams
+	acr    float64
+}
+
+// NewABRSource starts a source at ICR. Params must be normalized and valid.
+func NewABRSource(p ABRParams) *ABRSource {
+	return &ABRSource{params: p, acr: p.ICR}
+}
+
+// ACR returns the current allowed cell rate in cells/s.
+func (s *ABRSource) ACR() float64 { return s.acr }
+
+// Params returns the parameter set.
+func (s *ABRSource) Params() ABRParams { return s.params }
+
+// Feedback applies one backward RM cell (TM 4.0 §5.10.6, source behaviour
+// #8/#9): multiplicative decrease on CI, else additive increase unless NI,
+// then clamp to the explicit rate and the contract band. Returns the new
+// ACR.
+func (s *ABRSource) Feedback(ci, ni bool, er float64) float64 {
+	p := &s.params
+	if ci {
+		s.acr -= s.acr * p.RDF
+	} else if !ni {
+		s.acr += p.RIF * p.PCR
+	}
+	if er > 0 && s.acr > er {
+		s.acr = er
+	}
+	if s.acr > p.PCR {
+		s.acr = p.PCR
+	}
+	if s.acr < p.MCR {
+		s.acr = p.MCR
+	}
+	return s.acr
+}

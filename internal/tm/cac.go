@@ -16,6 +16,8 @@ import (
 //     link must carry the peak continuously;
 //   - rt-VBR reserves its SCR of bandwidth plus MBS cells of buffer — the
 //     burst above SCR is absorbed by the queue the MBS reservation holds;
+//   - ABR reserves its MCR — the only rate the network commits to; the
+//     head-room above it is steered by the RM-cell feedback loop, not held;
 //   - UBR reserves nothing and is admitted while any bandwidth remains
 //     unreserved (it scavenges leftovers and is first to be discarded).
 type CAC struct {
@@ -49,6 +51,8 @@ func demand(c TrafficContract) (cells float64, buf int) {
 		return c.PCR, 0
 	case RtVBR:
 		return c.SCR, c.MBS
+	case ABR:
+		return c.MCR, 0
 	default: // UBR
 		return 0, 0
 	}

@@ -31,7 +31,7 @@ import (
 
 // ServiceClass is the ATM service category a connection is contracted
 // under. The classes map to switch scheduling priority: CBR drains first,
-// rt-VBR second, UBR last.
+// rt-VBR second, then ABR, UBR last.
 type ServiceClass uint8
 
 const (
@@ -41,6 +41,11 @@ const (
 	// RtVBR is real-time variable bit rate: PCR bounds the burst rate, SCR
 	// the sustained rate, MBS the burst length (video, bursty real-time).
 	RtVBR
+	// ABR is available bit rate: the network guarantees MCR and the source
+	// tracks the explicit rate the closed feedback loop (RM cells, ERICA)
+	// hands back, so ABR traffic soaks up whatever CBR/VBR leave unused
+	// without building standing queues the way UBR does.
+	ABR
 	// UBR is unspecified bit rate: no reservation, no throughput
 	// commitment, first to be discarded under congestion (data).
 	UBR
@@ -58,6 +63,8 @@ func (c ServiceClass) String() string {
 		return "cbr"
 	case RtVBR:
 		return "rt-vbr"
+	case ABR:
+		return "abr"
 	case UBR:
 		return "ubr"
 	default:
@@ -78,6 +85,10 @@ type TrafficContract struct {
 	// MBS is the maximum burst size in cells the connection may emit
 	// back-to-back at PCR while staying SCR-conforming (VBR only).
 	MBS int
+	// MCR is the minimum cell rate in cells/s the network commits to an
+	// ABR connection: the floor the source never drops ACR below, and the
+	// bandwidth the CAC reserves (ABR only; 0 elsewhere).
+	MCR float64
 	// CDVT is the cell-delay-variation tolerance the policer grants on the
 	// peak bucket: the jitter budget for FIFO quantization and multiplexing
 	// between the shaper and the policing point.
@@ -106,6 +117,15 @@ func (c *TrafficContract) Validate() error {
 	}
 	if c.Class == CBR && c.SCR != 0 {
 		return fmt.Errorf("tm: CBR contract carries an SCR; CBR is PCR-only")
+	}
+	if c.MCR < 0 || c.MCR > c.PCR {
+		return fmt.Errorf("tm: MCR %g outside [0, PCR=%g]", c.MCR, c.PCR)
+	}
+	if c.MCR > 0 && c.Class != ABR {
+		return fmt.Errorf("tm: MCR is an ABR parameter; class is %v", c.Class)
+	}
+	if c.Class == ABR && c.SCR != 0 {
+		return fmt.Errorf("tm: ABR contract carries an SCR; ABR is PCR/MCR-only")
 	}
 	return nil
 }
@@ -147,6 +167,10 @@ func (c TrafficContract) String() string {
 		return fmt.Sprintf("%v pcr=%.0fc/s scr=%.0fc/s mbs=%d cdvt=%v",
 			c.Class, c.PCR, c.SCR, c.MBS, c.CDVT)
 	}
+	if c.Class == ABR {
+		return fmt.Sprintf("%v pcr=%.0fc/s mcr=%.0fc/s cdvt=%v",
+			c.Class, c.PCR, c.MCR, c.CDVT)
+	}
 	return fmt.Sprintf("%v pcr=%.0fc/s cdvt=%v", c.Class, c.PCR, c.CDVT)
 }
 
@@ -158,6 +182,13 @@ func CBRContract(pcr float64, cdvt sim.Duration) TrafficContract {
 // VBRContract builds a dual-bucket rt-VBR contract.
 func VBRContract(pcr, scr float64, mbs int, cdvt sim.Duration) TrafficContract {
 	return TrafficContract{Class: RtVBR, PCR: pcr, SCR: scr, MBS: mbs, CDVT: cdvt}
+}
+
+// ABRContract builds an available-bit-rate contract: PCR is the ceiling the
+// source may ever send at, MCR the floor the network commits to. The actual
+// sending rate in between is the ACR the RM-cell feedback loop steers.
+func ABRContract(pcr, mcr float64) TrafficContract {
+	return TrafficContract{Class: ABR, PCR: pcr, MCR: mcr}
 }
 
 // UBRContract builds a best-effort contract whose PCR is the line rate —

@@ -235,3 +235,45 @@ func (s *Shaper) NextEligible(t sim.Time) sim.Time {
 	}
 	return next
 }
+
+// Eligible returns the earliest departure time of the next cell without
+// recording an emission — the value the last NextEligible returned, under
+// whatever rate is current now.
+func (s *Shaper) Eligible() sim.Time {
+	next := s.peak.tat
+	if s.dual {
+		if e := s.sust.tat - s.sust.limit; e > next {
+			next = e
+		}
+	}
+	return next
+}
+
+// SetRate re-targets the peak bucket to a new rate mid-flow — the ACR
+// adjustment the ABR source rules need on every backward RM cell. The
+// bucket's outstanding debt is re-derived, not merely re-priced: whatever
+// fraction of one emission interval the VC still owed at the old rate, it
+// owes the same fraction of the new interval. Concretely, with the bucket
+// ahead of now by d = TAT − now,
+//
+//	TAT' = now + d × (inc_new / inc_old)
+//
+// Scaling (rather than keeping TAT) means a rate increase takes effect
+// within one cell slot instead of stalling until the old slow TAT drains;
+// re-deriving (rather than resetting TAT = now) means a rate decrease
+// cannot hand the VC a credit windfall that lets it burst at the old rate
+// one last time. A bucket at or behind now stays where it is — an idle VC
+// earns nothing from a rate change. Dual-bucket (SCR) shapers keep their
+// sustained bucket untouched: ABR contracts are single-bucket.
+func (s *Shaper) SetRate(now sim.Time, rate float64) {
+	if rate <= 0 {
+		panic("tm: Shaper.SetRate needs rate > 0")
+	}
+	newInc := sim.Duration(1e9/rate + 0.5)
+	if old := s.peak.inc; s.peak.tat > now && old > 0 {
+		debt := float64(s.peak.tat - now)
+		s.peak.tat = now + sim.Duration(debt*float64(newInc)/float64(old)+0.5)
+	}
+	s.peak.inc = newInc
+	s.contract.PCR = rate
+}
